@@ -1,0 +1,86 @@
+//! The rating filter of the P-scheme.
+//!
+//! Suspicion marks alone are too blunt to act on — fair ratings land in
+//! suspicious intervals too (paper Section IV-G). The filter therefore
+//! removes only the *highly suspicious* ratings: those that are both
+//! marked by the joint detector **and** submitted by a rater whose current
+//! trust has fallen below a threshold. Everything else stays in and is
+//! merely down-weighted by Eq. 7.
+
+use rrs_core::{RaterId, RatingEntry, RatingId};
+use std::collections::BTreeSet;
+
+/// Decides which ratings survive the filter.
+///
+/// Returns the entries of `candidates` that are **not** removed. A rating
+/// is removed iff its id is in `marks` and `trust(rater) < trust_threshold`.
+pub fn filter_ratings<'a, F>(
+    candidates: &'a [RatingEntry],
+    marks: &BTreeSet<RatingId>,
+    trust: F,
+    trust_threshold: f64,
+) -> Vec<&'a RatingEntry>
+where
+    F: Fn(RaterId) -> f64,
+{
+    candidates
+        .iter()
+        .filter(|e| !(marks.contains(&e.id()) && trust(e.rater()) < trust_threshold))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::{ProductId, Rating, RatingDataset, RatingSource, RatingValue, Timestamp};
+
+    fn build() -> (RatingDataset, Vec<RatingId>) {
+        let mut d = RatingDataset::new();
+        let mut ids = Vec::new();
+        for i in 0..4u32 {
+            ids.push(d.insert(
+                Rating::new(
+                    RaterId::new(i),
+                    ProductId::new(0),
+                    Timestamp::new(f64::from(i)).unwrap(),
+                    RatingValue::new(4.0).unwrap(),
+                ),
+                RatingSource::Fair,
+            ));
+        }
+        (d, ids)
+    }
+
+    #[test]
+    fn unmarked_ratings_always_survive() {
+        let (d, _) = build();
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let kept = filter_ratings(tl.entries(), &BTreeSet::new(), |_| 0.0, 0.5);
+        assert_eq!(kept.len(), 4);
+    }
+
+    #[test]
+    fn marked_low_trust_is_removed() {
+        let (d, ids) = build();
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let marks: BTreeSet<_> = ids[..2].iter().copied().collect();
+        // Rater 0 has low trust, rater 1 high: only rater 0's mark removes.
+        let kept = filter_ratings(
+            tl.entries(),
+            &marks,
+            |r| if r.value() == 0 { 0.1 } else { 0.9 },
+            0.5,
+        );
+        assert_eq!(kept.len(), 3);
+        assert!(kept.iter().all(|e| e.rater() != RaterId::new(0)));
+    }
+
+    #[test]
+    fn marked_trusted_rating_survives() {
+        let (d, ids) = build();
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let marks: BTreeSet<_> = ids.iter().copied().collect();
+        let kept = filter_ratings(tl.entries(), &marks, |_| 0.8, 0.5);
+        assert_eq!(kept.len(), 4);
+    }
+}

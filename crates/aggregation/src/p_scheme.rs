@@ -1,0 +1,319 @@
+//! The P-scheme: the paper's signal-based reliable rating-aggregation
+//! system (Section IV).
+//!
+//! The pipeline runs **online**, one scoring period (trust epoch) at a
+//! time:
+//!
+//! 1. **Detect** — the joint detector (four detectors, two paths,
+//!    Fig. 1) runs over all data seen so far, using the trust values from
+//!    the previous epoch for the MC detector's trust-assisted rule.
+//! 2. **Update trust** — Procedure 1: each rater's beta record absorbs
+//!    the epoch's (ratings, suspicious-ratings) counts.
+//! 3. **Filter** — highly suspicious ratings (marked *and* from raters
+//!    whose updated trust is below a threshold) are removed from the
+//!    epoch's ratings.
+//! 4. **Aggregate** — Eq. 7 combines the survivors, weighting each rating
+//!    by `max(T − 0.5, 0)`.
+
+use crate::filter::filter_ratings;
+use crate::weighted::weighted_aggregate;
+use rrs_core::{
+    AggregationScheme, EvalContext, RatingDataset, SchemeOutcome, TimeWindow,
+};
+use rrs_detectors::{DetectorConfig, JointDetector};
+use rrs_trust::TrustManager;
+use std::collections::BTreeMap;
+
+/// Configuration of the P-scheme pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PSchemeConfig {
+    /// Detector settings (windows, thresholds, enable switches).
+    pub detectors: DetectorConfig,
+    /// Marked ratings from raters below this trust are removed by the
+    /// filter (0.5 = the neutral initial trust).
+    pub filter_trust_threshold: f64,
+    /// Optional per-epoch exponential forgetting of trust evidence
+    /// (1.0 or `None` = the paper's no-forgetting Procedure 1; smaller
+    /// values let a reformed rater recover faster at the cost of longer
+    /// attacker memory).
+    pub trust_discount: Option<f64>,
+}
+
+impl PSchemeConfig {
+    /// The paper's Rating Challenge configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        PSchemeConfig {
+            detectors: DetectorConfig::paper(),
+            filter_trust_threshold: 0.5,
+            trust_discount: None,
+        }
+    }
+}
+
+/// The signal-based reliable rating-aggregation system.
+#[derive(Debug, Clone, Default)]
+pub struct PScheme {
+    config: PSchemeConfig,
+}
+
+impl PScheme {
+    /// Creates the scheme with the paper's configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        PScheme {
+            config: PSchemeConfig::paper(),
+        }
+    }
+
+    /// Creates the scheme with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: PSchemeConfig) -> Self {
+        PScheme { config }
+    }
+
+    /// Returns the configuration.
+    #[must_use]
+    pub const fn config(&self) -> &PSchemeConfig {
+        &self.config
+    }
+}
+
+impl AggregationScheme for PScheme {
+    fn name(&self) -> &str {
+        "P-scheme"
+    }
+
+    fn evaluate(&self, dataset: &RatingDataset, ctx: &EvalContext) -> SchemeOutcome {
+        let detector = JointDetector::new(self.config.detectors);
+        let mut trust = TrustManager::new();
+        let mut out = SchemeOutcome::new();
+        let mut scores: BTreeMap<rrs_core::ProductId, Vec<Option<f64>>> = BTreeMap::new();
+
+        for period in ctx.periods() {
+            // Everything seen up to the end of this period.
+            let prefix_window = TimeWindow::new(ctx.horizon().start(), period.end())
+                .expect("period lies inside the horizon");
+            let prefix = dataset.restricted(prefix_window);
+
+            // 1. Detect with the previous epoch's trust.
+            let snapshot = trust.snapshot();
+            let (marks, _) = detector.detect_all(&prefix, prefix_window, |r| {
+                snapshot.get(&r).copied().unwrap_or(0.5)
+            });
+            out.mark_suspicious_all(marks.iter().copied());
+
+            // 2. Update trust with this epoch's counts (Procedure 1),
+            // optionally forgetting a fraction of the old evidence first.
+            if let Some(factor) = self.config.trust_discount {
+                trust.discount_all(factor);
+            }
+            trust.update_epoch(&prefix, period, &marks);
+
+            // 3 + 4. Filter and aggregate each product over the scoring
+            // window (all ratings so far under cumulative scoring).
+            for (pid, timeline) in dataset.products() {
+                let slice = timeline.in_window(ctx.scoring_window(period));
+                let entry = scores.entry(pid).or_default();
+                if slice.is_empty() {
+                    entry.push(None);
+                    continue;
+                }
+                let kept = filter_ratings(
+                    slice,
+                    &marks,
+                    |r| trust.trust_of(r),
+                    self.config.filter_trust_threshold,
+                );
+                let pairs: Vec<(f64, f64)> = kept
+                    .iter()
+                    .map(|e| (e.value(), trust.trust_of(e.rater())))
+                    .collect();
+                // If the filter removed everything, fall back to the raw
+                // slice: reporting *some* score mirrors a deployed system,
+                // which never shows "no rating" for a rated product.
+                let score = weighted_aggregate(&pairs).or_else(|| {
+                    let pairs: Vec<(f64, f64)> = slice
+                        .iter()
+                        .map(|e| (e.value(), trust.trust_of(e.rater())))
+                        .collect();
+                    weighted_aggregate(&pairs)
+                });
+                entry.push(score);
+            }
+        }
+
+        for (pid, s) in scores {
+            out.insert_scores(pid, s);
+        }
+        for (rater, value) in trust.snapshot() {
+            out.set_trust(rater, value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rrs_core::{
+        Days, GroundTruth, ProductId, RaterId, Rating, RatingSource, RatingValue, Timestamp,
+    };
+
+    fn ts(d: f64) -> Timestamp {
+        Timestamp::new(d).unwrap()
+    }
+
+    /// 90 days of fair data, ~4 ratings/day at mean 4.0, raters recur.
+    fn fair_dataset(seed: u64) -> RatingDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = RatingDataset::new();
+        for day in 0..90 {
+            let n = 3 + (rng.gen::<u8>() % 3) as u32;
+            for slot in 0..n {
+                // A pool of 200 recurring raters.
+                let rater = rng.gen_range(0..200u32);
+                d.insert(
+                    Rating::new(
+                        RaterId::new(rater),
+                        ProductId::new(0),
+                        ts(f64::from(day) + f64::from(slot) / f64::from(n)),
+                        RatingValue::new_clamped(4.0 + rng.gen_range(-0.8..0.8)),
+                    ),
+                    RatingSource::Fair,
+                );
+            }
+        }
+        d
+    }
+
+    fn add_burst(d: &mut RatingDataset, from: f64, days: usize, per_day: usize, value: f64) {
+        let mut rater = 50_000u32;
+        for day in 0..days {
+            for slot in 0..per_day {
+                d.insert(
+                    Rating::new(
+                        RaterId::new(rater),
+                        ProductId::new(0),
+                        ts(from + day as f64 + slot as f64 / per_day as f64),
+                        RatingValue::new_clamped(value),
+                    ),
+                    RatingSource::Unfair,
+                );
+                rater += 1;
+            }
+        }
+    }
+
+    fn ctx(d: &RatingDataset) -> EvalContext {
+        EvalContext::from_dataset(d, Days::new(30.0).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fair_data_scores_track_the_mean() {
+        let d = fair_dataset(1);
+        let out = PScheme::new().evaluate(&d, &ctx(&d));
+        let scores = out.scores(ProductId::new(0)).unwrap();
+        assert_eq!(scores.len(), 3);
+        for s in scores {
+            let s = s.expect("every period has fair data");
+            assert!((s - 4.0).abs() < 0.25, "score {s} strays from the mean");
+        }
+        assert!(
+            out.suspicious().len() < 10,
+            "too many false marks on fair data: {}",
+            out.suspicious().len()
+        );
+    }
+
+    #[test]
+    fn naive_downgrade_attack_is_neutralized() {
+        let clean = fair_dataset(2);
+        let mut attacked = clean.clone();
+        add_burst(&mut attacked, 35.0, 12, 5, 0.5);
+
+        let scheme = PScheme::new();
+        let context = ctx(&attacked);
+        let clean_out = scheme.evaluate(&clean, &context);
+        let attacked_out = scheme.evaluate(&attacked, &context);
+        let c1 = clean_out.scores(ProductId::new(0)).unwrap()[1].unwrap();
+        let a1 = attacked_out.scores(ProductId::new(0)).unwrap()[1].unwrap();
+
+        // The attacked period-1 raw mean would drop by ~1.6; the P-scheme
+        // must hold the damage far below that.
+        let damage = (a1 - c1).abs();
+        assert!(
+            damage < 0.8,
+            "P-scheme failed to contain a naive burst: damage {damage:.3}"
+        );
+
+        // And it should actually detect the attackers.
+        let truth = GroundTruth::from_dataset(&attacked);
+        let confusion = truth.score(attacked_out.suspicious());
+        assert!(confusion.recall() > 0.5, "recall too low: {confusion}");
+    }
+
+    #[test]
+    fn attacker_trust_collapses() {
+        let mut attacked = fair_dataset(3);
+        add_burst(&mut attacked, 35.0, 12, 5, 0.5);
+        let out = PScheme::new().evaluate(&attacked, &ctx(&attacked));
+        // Attackers are rater ids >= 50_000.
+        let mut attacker_trust = Vec::new();
+        let mut honest_trust = Vec::new();
+        for (rater, trust) in out.trust_map() {
+            if rater.value() >= 50_000 {
+                attacker_trust.push(*trust);
+            } else {
+                honest_trust.push(*trust);
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&attacker_trust) < avg(&honest_trust),
+            "attacker trust {:.3} not below honest {:.3}",
+            avg(&attacker_trust),
+            avg(&honest_trust)
+        );
+    }
+
+    #[test]
+    fn name_and_config() {
+        let s = PScheme::new();
+        assert_eq!(s.name(), "P-scheme");
+        assert_eq!(s.config().filter_trust_threshold, 0.5);
+        assert_eq!(s.config().trust_discount, None);
+    }
+
+    #[test]
+    fn forgetting_softens_old_verdicts() {
+        // An attacker who only misbehaved in the first epochs ends with
+        // higher trust under forgetting than under plain Procedure 1.
+        let mut attacked = fair_dataset(9);
+        add_burst(&mut attacked, 32.0, 8, 6, 0.5);
+        let context = ctx(&attacked);
+        let plain = PScheme::new().evaluate(&attacked, &context);
+        let forgiving = PScheme::with_config(PSchemeConfig {
+            trust_discount: Some(0.5),
+            ..PSchemeConfig::paper()
+        })
+        .evaluate(&attacked, &context);
+        let avg_attacker = |o: &rrs_core::SchemeOutcome| {
+            let v: Vec<f64> = o
+                .trust_map()
+                .iter()
+                .filter(|(r, _)| r.value() >= 50_000)
+                .map(|(_, t)| *t)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        assert!(
+            avg_attacker(&forgiving) >= avg_attacker(&plain),
+            "forgetting should not deepen old distrust: {} vs {}",
+            avg_attacker(&forgiving),
+            avg_attacker(&plain)
+        );
+    }
+}

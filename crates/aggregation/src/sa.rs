@@ -1,0 +1,123 @@
+//! The SA-scheme: simple averaging, no defense (paper Section V-A).
+//!
+//! The undefended baseline — every rating counts equally, nothing is
+//! marked suspicious, no trust is kept. Against it, the optimal attack is
+//! trivially "largest possible bias" (paper Fig. 3).
+
+use rrs_core::{AggregationScheme, EvalContext, RatingDataset, RatingEntry, SchemeOutcome};
+
+/// Simple-averaging aggregation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaScheme;
+
+impl SaScheme {
+    /// Creates the scheme.
+    #[must_use]
+    pub fn new() -> Self {
+        SaScheme
+    }
+}
+
+impl AggregationScheme for SaScheme {
+    fn name(&self) -> &str {
+        "SA-scheme"
+    }
+
+    fn evaluate(&self, dataset: &RatingDataset, ctx: &EvalContext) -> SchemeOutcome {
+        let mut out = SchemeOutcome::new();
+        let periods = ctx.periods();
+        for (pid, timeline) in dataset.products() {
+            let scores = periods
+                .iter()
+                .map(|w| {
+                    let slice = timeline.in_window(ctx.scoring_window(*w));
+                    if slice.is_empty() {
+                        None
+                    } else {
+                        Some(
+                            slice.iter().map(RatingEntry::value).sum::<f64>()
+                                / slice.len() as f64,
+                        )
+                    }
+                })
+                .collect();
+            out.insert_scores(pid, scores);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::{Days, ProductId, RaterId, Rating, RatingSource, RatingValue, Timestamp};
+
+    #[test]
+    fn cumulative_scores_are_running_means() {
+        let mut d = RatingDataset::new();
+        for (day, value) in [(0.0, 4.0), (10.0, 2.0), (40.0, 5.0)] {
+            d.insert(
+                Rating::new(
+                    RaterId::new(day as u32),
+                    ProductId::new(0),
+                    Timestamp::new(day).unwrap(),
+                    RatingValue::new(value).unwrap(),
+                ),
+                RatingSource::Fair,
+            );
+        }
+        let ctx = EvalContext::from_dataset(&d, Days::new(30.0).unwrap()).unwrap();
+        let out = SaScheme::new().evaluate(&d, &ctx);
+        let scores = out.scores(ProductId::new(0)).unwrap();
+        // Checkpoint 0 sees the first two ratings, checkpoint 1 all three.
+        assert_eq!(scores[0], Some(3.0));
+        assert_eq!(scores[1], Some(11.0 / 3.0));
+        assert!(out.suspicious().is_empty());
+        assert_eq!(SaScheme::new().name(), "SA-scheme");
+    }
+
+    #[test]
+    fn per_period_mode_scores_batch_means() {
+        let mut d = RatingDataset::new();
+        for (day, value) in [(0.0, 4.0), (10.0, 2.0), (40.0, 5.0)] {
+            d.insert(
+                Rating::new(
+                    RaterId::new(day as u32),
+                    ProductId::new(0),
+                    Timestamp::new(day).unwrap(),
+                    RatingValue::new(value).unwrap(),
+                ),
+                RatingSource::Fair,
+            );
+        }
+        let ctx = EvalContext::from_dataset(&d, Days::new(30.0).unwrap())
+            .unwrap()
+            .with_scoring(rrs_core::ScoringMode::PerPeriod);
+        let out = SaScheme::new().evaluate(&d, &ctx);
+        let scores = out.scores(ProductId::new(0)).unwrap();
+        assert_eq!(scores[0], Some(3.0));
+        assert_eq!(scores[1], Some(5.0));
+    }
+
+    #[test]
+    fn empty_prefix_is_none() {
+        let mut d = RatingDataset::new();
+        d.insert(
+            Rating::new(
+                RaterId::new(0),
+                ProductId::new(0),
+                Timestamp::new(65.0).unwrap(),
+                RatingValue::new(4.0).unwrap(),
+            ),
+            RatingSource::Fair,
+        );
+        let ctx = EvalContext::from_dataset(&d, Days::new(30.0).unwrap()).unwrap();
+        let out = SaScheme::new().evaluate(&d, &ctx);
+        let scores = out.scores(ProductId::new(0)).unwrap();
+        // No ratings before day 60, so the first two checkpoints are
+        // undefined; afterwards the cumulative mean persists.
+        assert_eq!(scores[0], None);
+        assert_eq!(scores[1], None);
+        assert_eq!(scores[2], Some(4.0));
+    }
+}

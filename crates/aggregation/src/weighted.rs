@@ -1,0 +1,82 @@
+//! Trust-weighted rating aggregation (paper Eq. 7).
+//!
+//! `R_ag = Σ rᵢ · max(Tᵢ − 0.5, 0) / Σ max(Tᵢ − 0.5, 0)`
+//!
+//! A rater at or below neutral trust (0.5) contributes nothing. Because
+//! every rater *starts* at exactly 0.5, a cold-start fallback is needed:
+//! when the total weight is zero the plain mean is used — otherwise the
+//! system would be undefined on attack-free day one.
+
+/// Aggregates `(value, trust)` pairs by Eq. 7 of the paper.
+///
+/// Returns `None` for an empty input. Falls back to the unweighted mean
+/// when no rater has trust above 0.5.
+#[must_use]
+pub fn weighted_aggregate(ratings: &[(f64, f64)]) -> Option<f64> {
+    if ratings.is_empty() {
+        return None;
+    }
+    let total_weight: f64 = ratings.iter().map(|(_, t)| (t - 0.5).max(0.0)).sum();
+    if total_weight > 0.0 {
+        let weighted: f64 = ratings
+            .iter()
+            .map(|(v, t)| v * (t - 0.5).max(0.0))
+            .sum();
+        Some(weighted / total_weight)
+    } else {
+        Some(ratings.iter().map(|(v, _)| v).sum::<f64>() / ratings.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(weighted_aggregate(&[]), None);
+    }
+
+    #[test]
+    fn cold_start_falls_back_to_mean() {
+        let r = [(4.0, 0.5), (2.0, 0.5)];
+        assert_eq!(weighted_aggregate(&r), Some(3.0));
+    }
+
+    #[test]
+    fn distrusted_raters_are_ignored() {
+        // The 0-value rating comes from a rater with trust 0.2 → weight 0.
+        let r = [(4.0, 0.9), (0.0, 0.2)];
+        assert_eq!(weighted_aggregate(&r), Some(4.0));
+    }
+
+    #[test]
+    fn weights_are_trust_minus_half() {
+        // weights 0.4 and 0.1 → (4*0.4 + 2*0.1)/0.5 = 3.6
+        let r = [(4.0, 0.9), (2.0, 0.6)];
+        assert!((weighted_aggregate(&r).unwrap() - 3.6).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn result_bounded_by_values(
+            ratings in proptest::collection::vec((0.0f64..=5.0, 0.0f64..=1.0), 1..20)
+        ) {
+            let agg = weighted_aggregate(&ratings).unwrap();
+            let lo = ratings.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min);
+            let hi = ratings.iter().map(|(v, _)| *v).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(agg >= lo - 1e-9 && agg <= hi + 1e-9);
+        }
+
+        #[test]
+        fn uniform_trust_equals_mean(
+            values in proptest::collection::vec(0.0f64..=5.0, 1..20),
+            trust in 0.6f64..1.0,
+        ) {
+            let ratings: Vec<(f64, f64)> = values.iter().map(|&v| (v, trust)).collect();
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            prop_assert!((weighted_aggregate(&ratings).unwrap() - mean).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The value–time mapper (bottom of paper Fig. 8), including the
+//! heuristic correlation algorithm of Procedure 3.
+//!
+//! Given a fixed multiset of unfair values and a fixed set of rating
+//! times, the mapper decides *which value is given when*. The paper's
+//! surprising finding (Fig. 7): reordering the same values by the
+//! heuristic below — always give the value **farthest** from the fair
+//! rating that immediately precedes the slot — raises MP over both the
+//! original and random orders. Maximal local contrast keeps the attack's
+//! pull strongest against whatever the fair signal is currently showing.
+
+use crate::types::FairView;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rrs_core::{RatingValue, Timestamp};
+
+/// How values are matched to times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingStrategy {
+    /// Values are used in the order generated.
+    InOrder,
+    /// Values are randomly permuted.
+    Random,
+    /// Procedure 3: each slot (earliest first) takes the remaining value
+    /// with the maximum distance from the fair rating just before it.
+    HeuristicCorrelation,
+    /// The mirror of Procedure 3: each slot takes the remaining value
+    /// *closest* to the fair rating just before it — camouflage against
+    /// detectors that key on local contrast, at the cost of attack pull.
+    AntiCorrelation,
+}
+
+/// Pairs `values` with `times` according to `strategy`.
+///
+/// Returns `(time, value)` pairs sorted by time. `fair` is consulted only
+/// by [`MappingStrategy::HeuristicCorrelation`].
+///
+/// # Panics
+///
+/// Panics if `values` and `times` have different lengths.
+pub fn map_values_to_times<R: Rng + ?Sized>(
+    rng: &mut R,
+    values: &[RatingValue],
+    times: &[Timestamp],
+    strategy: MappingStrategy,
+    fair: &FairView,
+) -> Vec<(Timestamp, RatingValue)> {
+    assert_eq!(
+        values.len(),
+        times.len(),
+        "value set and time set must have equal sizes"
+    );
+    let mut sorted_times = times.to_vec();
+    sorted_times.sort();
+    match strategy {
+        MappingStrategy::InOrder => sorted_times.into_iter().zip(values.iter().copied()).collect(),
+        MappingStrategy::Random => {
+            let mut shuffled = values.to_vec();
+            shuffled.shuffle(rng);
+            sorted_times.into_iter().zip(shuffled).collect()
+        }
+        MappingStrategy::HeuristicCorrelation => heuristic_correlation(values, &sorted_times, fair),
+        MappingStrategy::AntiCorrelation => anti_correlation(values, &sorted_times, fair),
+    }
+}
+
+/// Procedure 3 of the paper, verbatim:
+///
+/// 1. Put all values in the value set, all times in the time set.
+/// 2. While times remain: take `MinT`, the earliest time; find `NearV`,
+///    the fair value just before `MinT`; take `MaxV`, the remaining value
+///    with maximum `|value − NearV|`; pair them and remove both.
+#[must_use]
+pub fn heuristic_correlation(
+    values: &[RatingValue],
+    sorted_times: &[Timestamp],
+    fair: &FairView,
+) -> Vec<(Timestamp, RatingValue)> {
+    let mut remaining: Vec<RatingValue> = values.to_vec();
+    let mut out = Vec::with_capacity(values.len());
+    for &t in sorted_times {
+        let near = fair.value_just_before(t.as_days());
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let da = (a.get() - near).abs();
+                let db = (b.get() - near).abs();
+                da.total_cmp(&db)
+            })
+            .expect("lengths are equal, so a value remains for every time");
+        let v = remaining.swap_remove(idx);
+        out.push((t, v));
+    }
+    out
+}
+
+/// The anti-correlated mirror of Procedure 3: earliest slot first, each
+/// slot takes the remaining value with *minimum* distance from the fair
+/// rating just before it.
+#[must_use]
+pub fn anti_correlation(
+    values: &[RatingValue],
+    sorted_times: &[Timestamp],
+    fair: &FairView,
+) -> Vec<(Timestamp, RatingValue)> {
+    let mut remaining: Vec<RatingValue> = values.to_vec();
+    let mut out = Vec::with_capacity(values.len());
+    for &t in sorted_times {
+        let near = fair.value_just_before(t.as_days());
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let da = (a.get() - near).abs();
+                let db = (b.get() - near).abs();
+                da.total_cmp(&db)
+            })
+            .expect("lengths are equal, so a value remains for every time");
+        let v = remaining.swap_remove(idx);
+        out.push((t, v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ts(d: f64) -> Timestamp {
+        Timestamp::new(d).unwrap()
+    }
+
+    fn rv(v: f64) -> RatingValue {
+        RatingValue::new(v).unwrap()
+    }
+
+    fn fair() -> FairView {
+        // Fair values alternate 5 and 3 day by day.
+        FairView::new((0..20).map(|i| (f64::from(i), if i % 2 == 0 { 5.0 } else { 3.0 })).collect())
+    }
+
+    #[test]
+    fn in_order_keeps_sequence() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pairs = map_values_to_times(
+            &mut rng,
+            &[rv(1.0), rv(2.0)],
+            &[ts(5.5), ts(0.5)],
+            MappingStrategy::InOrder,
+            &fair(),
+        );
+        // Times are sorted first; values follow generation order.
+        assert_eq!(pairs[0], (ts(0.5), rv(1.0)));
+        assert_eq!(pairs[1], (ts(5.5), rv(2.0)));
+    }
+
+    #[test]
+    fn random_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let values = [rv(0.0), rv(1.0), rv(2.0), rv(3.0)];
+        let times = [ts(0.5), ts(1.5), ts(2.5), ts(3.5)];
+        let pairs =
+            map_values_to_times(&mut rng, &values, &times, MappingStrategy::Random, &fair());
+        let mut got: Vec<f64> = pairs.iter().map(|(_, v)| v.get()).collect();
+        got.sort_by(f64::total_cmp);
+        assert_eq!(got, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn heuristic_pairs_far_values_with_near_fair() {
+        // Fair just before t=0.5 is 5.0, before t=1.5 is 3.0.
+        // Values {0, 2.8}: slot 0.5 (near 5.0) takes 0.0 (distance 5);
+        // slot 1.5 (near 3.0) takes 2.8.
+        let pairs = heuristic_correlation(&[rv(2.8), rv(0.0)], &[ts(0.5), ts(1.5)], &fair());
+        assert_eq!(pairs[0], (ts(0.5), rv(0.0)));
+        assert_eq!(pairs[1], (ts(1.5), rv(2.8)));
+    }
+
+    #[test]
+    fn anti_correlation_pairs_near_values_with_near_fair() {
+        // Fair just before t=0.5 is 5.0, before t=1.5 is 3.0.
+        // Values {0, 2.8}: slot 0.5 (near 5.0) takes 2.8 (distance 2.2);
+        // slot 1.5 (near 3.0) takes 0.0.
+        let pairs = anti_correlation(&[rv(0.0), rv(2.8)], &[ts(0.5), ts(1.5)], &fair());
+        assert_eq!(pairs[0], (ts(0.5), rv(2.8)));
+        assert_eq!(pairs[1], (ts(1.5), rv(0.0)));
+    }
+
+    #[test]
+    fn anti_is_the_mirror_of_heuristic_on_two_values() {
+        let values = [rv(1.0), rv(4.0)];
+        let times = [ts(0.5), ts(1.5)];
+        let max_contrast = heuristic_correlation(&values, &times, &fair());
+        let min_contrast = anti_correlation(&values, &times, &fair());
+        assert_ne!(max_contrast, min_contrast);
+    }
+
+    #[test]
+    fn heuristic_is_greedy_earliest_first() {
+        // Both slots see fair value 5.0; the earliest slot takes the
+        // farthest value.
+        let v = FairView::new(vec![(0.0, 5.0)]);
+        let pairs = heuristic_correlation(&[rv(2.0), rv(1.0)], &[ts(0.2), ts(0.4)], &v);
+        assert_eq!(pairs[0].1, rv(1.0));
+        assert_eq!(pairs[1].1, rv(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal sizes")]
+    fn mismatched_lengths_panic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = map_values_to_times(
+            &mut rng,
+            &[rv(1.0)],
+            &[ts(0.0), ts(1.0)],
+            MappingStrategy::InOrder,
+            &fair(),
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn all_strategies_preserve_multiset(
+            values in proptest::collection::vec(0.0f64..=5.0, 1..30),
+            seed in 0u64..100,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let vs: Vec<RatingValue> = values.iter().map(|&v| rv(v)).collect();
+            let times: Vec<Timestamp> = (0..vs.len()).map(|i| ts(i as f64 * 0.7)).collect();
+            for strategy in [
+                MappingStrategy::InOrder,
+                MappingStrategy::Random,
+                MappingStrategy::HeuristicCorrelation,
+                MappingStrategy::AntiCorrelation,
+            ] {
+                let pairs = map_values_to_times(&mut rng, &vs, &times, strategy, &fair());
+                prop_assert_eq!(pairs.len(), vs.len());
+                let mut got: Vec<f64> = pairs.iter().map(|(_, v)| v.get()).collect();
+                let mut expect: Vec<f64> = values.clone();
+                got.sort_by(f64::total_cmp);
+                expect.sort_by(f64::total_cmp);
+                prop_assert_eq!(got, expect);
+                // Output times ascend.
+                prop_assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0));
+            }
+        }
+    }
+}

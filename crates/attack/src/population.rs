@@ -1,0 +1,375 @@
+//! A synthetic population of Rating-Challenge submissions.
+//!
+//! The paper analyzed 251 valid submissions from real human users. That
+//! data is not public, so (per the substitution rule in DESIGN.md) this
+//! module generates a population with the same documented structure:
+//!
+//! * more than half of the submissions are *straightforward* — effective
+//!   against undefended averaging but blind to the actual defense
+//!   (paper Section V-A, observation 1);
+//! * the rest are *smart* attacks spanning the exploit space —
+//!   variance camouflage, slow drips, interval tuning, correlation,
+//!   majority sneaking (observation 2);
+//! * parameters are randomized per submission, so the population fills
+//!   the variance–bias plane the way Figures 2–4 show.
+
+use crate::strategies::AttackStrategy;
+use crate::time_gen::average_interval;
+use crate::types::{AttackContext, AttackSequence};
+use crate::value_gen::realized_bias_std;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrs_core::{ProductId, RatingValue};
+use std::collections::BTreeMap;
+
+/// Configuration of the population generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationConfig {
+    /// Number of submissions (the challenge collected 251).
+    pub size: usize,
+    /// RNG seed; the population is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            size: 251,
+            seed: 20080617, // ICDCS 2008 opening day
+        }
+    }
+}
+
+/// Realized per-product statistics of a submission — the coordinates the
+/// paper's scatter plots use.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SubmissionStats {
+    /// `mean(unfair values) − mean(fair values)` per product.
+    pub bias: BTreeMap<ProductId, f64>,
+    /// Standard deviation of the unfair values per product.
+    pub std_dev: BTreeMap<ProductId, f64>,
+    /// Average unfair-rating interval (attack duration / count) per
+    /// product, in days.
+    pub avg_interval: BTreeMap<ProductId, f64>,
+}
+
+/// One synthetic challenge submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmissionSpec {
+    /// Population index.
+    pub id: usize,
+    /// Name of the generating strategy.
+    pub strategy: &'static str,
+    /// Whether the strategy is of the straightforward class.
+    pub straightforward: bool,
+    /// The unfair ratings.
+    pub sequence: AttackSequence,
+    /// Realized statistics against the fair data.
+    pub stats: SubmissionStats,
+}
+
+/// Generates the synthetic submission population.
+///
+/// Deterministic given `config.seed`.
+#[must_use]
+pub fn generate_population(ctx: &AttackContext, config: &PopulationConfig) -> Vec<SubmissionSpec> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    (0..config.size)
+        .map(|id| {
+            let strategy = sample_strategy(&mut rng, ctx);
+            let sequence = strategy.build(ctx, &mut rng);
+            let stats = submission_stats(ctx, &sequence);
+            SubmissionSpec {
+                id,
+                strategy: strategy.name(),
+                straightforward: strategy.is_straightforward(),
+                sequence,
+                stats,
+            }
+        })
+        .collect()
+}
+
+/// Computes the realized per-product statistics of a submission.
+#[must_use]
+pub fn submission_stats(ctx: &AttackContext, sequence: &AttackSequence) -> SubmissionStats {
+    let mut stats = SubmissionStats::default();
+    for &(product, _) in &ctx.targets {
+        let ratings = sequence.for_product(product);
+        if ratings.is_empty() {
+            continue;
+        }
+        let values: Vec<RatingValue> = ratings.iter().map(|r| r.value()).collect();
+        let fair_mean = ctx.fair_view(product).mean;
+        if let Some((bias, std)) = realized_bias_std(&values, fair_mean) {
+            stats.bias.insert(product, bias);
+            stats.std_dev.insert(product, std);
+        }
+        let times: Vec<_> = ratings.iter().map(|r| r.time()).collect();
+        if let Some(interval) = average_interval(&times) {
+            stats.avg_interval.insert(product, interval.get());
+        }
+    }
+    stats
+}
+
+/// Samples one strategy with randomized parameters.
+///
+/// Weights keep the straightforward share a bit above one half, matching
+/// the paper's observation about the collected data.
+fn sample_strategy<R: Rng + ?Sized>(rng: &mut R, ctx: &AttackContext) -> AttackStrategy {
+    let horizon = ctx.horizon.length().get();
+    // Random attack window helpers.
+    let start = |rng: &mut R, max_dur: f64| rng.gen_range(0.0..(horizon - max_dur).max(1.0));
+    let roll: f64 = rng.gen_range(0.0..1.0);
+
+    // Cumulative weights; straightforward strategies sum to 0.56.
+    if roll < 0.18 {
+        let duration_days = rng.gen_range(5.0..20.0);
+        AttackStrategy::NaiveExtreme {
+            start_day: start(rng, duration_days),
+            duration_days,
+        }
+    } else if roll < 0.26 {
+        AttackStrategy::UniformSpread
+    } else if roll < 0.34 {
+        AttackStrategy::ConservativeShift {
+            bias: rng.gen_range(0.3..1.2),
+        }
+    } else if roll < 0.48 {
+        let duration_days = rng.gen_range(8.0..35.0);
+        AttackStrategy::Burst {
+            bias: rng.gen_range(1.0..4.5),
+            std_dev: rng.gen_range(0.0..1.0),
+            start_day: start(rng, duration_days),
+            duration_days,
+        }
+    } else if roll < 0.52 {
+        AttackStrategy::RandomNoise
+    } else if roll < 0.56 {
+        let duration_days = rng.gen_range(10.0..25.0);
+        AttackStrategy::ExtremeWide {
+            std_dev: rng.gen_range(1.0..2.0),
+            start_day: start(rng, duration_days),
+            duration_days,
+        }
+    } else if roll < 0.70 {
+        let duration_days = rng.gen_range(15.0..40.0);
+        AttackStrategy::Camouflage {
+            bias: rng.gen_range(1.2..3.0),
+            std_dev: rng.gen_range(0.8..2.0),
+            start_day: start(rng, duration_days),
+            duration_days,
+        }
+    } else if roll < 0.76 {
+        let duration_days = rng.gen_range(15.0..40.0);
+        AttackStrategy::MimicShift {
+            bias: rng.gen_range(0.8..2.5),
+            start_day: start(rng, duration_days),
+            duration_days,
+        }
+    } else if roll < 0.82 {
+        AttackStrategy::IntervalTuned {
+            interval_days: rng.gen_range(0.2..8.0),
+            bias: rng.gen_range(1.5..3.0),
+            std_dev: rng.gen_range(0.5..1.5),
+            start_day: start(rng, 30.0),
+        }
+    } else if roll < 0.87 {
+        let duration_days = rng.gen_range(20.0..45.0);
+        AttackStrategy::MajoritySneak {
+            bias: rng.gen_range(0.5..1.5),
+            start_day: start(rng, duration_days),
+            duration_days,
+        }
+    } else if roll < 0.90 {
+        let duration_days = rng.gen_range(15.0..30.0);
+        AttackStrategy::Oscillator {
+            bias: rng.gen_range(1.0..2.5),
+            amplitude: rng.gen_range(0.8..1.8),
+            start_day: start(rng, duration_days),
+            duration_days,
+        }
+    } else if roll < 0.93 {
+        let duration_days = rng.gen_range(30.0..60.0);
+        AttackStrategy::Ramp {
+            max_bias: rng.gen_range(2.0..4.0),
+            start_day: start(rng, duration_days),
+            duration_days,
+        }
+    } else if roll < 0.96 {
+        AttackStrategy::SlowPoison {
+            bias: rng.gen_range(1.0..2.5),
+            std_dev: rng.gen_range(0.3..1.0),
+        }
+    } else if roll < 0.985 {
+        let duration_days = rng.gen_range(15.0..40.0);
+        AttackStrategy::Correlated {
+            bias: rng.gen_range(1.5..3.0),
+            std_dev: rng.gen_range(0.8..1.8),
+            start_day: start(rng, duration_days),
+            duration_days,
+        }
+    } else {
+        let first = start(rng, 80.0);
+        AttackStrategy::TwoPhaseBurst {
+            bias: rng.gen_range(2.0..4.0),
+            std_dev: rng.gen_range(0.2..1.0),
+            first_start: first,
+            second_start: (first + rng.gen_range(30.0..45.0)).min(horizon - 10.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Direction, FairView};
+    use rrs_core::{RaterId, TimeWindow, Timestamp};
+
+    fn context() -> AttackContext {
+        let mut fair = BTreeMap::new();
+        for p in 0..4u16 {
+            fair.insert(
+                ProductId::new(p),
+                FairView::new(
+                    (0..720)
+                        .map(|i| (f64::from(i) * 0.25, 4.0 + f64::from(i % 5 - 2) * 0.2))
+                        .collect(),
+                ),
+            );
+        }
+        AttackContext {
+            horizon: TimeWindow::new(
+                Timestamp::new(0.0).unwrap(),
+                Timestamp::new(180.0).unwrap(),
+            )
+            .unwrap(),
+            raters: (1000..1050).map(RaterId::new).collect(),
+            targets: vec![
+                (ProductId::new(0), Direction::Boost),
+                (ProductId::new(1), Direction::Boost),
+                (ProductId::new(2), Direction::Downgrade),
+                (ProductId::new(3), Direction::Downgrade),
+            ],
+            fair,
+        }
+    }
+
+    #[test]
+    fn population_has_requested_size_and_is_deterministic() {
+        let ctx = context();
+        let config = PopulationConfig {
+            size: 40,
+            seed: 7,
+        };
+        let a = generate_population(&ctx, &config);
+        let b = generate_population(&ctx, &config);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn majority_is_straightforward() {
+        let ctx = context();
+        let pop = generate_population(&ctx, &PopulationConfig::default());
+        let straightforward = pop.iter().filter(|s| s.straightforward).count();
+        assert!(
+            straightforward * 2 > pop.len(),
+            "only {straightforward}/{} straightforward",
+            pop.len()
+        );
+        // But the smart class is well represented too.
+        assert!(straightforward * 4 < pop.len() * 3);
+    }
+
+    #[test]
+    fn stats_signs_match_directions() {
+        let ctx = context();
+        let pop = generate_population(
+            &ctx,
+            &PopulationConfig {
+                size: 60,
+                seed: 11,
+            },
+        );
+        for spec in &pop {
+            if spec.strategy == "random-noise" {
+                continue; // unbiased by construction
+            }
+            for (&product, &bias) in &spec.stats.bias {
+                let direction = ctx
+                    .targets
+                    .iter()
+                    .find(|(p, _)| *p == product)
+                    .map(|(_, d)| *d)
+                    .unwrap();
+                match direction {
+                    Direction::Downgrade => assert!(
+                        bias < 0.5,
+                        "{}: downgrade bias {bias} positive on {product}",
+                        spec.strategy
+                    ),
+                    Direction::Boost => assert!(
+                        bias > -0.5,
+                        "{}: boost bias {bias} negative on {product}",
+                        spec.strategy
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn population_spans_the_variance_bias_plane() {
+        let ctx = context();
+        let pop = generate_population(&ctx, &PopulationConfig::default());
+        let product = ProductId::new(2); // a downgrade target
+        let biases: Vec<f64> = pop
+            .iter()
+            .filter_map(|s| s.stats.bias.get(&product).copied())
+            .collect();
+        let stds: Vec<f64> = pop
+            .iter()
+            .filter_map(|s| s.stats.std_dev.get(&product).copied())
+            .collect();
+        // Large negative bias corner and near-zero corner both occupied.
+        assert!(biases.iter().any(|&b| b < -3.0));
+        assert!(biases.iter().any(|&b| b > -1.0));
+        // Zero-variance and high-variance attacks both occupied.
+        assert!(stds.iter().any(|&s| s < 0.05));
+        assert!(stds.iter().any(|&s| s > 1.2));
+    }
+
+    #[test]
+    fn intervals_cover_fig6_range() {
+        let ctx = context();
+        let pop = generate_population(&ctx, &PopulationConfig::default());
+        let product = ProductId::new(2);
+        let intervals: Vec<f64> = pop
+            .iter()
+            .filter_map(|s| s.stats.avg_interval.get(&product).copied())
+            .collect();
+        assert!(intervals.iter().any(|&i| i < 0.5));
+        assert!(intervals.iter().any(|&i| i > 2.5));
+    }
+
+    #[test]
+    fn every_submission_respects_challenge_rules() {
+        let ctx = context();
+        let pop = generate_population(
+            &ctx,
+            &PopulationConfig {
+                size: 80,
+                seed: 3,
+            },
+        );
+        for spec in &pop {
+            assert!(spec.sequence.len() <= ctx.raters.len() * ctx.targets.len());
+            for r in &spec.sequence.ratings {
+                assert!(ctx.horizon.contains(r.time()));
+                assert!(ctx.raters.contains(&r.rater()));
+            }
+        }
+    }
+}

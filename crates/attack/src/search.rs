@@ -1,0 +1,305 @@
+//! Procedure 2: heuristic search for the strongest attack region on the
+//! variance–bias plane.
+//!
+//! The paper's key automation of attacker creativity: starting from the
+//! whole plane, repeatedly divide the interesting area into subareas,
+//! probe each subarea's center with `m` randomly generated attacks,
+//! keep the subarea with the largest observed MP, and recurse until the
+//! area is small. Against the P-scheme the search converges to the
+//! medium-bias / large-variance region and finds attacks **stronger than
+//! any challenge submission** (paper Fig. 5).
+//!
+//! The search is defense-agnostic: the caller supplies the evaluation
+//! closure (generate an attack at `(bias, σ)`, run the defense, return
+//! MP), which is exactly how the attack generator "learns from the attack
+//! effect of its previous attacks".
+
+/// A rectangle on the variance–bias plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchSpace {
+    /// Bias interval (signed; downgrade attacks use negative bias).
+    pub bias: (f64, f64),
+    /// Standard-deviation interval.
+    pub std_dev: (f64, f64),
+}
+
+impl SearchSpace {
+    /// The paper's initial downgrade-attack area: bias ∈ [−4, 0],
+    /// σ ∈ [0, 2] (Fig. 5).
+    #[must_use]
+    pub fn paper_downgrade() -> Self {
+        SearchSpace {
+            bias: (-4.0, 0.0),
+            std_dev: (0.0, 2.0),
+        }
+    }
+
+    /// Returns the center `(bias, std_dev)`.
+    #[must_use]
+    pub fn center(&self) -> (f64, f64) {
+        (
+            (self.bias.0 + self.bias.1) / 2.0,
+            (self.std_dev.0 + self.std_dev.1) / 2.0,
+        )
+    }
+
+    /// Returns the `(bias width, std width)` of the rectangle.
+    #[must_use]
+    pub fn widths(&self) -> (f64, f64) {
+        (self.bias.1 - self.bias.0, self.std_dev.1 - self.std_dev.0)
+    }
+
+    /// Splits into four overlapping quadrants; `overlap` is the fraction
+    /// of the half-width each quadrant extends past the midline (the
+    /// paper notes subareas "may overlap").
+    #[must_use]
+    pub fn quadrants(&self, overlap: f64) -> Vec<SearchSpace> {
+        let (bw, sw) = self.widths();
+        let bh = bw / 2.0;
+        let sh = sw / 2.0;
+        let bo = bh * overlap;
+        let so = sh * overlap;
+        let bias_halves = [
+            (self.bias.0, self.bias.0 + bh + bo),
+            (self.bias.1 - bh - bo, self.bias.1),
+        ];
+        let std_halves = [
+            (self.std_dev.0, self.std_dev.0 + sh + so),
+            (self.std_dev.1 - sh - so, self.std_dev.1),
+        ];
+        let mut out = Vec::with_capacity(4);
+        for &bias in &bias_halves {
+            for &std_dev in &std_halves {
+                out.push(SearchSpace { bias, std_dev });
+            }
+        }
+        out
+    }
+}
+
+/// Configuration of the region search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Attacks generated per subarea center (`m` in Procedure 2).
+    pub trials: usize,
+    /// Quadrant overlap fraction.
+    pub overlap: f64,
+    /// Stop once the bias width falls below this.
+    pub min_bias_width: f64,
+    /// Stop once the std width falls below this.
+    pub min_std_width: f64,
+    /// Hard cap on rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        // Matches the paper's Fig. 5 run: N = 4 subareas, m = 10 trials,
+        // 4 rounds from the initial [−4, 0] × [0, 2] area.
+        SearchConfig {
+            trials: 10,
+            overlap: 0.15,
+            min_bias_width: 0.5,
+            min_std_width: 0.25,
+            max_rounds: 8,
+        }
+    }
+}
+
+/// One round of the search: the area that was subdivided and the max MP
+/// observed at each subarea center.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRound {
+    /// The area subdivided this round.
+    pub area: SearchSpace,
+    /// `(subarea, max MP at its center)` for every probe.
+    pub probes: Vec<(SearchSpace, f64)>,
+}
+
+/// The result of a region search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Every round, in order.
+    pub rounds: Vec<SearchRound>,
+    /// The final interesting area.
+    pub final_area: SearchSpace,
+    /// The largest MP observed anywhere during the search.
+    pub best_mp: f64,
+    /// The `(bias, std_dev)` center that produced `best_mp`.
+    pub best_center: (f64, f64),
+}
+
+/// Procedure 2 of the paper.
+#[derive(Debug, Clone, Default)]
+pub struct RegionSearch {
+    config: SearchConfig,
+}
+
+impl RegionSearch {
+    /// Creates a search with the paper's configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        RegionSearch::default()
+    }
+
+    /// Creates a search with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: SearchConfig) -> Self {
+        RegionSearch { config }
+    }
+
+    /// Runs the search over `space`.
+    ///
+    /// `eval(bias, std_dev, trial)` must generate one attack with the
+    /// given parameters (using `trial` to vary its randomness) and return
+    /// the resulting MP against the defense under study.
+    pub fn run<F>(&self, space: SearchSpace, mut eval: F) -> SearchOutcome
+    where
+        F: FnMut(f64, f64, usize) -> f64,
+    {
+        let mut area = space;
+        let mut rounds = Vec::new();
+        let mut best_mp = f64::NEG_INFINITY;
+        let mut best_center = area.center();
+
+        for _ in 0..self.config.max_rounds {
+            let (bw, sw) = area.widths();
+            if bw < self.config.min_bias_width && sw < self.config.min_std_width {
+                break;
+            }
+            let mut probes = Vec::new();
+            let mut round_best: Option<(SearchSpace, f64)> = None;
+            for sub in area.quadrants(self.config.overlap) {
+                let (bias, std_dev) = sub.center();
+                let mut sub_max = f64::NEG_INFINITY;
+                for trial in 0..self.config.trials {
+                    let mp = eval(bias, std_dev, trial);
+                    sub_max = sub_max.max(mp);
+                }
+                if sub_max > best_mp {
+                    best_mp = sub_max;
+                    best_center = (bias, std_dev);
+                }
+                if round_best.as_ref().is_none_or(|(_, mp)| sub_max > *mp) {
+                    round_best = Some((sub, sub_max));
+                }
+                probes.push((sub, sub_max));
+            }
+            rounds.push(SearchRound { area, probes });
+            area = round_best.expect("quadrants() is non-empty").0;
+        }
+
+        SearchOutcome {
+            rounds,
+            final_area: area,
+            best_mp,
+            best_center,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_dimensions() {
+        let s = SearchSpace::paper_downgrade();
+        assert_eq!(s.center(), (-2.0, 1.0));
+        assert_eq!(s.widths(), (4.0, 2.0));
+    }
+
+    #[test]
+    fn quadrants_cover_the_area() {
+        let s = SearchSpace::paper_downgrade();
+        let qs = s.quadrants(0.0);
+        assert_eq!(qs.len(), 4);
+        for q in &qs {
+            let (bw, sw) = q.widths();
+            assert!((bw - 2.0).abs() < 1e-12);
+            assert!((sw - 1.0).abs() < 1e-12);
+        }
+        // Union of quadrant bias ranges spans the area.
+        let lo = qs.iter().map(|q| q.bias.0).fold(f64::INFINITY, f64::min);
+        let hi = qs.iter().map(|q| q.bias.1).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!((lo, hi), s.bias);
+    }
+
+    #[test]
+    fn quadrants_overlap_when_requested() {
+        let s = SearchSpace::paper_downgrade();
+        let qs = s.quadrants(0.2);
+        // Left quadrants extend past the bias midline (−2.0).
+        assert!(qs[0].bias.1 > -2.0);
+        assert!(qs[2].bias.0 < -2.0);
+    }
+
+    #[test]
+    fn search_converges_to_known_optimum() {
+        // Smooth unimodal MP surface peaked at (-2.3, 1.5).
+        let surface = |bias: f64, std: f64, _trial: usize| {
+            let d = (bias - -2.3).powi(2) + (std - 1.5).powi(2);
+            2.0 * (-d).exp()
+        };
+        let outcome = RegionSearch::new().run(SearchSpace::paper_downgrade(), surface);
+        assert!(outcome.rounds.len() >= 3, "rounds: {}", outcome.rounds.len());
+        let (bias, std) = outcome.final_area.center();
+        assert!(
+            (bias - -2.3).abs() < 0.6,
+            "converged to bias {bias}, expected near -2.3"
+        );
+        assert!(
+            (std - 1.5).abs() < 0.4,
+            "converged to std {std}, expected near 1.5"
+        );
+        // Final area is smaller than the thresholds allow plus one split.
+        let (bw, sw) = outcome.final_area.widths();
+        assert!(bw < 1.0 && sw < 0.5);
+    }
+
+    #[test]
+    fn best_mp_tracks_global_max_seen() {
+        let mut calls = 0usize;
+        let outcome = RegionSearch::new().run(SearchSpace::paper_downgrade(), |b, s, _| {
+            calls += 1;
+            b + s // monotone: best in the bias-high/std-high corner
+        });
+        assert!(calls > 0);
+        assert!(outcome.best_mp <= 0.0 + 2.0);
+        // The search must walk toward bias ≈ 0, std ≈ 2.
+        let (bias, std) = outcome.final_area.center();
+        assert!(bias > -1.0, "bias center {bias}");
+        assert!(std > 1.5, "std center {std}");
+    }
+
+    #[test]
+    fn trial_count_respected() {
+        let mut trials_seen = Vec::new();
+        let config = SearchConfig {
+            trials: 3,
+            max_rounds: 1,
+            ..SearchConfig::default()
+        };
+        let _ = RegionSearch::with_config(config).run(
+            SearchSpace::paper_downgrade(),
+            |_, _, t| {
+                trials_seen.push(t);
+                0.0
+            },
+        );
+        // 4 subareas x 3 trials.
+        assert_eq!(trials_seen.len(), 12);
+        assert_eq!(trials_seen.iter().filter(|&&t| t == 0).count(), 4);
+    }
+
+    #[test]
+    fn degenerate_area_stops_immediately() {
+        let tiny = SearchSpace {
+            bias: (-0.1, 0.0),
+            std_dev: (0.0, 0.1),
+        };
+        let outcome = RegionSearch::new().run(tiny, |_, _, _| 1.0);
+        assert!(outcome.rounds.is_empty());
+        assert_eq!(outcome.final_area, tiny);
+    }
+}

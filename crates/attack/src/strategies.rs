@@ -1,0 +1,815 @@
+//! A library of parameterized attack strategies.
+//!
+//! The Rating Challenge collected 251 submissions spanning everything
+//! from naive extremes to attacks hand-crafted against the signal-based
+//! defense (paper Section V-A). This library covers that behavioral
+//! space; the [`crate::population`] module samples from it to build the
+//! synthetic submission population the experiments run on.
+//!
+//! *Straightforward* strategies ignore the defense entirely (the paper:
+//! "more than half of the submitted attacks were straightforward");
+//! *smart* strategies exploit specific weaknesses — variance camouflage
+//! against signal features, slow drips against arrival-rate detection,
+//! near-majority values against beta filtering.
+
+use crate::generator::{AttackConfig, AttackGenerator};
+use crate::mapper::{map_values_to_times, MappingStrategy};
+use crate::time_gen::{generate_times, ArrivalModel};
+use crate::types::{AttackContext, AttackSequence, Direction};
+use crate::value_gen::generate_values;
+use rand::Rng;
+use rrs_core::{Days, Rating, RatingValue, Timestamp};
+
+/// A parameterized attack strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum AttackStrategy {
+    /// Maximal bias, zero variance, short burst — the classic naive
+    /// attack, devastating against plain averaging.
+    NaiveExtreme {
+        /// Burst start day.
+        start_day: f64,
+        /// Burst length in days.
+        duration_days: f64,
+    },
+    /// Maximal bias spread evenly over the whole horizon.
+    UniformSpread,
+    /// Small bias, small variance — hopes to stay under every radar but
+    /// moves the score little.
+    ConservativeShift {
+        /// Bias magnitude.
+        bias: f64,
+    },
+    /// Medium bias with large variance — the region-R3 attack that beats
+    /// signal-based detection (paper Fig. 2).
+    Camouflage {
+        /// Bias magnitude.
+        bias: f64,
+        /// Value spread.
+        std_dev: f64,
+        /// Attack start day.
+        start_day: f64,
+        /// Attack length in days.
+        duration_days: f64,
+    },
+    /// A one-period burst with arbitrary bias/variance.
+    Burst {
+        /// Bias magnitude.
+        bias: f64,
+        /// Value spread.
+        std_dev: f64,
+        /// Burst start day.
+        start_day: f64,
+        /// Burst length in days.
+        duration_days: f64,
+    },
+    /// Low-and-slow: a long-duration drip that never moves the arrival
+    /// rate much.
+    SlowPoison {
+        /// Bias magnitude.
+        bias: f64,
+        /// Value spread.
+        std_dev: f64,
+    },
+    /// Deterministically alternating values — high variance but high
+    /// predictability (the ME detector's favorite meal).
+    Oscillator {
+        /// Bias magnitude of the center.
+        bias: f64,
+        /// Half-distance between the two alternating values.
+        amplitude: f64,
+        /// Attack start day.
+        start_day: f64,
+        /// Attack length in days.
+        duration_days: f64,
+    },
+    /// Bias ramps linearly from 0 to its maximum over the attack — no
+    /// sharp mean change for the MC detector to lock onto.
+    Ramp {
+        /// Final bias magnitude.
+        max_bias: f64,
+        /// Attack start day.
+        start_day: f64,
+        /// Attack length in days.
+        duration_days: f64,
+    },
+    /// Values drawn with the fair stream's own standard deviation,
+    /// shifted by the bias — histogram camouflage.
+    MimicShift {
+        /// Bias magnitude.
+        bias: f64,
+        /// Attack start day.
+        start_day: f64,
+        /// Attack length in days.
+        duration_days: f64,
+    },
+    /// Fixes the average unfair-rating interval (Fig. 6's x-axis): the
+    /// duration is `interval × count`.
+    IntervalTuned {
+        /// Average interval between unfair ratings, in days.
+        interval_days: f64,
+        /// Bias magnitude.
+        bias: f64,
+        /// Value spread.
+        std_dev: f64,
+        /// Attack start day.
+        start_day: f64,
+    },
+    /// Uniformly random values — individual-unfair-rating noise rather
+    /// than a coordinated push.
+    RandomNoise,
+    /// Camouflage values paired to times by Procedure 3's max-contrast
+    /// heuristic.
+    Correlated {
+        /// Bias magnitude.
+        bias: f64,
+        /// Value spread.
+        std_dev: f64,
+        /// Attack start day.
+        start_day: f64,
+        /// Attack length in days.
+        duration_days: f64,
+    },
+    /// Two separated bursts — maximizes the two counted MP periods.
+    TwoPhaseBurst {
+        /// Bias magnitude.
+        bias: f64,
+        /// Value spread.
+        std_dev: f64,
+        /// First burst start day.
+        first_start: f64,
+        /// Second burst start day.
+        second_start: f64,
+    },
+    /// Values just under the majority's opinion — tuned to slip through
+    /// beta-function filtering.
+    MajoritySneak {
+        /// Bias magnitude (kept small).
+        bias: f64,
+        /// Attack start day.
+        start_day: f64,
+        /// Attack length in days.
+        duration_days: f64,
+    },
+    /// Maximal bias *and* large variance — extreme but noisy.
+    ExtremeWide {
+        /// Value spread.
+        std_dev: f64,
+        /// Attack start day.
+        start_day: f64,
+        /// Attack length in days.
+        duration_days: f64,
+    },
+    /// Camouflage values paired to times by the *anti*-correlation
+    /// heuristic — each slot takes the value closest to the preceding
+    /// fair rating, hiding from detectors that key on local contrast.
+    AntiCorrelated {
+        /// Bias magnitude.
+        bias: f64,
+        /// Value spread.
+        std_dev: f64,
+        /// Attack start day.
+        start_day: f64,
+        /// Attack length in days.
+        duration_days: f64,
+    },
+}
+
+impl AttackStrategy {
+    /// A short stable name for reports and plots.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        match self {
+            AttackStrategy::NaiveExtreme { .. } => "naive-extreme",
+            AttackStrategy::UniformSpread => "uniform-spread",
+            AttackStrategy::ConservativeShift { .. } => "conservative-shift",
+            AttackStrategy::Camouflage { .. } => "camouflage",
+            AttackStrategy::Burst { .. } => "burst",
+            AttackStrategy::SlowPoison { .. } => "slow-poison",
+            AttackStrategy::Oscillator { .. } => "oscillator",
+            AttackStrategy::Ramp { .. } => "ramp",
+            AttackStrategy::MimicShift { .. } => "mimic-shift",
+            AttackStrategy::IntervalTuned { .. } => "interval-tuned",
+            AttackStrategy::RandomNoise => "random-noise",
+            AttackStrategy::Correlated { .. } => "correlated",
+            AttackStrategy::TwoPhaseBurst { .. } => "two-phase-burst",
+            AttackStrategy::MajoritySneak { .. } => "majority-sneak",
+            AttackStrategy::ExtremeWide { .. } => "extreme-wide",
+            AttackStrategy::AntiCorrelated { .. } => "anti-correlated",
+        }
+    }
+
+    /// `true` for strategies that ignore the defense mechanism entirely
+    /// (the paper's "straightforward" class).
+    #[must_use]
+    pub const fn is_straightforward(&self) -> bool {
+        matches!(
+            self,
+            AttackStrategy::NaiveExtreme { .. }
+                | AttackStrategy::UniformSpread
+                | AttackStrategy::ConservativeShift { .. }
+                | AttackStrategy::Burst { .. }
+                | AttackStrategy::RandomNoise
+                | AttackStrategy::ExtremeWide { .. }
+        )
+    }
+
+    /// Builds the unfair ratings of one submission using this strategy.
+    pub fn build<R: Rng + ?Sized>(&self, ctx: &AttackContext, rng: &mut R) -> AttackSequence {
+        let generator = AttackGenerator::new();
+        let count = ctx.raters.len();
+        let horizon_days = ctx.horizon.length().get();
+        let ts = |d: f64| Timestamp::new(ctx.horizon.start().as_days() + d).expect("finite");
+        let dur = |d: f64| Days::new_saturating(d);
+
+        let simple = |rng: &mut R, config: AttackConfig, label: &str| -> AttackSequence {
+            generator.generate(rng, ctx, label, &config)
+        };
+
+        match *self {
+            AttackStrategy::NaiveExtreme {
+                start_day,
+                duration_days,
+            } => simple(
+                rng,
+                AttackConfig {
+                    bias_magnitude: 5.0,
+                    std_dev: 0.0,
+                    start: ts(start_day),
+                    duration: dur(duration_days),
+                    count,
+                    arrival: ArrivalModel::Uniform,
+                    mapping: MappingStrategy::InOrder,
+                    calibrated: false,
+                },
+                self.name(),
+            ),
+            AttackStrategy::UniformSpread => simple(
+                rng,
+                AttackConfig {
+                    bias_magnitude: 5.0,
+                    std_dev: 0.0,
+                    start: ctx.horizon.start(),
+                    duration: dur(horizon_days),
+                    count,
+                    arrival: ArrivalModel::Uniform,
+                    mapping: MappingStrategy::InOrder,
+                    calibrated: false,
+                },
+                self.name(),
+            ),
+            AttackStrategy::ConservativeShift { bias } => simple(
+                rng,
+                AttackConfig {
+                    bias_magnitude: bias,
+                    std_dev: 0.2,
+                    start: ctx.horizon.start(),
+                    duration: dur(horizon_days * 0.6),
+                    count,
+                    arrival: ArrivalModel::Poisson,
+                    mapping: MappingStrategy::InOrder,
+                    calibrated: false,
+                },
+                self.name(),
+            ),
+            AttackStrategy::Camouflage {
+                bias,
+                std_dev,
+                start_day,
+                duration_days,
+            } => simple(
+                rng,
+                AttackConfig {
+                    bias_magnitude: bias,
+                    std_dev,
+                    start: ts(start_day),
+                    duration: dur(duration_days),
+                    count,
+                    arrival: ArrivalModel::Poisson,
+                    mapping: MappingStrategy::InOrder,
+                    calibrated: false,
+                },
+                self.name(),
+            ),
+            AttackStrategy::Burst {
+                bias,
+                std_dev,
+                start_day,
+                duration_days,
+            } => simple(
+                rng,
+                AttackConfig {
+                    bias_magnitude: bias,
+                    std_dev,
+                    start: ts(start_day),
+                    duration: dur(duration_days),
+                    count,
+                    arrival: ArrivalModel::Uniform,
+                    mapping: MappingStrategy::InOrder,
+                    calibrated: false,
+                },
+                self.name(),
+            ),
+            AttackStrategy::SlowPoison { bias, std_dev } => simple(
+                rng,
+                AttackConfig {
+                    bias_magnitude: bias,
+                    std_dev,
+                    start: ctx.horizon.start(),
+                    duration: dur(horizon_days),
+                    count,
+                    arrival: ArrivalModel::Even,
+                    mapping: MappingStrategy::InOrder,
+                    calibrated: false,
+                },
+                self.name(),
+            ),
+            AttackStrategy::Oscillator {
+                bias,
+                amplitude,
+                start_day,
+                duration_days,
+            } => build_with_value_fn(
+                self.name(),
+                ctx,
+                rng,
+                ts(start_day),
+                dur(duration_days),
+                |fair_mean, direction, i| {
+                    let center = fair_mean + direction.sign() * bias;
+                    let offset = if i % 2 == 0 { amplitude } else { -amplitude };
+                    RatingValue::new_clamped(center + offset)
+                },
+            ),
+            AttackStrategy::Ramp {
+                max_bias,
+                start_day,
+                duration_days,
+            } => {
+                let n = count.max(1) as f64;
+                build_with_value_fn(
+                    self.name(),
+                    ctx,
+                    rng,
+                    ts(start_day),
+                    dur(duration_days),
+                    move |fair_mean, direction, i| {
+                        let progress = i as f64 / n;
+                        RatingValue::new_clamped(
+                            fair_mean + direction.sign() * max_bias * progress,
+                        )
+                    },
+                )
+            }
+            AttackStrategy::MimicShift {
+                bias,
+                start_day,
+                duration_days,
+            } => {
+                let mut ratings = Vec::new();
+                for &(product, direction) in &ctx.targets {
+                    let fair = ctx.fair_view(product);
+                    let config = AttackConfig {
+                        bias_magnitude: bias,
+                        std_dev: fair.std_dev,
+                        start: ts(start_day),
+                        duration: dur(duration_days),
+                        count,
+                        arrival: ArrivalModel::Poisson,
+                        mapping: MappingStrategy::InOrder,
+                        calibrated: false,
+                    };
+                    ratings.extend(
+                        generator.generate_product(rng, ctx, product, direction, &config),
+                    );
+                }
+                AttackSequence::new(self.name(), ratings)
+            }
+            AttackStrategy::IntervalTuned {
+                interval_days,
+                bias,
+                std_dev,
+                start_day,
+            } => {
+                // A large interval cannot fit 50 ratings in the attack
+                // window; drop ratings to honor the interval, exactly as
+                // the paper's long-interval submissions used fewer unfair
+                // ratings (Fig. 6 reaches 14-day intervals).
+                let available = (horizon_days - start_day).max(1.0);
+                let fit = if interval_days > 0.0 {
+                    (available / interval_days).floor() as usize
+                } else {
+                    count
+                };
+                let eff_count = fit.clamp(2, count);
+                simple(
+                    rng,
+                    AttackConfig {
+                        bias_magnitude: bias,
+                        std_dev,
+                        start: ts(start_day),
+                        duration: dur(interval_days * eff_count as f64),
+                        count: eff_count,
+                        arrival: ArrivalModel::Even,
+                        mapping: MappingStrategy::InOrder,
+                        calibrated: false,
+                    },
+                    self.name(),
+                )
+            }
+            AttackStrategy::RandomNoise => {
+                let mut ratings = Vec::new();
+                for &(product, _) in &ctx.targets {
+                    let times = generate_times(
+                        rng,
+                        ctx.horizon.start(),
+                        dur(horizon_days),
+                        count,
+                        ArrivalModel::Uniform,
+                        ctx.horizon,
+                    );
+                    for (&rater, t) in ctx.raters.iter().zip(times) {
+                        let value = RatingValue::new_clamped(rng.gen_range(0.0..=5.0));
+                        ratings.push(Rating::new(rater, product, t, value));
+                    }
+                }
+                AttackSequence::new(self.name(), ratings)
+            }
+            AttackStrategy::Correlated {
+                bias,
+                std_dev,
+                start_day,
+                duration_days,
+            } => simple(
+                rng,
+                AttackConfig {
+                    bias_magnitude: bias,
+                    std_dev,
+                    start: ts(start_day),
+                    duration: dur(duration_days),
+                    count,
+                    arrival: ArrivalModel::Poisson,
+                    mapping: MappingStrategy::HeuristicCorrelation,
+                    calibrated: false,
+                },
+                self.name(),
+            ),
+            AttackStrategy::TwoPhaseBurst {
+                bias,
+                std_dev,
+                first_start,
+                second_start,
+            } => {
+                let mut ratings = Vec::new();
+                let half = count / 2;
+                for &(product, direction) in &ctx.targets {
+                    let fair = ctx.fair_view(product);
+                    for (start, n, raters) in [
+                        (first_start, half, &ctx.raters[..half]),
+                        (second_start, count - half, &ctx.raters[half..]),
+                    ] {
+                        let values =
+                            generate_values(rng, fair.mean, direction.sign() * bias, std_dev, n);
+                        let times = generate_times(
+                            rng,
+                            ts(start),
+                            dur(8.0),
+                            n,
+                            ArrivalModel::Uniform,
+                            ctx.horizon,
+                        );
+                        let pairs = map_values_to_times(
+                            rng,
+                            &values,
+                            &times,
+                            MappingStrategy::InOrder,
+                            fair,
+                        );
+                        ratings.extend(
+                            pairs
+                                .into_iter()
+                                .zip(raters.iter())
+                                .map(|((t, v), &r)| Rating::new(r, product, t, v)),
+                        );
+                    }
+                }
+                AttackSequence::new(self.name(), ratings)
+            }
+            AttackStrategy::MajoritySneak {
+                bias,
+                start_day,
+                duration_days,
+            } => simple(
+                rng,
+                AttackConfig {
+                    bias_magnitude: bias,
+                    std_dev: 0.3,
+                    start: ts(start_day),
+                    duration: dur(duration_days),
+                    count,
+                    arrival: ArrivalModel::Poisson,
+                    mapping: MappingStrategy::InOrder,
+                    calibrated: false,
+                },
+                self.name(),
+            ),
+            AttackStrategy::ExtremeWide {
+                std_dev,
+                start_day,
+                duration_days,
+            } => simple(
+                rng,
+                AttackConfig {
+                    bias_magnitude: 5.0,
+                    std_dev,
+                    start: ts(start_day),
+                    duration: dur(duration_days),
+                    count,
+                    arrival: ArrivalModel::Uniform,
+                    mapping: MappingStrategy::InOrder,
+                    calibrated: false,
+                },
+                self.name(),
+            ),
+            AttackStrategy::AntiCorrelated {
+                bias,
+                std_dev,
+                start_day,
+                duration_days,
+            } => simple(
+                rng,
+                AttackConfig {
+                    bias_magnitude: bias,
+                    std_dev,
+                    start: ts(start_day),
+                    duration: dur(duration_days),
+                    count,
+                    arrival: ArrivalModel::Poisson,
+                    mapping: MappingStrategy::AntiCorrelation,
+                    calibrated: false,
+                },
+                self.name(),
+            ),
+        }
+    }
+
+}
+
+/// Builds a submission whose values come from a per-index function of
+/// `(fair mean, direction, index)` instead of the Gaussian value
+/// generator — used by the deterministic-pattern strategies (oscillator,
+/// ramp).
+fn build_with_value_fn<R, F>(
+    label: &str,
+    ctx: &AttackContext,
+    rng: &mut R,
+    start: Timestamp,
+    duration: Days,
+    value_fn: F,
+) -> AttackSequence
+where
+    R: Rng + ?Sized,
+    F: Fn(f64, Direction, usize) -> RatingValue,
+{
+    let count = ctx.raters.len();
+    let mut ratings = Vec::new();
+    for &(product, direction) in &ctx.targets {
+        let fair = ctx.fair_view(product);
+        let times = generate_times(rng, start, duration, count, ArrivalModel::Even, ctx.horizon);
+        for (i, (&rater, t)) in ctx.raters.iter().zip(times).enumerate() {
+            ratings.push(Rating::new(
+                rater,
+                product,
+                t,
+                value_fn(fair.mean, direction, i),
+            ));
+        }
+    }
+    AttackSequence::new(label, ratings)
+}
+
+/// Lists one representative instance of every strategy, for smoke tests
+/// and the detector tour example.
+#[must_use]
+pub fn catalog() -> Vec<AttackStrategy> {
+    vec![
+        AttackStrategy::NaiveExtreme {
+            start_day: 35.0,
+            duration_days: 10.0,
+        },
+        AttackStrategy::UniformSpread,
+        AttackStrategy::ConservativeShift { bias: 0.8 },
+        AttackStrategy::Camouflage {
+            bias: 2.2,
+            std_dev: 1.5,
+            start_day: 35.0,
+            duration_days: 25.0,
+        },
+        AttackStrategy::Burst {
+            bias: 3.0,
+            std_dev: 0.5,
+            start_day: 60.0,
+            duration_days: 12.0,
+        },
+        AttackStrategy::SlowPoison {
+            bias: 2.0,
+            std_dev: 0.5,
+        },
+        AttackStrategy::Oscillator {
+            bias: 2.0,
+            amplitude: 1.5,
+            start_day: 35.0,
+            duration_days: 20.0,
+        },
+        AttackStrategy::Ramp {
+            max_bias: 3.0,
+            start_day: 20.0,
+            duration_days: 50.0,
+        },
+        AttackStrategy::MimicShift {
+            bias: 1.5,
+            start_day: 35.0,
+            duration_days: 25.0,
+        },
+        AttackStrategy::IntervalTuned {
+            interval_days: 3.0,
+            bias: 2.5,
+            std_dev: 1.0,
+            start_day: 20.0,
+        },
+        AttackStrategy::RandomNoise,
+        AttackStrategy::Correlated {
+            bias: 2.2,
+            std_dev: 1.5,
+            start_day: 35.0,
+            duration_days: 25.0,
+        },
+        AttackStrategy::TwoPhaseBurst {
+            bias: 3.5,
+            std_dev: 0.5,
+            first_start: 32.0,
+            second_start: 65.0,
+        },
+        AttackStrategy::MajoritySneak {
+            bias: 1.0,
+            start_day: 35.0,
+            duration_days: 30.0,
+        },
+        AttackStrategy::ExtremeWide {
+            std_dev: 1.8,
+            start_day: 35.0,
+            duration_days: 15.0,
+        },
+        AttackStrategy::AntiCorrelated {
+            bias: 2.0,
+            std_dev: 1.2,
+            start_day: 35.0,
+            duration_days: 25.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FairView;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rrs_core::ProductId;
+    use rrs_core::{RaterId, TimeWindow};
+    use std::collections::BTreeMap;
+
+    fn context() -> AttackContext {
+        let mut fair = BTreeMap::new();
+        for p in 0..4u16 {
+            fair.insert(
+                ProductId::new(p),
+                FairView::new((0..180).map(|i| (f64::from(i), 4.0 + f64::from(i % 3) * 0.2)).collect()),
+            );
+        }
+        AttackContext {
+            horizon: TimeWindow::new(
+                Timestamp::new(0.0).unwrap(),
+                Timestamp::new(180.0).unwrap(),
+            )
+            .unwrap(),
+            raters: (0..50).map(RaterId::new).collect(),
+            targets: vec![
+                (ProductId::new(0), Direction::Boost),
+                (ProductId::new(1), Direction::Boost),
+                (ProductId::new(2), Direction::Downgrade),
+                (ProductId::new(3), Direction::Downgrade),
+            ],
+            fair,
+        }
+    }
+
+    #[test]
+    fn every_strategy_builds_valid_submissions() {
+        let ctx = context();
+        let mut rng = StdRng::seed_from_u64(1);
+        for strategy in catalog() {
+            let seq = strategy.build(&ctx, &mut rng);
+            assert!(!seq.is_empty(), "{} built nothing", strategy.name());
+            assert!(
+                seq.len() <= 4 * 50,
+                "{} exceeds one rating per rater per product",
+                strategy.name()
+            );
+            for r in &seq.ratings {
+                assert!(
+                    ctx.horizon.contains(r.time()),
+                    "{}: rating outside horizon: {r}",
+                    strategy.name()
+                );
+                assert!((0.0..=5.0).contains(&r.value().get()));
+            }
+            // One rating per rater per product.
+            for &(product, _) in &ctx.targets {
+                let mut raters: Vec<u32> = seq
+                    .for_product(product)
+                    .iter()
+                    .map(|r| r.rater().value())
+                    .collect();
+                let before = raters.len();
+                raters.sort_unstable();
+                raters.dedup();
+                assert_eq!(before, raters.len(), "{}: duplicate rater", strategy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn downgrade_targets_get_low_values_boost_high() {
+        let ctx = context();
+        let mut rng = StdRng::seed_from_u64(2);
+        let seq = AttackStrategy::NaiveExtreme {
+            start_day: 30.0,
+            duration_days: 10.0,
+        }
+        .build(&ctx, &mut rng);
+        for r in seq.for_product(ProductId::new(2)) {
+            assert_eq!(r.value().get(), 0.0);
+        }
+        for r in seq.for_product(ProductId::new(0)) {
+            assert_eq!(r.value().get(), 5.0);
+        }
+    }
+
+    #[test]
+    fn oscillator_alternates() {
+        let ctx = context();
+        let mut rng = StdRng::seed_from_u64(3);
+        let seq = AttackStrategy::Oscillator {
+            bias: 2.0,
+            amplitude: 1.0,
+            start_day: 30.0,
+            duration_days: 20.0,
+        }
+        .build(&ctx, &mut rng);
+        let values: Vec<f64> = seq
+            .for_product(ProductId::new(2))
+            .iter()
+            .map(|r| r.value().get())
+            .collect();
+        // Downgrade center ≈ 4.13 - 2 ≈ 2.13; alternation ±1.
+        assert!(values.windows(2).all(|w| (w[0] - w[1]).abs() > 1.0));
+    }
+
+    #[test]
+    fn ramp_is_monotone_toward_bias() {
+        let ctx = context();
+        let mut rng = StdRng::seed_from_u64(4);
+        let seq = AttackStrategy::Ramp {
+            max_bias: 3.0,
+            start_day: 20.0,
+            duration_days: 40.0,
+        }
+        .build(&ctx, &mut rng);
+        let values: Vec<f64> = seq
+            .for_product(ProductId::new(2))
+            .iter()
+            .map(|r| r.value().get())
+            .collect();
+        assert!(values.first().unwrap() > values.last().unwrap());
+    }
+
+    #[test]
+    fn straightforward_classification() {
+        assert!(AttackStrategy::UniformSpread.is_straightforward());
+        assert!(!AttackStrategy::Correlated {
+            bias: 2.0,
+            std_dev: 1.0,
+            start_day: 0.0,
+            duration_days: 10.0
+        }
+        .is_straightforward());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::BTreeSet<&str> =
+            catalog().iter().map(AttackStrategy::name).collect();
+        assert_eq!(names.len(), catalog().len());
+    }
+}

@@ -1,0 +1,234 @@
+//! The rating-time-set generator (right half of paper Fig. 8).
+//!
+//! Decides *when* the unfair ratings arrive. The paper's time-domain
+//! analysis (Fig. 6) shows attack strength depends on the average
+//! unfair-rating interval — attack duration divided by the number of
+//! unfair ratings — with an interior optimum: too fast is detected, too
+//! slow dilutes past the two counted MP periods.
+
+use rand::Rng;
+use rrs_core::{Days, TimeWindow, Timestamp};
+use rrs_signal::sampling::exponential;
+
+/// How unfair-rating times are distributed over the attack duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalModel {
+    /// Independent uniform times over the attack window.
+    Uniform,
+    /// A Poisson process (exponential inter-arrival times), wrapped to
+    /// stay within the window.
+    Poisson,
+    /// Deterministic even spacing.
+    Even,
+}
+
+/// Generates `count` rating times within `[start, start + duration)`,
+/// sorted ascending and clipped to `horizon`.
+///
+/// Returns fewer than `count` times only when the attack window does not
+/// intersect the horizon at all.
+///
+/// # Panics
+///
+/// Panics if `duration` is zero and `count > 1` under the `Even` model
+/// cannot be placed (degenerate spacing is handled by stacking all times
+/// at `start`, so this never actually panics — documented for clarity).
+pub fn generate_times<R: Rng + ?Sized>(
+    rng: &mut R,
+    start: Timestamp,
+    duration: Days,
+    count: usize,
+    model: ArrivalModel,
+    horizon: TimeWindow,
+) -> Vec<Timestamp> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let d = duration.get();
+    let raw: Vec<f64> = match model {
+        ArrivalModel::Uniform => (0..count)
+            .map(|_| start.as_days() + if d > 0.0 { rng.gen_range(0.0..d) } else { 0.0 })
+            .collect(),
+        ArrivalModel::Poisson => {
+            // Rate chosen so the expected span of `count` arrivals is the
+            // duration; times past the window wrap around, preserving the
+            // average interval.
+            let rate = if d > 0.0 { count as f64 / d } else { f64::INFINITY };
+            let mut t = 0.0f64;
+            (0..count)
+                .map(|_| {
+                    if rate.is_finite() {
+                        t += exponential(rng, rate);
+                        start.as_days() + if d > 0.0 { t % d } else { 0.0 }
+                    } else {
+                        start.as_days()
+                    }
+                })
+                .collect()
+        }
+        ArrivalModel::Even => {
+            let step = if count > 1 { d / count as f64 } else { 0.0 };
+            (0..count)
+                .map(|i| start.as_days() + step * i as f64)
+                .collect()
+        }
+    };
+    let mut times: Vec<Timestamp> = raw
+        .into_iter()
+        .map(|t| {
+            // Clip into the horizon (half-open on the right).
+            let clipped = t
+                .max(horizon.start().as_days())
+                .min(horizon.end().as_days() - 1e-6);
+            Timestamp::new(clipped).expect("clipped time is finite")
+        })
+        .collect();
+    times.sort();
+    times
+}
+
+/// The paper's *average rating interval*: attack duration divided by the
+/// number of unfair ratings (Fig. 6's x-axis).
+///
+/// Returns `None` for an empty time set. For a single rating the duration
+/// is zero, hence so is the interval.
+#[must_use]
+pub fn average_interval(times: &[Timestamp]) -> Option<Days> {
+    if times.is_empty() {
+        return None;
+    }
+    let span = times.last().expect("non-empty").as_days() - times[0].as_days();
+    Some(Days::new_saturating(span / times.len() as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn horizon() -> TimeWindow {
+        TimeWindow::new(
+            Timestamp::new(0.0).unwrap(),
+            Timestamp::new(180.0).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn ts(d: f64) -> Timestamp {
+        Timestamp::new(d).unwrap()
+    }
+
+    #[test]
+    fn even_spacing_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let times = generate_times(
+            &mut rng,
+            ts(10.0),
+            Days::new(10.0).unwrap(),
+            5,
+            ArrivalModel::Even,
+            horizon(),
+        );
+        let days: Vec<f64> = times.iter().map(|t| t.as_days()).collect();
+        assert_eq!(days, vec![10.0, 12.0, 14.0, 16.0, 18.0]);
+    }
+
+    #[test]
+    fn all_models_stay_in_window_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for model in [ArrivalModel::Uniform, ArrivalModel::Poisson, ArrivalModel::Even] {
+            let times = generate_times(
+                &mut rng,
+                ts(50.0),
+                Days::new(20.0).unwrap(),
+                40,
+                model,
+                horizon(),
+            );
+            assert_eq!(times.len(), 40);
+            for t in &times {
+                assert!(
+                    (50.0..70.0 + 1e-9).contains(&t.as_days()),
+                    "{model:?} produced {t}"
+                );
+            }
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn zero_duration_stacks_at_start() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let times = generate_times(
+            &mut rng,
+            ts(30.0),
+            Days::ZERO,
+            10,
+            ArrivalModel::Poisson,
+            horizon(),
+        );
+        assert!(times.iter().all(|t| t.as_days() == 30.0));
+    }
+
+    #[test]
+    fn horizon_clipping() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Attack window extends beyond the horizon end.
+        let times = generate_times(
+            &mut rng,
+            ts(175.0),
+            Days::new(20.0).unwrap(),
+            10,
+            ArrivalModel::Uniform,
+            horizon(),
+        );
+        assert!(times.iter().all(|t| t.as_days() < 180.0));
+    }
+
+    #[test]
+    fn average_interval_matches_definition() {
+        let times = vec![ts(0.0), ts(5.0), ts(10.0)];
+        // Span 10 over 3 ratings.
+        assert!((average_interval(&times).unwrap().get() - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(average_interval(&[]), None);
+        assert_eq!(average_interval(&[ts(7.0)]).unwrap(), Days::ZERO);
+    }
+
+    #[test]
+    fn zero_count_is_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(generate_times(
+            &mut rng,
+            ts(0.0),
+            Days::new(10.0).unwrap(),
+            0,
+            ArrivalModel::Uniform,
+            horizon()
+        )
+        .is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn times_sorted_and_in_horizon(
+            start in 0.0f64..170.0,
+            dur in 0.0f64..60.0,
+            count in 1usize..80,
+            seed in 0u64..500,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for model in [ArrivalModel::Uniform, ArrivalModel::Poisson, ArrivalModel::Even] {
+                let times = generate_times(
+                    &mut rng, ts(start), Days::new(dur).unwrap(), count, model, horizon(),
+                );
+                prop_assert_eq!(times.len(), count);
+                prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+                for t in &times {
+                    prop_assert!(horizon().contains(*t));
+                }
+            }
+        }
+    }
+}

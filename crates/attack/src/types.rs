@@ -1,0 +1,203 @@
+use rrs_core::{ProductId, RaterId, Rating, TimeWindow};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Whether an attack pushes a product's score up or down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Raise the aggregated score (ballot stuffing).
+    Boost,
+    /// Lower the aggregated score (badmouthing).
+    Downgrade,
+}
+
+impl Direction {
+    /// Returns `+1.0` for boosting, `−1.0` for downgrading — the sign a
+    /// bias magnitude is multiplied by.
+    #[must_use]
+    pub const fn sign(self) -> f64 {
+        match self {
+            Direction::Boost => 1.0,
+            Direction::Downgrade => -1.0,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::Boost => write!(f, "boost"),
+            Direction::Downgrade => write!(f, "downgrade"),
+        }
+    }
+}
+
+/// The attacker's read-only view of one product's fair rating history.
+///
+/// Rating-challenge participants download the fair dataset before
+/// attacking; this view is what the generator (and Procedure 3's
+/// correlation heuristic) consults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairView {
+    /// Mean of the fair rating values.
+    pub mean: f64,
+    /// Population standard deviation of the fair rating values.
+    pub std_dev: f64,
+    /// Fair ratings as `(time in days, value)` pairs in time order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl FairView {
+    /// Builds a view from time-ordered `(time, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or not sorted by time.
+    #[must_use]
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "fair view needs at least one rating");
+        assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "fair points must be time-ordered"
+        );
+        let mean = points.iter().map(|(_, v)| v).sum::<f64>() / points.len() as f64;
+        let std_dev = (points.iter().map(|(_, v)| (v - mean).powi(2)).sum::<f64>()
+            / points.len() as f64)
+            .sqrt();
+        FairView {
+            mean,
+            std_dev,
+            points,
+        }
+    }
+
+    /// Returns the fair rating value immediately preceding time `t`, or
+    /// the first fair value when nothing precedes it.
+    #[must_use]
+    pub fn value_just_before(&self, t: f64) -> f64 {
+        let idx = self.points.partition_point(|&(pt, _)| pt < t);
+        if idx == 0 {
+            self.points[0].1
+        } else {
+            self.points[idx - 1].1
+        }
+    }
+}
+
+/// Everything an attack strategy may consult when planning a submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackContext {
+    /// The challenge horizon within which unfair ratings may be placed.
+    pub horizon: TimeWindow,
+    /// The biased rater identities the participant controls (50 in the
+    /// challenge).
+    pub raters: Vec<RaterId>,
+    /// The products to attack and in which direction (2 boost + 2
+    /// downgrade in the challenge).
+    pub targets: Vec<(ProductId, Direction)>,
+    /// Fair-history views per product.
+    pub fair: BTreeMap<ProductId, FairView>,
+}
+
+impl AttackContext {
+    /// Returns the fair view of a product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product has no fair view — a challenge always
+    /// distributes fair data for every target.
+    #[must_use]
+    pub fn fair_view(&self, product: ProductId) -> &FairView {
+        self.fair
+            .get(&product)
+            .unwrap_or_else(|| panic!("no fair view for {product}"))
+    }
+}
+
+/// A complete set of unfair ratings produced by one attacker (one
+/// challenge submission's rating data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSequence {
+    /// Human-readable description of the generating strategy.
+    pub label: String,
+    /// The unfair ratings, across all targeted products.
+    pub ratings: Vec<Rating>,
+}
+
+impl AttackSequence {
+    /// Creates a sequence.
+    #[must_use]
+    pub fn new(label: impl Into<String>, ratings: Vec<Rating>) -> Self {
+        AttackSequence {
+            label: label.into(),
+            ratings,
+        }
+    }
+
+    /// Returns the ratings targeting one product.
+    #[must_use]
+    pub fn for_product(&self, product: ProductId) -> Vec<&Rating> {
+        self.ratings
+            .iter()
+            .filter(|r| r.product() == product)
+            .collect()
+    }
+
+    /// Returns the number of unfair ratings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ratings.len()
+    }
+
+    /// Returns `true` if the sequence holds no ratings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ratings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::{RatingValue, Timestamp};
+
+    #[test]
+    fn direction_signs() {
+        assert_eq!(Direction::Boost.sign(), 1.0);
+        assert_eq!(Direction::Downgrade.sign(), -1.0);
+        assert_eq!(Direction::Boost.to_string(), "boost");
+    }
+
+    #[test]
+    fn fair_view_mean_and_lookup() {
+        let v = FairView::new(vec![(0.0, 4.0), (1.0, 3.0), (5.0, 5.0)]);
+        assert_eq!(v.mean, 4.0);
+        assert_eq!(v.value_just_before(0.5), 4.0);
+        assert_eq!(v.value_just_before(3.0), 3.0);
+        assert_eq!(v.value_just_before(100.0), 5.0);
+        // Before the first point, falls back to the first value.
+        assert_eq!(v.value_just_before(-1.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn fair_view_rejects_unsorted() {
+        let _ = FairView::new(vec![(5.0, 4.0), (1.0, 3.0)]);
+    }
+
+    #[test]
+    fn sequence_per_product_filter() {
+        let r = |p: u16| {
+            Rating::new(
+                RaterId::new(1),
+                ProductId::new(p),
+                Timestamp::new(0.0).unwrap(),
+                RatingValue::new(1.0).unwrap(),
+            )
+        };
+        let seq = AttackSequence::new("test", vec![r(0), r(1), r(0)]);
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq.for_product(ProductId::new(0)).len(), 2);
+        assert!(!seq.is_empty());
+    }
+}

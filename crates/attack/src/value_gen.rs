@@ -1,0 +1,203 @@
+//! The rating-value-set generator (left half of paper Fig. 8).
+//!
+//! Produces the multiset of unfair rating values from the two features the
+//! paper found dominant: **bias** (how far the unfair mean sits from the
+//! fair mean) and **variance** (how spread out the unfair values are).
+//! Values are drawn from a Gaussian centered at `fair_mean + bias`,
+//! truncated to the 0–5 scale — exactly the parameterization of the
+//! variance–bias plane in the paper's Figures 2–5.
+
+use rand::Rng;
+use rrs_core::RatingValue;
+use rrs_signal::sampling::truncated_gaussian;
+
+/// Generates `count` unfair rating values with the requested bias and
+/// spread.
+///
+/// `bias` is relative to `fair_mean` (negative = downgrade); `std_dev` is
+/// the standard deviation before truncation. With `std_dev == 0` every
+/// value is exactly `fair_mean + bias` clamped to the scale.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or any parameter is non-finite.
+pub fn generate_values<R: Rng + ?Sized>(
+    rng: &mut R,
+    fair_mean: f64,
+    bias: f64,
+    std_dev: f64,
+    count: usize,
+) -> Vec<RatingValue> {
+    assert!(
+        fair_mean.is_finite() && bias.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+        "value-generator parameters must be finite with std_dev >= 0"
+    );
+    let center = fair_mean + bias;
+    (0..count)
+        .map(|_| {
+            if std_dev == 0.0 {
+                RatingValue::new_clamped(center)
+            } else {
+                RatingValue::new_clamped(truncated_gaussian(
+                    rng,
+                    center,
+                    std_dev,
+                    RatingValue::SCALE_MIN,
+                    RatingValue::SCALE_MAX,
+                ))
+            }
+        })
+        .collect()
+}
+
+/// Like [`generate_values`], but calibrates the Gaussian center so the
+/// *realized* mean of the truncated values hits `fair_mean + bias`.
+///
+/// Truncation to the 0–5 scale pulls the realized mean toward the scale
+/// midpoint, so at large spreads a nominal center badly understates the
+/// achieved bias. The paper's variance–bias plane (Figs. 2–5) plots
+/// realized submission statistics; this generator is what parameter
+/// sweeps over that plane should use. Calibration is Monte-Carlo: a few
+/// hundred probe draws per iteration, three iterations.
+///
+/// The requested bias may be unreachable (e.g. bias −4 with σ = 2 —
+/// even all-zero values cannot average that low); the calibration then
+/// saturates at the scale boundary.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or any parameter is non-finite.
+pub fn generate_values_calibrated<R: Rng + ?Sized>(
+    rng: &mut R,
+    fair_mean: f64,
+    bias: f64,
+    std_dev: f64,
+    count: usize,
+) -> Vec<RatingValue> {
+    assert!(
+        fair_mean.is_finite() && bias.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+        "value-generator parameters must be finite with std_dev >= 0"
+    );
+    let target = (fair_mean + bias).clamp(RatingValue::SCALE_MIN, RatingValue::SCALE_MAX);
+    let mut center = target;
+    if std_dev > 0.0 {
+        for _ in 0..3 {
+            let probe: f64 = (0..400)
+                .map(|_| {
+                    truncated_gaussian(
+                        rng,
+                        center,
+                        std_dev,
+                        RatingValue::SCALE_MIN,
+                        RatingValue::SCALE_MAX,
+                    )
+                })
+                .sum::<f64>()
+                / 400.0;
+            center += target - probe;
+            // A center far outside the scale cannot help further.
+            center = center.clamp(
+                RatingValue::SCALE_MIN - 3.0 * std_dev,
+                RatingValue::SCALE_MAX + 3.0 * std_dev,
+            );
+        }
+    }
+    generate_values(rng, 0.0, center, std_dev, count)
+}
+
+/// Measures the realized `(bias, std_dev)` of a value set against a fair
+/// mean — the coordinates a submission occupies on the variance–bias
+/// plane.
+///
+/// Returns `None` for an empty set.
+#[must_use]
+pub fn realized_bias_std(values: &[RatingValue], fair_mean: f64) -> Option<(f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let raw: Vec<f64> = values.iter().map(|v| v.get()).collect();
+    let mean = rrs_signal::stats::mean(&raw)?;
+    let std = rrs_signal::stats::std_dev(&raw)?;
+    Some((mean - fair_mean, std))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn zero_variance_is_constant() {
+        let vs = generate_values(&mut rng(), 4.0, -2.0, 0.0, 10);
+        assert!(vs.iter().all(|v| v.get() == 2.0));
+    }
+
+    #[test]
+    fn extreme_bias_clamps_to_scale() {
+        let vs = generate_values(&mut rng(), 4.0, -10.0, 0.0, 5);
+        assert!(vs.iter().all(|v| v.get() == 0.0));
+        let vs = generate_values(&mut rng(), 4.0, 10.0, 0.0, 5);
+        assert!(vs.iter().all(|v| v.get() == 5.0));
+    }
+
+    #[test]
+    fn realized_statistics_match_request() {
+        let mut r = rng();
+        let vs = generate_values(&mut r, 4.0, -2.0, 0.8, 4000);
+        let (bias, std) = realized_bias_std(&vs, 4.0).unwrap();
+        assert!((bias - -2.0).abs() < 0.1, "bias {bias}");
+        assert!((std - 0.8).abs() < 0.12, "std {std}");
+    }
+
+    #[test]
+    fn realized_on_empty_is_none() {
+        assert_eq!(realized_bias_std(&[], 4.0), None);
+    }
+
+    #[test]
+    fn calibrated_hits_target_under_truncation() {
+        let mut r = rng();
+        // Nominal center 4 - 2.3 = 1.7 with sigma 1.6 would realize a
+        // mean well above 1.7; calibration must recover it.
+        let vs = generate_values_calibrated(&mut r, 4.0, -2.3, 1.6, 4000);
+        let (bias, _std) = realized_bias_std(&vs, 4.0).unwrap();
+        assert!((bias - -2.3).abs() < 0.12, "realized bias {bias}");
+    }
+
+    #[test]
+    fn calibrated_saturates_at_unreachable_targets() {
+        let mut r = rng();
+        let vs = generate_values_calibrated(&mut r, 4.0, -4.0, 2.0, 2000);
+        let (bias, _std) = realized_bias_std(&vs, 4.0).unwrap();
+        // Cannot go below roughly -3.2 at sigma 2; must saturate low.
+        assert!(bias < -2.4, "saturated bias {bias}");
+    }
+
+    #[test]
+    fn count_zero_yields_empty() {
+        assert!(generate_values(&mut rng(), 4.0, -1.0, 0.5, 0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn values_always_on_scale(
+            bias in -5.0f64..2.0,
+            std in 0.0f64..2.5,
+            count in 0usize..100,
+            seed in 0u64..1000,
+        ) {
+            let mut r = StdRng::seed_from_u64(seed);
+            let vs = generate_values(&mut r, 4.0, bias, std, count);
+            prop_assert_eq!(vs.len(), count);
+            for v in vs {
+                prop_assert!((0.0..=5.0).contains(&v.get()));
+            }
+        }
+    }
+}

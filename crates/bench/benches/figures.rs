@@ -1,0 +1,158 @@
+//! One bench per paper figure/claim, at reduced scale.
+//!
+//! | bench | paper artifact |
+//! |---|---|
+//! | `fig2_variance_bias_p` | Fig. 2 (P-scheme scatter) |
+//! | `fig3_variance_bias_sa` | Fig. 3 (SA-scheme scatter) |
+//! | `fig4_variance_bias_bf` | Fig. 4 (BF-scheme scatter) |
+//! | `fig5_region_search` | Fig. 5 (Procedure-2 search) |
+//! | `fig6_interval_sweep` | Fig. 6 (MP vs arrival interval) |
+//! | `fig7_correlation` | Fig. 7 (value-order strategies) |
+//! | `claim_max_mp_ratio` | §V-A max-MP claim |
+//! | `ext_boost_plane` | boost-side analysis (paper future work) |
+//! | `ext_roc_sweep` | per-detector operating characteristics |
+//! | `ext_scoring_modes` | cumulative vs per-period MP scoring |
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrs_aggregation::{BfScheme, PScheme, SaScheme};
+use rrs_attack::{RegionSearch, SearchConfig, SearchSpace};
+use rrs_bench::bench_workbench;
+use rrs_challenge::ScoringSession;
+use rrs_core::AggregationScheme;
+use rrs_eval::{boost, fig5, fig6, fig7, roc, scoring_ablation};
+use std::hint::black_box;
+
+const POPULATION_SLICE: usize = 12;
+
+fn score_slice(c: &mut Criterion, name: &str, scheme: &dyn AggregationScheme) {
+    let workbench = bench_workbench(42);
+    let session = ScoringSession::new(&workbench.challenge, scheme);
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for spec in workbench.population.iter().take(POPULATION_SLICE) {
+                total += session.score(black_box(&spec.sequence)).total();
+            }
+            black_box(total)
+        });
+    });
+}
+
+fn fig2_variance_bias_p(c: &mut Criterion) {
+    score_slice(c, "fig2_variance_bias_p", &PScheme::new());
+}
+
+fn fig3_variance_bias_sa(c: &mut Criterion) {
+    score_slice(c, "fig3_variance_bias_sa", &SaScheme::new());
+}
+
+fn fig4_variance_bias_bf(c: &mut Criterion) {
+    score_slice(c, "fig4_variance_bias_bf", &BfScheme::new());
+}
+
+fn fig5_region_search(c: &mut Criterion) {
+    let workbench = bench_workbench(42);
+    let scheme = PScheme::new();
+    let session = ScoringSession::new(&workbench.challenge, &scheme);
+    let config = SearchConfig {
+        trials: 2,
+        max_rounds: 2,
+        ..SearchConfig::default()
+    };
+    c.bench_function("fig5_region_search", |b| {
+        b.iter(|| {
+            let outcome = RegionSearch::with_config(config).run(
+                SearchSpace::paper_downgrade(),
+                |bias, std, trial| {
+                    let seq = fig5::probe_attack(&workbench, bias, std, trial);
+                    fig5::downgrade_mp(&workbench, &session.score(&seq))
+                },
+            );
+            black_box(outcome.best_mp)
+        });
+    });
+}
+
+fn fig6_interval_sweep(c: &mut Criterion) {
+    let workbench = bench_workbench(42);
+    c.bench_function("fig6_interval_sweep", |b| {
+        b.iter(|| {
+            let sweep = fig6::interval_sweep(&workbench, &[0.5, 2.0, 6.0, 12.0], 1);
+            black_box(sweep.len())
+        });
+    });
+}
+
+fn fig7_correlation(c: &mut Criterion) {
+    let workbench = bench_workbench(42);
+    c.bench_function("fig7_correlation", |b| {
+        b.iter(|| {
+            let comparisons = fig7::compare_orders(&workbench, 3, 2);
+            black_box(comparisons.len())
+        });
+    });
+}
+
+fn ext_boost_plane(c: &mut Criterion) {
+    let workbench = bench_workbench(42);
+    c.bench_function("ext_boost_plane", |b| {
+        b.iter(|| black_box(boost::run(&workbench).tables.len()));
+    });
+}
+
+fn ext_roc_sweep(c: &mut Criterion) {
+    let workbench = bench_workbench(42);
+    c.bench_function("ext_roc_sweep", |b| {
+        b.iter(|| black_box(roc::sweep(&workbench, 2).len()));
+    });
+}
+
+fn ext_scoring_modes(c: &mut Criterion) {
+    let workbench = bench_workbench(42);
+    c.bench_function("ext_scoring_modes", |b| {
+        b.iter(|| black_box(scoring_ablation::run(&workbench).summary.len()));
+    });
+}
+
+fn claim_max_mp_ratio(c: &mut Criterion) {
+    let workbench = bench_workbench(42);
+    let p = PScheme::new();
+    let sa = SaScheme::new();
+    let p_session = ScoringSession::new(&workbench.challenge, &p);
+    let sa_session = ScoringSession::new(&workbench.challenge, &sa);
+    c.bench_function("claim_max_mp_ratio", |b| {
+        b.iter(|| {
+            let best = |session: &ScoringSession<'_>| {
+                workbench
+                    .population
+                    .iter()
+                    .take(POPULATION_SLICE)
+                    .map(|s| session.score(&s.sequence).total())
+                    .fold(0.0f64, f64::max)
+            };
+            let ratio = best(&p_session) / best(&sa_session).max(1e-9);
+            black_box(ratio)
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets =
+        fig2_variance_bias_p,
+        fig3_variance_bias_sa,
+        fig4_variance_bias_bf,
+        fig5_region_search,
+        fig6_interval_sweep,
+        fig7_correlation,
+        claim_max_mp_ratio,
+        ext_boost_plane,
+        ext_roc_sweep,
+        ext_scoring_modes
+}
+criterion_main!(figures);

@@ -1,0 +1,143 @@
+//! Microbenchmarks: per-component costs of the detectors, schemes,
+//! generator stages, and math kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrs_aggregation::{BfScheme, PScheme, SaScheme};
+use rrs_attack::generator::{AttackConfig, AttackGenerator};
+use rrs_attack::mapper::{heuristic_correlation, MappingStrategy};
+use rrs_attack::{ArrivalModel, FairView};
+use rrs_bench::bench_workbench;
+use rrs_core::{AggregationScheme, RatingValue, Timestamp};
+use rrs_detectors::{arc, hc, mc, me, ArcConfig, ArcVariant, HcConfig, JointDetector, McConfig, MeConfig};
+use rrs_signal::special::reg_inc_beta_inv;
+use rrs_signal::{cluster, fit_ar, glrt};
+use std::hint::black_box;
+
+fn detectors(c: &mut Criterion) {
+    let workbench = bench_workbench(7);
+    let dataset = workbench.challenge.fair_dataset();
+    let product = workbench.focus_product();
+    let timeline = dataset.product(product).unwrap();
+    let horizon = workbench.challenge.horizon();
+
+    c.bench_function("detector_mc", |b| {
+        b.iter(|| black_box(mc::detect(timeline, &McConfig::default(), |_| 0.5).peaks.len()));
+    });
+    c.bench_function("detector_arc_high", |b| {
+        b.iter(|| {
+            black_box(
+                arc::detect(timeline, horizon, ArcVariant::High, &ArcConfig::default())
+                    .peaks
+                    .len(),
+            )
+        });
+    });
+    c.bench_function("detector_hc", |b| {
+        b.iter(|| black_box(hc::detect(timeline, &HcConfig::default()).curve.len()));
+    });
+    c.bench_function("detector_me", |b| {
+        b.iter(|| black_box(me::detect(timeline, &MeConfig::default()).curve.len()));
+    });
+    c.bench_function("detector_joint", |b| {
+        let joint = JointDetector::default();
+        b.iter(|| black_box(joint.detect_product(timeline, horizon, |_| 0.5).suspicious.len()));
+    });
+}
+
+fn schemes(c: &mut Criterion) {
+    let workbench = bench_workbench(8);
+    let dataset = workbench.challenge.fair_dataset();
+    let ctx = workbench.challenge.eval_context();
+    for (name, scheme) in [
+        ("scheme_sa", &SaScheme::new() as &dyn AggregationScheme),
+        ("scheme_bf", &BfScheme::new()),
+        ("scheme_p", &PScheme::new()),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(scheme.evaluate(dataset, &ctx).suspicious().len()));
+        });
+    }
+}
+
+fn attack_generation(c: &mut Criterion) {
+    let workbench = bench_workbench(9);
+    let ctx = &workbench.attack_ctx;
+    let config = AttackConfig {
+        bias_magnitude: 2.2,
+        std_dev: 1.3,
+        start: Timestamp::new(30.0).unwrap(),
+        duration: rrs_core::Days::new(25.0).unwrap(),
+        count: 50,
+        arrival: ArrivalModel::Poisson,
+        mapping: MappingStrategy::HeuristicCorrelation,
+        calibrated: false,
+    };
+    c.bench_function("attack_generate_submission", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let generator = AttackGenerator::new();
+        b.iter(|| black_box(generator.generate(&mut rng, ctx, "bench", &config).len()));
+    });
+
+    let fair = FairView::new((0..720).map(|i| (f64::from(i) * 0.25, 4.0)).collect());
+    let values: Vec<RatingValue> = (0..50)
+        .map(|i| RatingValue::new_clamped(f64::from(i % 6)))
+        .collect();
+    let times: Vec<Timestamp> = (0..50)
+        .map(|i| Timestamp::new(30.0 + f64::from(i) * 0.5).unwrap())
+        .collect();
+    c.bench_function("mapper_heuristic_correlation", |b| {
+        b.iter(|| black_box(heuristic_correlation(&values, &times, &fair).len()));
+    });
+}
+
+fn math_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let noise: Vec<f64> = (0..200).map(|_| 4.0 + rng.gen_range(-0.8..0.8)).collect();
+    c.bench_function("kernel_ar_fit_order4", |b| {
+        b.iter(|| black_box(fit_ar(&noise[..40], 4).unwrap().normalized_error()));
+    });
+    c.bench_function("kernel_single_linkage_40", |b| {
+        b.iter(|| black_box(cluster::single_linkage_1d(&noise[..40], 2).len()));
+    });
+    let y1: Vec<u32> = (0..15).map(|i| 3 + (i % 3)).collect();
+    let y2: Vec<u32> = (0..15).map(|i| 8 + (i % 4)).collect();
+    c.bench_function("kernel_poisson_glrt", |b| {
+        b.iter(|| black_box(glrt::arrival_rate_glrt(&y1, &y2)));
+    });
+    c.bench_function("kernel_beta_inverse", |b| {
+        b.iter(|| black_box(reg_inc_beta_inv(3.5, 2.5, 0.15)));
+    });
+}
+
+fn substrate_extras(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut xs: Vec<f64> = (0..500).map(|_| 4.0 + rng.gen_range(-0.8..0.8)).collect();
+    for v in xs.iter_mut().skip(300) {
+        *v -= 1.5;
+    }
+    c.bench_function("kernel_cusum_scan_500", |b| {
+        b.iter(|| black_box(rrs_signal::cusum::Cusum::scan(4.0, 0.3, 6.0, &xs).len()));
+    });
+
+    let workbench = bench_workbench(11);
+    let csv = rrs_core::io::to_csv_string(workbench.challenge.fair_dataset());
+    c.bench_function("io_csv_round_trip", |b| {
+        b.iter(|| {
+            let d = rrs_core::io::read_csv(black_box(csv.as_bytes())).expect("valid csv");
+            black_box(d.len())
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = micro;
+    config = config();
+    targets = detectors, schemes, attack_generation, math_kernels, substrate_extras
+}
+criterion_main!(micro);

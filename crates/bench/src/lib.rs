@@ -1,0 +1,22 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! Each paper figure/claim has a bench in `benches/figures.rs` that
+//! regenerates it at reduced scale (Criterion runs each body many times;
+//! the full paper scale lives in the `experiments` binary).
+//! `benches/micro.rs` covers the per-component costs: detectors,
+//! aggregation schemes, the attack generator, and the MP metric.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rrs_eval::suite::{Scale, SuiteConfig, Workbench};
+
+/// Builds the small-scale workbench every figure bench shares.
+#[must_use]
+pub fn bench_workbench(seed: u64) -> Workbench {
+    Workbench::build(SuiteConfig {
+        scale: Scale::Small,
+        seed,
+        out_dir: None,
+    })
+}

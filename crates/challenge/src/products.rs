@@ -1,0 +1,142 @@
+//! The product catalog: nine flat-panel TVs with similar features.
+//!
+//! The paper collected real rating data for nine comparable TVs from a
+//! well-known online-shopping site; the fair means of popular products
+//! hover around 4 on the 0–5 scale. The catalog fixes per-product quality
+//! and traffic parameters the fair-data generator consumes.
+
+use rrs_core::ProductId;
+
+/// One product and the parameters of its fair-rating stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Product {
+    /// Product identity.
+    pub id: ProductId,
+    /// Display name.
+    pub name: String,
+    /// True quality: the mean of fair rating values.
+    pub quality: f64,
+    /// Standard deviation of fair rating values around the quality.
+    pub noise: f64,
+    /// Base fair-rating arrival rate, ratings per day.
+    pub daily_rate: f64,
+}
+
+/// An ordered set of products.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductCatalog {
+    products: Vec<Product>,
+}
+
+impl ProductCatalog {
+    /// The paper's setup: nine flat-panel TVs with similar features —
+    /// qualities clustered just below and above 4.0, moderate rating
+    /// noise, a few ratings per day each.
+    #[must_use]
+    pub fn paper_tvs() -> Self {
+        // Daily rates of ~1.6–3.1 ratings/day put the monthly fair
+        // volume (~50–95) moderately above an attacker's 50 unfair
+        // ratings. Lower rates let diluted whole-window attacks do
+        // outsized damage; higher rates erase the leverage of
+        // unfair-rating variance. Fair noise around 0.9–1.25 matches
+        // real shopping-site ratings, which span the whole 1–5 scale —
+        // that spread is what makes "far from the majority's opinion"
+        // genuinely hard to judge (the paper's diagnosis of why
+        // majority-rule filtering fails). Quality parameters sit above
+        // the target means because truncation at the 5.0 ceiling pulls
+        // the realized mean down ~0.4: realized means land near the
+        // paper's "around 4", leaving boosting little headroom.
+        let specs: [(&str, f64, f64, f64); 9] = [
+            ("TV-A 42\" LCD", 4.5, 1.00, 2.9),
+            ("TV-B 46\" LCD", 4.4, 1.10, 3.1),
+            ("TV-C 42\" plasma", 4.3, 1.15, 2.2),
+            ("TV-D 40\" LCD", 4.4, 0.95, 2.5),
+            ("TV-E 46\" plasma", 4.2, 1.20, 1.8),
+            ("TV-F 37\" LCD", 4.5, 0.90, 2.2),
+            ("TV-G 50\" plasma", 4.1, 1.25, 1.6),
+            ("TV-H 40\" LCD slim", 4.4, 1.10, 2.7),
+            ("TV-I 46\" LCD pro", 4.4, 1.00, 2.0),
+        ];
+        ProductCatalog {
+            products: specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(name, quality, noise, daily_rate))| Product {
+                    id: ProductId::new(i as u16),
+                    name: name.to_string(),
+                    quality,
+                    noise,
+                    daily_rate,
+                })
+                .collect(),
+        }
+    }
+
+    /// A small three-product catalog for fast tests.
+    #[must_use]
+    pub fn small() -> Self {
+        let mut c = ProductCatalog::paper_tvs();
+        c.products.truncate(3);
+        ProductCatalog {
+            products: c.products,
+        }
+    }
+
+    /// Returns the products in id order.
+    #[must_use]
+    pub fn products(&self) -> &[Product] {
+        &self.products
+    }
+
+    /// Returns the number of products.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.products.len()
+    }
+
+    /// Returns `true` if the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.products.is_empty()
+    }
+
+    /// Looks up a product.
+    #[must_use]
+    pub fn product(&self, id: ProductId) -> Option<&Product> {
+        self.products.iter().find(|p| p.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_catalog_has_nine_similar_tvs() {
+        let c = ProductCatalog::paper_tvs();
+        assert_eq!(c.len(), 9);
+        for p in c.products() {
+            assert!((4.0..=4.7).contains(&p.quality), "{} quality", p.name);
+            assert!(p.daily_rate > 0.0);
+            assert!(p.noise > 0.0);
+        }
+        // Quality parameters exceed 4 so the truncation-shifted realized
+        // means land "around 4" (paper Section V-B); see fairgen tests.
+        let mean_quality: f64 =
+            c.products().iter().map(|p| p.quality).sum::<f64>() / c.len() as f64;
+        assert!((mean_quality - 4.35).abs() < 0.2);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let c = ProductCatalog::paper_tvs();
+        assert!(c.product(ProductId::new(0)).is_some());
+        assert!(c.product(ProductId::new(99)).is_none());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn small_catalog() {
+        assert_eq!(ProductCatalog::small().len(), 3);
+    }
+}

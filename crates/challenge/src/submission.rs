@@ -1,0 +1,152 @@
+//! Challenge submission rules (paper Section III).
+//!
+//! A participant controls 50 biased raters and decides when they rate,
+//! which products, and with what values. The hard rules a submission must
+//! satisfy:
+//!
+//! * every rating comes from one of the participant's assigned rater ids;
+//! * each rater rates each product at most once;
+//! * every rating time lies within the challenge horizon.
+
+use rrs_attack::AttackSequence;
+use rrs_core::{ProductId, RaterId, TimeWindow};
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// A rule violation in a submission.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SubmissionError {
+    /// A rating came from a rater the participant does not control.
+    UnknownRater {
+        /// The offending rater.
+        rater: RaterId,
+    },
+    /// A rater rated the same product twice.
+    DuplicateRating {
+        /// The offending rater.
+        rater: RaterId,
+        /// The product rated twice.
+        product: ProductId,
+    },
+    /// A rating time lies outside the challenge horizon.
+    OutOfHorizon {
+        /// The offending time in days.
+        time_days: f64,
+    },
+}
+
+impl fmt::Display for SubmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmissionError::UnknownRater { rater } => {
+                write!(f, "submission uses unassigned {rater}")
+            }
+            SubmissionError::DuplicateRating { rater, product } => {
+                write!(f, "{rater} rates {product} more than once")
+            }
+            SubmissionError::OutOfHorizon { time_days } => {
+                write!(f, "rating at day {time_days} is outside the challenge horizon")
+            }
+        }
+    }
+}
+
+impl Error for SubmissionError {}
+
+/// Validates a submission against the challenge rules.
+///
+/// # Errors
+///
+/// Returns the first violation found, if any.
+pub fn validate_submission(
+    sequence: &AttackSequence,
+    assigned_raters: &[RaterId],
+    horizon: TimeWindow,
+) -> Result<(), SubmissionError> {
+    let assigned: BTreeSet<RaterId> = assigned_raters.iter().copied().collect();
+    let mut seen: BTreeSet<(RaterId, ProductId)> = BTreeSet::new();
+    for r in &sequence.ratings {
+        if !assigned.contains(&r.rater()) {
+            return Err(SubmissionError::UnknownRater { rater: r.rater() });
+        }
+        if !horizon.contains(r.time()) {
+            return Err(SubmissionError::OutOfHorizon {
+                time_days: r.time().as_days(),
+            });
+        }
+        if !seen.insert((r.rater(), r.product())) {
+            return Err(SubmissionError::DuplicateRating {
+                rater: r.rater(),
+                product: r.product(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::{Rating, RatingValue, Timestamp};
+
+    fn rating(rater: u32, product: u16, day: f64) -> Rating {
+        Rating::new(
+            RaterId::new(rater),
+            ProductId::new(product),
+            Timestamp::new(day).unwrap(),
+            RatingValue::new(1.0).unwrap(),
+        )
+    }
+
+    fn horizon() -> TimeWindow {
+        TimeWindow::new(Timestamp::new(0.0).unwrap(), Timestamp::new(90.0).unwrap()).unwrap()
+    }
+
+    fn raters() -> Vec<RaterId> {
+        (0..50).map(RaterId::new).collect()
+    }
+
+    #[test]
+    fn valid_submission_passes() {
+        let seq = AttackSequence::new("ok", vec![rating(0, 0, 5.0), rating(0, 1, 5.0)]);
+        assert_eq!(validate_submission(&seq, &raters(), horizon()), Ok(()));
+    }
+
+    #[test]
+    fn unknown_rater_rejected() {
+        let seq = AttackSequence::new("bad", vec![rating(99, 0, 5.0)]);
+        assert!(matches!(
+            validate_submission(&seq, &raters(), horizon()),
+            Err(SubmissionError::UnknownRater { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_rating_rejected() {
+        let seq = AttackSequence::new("bad", vec![rating(1, 0, 5.0), rating(1, 0, 6.0)]);
+        assert!(matches!(
+            validate_submission(&seq, &raters(), horizon()),
+            Err(SubmissionError::DuplicateRating { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_horizon_rejected() {
+        let seq = AttackSequence::new("bad", vec![rating(1, 0, 95.0)]);
+        assert!(matches!(
+            validate_submission(&seq, &raters(), horizon()),
+            Err(SubmissionError::OutOfHorizon { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = SubmissionError::DuplicateRating {
+            rater: RaterId::new(1),
+            product: ProductId::new(2),
+        };
+        assert!(e.to_string().contains("rater#1"));
+    }
+}

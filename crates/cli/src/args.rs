@@ -1,0 +1,197 @@
+//! Minimal `--flag value` argument parsing.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Argument-parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArgError {
+    /// A flag appeared without a value.
+    MissingValue {
+        /// The flag name (with dashes).
+        flag: String,
+    },
+    /// A required flag was absent.
+    Required {
+        /// The flag name (without dashes).
+        flag: &'static str,
+    },
+    /// A value failed to parse.
+    BadValue {
+        /// The flag name (with dashes).
+        flag: String,
+        /// The raw value.
+        value: String,
+        /// Parse failure description.
+        message: String,
+    },
+    /// A positional argument appeared where none is accepted.
+    UnexpectedPositional {
+        /// The stray token.
+        token: String,
+    },
+    /// The same flag appeared twice.
+    Duplicate {
+        /// The flag name (with dashes).
+        flag: String,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue { flag } => write!(f, "{flag} needs a value"),
+            ArgError::Required { flag } => write!(f, "--{flag} is required"),
+            ArgError::BadValue {
+                flag,
+                value,
+                message,
+            } => write!(f, "{flag} {value:?}: {message}"),
+            ArgError::UnexpectedPositional { token } => {
+                write!(f, "unexpected argument {token:?}")
+            }
+            ArgError::Duplicate { flag } => write!(f, "{flag} given more than once"),
+        }
+    }
+}
+
+impl Error for ArgError {}
+
+/// A parsed `--flag value` list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses tokens of the form `--flag value`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects positionals, duplicate flags, and flags without values.
+    pub fn parse<I, S>(tokens: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut values = BTreeMap::new();
+        let mut iter = tokens.into_iter().map(Into::into);
+        while let Some(token) = iter.next() {
+            let Some(flag) = token.strip_prefix("--") else {
+                return Err(ArgError::UnexpectedPositional { token });
+            };
+            let Some(value) = iter.next() else {
+                return Err(ArgError::MissingValue { flag: token });
+            };
+            if values.insert(flag.to_string(), value).is_some() {
+                return Err(ArgError::Duplicate { flag: token });
+            }
+        }
+        Ok(Args { values })
+    }
+
+    /// Returns a string flag, if present.
+    #[must_use]
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// Returns a required string flag.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::Required`] if absent.
+    pub fn required(&self, flag: &'static str) -> Result<&str, ArgError> {
+        self.get(flag).ok_or(ArgError::Required { flag })
+    }
+
+    /// Returns a parsed flag, or a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::BadValue`] if present but unparsable.
+    pub fn parsed_or<T>(&self, flag: &str, default: T) -> Result<T, ArgError>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e: T::Err| ArgError::BadValue {
+                flag: format!("--{flag}"),
+                value: raw.to_string(),
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    /// Lists flags that are present but not in `known` — catches typos.
+    #[must_use]
+    pub fn unknown_flags(&self, known: &[&str]) -> Vec<String> {
+        self.values
+            .keys()
+            .filter(|k| !known.contains(&k.as_str()))
+            .map(|k| format!("--{k}"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flag_pairs() {
+        let args = Args::parse(["--out", "x.csv", "--seed", "7"]).unwrap();
+        assert_eq!(args.get("out"), Some("x.csv"));
+        assert_eq!(args.parsed_or("seed", 0u64).unwrap(), 7);
+        assert_eq!(args.parsed_or("missing", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(matches!(
+            Args::parse(["stray"]),
+            Err(ArgError::UnexpectedPositional { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(matches!(
+            Args::parse(["--out"]),
+            Err(ArgError::MissingValue { .. })
+        ));
+        assert!(matches!(
+            Args::parse(["--out", "a", "--out", "b"]),
+            Err(ArgError::Duplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn required_and_bad_value() {
+        let args = Args::parse(["--seed", "notanumber"]).unwrap();
+        assert!(matches!(
+            args.required("out"),
+            Err(ArgError::Required { flag: "out" })
+        ));
+        assert!(matches!(
+            args.parsed_or("seed", 0u64),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_flags_detects_typos() {
+        let args = Args::parse(["--sed", "7"]).unwrap();
+        assert_eq!(args.unknown_flags(&["seed", "out"]), vec!["--sed"]);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ArgError::Required { flag: "out" };
+        assert!(e.to_string().contains("--out"));
+    }
+}

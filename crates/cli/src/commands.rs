@@ -1,0 +1,549 @@
+//! The `rrs` subcommands. Each returns its report as a `String`.
+
+use crate::args::Args;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rrs_aggregation::{BfScheme, PScheme, SaScheme};
+use rrs_attack::{AttackContext, AttackStrategy, Direction, FairView};
+use rrs_challenge::{ChallengeConfig, RatingChallenge};
+use rrs_core::io::{read_csv, to_csv_string};
+use rrs_core::{
+    manipulation_power, AggregationScheme, Days, EvalContext, GroundTruth, MpParams, ProductId,
+    RaterId, RatingDataset, RatingSource, TimeWindow, Timestamp,
+};
+use rrs_detectors::JointDetector;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A boxed error for command results.
+pub type CommandError = Box<dyn Error + Send + Sync>;
+
+/// Dispatches a subcommand.
+///
+/// # Errors
+///
+/// Returns a human-readable error for unknown commands, argument
+/// problems, unreadable files, or malformed datasets.
+pub fn run(command: &str, tokens: &[String]) -> Result<String, CommandError> {
+    let args = Args::parse(tokens.iter().cloned())?;
+    match command {
+        "generate" => generate(&args),
+        "attack" => attack(&args),
+        "evaluate" => evaluate(&args),
+        "detect" => detect(&args),
+        "mp" => mp(&args),
+        "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage()).into()),
+    }
+}
+
+/// The CLI usage text.
+#[must_use]
+pub const fn usage() -> &'static str {
+    "rrs — rating-system attack & defense toolkit
+
+USAGE:
+  rrs generate --out FILE [--seed N] [--scale paper|small]
+  rrs attack   --data FILE --out FILE [--strategy NAME] [--seed N]
+               [--bias X] [--std X] [--start DAY] [--duration DAYS]
+               [--boost P,P] [--downgrade P,P] [--raters N]
+  rrs evaluate --data FILE [--scheme p|sa|bf] [--period DAYS]
+  rrs detect   --data FILE [--period DAYS]
+  rrs mp       --clean FILE --attacked FILE [--scheme p|sa|bf] [--period DAYS]
+
+Datasets are CSV: rater,product,day,value[,source]. Strategies:
+naive-extreme, uniform-spread, camouflage, burst, slow-poison,
+majority-sneak, interval-tuned, mimic-shift, correlated (see docs for
+the full list); or omit --strategy and give --bias/--std directly."
+}
+
+fn check_flags(args: &Args, known: &[&str]) -> Result<(), CommandError> {
+    let unknown = args.unknown_flags(known);
+    if unknown.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unknown flags: {}", unknown.join(", ")).into())
+    }
+}
+
+fn load(path: &str) -> Result<RatingDataset, CommandError> {
+    let file = fs::File::open(Path::new(path))
+        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    Ok(read_csv(file).map_err(|e| format!("{path}: {e}"))?)
+}
+
+fn scheme_by_name(name: &str) -> Result<Box<dyn AggregationScheme>, CommandError> {
+    match name {
+        "p" | "P" | "p-scheme" => Ok(Box::new(PScheme::new())),
+        "sa" | "SA" | "sa-scheme" => Ok(Box::new(SaScheme::new())),
+        "bf" | "BF" | "bf-scheme" => Ok(Box::new(BfScheme::new())),
+        other => Err(format!("unknown scheme {other:?} (use p, sa, or bf)").into()),
+    }
+}
+
+fn eval_context(dataset: &RatingDataset, period_days: f64) -> Result<EvalContext, CommandError> {
+    Ok(EvalContext::from_dataset(dataset, Days::new(period_days)?)?)
+}
+
+/// `rrs generate` — synthesize challenge data.
+fn generate(args: &Args) -> Result<String, CommandError> {
+    check_flags(args, &["out", "seed", "scale"])?;
+    let out = args.required("out")?;
+    let seed: u64 = args.parsed_or("seed", 7)?;
+    let config = match args.get("scale").unwrap_or("paper") {
+        "small" => ChallengeConfig::small(),
+        "paper" => ChallengeConfig::paper(),
+        other => return Err(format!("unknown scale {other:?} (use paper|small)").into()),
+    };
+    let challenge = RatingChallenge::generate(&config, seed);
+    fs::write(out, to_csv_string(challenge.fair_dataset()))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "wrote {} fair ratings for {} products to {out} (attack window {})",
+        challenge.fair_dataset().len(),
+        challenge.fair_dataset().product_ids().len(),
+        challenge.attack_window(),
+    ))
+}
+
+fn parse_product_list(raw: &str) -> Result<Vec<ProductId>, CommandError> {
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u16>()
+                .map(ProductId::new)
+                .map_err(|e| format!("bad product id {s:?}: {e}").into())
+        })
+        .collect()
+}
+
+/// Builds an attacker's view of an arbitrary imported dataset.
+fn attack_context_for(
+    dataset: &RatingDataset,
+    boost: &[ProductId],
+    downgrade: &[ProductId],
+    raters: usize,
+) -> Result<AttackContext, CommandError> {
+    let (lo, hi) = dataset.time_span()?;
+    let horizon = TimeWindow::new(lo, Timestamp::new(hi.as_days() + 1e-6)?)?;
+    let max_rater = dataset
+        .raters()
+        .iter()
+        .map(|r| r.value())
+        .max()
+        .unwrap_or(0);
+    let base = max_rater + 1_000_000;
+    let mut fair = BTreeMap::new();
+    for (pid, timeline) in dataset.products() {
+        let points: Vec<(f64, f64)> = timeline
+            .entries()
+            .iter()
+            .map(|e| (e.time().as_days(), e.value()))
+            .collect();
+        fair.insert(pid, FairView::new(points));
+    }
+    let mut targets: Vec<(ProductId, Direction)> = Vec::new();
+    for &p in boost {
+        if !fair.contains_key(&p) {
+            return Err(format!("boost target {p} has no ratings in the dataset").into());
+        }
+        targets.push((p, Direction::Boost));
+    }
+    for &p in downgrade {
+        if !fair.contains_key(&p) {
+            return Err(format!("downgrade target {p} has no ratings in the dataset").into());
+        }
+        targets.push((p, Direction::Downgrade));
+    }
+    if targets.is_empty() {
+        return Err("no attack targets: give --boost and/or --downgrade".into());
+    }
+    Ok(AttackContext {
+        horizon,
+        raters: (0..raters as u32).map(|i| RaterId::new(base + i)).collect(),
+        targets,
+        fair,
+    })
+}
+
+fn strategy_by_name(
+    name: &str,
+    bias: f64,
+    std_dev: f64,
+    start: f64,
+    duration: f64,
+) -> Result<AttackStrategy, CommandError> {
+    Ok(match name {
+        "naive-extreme" => AttackStrategy::NaiveExtreme {
+            start_day: start,
+            duration_days: duration,
+        },
+        "uniform-spread" => AttackStrategy::UniformSpread,
+        "conservative-shift" => AttackStrategy::ConservativeShift { bias },
+        "camouflage" => AttackStrategy::Camouflage {
+            bias,
+            std_dev,
+            start_day: start,
+            duration_days: duration,
+        },
+        "burst" => AttackStrategy::Burst {
+            bias,
+            std_dev,
+            start_day: start,
+            duration_days: duration,
+        },
+        "slow-poison" => AttackStrategy::SlowPoison { bias, std_dev },
+        "oscillator" => AttackStrategy::Oscillator {
+            bias,
+            amplitude: std_dev.max(0.5),
+            start_day: start,
+            duration_days: duration,
+        },
+        "ramp" => AttackStrategy::Ramp {
+            max_bias: bias,
+            start_day: start,
+            duration_days: duration,
+        },
+        "mimic-shift" => AttackStrategy::MimicShift {
+            bias,
+            start_day: start,
+            duration_days: duration,
+        },
+        "interval-tuned" => AttackStrategy::IntervalTuned {
+            interval_days: (duration / 50.0).max(0.1),
+            bias,
+            std_dev,
+            start_day: start,
+        },
+        "random-noise" => AttackStrategy::RandomNoise,
+        "correlated" => AttackStrategy::Correlated {
+            bias,
+            std_dev,
+            start_day: start,
+            duration_days: duration,
+        },
+        "majority-sneak" => AttackStrategy::MajoritySneak {
+            bias,
+            start_day: start,
+            duration_days: duration,
+        },
+        "extreme-wide" => AttackStrategy::ExtremeWide {
+            std_dev,
+            start_day: start,
+            duration_days: duration,
+        },
+        "anti-correlated" => AttackStrategy::AntiCorrelated {
+            bias,
+            std_dev,
+            start_day: start,
+            duration_days: duration,
+        },
+        other => return Err(format!("unknown strategy {other:?}").into()),
+    })
+}
+
+/// `rrs attack` — inject unfair ratings into a dataset.
+fn attack(args: &Args) -> Result<String, CommandError> {
+    check_flags(
+        args,
+        &[
+            "data",
+            "out",
+            "strategy",
+            "seed",
+            "bias",
+            "std",
+            "start",
+            "duration",
+            "boost",
+            "downgrade",
+            "raters",
+        ],
+    )?;
+    let data = args.required("data")?;
+    let out = args.required("out")?;
+    let dataset = load(data)?;
+    let seed: u64 = args.parsed_or("seed", 1)?;
+    let bias: f64 = args.parsed_or("bias", 2.2)?;
+    let std_dev: f64 = args.parsed_or("std", 1.0)?;
+    let start: f64 = args.parsed_or("start", 5.0)?;
+    let duration: f64 = args.parsed_or("duration", 25.0)?;
+    let raters: usize = args.parsed_or("raters", 50)?;
+
+    let products = dataset.product_ids();
+    let boost = match args.get("boost") {
+        Some(raw) => parse_product_list(raw)?,
+        None => products.iter().take(2).copied().collect(),
+    };
+    let downgrade = match args.get("downgrade") {
+        Some(raw) => parse_product_list(raw)?,
+        None => products.iter().skip(2).take(2).copied().collect(),
+    };
+
+    let ctx = attack_context_for(&dataset, &boost, &downgrade, raters)?;
+    let strategy = strategy_by_name(
+        args.get("strategy").unwrap_or("camouflage"),
+        bias,
+        std_dev,
+        start,
+        duration,
+    )?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sequence = strategy.build(&ctx, &mut rng);
+
+    let mut attacked = dataset;
+    attacked.extend_from(sequence.ratings.iter().copied(), RatingSource::Unfair);
+    fs::write(out, to_csv_string(&attacked)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "injected {} unfair ratings ({}) into {} -> {out}",
+        sequence.len(),
+        sequence.label,
+        data,
+    ))
+}
+
+/// `rrs evaluate` — run a defense scheme and report checkpoint scores.
+fn evaluate(args: &Args) -> Result<String, CommandError> {
+    check_flags(args, &["data", "scheme", "period"])?;
+    let dataset = load(args.required("data")?)?;
+    let scheme = scheme_by_name(args.get("scheme").unwrap_or("p"))?;
+    let period: f64 = args.parsed_or("period", 30.0)?;
+    let ctx = eval_context(&dataset, period)?;
+    let outcome = scheme.evaluate(&dataset, &ctx);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} over {} ratings, {} checkpoints of {period} days",
+        scheme.name(),
+        dataset.len(),
+        ctx.periods().len()
+    );
+    for (product, scores) in outcome.iter_scores() {
+        let rendered: Vec<String> = scores
+            .iter()
+            .map(|s| s.map_or("-".to_string(), |v| format!("{v:.2}")))
+            .collect();
+        let _ = writeln!(out, "  {product}: {}", rendered.join("  "));
+    }
+    let _ = writeln!(out, "suspicious ratings marked: {}", outcome.suspicious().len());
+    let mut distrusted: Vec<(&RaterId, &f64)> = outcome
+        .trust_map()
+        .iter()
+        .filter(|(_, t)| **t < 0.5)
+        .collect();
+    distrusted.sort_by(|a, b| a.1.total_cmp(b.1));
+    if !distrusted.is_empty() {
+        let _ = writeln!(out, "most distrusted raters:");
+        for (rater, trust) in distrusted.iter().take(10) {
+            let _ = writeln!(out, "  {rater}: trust {trust:.3}");
+        }
+    }
+    // If the dataset carries ground truth, score the marks.
+    let truth = GroundTruth::from_dataset(&dataset);
+    if truth.unfair_count() > 0 {
+        let _ = writeln!(out, "vs ground truth: {}", truth.score(outcome.suspicious()));
+    }
+    Ok(out)
+}
+
+/// `rrs detect` — run the joint detector and report what it sees.
+fn detect(args: &Args) -> Result<String, CommandError> {
+    check_flags(args, &["data", "period"])?;
+    let dataset = load(args.required("data")?)?;
+    let period: f64 = args.parsed_or("period", 30.0)?;
+    let ctx = eval_context(&dataset, period)?;
+    let detector = JointDetector::default();
+    let (marks, per_product) = detector.detect_all(&dataset, ctx.horizon(), |_| 0.5);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "joint detection over {} ratings", dataset.len());
+    for (product, result) in &per_product {
+        if result.hits.is_empty() && result.all_intervals().is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "{product}:");
+        for interval in result.all_intervals() {
+            let _ = writeln!(out, "  {interval}");
+        }
+        for hit in &result.hits {
+            let _ = writeln!(
+                out,
+                "  path {} marked {} ratings in {} ({:?} band)",
+                hit.path, hit.marked, hit.window, hit.band
+            );
+        }
+    }
+    let _ = writeln!(out, "total suspicious ratings: {}", marks.len());
+    let truth = GroundTruth::from_dataset(&dataset);
+    if truth.unfair_count() > 0 {
+        let _ = writeln!(out, "vs ground truth: {}", truth.score(&marks));
+    }
+    Ok(out)
+}
+
+/// `rrs mp` — manipulation power of an attacked dataset vs its clean base.
+fn mp(args: &Args) -> Result<String, CommandError> {
+    check_flags(args, &["clean", "attacked", "scheme", "period"])?;
+    let clean_path = args.required("clean")?;
+    let attacked_path = args.required("attacked")?;
+    let clean = load(clean_path)?;
+    let attacked = load(attacked_path)?;
+    let scheme = scheme_by_name(args.get("scheme").unwrap_or("p"))?;
+    let period: f64 = args.parsed_or("period", 30.0)?;
+    let params = MpParams {
+        period: Days::new(period)?,
+        ..MpParams::paper()
+    };
+    let report = manipulation_power(scheme.as_ref(), &clean, &attacked, &params)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {report}", scheme.name());
+    for (product, detail) in report.iter() {
+        let deltas: Vec<String> = detail.deltas().iter().map(|d| format!("{d:.3}")).collect();
+        let _ = writeln!(out, "  {product} deltas: {}", deltas.join("  "));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("rrs_cli_{}_{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn run_ok(command: &str, tokens: &[&str]) -> String {
+        run(
+            command,
+            &tokens.iter().map(|s| (*s).to_string()).collect::<Vec<_>>(),
+        )
+        .unwrap_or_else(|e| panic!("{command} failed: {e}"))
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let fair = tmp("fair.csv");
+        let attacked = tmp("attacked.csv");
+
+        let msg = run_ok(
+            "generate",
+            &["--out", &fair, "--seed", "3", "--scale", "small"],
+        );
+        assert!(msg.contains("fair ratings"), "{msg}");
+
+        let msg = run_ok(
+            "attack",
+            &[
+                "--data", &fair, "--out", &attacked, "--strategy", "burst", "--bias", "3.0",
+                "--std", "0.4", "--start", "40", "--duration", "10", "--seed", "5", "--boost",
+                "0", "--downgrade", "2",
+            ],
+        );
+        assert!(msg.contains("injected"), "{msg}");
+
+        let msg = run_ok("evaluate", &["--data", &attacked, "--scheme", "p"]);
+        assert!(msg.contains("P-scheme"), "{msg}");
+        assert!(msg.contains("ground truth"), "{msg}");
+
+        let msg = run_ok("detect", &["--data", &attacked]);
+        assert!(msg.contains("suspicious"), "{msg}");
+
+        let msg = run_ok(
+            "mp",
+            &["--clean", &fair, "--attacked", &attacked, "--scheme", "sa"],
+        );
+        assert!(msg.contains("MP ="), "{msg}");
+
+        std::fs::remove_file(&fair).ok();
+        std::fs::remove_file(&attacked).ok();
+    }
+
+    #[test]
+    fn unknown_command_mentions_usage() {
+        let err = run("frobnicate", &[]).unwrap_err().to_string();
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = run("generate", &["--oot".into(), "x".into()])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--oot"), "{err}");
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let err = run("mp", &["--clean".into(), "x".into()])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--attacked"), "{err}");
+    }
+
+    #[test]
+    fn bad_scheme_name() {
+        let err = match scheme_by_name("zz") {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("bogus scheme accepted"),
+        };
+        assert!(err.contains("zz"));
+    }
+
+    #[test]
+    fn every_cli_strategy_name_resolves() {
+        for name in [
+            "naive-extreme",
+            "uniform-spread",
+            "conservative-shift",
+            "camouflage",
+            "burst",
+            "slow-poison",
+            "oscillator",
+            "ramp",
+            "mimic-shift",
+            "interval-tuned",
+            "random-noise",
+            "correlated",
+            "majority-sneak",
+            "extreme-wide",
+            "anti-correlated",
+        ] {
+            strategy_by_name(name, 2.0, 1.0, 5.0, 20.0)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert!(strategy_by_name("bogus", 0.0, 0.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn attack_rejects_missing_target_product() {
+        let fair = tmp("fair2.csv");
+        run_ok(
+            "generate",
+            &["--out", &fair, "--seed", "3", "--scale", "small"],
+        );
+        let err = run(
+            "attack",
+            &[
+                "--data".into(),
+                fair.clone(),
+                "--out".into(),
+                tmp("x.csv"),
+                "--downgrade".into(),
+                "99".into(),
+                "--boost".into(),
+                "0".into(),
+            ],
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("99"), "{err}");
+        std::fs::remove_file(&fair).ok();
+    }
+}

@@ -1,0 +1,21 @@
+//! The `rrs` command-line entry point.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        println!("{}", rrs_cli::commands::usage());
+        return ExitCode::SUCCESS;
+    };
+    match rrs_cli::commands::run(command, rest) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

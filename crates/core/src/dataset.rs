@@ -1,0 +1,575 @@
+use crate::{CoreError, ProductId, RaterId, Rating, RatingSource, TimeWindow, Timestamp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A dataset-unique identifier for an inserted rating.
+///
+/// Detectors refer to individual ratings (for example to mark them
+/// suspicious) by `RatingId`. Identifiers are assigned in insertion order
+/// and are stable under [`RatingDataset::clone`], so a cloned dataset that
+/// receives extra unfair ratings keeps the fair ratings' identifiers —
+/// which is what lets the challenge harness compare suspicion marks against
+/// ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RatingId(u64);
+
+impl RatingId {
+    /// Returns the raw identifier value.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RatingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rating#{}", self.0)
+    }
+}
+
+/// A rating stored in a dataset, together with its identifier and
+/// ground-truth provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RatingEntry {
+    id: RatingId,
+    rating: Rating,
+    source: RatingSource,
+}
+
+impl RatingEntry {
+    /// Returns the dataset-unique identifier.
+    #[must_use]
+    pub const fn id(&self) -> RatingId {
+        self.id
+    }
+
+    /// Returns the rating event.
+    #[must_use]
+    pub const fn rating(&self) -> &Rating {
+        &self.rating
+    }
+
+    /// Returns the ground-truth provenance.
+    #[must_use]
+    pub const fn source(&self) -> RatingSource {
+        self.source
+    }
+
+    /// Shorthand for the rating time.
+    #[must_use]
+    pub const fn time(&self) -> Timestamp {
+        self.rating.time()
+    }
+
+    /// Shorthand for the rating value as `f64`.
+    #[must_use]
+    pub const fn value(&self) -> f64 {
+        self.rating.value().get()
+    }
+
+    /// Shorthand for the rater.
+    #[must_use]
+    pub const fn rater(&self) -> RaterId {
+        self.rating.rater()
+    }
+}
+
+/// The time-ordered rating history of a single product.
+///
+/// Entries are kept sorted by `(time, id)`; ties in time preserve insertion
+/// order.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProductTimeline {
+    entries: Vec<RatingEntry>,
+}
+
+impl ProductTimeline {
+    /// Returns the entries in time order.
+    #[must_use]
+    pub fn entries(&self) -> &[RatingEntry] {
+        &self.entries
+    }
+
+    /// Returns the number of ratings for this product.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the product has no ratings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the contiguous slice of entries whose times fall in `window`.
+    #[must_use]
+    pub fn in_window(&self, window: TimeWindow) -> &[RatingEntry] {
+        let lo = self
+            .entries
+            .partition_point(|e| e.time() < window.start());
+        let hi = self.entries.partition_point(|e| e.time() < window.end());
+        &self.entries[lo..hi]
+    }
+
+    /// Returns all rating values in time order.
+    #[must_use]
+    pub fn values(&self) -> Vec<f64> {
+        self.entries.iter().map(RatingEntry::value).collect()
+    }
+
+    /// Returns all rating times in time order.
+    #[must_use]
+    pub fn times(&self) -> Vec<Timestamp> {
+        self.entries.iter().map(RatingEntry::time).collect()
+    }
+
+    /// Returns the mean rating value, or `None` if the timeline is empty.
+    #[must_use]
+    pub fn mean_value(&self) -> Option<f64> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            let sum: f64 = self.entries.iter().map(RatingEntry::value).sum();
+            Some(sum / self.entries.len() as f64)
+        }
+    }
+
+    /// Counts ratings per whole day over `window`.
+    ///
+    /// Element `i` of the result is the number of ratings in
+    /// `[start + i, start + i + 1)` days; the last bucket is truncated at the
+    /// window end. This is the `y(n)` series of the paper's arrival-rate
+    /// change detector.
+    #[must_use]
+    pub fn daily_counts(&self, window: TimeWindow) -> Vec<u32> {
+        let days = window.length().get().ceil() as usize;
+        let mut counts = vec![0u32; days];
+        for e in self.in_window(window) {
+            let offset = e.time().as_days() - window.start().as_days();
+            let idx = (offset.floor() as usize).min(days.saturating_sub(1));
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Counts ratings per whole day, restricted to values accepted by
+    /// `keep`.
+    ///
+    /// The H-ARC and L-ARC detectors use this with "value above
+    /// `threshold_a`" and "value below `threshold_b`" predicates.
+    #[must_use]
+    pub fn daily_counts_filtered<F>(&self, window: TimeWindow, mut keep: F) -> Vec<u32>
+    where
+        F: FnMut(f64) -> bool,
+    {
+        let days = window.length().get().ceil() as usize;
+        let mut counts = vec![0u32; days];
+        for e in self.in_window(window) {
+            if keep(e.value()) {
+                let offset = e.time().as_days() - window.start().as_days();
+                let idx = (offset.floor() as usize).min(days.saturating_sub(1));
+                counts[idx] += 1;
+            }
+        }
+        counts
+    }
+
+    fn insert(&mut self, entry: RatingEntry) {
+        // Insertion keeps (time, id) order; typical insertions are appends
+        // because generators emit ratings in time order.
+        let pos = self
+            .entries
+            .partition_point(|e| (e.time(), e.id()) <= (entry.time(), entry.id()));
+        self.entries.insert(pos, entry);
+    }
+}
+
+/// A collection of rating histories for a set of products.
+///
+/// This is the unit the aggregation schemes and the Rating Challenge operate
+/// on: the challenge distributes one fair dataset, attackers produce a
+/// modified copy with unfair ratings inserted, and the MP metric compares
+/// aggregation results on the two.
+///
+/// # Example
+///
+/// ```
+/// use rrs_core::{ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue, Timestamp};
+/// # fn main() -> Result<(), rrs_core::CoreError> {
+/// let mut clean = RatingDataset::new();
+/// for day in 0..10 {
+///     clean.insert(
+///         Rating::new(
+///             RaterId::new(day),
+///             ProductId::new(0),
+///             Timestamp::new(f64::from(day))?,
+///             RatingValue::new(4.0)?,
+///         ),
+///         RatingSource::Fair,
+///     );
+/// }
+/// let mut attacked = clean.clone();
+/// attacked.insert(
+///     Rating::new(RaterId::new(100), ProductId::new(0), Timestamp::new(5.0)?, RatingValue::new(0.0)?),
+///     RatingSource::Unfair,
+/// );
+/// assert_eq!(clean.len(), 10);
+/// assert_eq!(attacked.unfair_ids().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RatingDataset {
+    products: BTreeMap<ProductId, ProductTimeline>,
+    next_id: u64,
+}
+
+impl RatingDataset {
+    /// Creates an empty dataset.
+    #[must_use]
+    pub fn new() -> Self {
+        RatingDataset::default()
+    }
+
+    /// Inserts a rating with the given provenance and returns its
+    /// identifier.
+    pub fn insert(&mut self, rating: Rating, source: RatingSource) -> RatingId {
+        let id = RatingId(self.next_id);
+        self.next_id += 1;
+        self.products
+            .entry(rating.product())
+            .or_default()
+            .insert(RatingEntry { id, rating, source });
+        id
+    }
+
+    /// Inserts every rating from an iterator, all with the same provenance.
+    pub fn extend_from<I>(&mut self, ratings: I, source: RatingSource)
+    where
+        I: IntoIterator<Item = Rating>,
+    {
+        for r in ratings {
+            self.insert(r, source);
+        }
+    }
+
+    /// Returns the timeline for `product`, if any rating exists for it.
+    #[must_use]
+    pub fn product(&self, product: ProductId) -> Option<&ProductTimeline> {
+        self.products.get(&product)
+    }
+
+    /// Iterates over `(product, timeline)` pairs in product order.
+    pub fn products(&self) -> impl Iterator<Item = (ProductId, &ProductTimeline)> {
+        self.products.iter().map(|(id, tl)| (*id, tl))
+    }
+
+    /// Returns the product identifiers present in the dataset.
+    #[must_use]
+    pub fn product_ids(&self) -> Vec<ProductId> {
+        self.products.keys().copied().collect()
+    }
+
+    /// Returns the total number of ratings across all products.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.products.values().map(ProductTimeline::len).sum()
+    }
+
+    /// Returns `true` if the dataset holds no ratings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.products.values().all(ProductTimeline::is_empty)
+    }
+
+    /// Returns the earliest and latest rating time across all products.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Empty`] if the dataset holds no ratings.
+    pub fn time_span(&self) -> Result<(Timestamp, Timestamp), CoreError> {
+        let mut span: Option<(Timestamp, Timestamp)> = None;
+        for tl in self.products.values() {
+            if let (Some(first), Some(last)) = (tl.entries.first(), tl.entries.last()) {
+                span = Some(match span {
+                    None => (first.time(), last.time()),
+                    Some((lo, hi)) => (lo.min(first.time()), hi.max(last.time())),
+                });
+            }
+        }
+        span.ok_or(CoreError::Empty { what: "dataset" })
+    }
+
+    /// Returns the identifiers of all ratings with
+    /// [`RatingSource::Unfair`] provenance.
+    #[must_use]
+    pub fn unfair_ids(&self) -> Vec<RatingId> {
+        let mut out = Vec::new();
+        for tl in self.products.values() {
+            out.extend(
+                tl.entries
+                    .iter()
+                    .filter(|e| e.source().is_unfair())
+                    .map(RatingEntry::id),
+            );
+        }
+        out
+    }
+
+    /// Returns the distinct raters appearing in the dataset.
+    #[must_use]
+    pub fn raters(&self) -> Vec<RaterId> {
+        let mut set = std::collections::BTreeSet::new();
+        for tl in self.products.values() {
+            for e in &tl.entries {
+                set.insert(e.rater());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Returns a copy of this dataset containing only fair ratings.
+    ///
+    /// Identifiers of the retained ratings are preserved.
+    #[must_use]
+    pub fn fair_only(&self) -> RatingDataset {
+        let mut out = RatingDataset {
+            products: BTreeMap::new(),
+            next_id: self.next_id,
+        };
+        for (pid, tl) in &self.products {
+            let kept: Vec<RatingEntry> = tl
+                .entries
+                .iter()
+                .filter(|e| !e.source().is_unfair())
+                .copied()
+                .collect();
+            if !kept.is_empty() {
+                out.products.insert(*pid, ProductTimeline { entries: kept });
+            }
+        }
+        out
+    }
+
+    /// Iterates over every entry in the dataset, grouped by product and in
+    /// time order within each product.
+    pub fn iter(&self) -> impl Iterator<Item = &RatingEntry> {
+        self.products.values().flat_map(|tl| tl.entries.iter())
+    }
+
+    /// Returns a copy containing only the ratings whose times fall in
+    /// `window`, with identifiers preserved.
+    ///
+    /// The P-scheme runs *online*: at each monthly trust-update epoch it
+    /// re-detects over the data available so far. This view provides that
+    /// prefix without disturbing identifiers, so suspicion marks from
+    /// different epochs stay comparable.
+    #[must_use]
+    pub fn restricted(&self, window: TimeWindow) -> RatingDataset {
+        let mut out = RatingDataset {
+            products: BTreeMap::new(),
+            next_id: self.next_id,
+        };
+        for (pid, tl) in &self.products {
+            let kept = tl.in_window(window).to_vec();
+            if !kept.is_empty() {
+                out.products.insert(*pid, ProductTimeline { entries: kept });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RatingValue;
+    use proptest::prelude::*;
+
+    fn rating(rater: u32, product: u16, day: f64, value: f64) -> Rating {
+        Rating::new(
+            RaterId::new(rater),
+            ProductId::new(product),
+            Timestamp::new(day).unwrap(),
+            RatingValue::new(value).unwrap(),
+        )
+    }
+
+    fn window(a: f64, b: f64) -> TimeWindow {
+        TimeWindow::new(Timestamp::new(a).unwrap(), Timestamp::new(b).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let mut d = RatingDataset::new();
+        let a = d.insert(rating(1, 0, 0.0, 4.0), RatingSource::Fair);
+        let b = d.insert(rating(2, 0, 1.0, 4.0), RatingSource::Fair);
+        assert!(a < b);
+        assert_eq!(a.value() + 1, b.value());
+    }
+
+    #[test]
+    fn entries_sorted_by_time_regardless_of_insert_order() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(1, 0, 5.0, 4.0), RatingSource::Fair);
+        d.insert(rating(2, 0, 1.0, 3.0), RatingSource::Fair);
+        d.insert(rating(3, 0, 3.0, 2.0), RatingSource::Fair);
+        let times = d.product(ProductId::new(0)).unwrap().times();
+        assert_eq!(
+            times.iter().map(|t| t.as_days()).collect::<Vec<_>>(),
+            vec![1.0, 3.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn ties_in_time_preserve_insertion_order() {
+        let mut d = RatingDataset::new();
+        let a = d.insert(rating(1, 0, 2.0, 1.0), RatingSource::Fair);
+        let b = d.insert(rating(2, 0, 2.0, 2.0), RatingSource::Fair);
+        let entries = d.product(ProductId::new(0)).unwrap().entries().to_vec();
+        assert_eq!(entries[0].id(), a);
+        assert_eq!(entries[1].id(), b);
+    }
+
+    #[test]
+    fn in_window_is_half_open() {
+        let mut d = RatingDataset::new();
+        for day in 0..10 {
+            d.insert(rating(day, 0, f64::from(day), 4.0), RatingSource::Fair);
+        }
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let slice = tl.in_window(window(2.0, 5.0));
+        assert_eq!(slice.len(), 3);
+        assert_eq!(slice[0].time().as_days(), 2.0);
+        assert_eq!(slice[2].time().as_days(), 4.0);
+    }
+
+    #[test]
+    fn daily_counts_buckets_correctly() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(1, 0, 0.2, 4.0), RatingSource::Fair);
+        d.insert(rating(2, 0, 0.9, 4.0), RatingSource::Fair);
+        d.insert(rating(3, 0, 1.5, 4.0), RatingSource::Fair);
+        d.insert(rating(4, 0, 2.0, 4.0), RatingSource::Fair);
+        let counts = d
+            .product(ProductId::new(0))
+            .unwrap()
+            .daily_counts(window(0.0, 3.0));
+        assert_eq!(counts, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn daily_counts_filtered_splits_high_low() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(1, 0, 0.5, 5.0), RatingSource::Fair);
+        d.insert(rating(2, 0, 0.6, 1.0), RatingSource::Fair);
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let high = tl.daily_counts_filtered(window(0.0, 1.0), |v| v > 2.5);
+        let low = tl.daily_counts_filtered(window(0.0, 1.0), |v| v < 2.5);
+        assert_eq!(high, vec![1]);
+        assert_eq!(low, vec![1]);
+    }
+
+    #[test]
+    fn clone_preserves_ids_for_ground_truth() {
+        let mut clean = RatingDataset::new();
+        let fair_id = clean.insert(rating(1, 0, 0.0, 4.0), RatingSource::Fair);
+        let mut attacked = clean.clone();
+        let unfair_id = attacked.insert(rating(99, 0, 1.0, 0.0), RatingSource::Unfair);
+        assert_ne!(fair_id, unfair_id);
+        assert_eq!(attacked.unfair_ids(), vec![unfair_id]);
+        assert!(clean.unfair_ids().is_empty());
+    }
+
+    #[test]
+    fn fair_only_strips_unfair_and_keeps_ids() {
+        let mut d = RatingDataset::new();
+        let fair_id = d.insert(rating(1, 0, 0.0, 4.0), RatingSource::Fair);
+        d.insert(rating(2, 0, 1.0, 0.0), RatingSource::Unfair);
+        let clean = d.fair_only();
+        assert_eq!(clean.len(), 1);
+        assert_eq!(clean.iter().next().unwrap().id(), fair_id);
+    }
+
+    #[test]
+    fn restricted_keeps_ids_and_window_only() {
+        let mut d = RatingDataset::new();
+        let a = d.insert(rating(1, 0, 5.0, 4.0), RatingSource::Fair);
+        let _b = d.insert(rating(2, 0, 50.0, 4.0), RatingSource::Fair);
+        let r = d.restricted(window(0.0, 30.0));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().id(), a);
+        // New insertions after restriction do not collide with old ids.
+        let mut r2 = r.clone();
+        let c = r2.insert(rating(3, 0, 10.0, 4.0), RatingSource::Unfair);
+        assert!(c.value() >= 2);
+    }
+
+    #[test]
+    fn time_span_on_empty_errors() {
+        assert!(RatingDataset::new().time_span().is_err());
+    }
+
+    #[test]
+    fn time_span_spans_products() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(1, 0, 5.0, 4.0), RatingSource::Fair);
+        d.insert(rating(2, 1, 1.0, 4.0), RatingSource::Fair);
+        d.insert(rating(3, 1, 9.0, 4.0), RatingSource::Fair);
+        let (lo, hi) = d.time_span().unwrap();
+        assert_eq!(lo.as_days(), 1.0);
+        assert_eq!(hi.as_days(), 9.0);
+    }
+
+    #[test]
+    fn raters_are_distinct_and_sorted() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(5, 0, 0.0, 4.0), RatingSource::Fair);
+        d.insert(rating(1, 1, 1.0, 4.0), RatingSource::Fair);
+        d.insert(rating(5, 1, 2.0, 4.0), RatingSource::Fair);
+        assert_eq!(d.raters(), vec![RaterId::new(1), RaterId::new(5)]);
+    }
+
+    #[test]
+    fn mean_value() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(1, 0, 0.0, 2.0), RatingSource::Fair);
+        d.insert(rating(2, 0, 1.0, 4.0), RatingSource::Fair);
+        let tl = d.product(ProductId::new(0)).unwrap();
+        assert_eq!(tl.mean_value(), Some(3.0));
+        assert_eq!(ProductTimeline::default().mean_value(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn timeline_always_sorted(days in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+            let mut d = RatingDataset::new();
+            for (i, day) in days.iter().enumerate() {
+                d.insert(rating(i as u32, 0, *day, 3.0), RatingSource::Fair);
+            }
+            let times = d.product(ProductId::new(0)).unwrap().times();
+            for pair in times.windows(2) {
+                prop_assert!(pair[0] <= pair[1]);
+            }
+        }
+
+        #[test]
+        fn daily_counts_sum_to_window_population(days in proptest::collection::vec(0.0f64..30.0, 0..80)) {
+            let mut d = RatingDataset::new();
+            for (i, day) in days.iter().enumerate() {
+                d.insert(rating(i as u32, 0, *day, 3.0), RatingSource::Fair);
+            }
+            if let Some(tl) = d.product(ProductId::new(0)) {
+                let w = window(0.0, 30.0);
+                let counts = tl.daily_counts(w);
+                let total: u32 = counts.iter().sum();
+                prop_assert_eq!(total as usize, tl.in_window(w).len());
+            }
+        }
+    }
+}

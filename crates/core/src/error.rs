@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `rrs-core` constructors and operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A rating value was outside the valid scale or not finite.
+    InvalidValue {
+        /// The offending raw value.
+        value: f64,
+    },
+    /// A timestamp was not a finite number.
+    InvalidTime {
+        /// The offending raw value.
+        value: f64,
+    },
+    /// A duration was negative or not finite.
+    InvalidDuration {
+        /// The offending raw length in days.
+        days: f64,
+    },
+    /// A time window had `end < start`.
+    InvalidWindow {
+        /// Window start in days.
+        start: f64,
+        /// Window end in days.
+        end: f64,
+    },
+    /// An operation that requires data was invoked on an empty collection.
+    Empty {
+        /// Human-readable description of what was empty.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidValue { value } => {
+                write!(f, "rating value {value} is not on the valid scale")
+            }
+            CoreError::InvalidTime { value } => {
+                write!(f, "timestamp {value} is not a finite number")
+            }
+            CoreError::InvalidDuration { days } => {
+                write!(f, "duration of {days} days is not a finite non-negative number")
+            }
+            CoreError::InvalidWindow { start, end } => {
+                write!(f, "time window [{start}, {end}) has end before start")
+            }
+            CoreError::Empty { what } => write!(f, "{what} is empty"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            CoreError::InvalidValue { value: 9.0 },
+            CoreError::InvalidTime { value: f64::NAN },
+            CoreError::InvalidDuration { days: -1.0 },
+            CoreError::InvalidWindow { start: 2.0, end: 1.0 },
+            CoreError::Empty { what: "dataset" },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(CoreError::Empty { what: "x" });
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,120 @@
+use std::fmt;
+
+/// Identifier of a rater (a user who submits ratings).
+///
+/// Raters are the subjects of trust evaluation: the trust manager keeps one
+/// beta-trust record per `RaterId`.
+///
+/// ```
+/// use rrs_core::RaterId;
+/// let r = RaterId::new(42);
+/// assert_eq!(r.value(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RaterId(u32);
+
+impl RaterId {
+    /// Creates a rater identifier from a raw integer.
+    #[must_use]
+    pub const fn new(id: u32) -> Self {
+        RaterId(id)
+    }
+
+    /// Returns the raw integer value.
+    #[must_use]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for RaterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rater#{}", self.0)
+    }
+}
+
+impl From<u32> for RaterId {
+    fn from(id: u32) -> Self {
+        RaterId(id)
+    }
+}
+
+/// Identifier of a product (an object being rated).
+///
+/// The Rating Challenge of the paper used nine flat-panel TVs; products are
+/// identified by small dense integers.
+///
+/// ```
+/// use rrs_core::ProductId;
+/// let p = ProductId::new(3);
+/// assert_eq!(p.value(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProductId(u16);
+
+impl ProductId {
+    /// Creates a product identifier from a raw integer.
+    #[must_use]
+    pub const fn new(id: u16) -> Self {
+        ProductId(id)
+    }
+
+    /// Returns the raw integer value.
+    #[must_use]
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the raw value widened to `usize`, convenient for indexing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProductId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "product#{}", self.0)
+    }
+}
+
+impl From<u16> for ProductId {
+    fn from(id: u16) -> Self {
+        ProductId(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rater_ids_order_by_raw_value() {
+        let mut set = BTreeSet::new();
+        set.insert(RaterId::new(5));
+        set.insert(RaterId::new(1));
+        set.insert(RaterId::new(3));
+        let ordered: Vec<u32> = set.into_iter().map(RaterId::value).collect();
+        assert_eq!(ordered, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn product_index_matches_value() {
+        assert_eq!(ProductId::new(7).index(), 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RaterId::new(2).to_string(), "rater#2");
+        assert_eq!(ProductId::new(2).to_string(), "product#2");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(RaterId::from(9), RaterId::new(9));
+        assert_eq!(ProductId::from(9), ProductId::new(9));
+    }
+}

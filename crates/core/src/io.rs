@@ -1,0 +1,277 @@
+//! Plain-text import/export of rating datasets.
+//!
+//! A deliberately simple CSV dialect so users can bring their own rating
+//! data to the detectors and schemes (or export synthetic challenges for
+//! other tools):
+//!
+//! ```text
+//! rater,product,day,value,source
+//! 17,0,12.5,4.0,fair
+//! 1000003,2,61.25,0.5,unfair
+//! ```
+//!
+//! The `source` column is optional on import (defaults to `fair`); the
+//! header row is required. No quoting is needed — every field is
+//! numeric or a fixed keyword — which keeps the format trivially
+//! interoperable with spreadsheet tools.
+
+use crate::{CoreError, ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue, Timestamp};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from dataset import.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header row is missing or malformed.
+    Header {
+        /// The offending header line.
+        found: String,
+    },
+    /// A data row could not be parsed.
+    Row {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A parsed field violated a domain constraint.
+    Domain {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying domain error.
+        source: CoreError,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Header { found } => {
+                write!(f, "expected header 'rater,product,day,value[,source]', found {found:?}")
+            }
+            CsvError::Row { line, message } => write!(f, "line {line}: {message}"),
+            CsvError::Domain { line, source } => write!(f, "line {line}: {source}"),
+        }
+    }
+}
+
+impl Error for CsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Domain { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a dataset as CSV.
+///
+/// Rows are emitted grouped by product and in time order within each
+/// product — the same order [`RatingDataset::iter`] yields.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(dataset: &RatingDataset, mut writer: W) -> Result<(), CsvError> {
+    writeln!(writer, "rater,product,day,value,source")?;
+    for entry in dataset.iter() {
+        let r = entry.rating();
+        writeln!(
+            writer,
+            "{},{},{},{},{}",
+            r.rater().value(),
+            r.product().value(),
+            r.time().as_days(),
+            r.value().get(),
+            entry.source(),
+        )?;
+    }
+    Ok(())
+}
+
+/// Renders a dataset as a CSV string.
+#[must_use]
+pub fn to_csv_string(dataset: &RatingDataset) -> String {
+    let mut buf = Vec::new();
+    write_csv(dataset, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("csv output is ASCII")
+}
+
+/// Reads a dataset from CSV.
+///
+/// Accepts both 4-column (`rater,product,day,value`) and 5-column
+/// (`…,source`) data; blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on I/O failures, a bad header, unparsable rows,
+/// or out-of-domain values.
+pub fn read_csv<R: Read>(reader: R) -> Result<RatingDataset, CsvError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .transpose()?
+        .unwrap_or_default();
+    let normalized = header.trim().to_ascii_lowercase();
+    if normalized != "rater,product,day,value,source" && normalized != "rater,product,day,value" {
+        return Err(CsvError::Header { found: header });
+    }
+
+    let mut dataset = RatingDataset::new();
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 2; // 1-based, after the header
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 4 && fields.len() != 5 {
+            return Err(CsvError::Row {
+                line: line_no,
+                message: format!("expected 4 or 5 fields, found {}", fields.len()),
+            });
+        }
+        let parse_num = |s: &str, what: &str| -> Result<f64, CsvError> {
+            s.trim().parse::<f64>().map_err(|e| CsvError::Row {
+                line: line_no,
+                message: format!("bad {what} {s:?}: {e}"),
+            })
+        };
+        let rater = parse_num(fields[0], "rater id")? as u32;
+        let product = parse_num(fields[1], "product id")? as u16;
+        let day = parse_num(fields[2], "day")?;
+        let value = parse_num(fields[3], "value")?;
+        let source = match fields.get(4).map(|s| s.trim().to_ascii_lowercase()) {
+            None => RatingSource::Fair,
+            Some(s) if s == "fair" => RatingSource::Fair,
+            Some(s) if s == "unfair" => RatingSource::Unfair,
+            Some(s) => {
+                return Err(CsvError::Row {
+                    line: line_no,
+                    message: format!("source must be 'fair' or 'unfair', found {s:?}"),
+                })
+            }
+        };
+        let time = Timestamp::new(day).map_err(|source| CsvError::Domain {
+            line: line_no,
+            source,
+        })?;
+        let value = RatingValue::new(value).map_err(|source| CsvError::Domain {
+            line: line_no,
+            source,
+        })?;
+        dataset.insert(
+            Rating::new(RaterId::new(rater), ProductId::new(product), time, value),
+            source,
+        );
+    }
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RatingDataset {
+        let mut d = RatingDataset::new();
+        d.insert(
+            Rating::new(
+                RaterId::new(1),
+                ProductId::new(0),
+                Timestamp::new(1.5).unwrap(),
+                RatingValue::new(4.0).unwrap(),
+            ),
+            RatingSource::Fair,
+        );
+        d.insert(
+            Rating::new(
+                RaterId::new(2),
+                ProductId::new(1),
+                Timestamp::new(2.25).unwrap(),
+                RatingValue::new(0.5).unwrap(),
+            ),
+            RatingSource::Unfair,
+        );
+        d
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_observable() {
+        let original = sample();
+        let csv = to_csv_string(&original);
+        let restored = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(restored.len(), original.len());
+        let pairs = original.iter().zip(restored.iter());
+        for (a, b) in pairs {
+            assert_eq!(a.rating(), b.rating());
+            assert_eq!(a.source(), b.source());
+        }
+    }
+
+    #[test]
+    fn four_column_import_defaults_to_fair() {
+        let csv = "rater,product,day,value\n7,3,10.0,4.5\n";
+        let d = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(d.len(), 1);
+        let entry = d.iter().next().unwrap();
+        assert_eq!(entry.source(), RatingSource::Fair);
+        assert_eq!(entry.value(), 4.5);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = "rater,product,day,value\n\n7,3,10.0,4.5\n\n";
+        assert_eq!(read_csv(csv.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let e = read_csv("who,what,when\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, CsvError::Header { .. }));
+        assert!(e.to_string().contains("header"));
+    }
+
+    #[test]
+    fn bad_row_reports_line_number() {
+        let csv = "rater,product,day,value\n1,2,3\n";
+        let e = read_csv(csv.as_bytes()).unwrap_err();
+        match e {
+            CsvError::Row { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_scale_value_reports_domain_error() {
+        let csv = "rater,product,day,value\n1,2,3.0,9.5\n";
+        let e = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(e, CsvError::Domain { line: 2, .. }));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn bad_source_keyword_rejected() {
+        let csv = "rater,product,day,value,source\n1,2,3.0,4.0,bogus\n";
+        let e = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn header_is_case_insensitive() {
+        let csv = "Rater,Product,Day,Value,Source\n1,2,3.0,4.0,fair\n";
+        assert_eq!(read_csv(csv.as_bytes()).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,381 @@
+//! The manipulation-power (MP) metric of the Rating Challenge.
+//!
+//! For each product, the challenge computes
+//! `Δ_i = |R°_ag(t_i) − R_ag(t_i)|` for every 30-day period, where
+//! `R°_ag` is the aggregated rating **with** unfair ratings and `R_ag`
+//! **without** them. A product's score is the sum of its two largest `Δ`
+//! values, and the overall MP is the sum over products. Counting only the
+//! top two periods is what pushes rational attackers to concentrate their
+//! unfair ratings into one or two months (paper Section III).
+
+use crate::{
+    AggregationScheme, CoreError, Days, EvalContext, ProductId, RatingDataset, SchemeOutcome,
+    ScoringMode,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parameters of the MP computation.
+///
+/// Defaults follow the paper: 30-day periods, two counted periods per
+/// product.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpParams {
+    /// Length of a scoring period.
+    pub period: Days,
+    /// How many of the largest per-period deltas are summed per product.
+    pub top_k: usize,
+    /// How checkpoint scores aggregate ratings (cumulative by default;
+    /// see [`ScoringMode`]).
+    pub scoring: ScoringMode,
+}
+
+impl MpParams {
+    /// The paper's parameters: 30-day checkpoints, top-2 deltas,
+    /// cumulative scoring.
+    #[must_use]
+    pub fn paper() -> Self {
+        MpParams {
+            period: Days::new(30.0).expect("constant is valid"),
+            top_k: 2,
+            scoring: ScoringMode::Cumulative,
+        }
+    }
+}
+
+impl Default for MpParams {
+    fn default() -> Self {
+        MpParams::paper()
+    }
+}
+
+/// Per-product manipulation power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductMp {
+    deltas: Vec<f64>,
+    mp: f64,
+}
+
+impl ProductMp {
+    /// Returns the per-period deltas `Δ_i` in period order.
+    #[must_use]
+    pub fn deltas(&self) -> &[f64] {
+        &self.deltas
+    }
+
+    /// Returns the product's MP contribution (sum of the top-k deltas).
+    #[must_use]
+    pub const fn mp(&self) -> f64 {
+        self.mp
+    }
+}
+
+/// The full MP report for one attacked dataset under one scheme.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MpReport {
+    per_product: BTreeMap<ProductId, ProductMp>,
+    total: f64,
+}
+
+impl MpReport {
+    /// Returns the overall MP value (sum over products).
+    #[must_use]
+    pub const fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Returns the MP contribution of one product, or 0 if the product was
+    /// not present.
+    #[must_use]
+    pub fn product_mp(&self, product: ProductId) -> f64 {
+        self.per_product.get(&product).map_or(0.0, ProductMp::mp)
+    }
+
+    /// Returns the detailed per-product breakdown.
+    #[must_use]
+    pub fn detail(&self, product: ProductId) -> Option<&ProductMp> {
+        self.per_product.get(&product)
+    }
+
+    /// Iterates over `(product, detail)` in product order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProductId, &ProductMp)> {
+        self.per_product.iter().map(|(p, d)| (*p, d))
+    }
+}
+
+impl fmt::Display for MpReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MP = {:.4} (", self.total)?;
+        for (i, (p, d)) in self.per_product.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {:.4}", p, d.mp())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Computes the manipulation power an attack achieves against `scheme`.
+///
+/// `clean` is the dataset without unfair ratings, `attacked` the dataset
+/// with them inserted. Both are aggregated per period on a shared horizon;
+/// per-period deltas are combined per [`MpParams`].
+///
+/// Missing scores are handled as follows: a period where the attacked
+/// dataset has no score contributes `Δ = 0`; a period where only the clean
+/// dataset has no score (the attacker rated into a quiet month) is compared
+/// against the clean product's overall mean, because a real system would
+/// still display the last known aggregate.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Empty`] if both datasets are empty.
+pub fn manipulation_power(
+    scheme: &dyn AggregationScheme,
+    clean: &RatingDataset,
+    attacked: &RatingDataset,
+    params: &MpParams,
+) -> Result<MpReport, CoreError> {
+    let ctx = shared_context(clean, attacked, params.period)?.with_scoring(params.scoring);
+    let clean_outcome = scheme.evaluate(clean, &ctx);
+    let attacked_outcome = scheme.evaluate(attacked, &ctx);
+    Ok(mp_from_outcomes(
+        clean,
+        &clean_outcome,
+        attacked,
+        &attacked_outcome,
+        params,
+    ))
+}
+
+/// Builds an [`EvalContext`] whose horizon covers both datasets.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Empty`] if both datasets are empty.
+pub fn shared_context(
+    clean: &RatingDataset,
+    attacked: &RatingDataset,
+    period: Days,
+) -> Result<EvalContext, CoreError> {
+    // The attacked dataset is a superset in the intended workflow, but be
+    // robust to either being the wider one.
+    let ctx_a = EvalContext::from_dataset(attacked, period);
+    let ctx_c = EvalContext::from_dataset(clean, period);
+    match (ctx_c, ctx_a) {
+        (Ok(c), Ok(a)) => {
+            let start = c.horizon().start().min(a.horizon().start());
+            let end = c.horizon().end().max(a.horizon().end());
+            Ok(EvalContext::new(
+                crate::TimeWindow::new(start, end)?,
+                period,
+            ))
+        }
+        (Ok(c), Err(_)) => Ok(c),
+        (Err(_), Ok(a)) => Ok(a),
+        (Err(e), Err(_)) => Err(e),
+    }
+}
+
+/// Computes the MP report from already-evaluated outcomes.
+///
+/// Useful when the caller wants to reuse the clean outcome across many
+/// attacked variants (the heuristic search of Procedure 2 does exactly
+/// this).
+#[must_use]
+pub fn mp_from_outcomes(
+    clean: &RatingDataset,
+    clean_outcome: &SchemeOutcome,
+    attacked: &RatingDataset,
+    attacked_outcome: &SchemeOutcome,
+    params: &MpParams,
+) -> MpReport {
+    let mut per_product = BTreeMap::new();
+    let mut total = 0.0;
+    for product in attacked.product_ids() {
+        let fallback = clean
+            .product(product)
+            .and_then(crate::ProductTimeline::mean_value);
+        let attacked_scores = attacked_outcome.scores(product).unwrap_or(&[]);
+        let clean_scores = clean_outcome.scores(product).unwrap_or(&[]);
+        let n = attacked_scores.len().max(clean_scores.len());
+        let mut deltas = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = attacked_scores.get(i).copied().flatten();
+            let c = clean_scores.get(i).copied().flatten();
+            let delta = match (a, c) {
+                (Some(a), Some(c)) => (a - c).abs(),
+                (Some(a), None) => fallback.map_or(0.0, |m| (a - m).abs()),
+                (None, _) => 0.0,
+            };
+            deltas.push(delta);
+        }
+        let mut sorted = deltas.clone();
+        sorted.sort_by(|x, y| y.total_cmp(x));
+        let mp: f64 = sorted.iter().take(params.top_k).sum();
+        total += mp;
+        per_product.insert(product, ProductMp { deltas, mp });
+    }
+    MpReport { per_product, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProductId, RaterId, Rating, RatingSource, RatingValue, Timestamp};
+
+    /// A scheme that averages the raw rating values in each period.
+    struct MeanScheme;
+
+    impl AggregationScheme for MeanScheme {
+        fn name(&self) -> &str {
+            "mean"
+        }
+
+        fn evaluate(&self, dataset: &RatingDataset, ctx: &EvalContext) -> SchemeOutcome {
+            let mut out = SchemeOutcome::new();
+            for (pid, tl) in dataset.products() {
+                let scores = ctx
+                    .periods()
+                    .iter()
+                    .map(|w| {
+                        let slice = tl.in_window(*w);
+                        if slice.is_empty() {
+                            None
+                        } else {
+                            Some(
+                                slice.iter().map(crate::RatingEntry::value).sum::<f64>()
+                                    / slice.len() as f64,
+                            )
+                        }
+                    })
+                    .collect();
+                out.insert_scores(pid, scores);
+            }
+            out
+        }
+    }
+
+    fn rating(rater: u32, product: u16, day: f64, value: f64) -> Rating {
+        Rating::new(
+            RaterId::new(rater),
+            ProductId::new(product),
+            Timestamp::new(day).unwrap(),
+            RatingValue::new(value).unwrap(),
+        )
+    }
+
+    fn fair_dataset() -> RatingDataset {
+        let mut d = RatingDataset::new();
+        for day in 0..90 {
+            d.insert(rating(day, 0, f64::from(day), 4.0), RatingSource::Fair);
+        }
+        d
+    }
+
+    #[test]
+    fn no_attack_means_zero_mp() {
+        let clean = fair_dataset();
+        let report =
+            manipulation_power(&MeanScheme, &clean, &clean.clone(), &MpParams::paper()).unwrap();
+        assert_eq!(report.total(), 0.0);
+    }
+
+    #[test]
+    fn downgrade_attack_produces_positive_mp() {
+        let clean = fair_dataset();
+        let mut attacked = clean.clone();
+        for i in 0..30 {
+            attacked.insert(
+                rating(1000 + i, 0, 30.0 + f64::from(i), 0.0),
+                RatingSource::Unfair,
+            );
+        }
+        let report =
+            manipulation_power(&MeanScheme, &clean, &attacked, &MpParams::paper()).unwrap();
+        assert!(report.total() > 0.0);
+        // All attack mass is in period 1 (days 30-60): delta there is
+        // |mean(30x4 + 30x0) - 4| = 2, other periods are 0.
+        let detail = report.detail(ProductId::new(0)).unwrap();
+        assert!((detail.deltas()[1] - 2.0).abs() < 1e-12);
+        assert!((report.total() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_caps_counted_periods() {
+        let clean = fair_dataset();
+        let mut attacked = clean.clone();
+        // Attack all three periods equally.
+        for period in 0..3u32 {
+            for i in 0..30 {
+                attacked.insert(
+                    rating(
+                        2000 + period * 100 + i,
+                        0,
+                        f64::from(period) * 30.0 + f64::from(i),
+                        0.0,
+                    ),
+                    RatingSource::Unfair,
+                );
+            }
+        }
+        let report =
+            manipulation_power(&MeanScheme, &clean, &attacked, &MpParams::paper()).unwrap();
+        // Each period's delta is 2; only two are counted.
+        assert!((report.total() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attack_into_quiet_period_uses_fallback_mean() {
+        // Clean data only in days 0..30; the attack lands in days 30..60.
+        let mut clean = RatingDataset::new();
+        for day in 0..30 {
+            clean.insert(rating(day, 0, f64::from(day), 4.0), RatingSource::Fair);
+        }
+        let mut attacked = clean.clone();
+        for i in 0..10 {
+            attacked.insert(
+                rating(500 + i, 0, 35.0 + f64::from(i), 0.0),
+                RatingSource::Unfair,
+            );
+        }
+        let report =
+            manipulation_power(&MeanScheme, &clean, &attacked, &MpParams::paper()).unwrap();
+        // The attacked period-1 mean is 0; the fallback is the clean mean 4.
+        assert!((report.product_mp(ProductId::new(0)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_datasets_error() {
+        let empty = RatingDataset::new();
+        assert!(manipulation_power(&MeanScheme, &empty, &empty, &MpParams::paper()).is_err());
+    }
+
+    #[test]
+    fn report_display_mentions_total() {
+        let clean = fair_dataset();
+        let report =
+            manipulation_power(&MeanScheme, &clean, &clean.clone(), &MpParams::paper()).unwrap();
+        assert!(report.to_string().starts_with("MP = 0.0000"));
+    }
+
+    #[test]
+    fn boosting_and_downgrading_both_count() {
+        let mut clean = RatingDataset::new();
+        for day in 0..30 {
+            clean.insert(rating(day, 0, f64::from(day), 4.0), RatingSource::Fair);
+            clean.insert(rating(day, 1, f64::from(day), 4.0), RatingSource::Fair);
+        }
+        let mut attacked = clean.clone();
+        for i in 0..30 {
+            attacked.insert(rating(900 + i, 0, f64::from(i), 0.0), RatingSource::Unfair);
+            attacked.insert(rating(950 + i, 1, f64::from(i), 5.0), RatingSource::Unfair);
+        }
+        let report =
+            manipulation_power(&MeanScheme, &clean, &attacked, &MpParams::paper()).unwrap();
+        assert!(report.product_mp(ProductId::new(0)) > 0.0);
+        assert!(report.product_mp(ProductId::new(1)) > 0.0);
+        assert!(report.product_mp(ProductId::new(0)) > report.product_mp(ProductId::new(1)));
+    }
+}

@@ -1,0 +1,300 @@
+use crate::{CoreError, Days, ProductId, RaterId, RatingDataset, RatingId, TimeWindow, Timestamp};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a scheme turns a rating stream into one score per checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// The score at checkpoint `t_i` aggregates **all ratings up to
+    /// `t_i`** — the running average a shopping site actually displays,
+    /// and the reading of the paper's `R_ag(t_i)` this reproduction
+    /// adopts. Early fair history shields the score; an attack's damage
+    /// peaks at the first checkpoint after it completes and dilutes as
+    /// fair ratings keep arriving.
+    #[default]
+    Cumulative,
+    /// The score at checkpoint `t_i` aggregates only the ratings of the
+    /// 30-day period ending at `t_i` — a batch-mean variant, kept for
+    /// comparison.
+    PerPeriod,
+}
+
+/// Shared evaluation context for an aggregation-scheme run: the overall
+/// time horizon, the scoring period length, and the scoring mode.
+///
+/// The paper computes aggregated scores at monthly checkpoints over the
+/// duration of the challenge; `EvalContext` fixes that segmentation so
+/// that the clean and attacked datasets are scored on identical
+/// boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalContext {
+    horizon: TimeWindow,
+    period: Days,
+    scoring: ScoringMode,
+}
+
+impl EvalContext {
+    /// Creates a context with an explicit horizon and period length,
+    /// using cumulative scoring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(horizon: TimeWindow, period: Days) -> Self {
+        assert!(period.get() > 0.0, "period length must be positive");
+        EvalContext {
+            horizon,
+            period,
+            scoring: ScoringMode::Cumulative,
+        }
+    }
+
+    /// Returns a copy using the given scoring mode.
+    #[must_use]
+    pub fn with_scoring(mut self, scoring: ScoringMode) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
+    /// Returns the scoring mode.
+    #[must_use]
+    pub const fn scoring(&self) -> ScoringMode {
+        self.scoring
+    }
+
+    /// Returns the window of ratings that contribute to the score at the
+    /// checkpoint ending `period`: everything since the horizon start
+    /// under [`ScoringMode::Cumulative`], just the period itself under
+    /// [`ScoringMode::PerPeriod`].
+    #[must_use]
+    pub fn scoring_window(&self, period: TimeWindow) -> TimeWindow {
+        match self.scoring {
+            ScoringMode::Cumulative => TimeWindow::new(self.horizon.start(), period.end())
+                .expect("period lies inside the horizon"),
+            ScoringMode::PerPeriod => period,
+        }
+    }
+
+    /// Derives a context from a dataset: the horizon starts at day 0 (or the
+    /// earliest rating if it is negative) and ends just past the last
+    /// rating, rounded up to a whole period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Empty`] if the dataset holds no ratings.
+    pub fn from_dataset(dataset: &RatingDataset, period: Days) -> Result<Self, CoreError> {
+        let (lo, hi) = dataset.time_span()?;
+        let start = Timestamp::new(lo.as_days().min(0.0))?;
+        let span = hi.as_days() - start.as_days();
+        let n_periods = (span / period.get()).floor() as usize + 1;
+        let end = Timestamp::new(start.as_days() + n_periods as f64 * period.get())?;
+        Ok(EvalContext {
+            horizon: TimeWindow::new(start, end)?,
+            period,
+            scoring: ScoringMode::default(),
+        })
+    }
+
+    /// Returns the overall horizon.
+    #[must_use]
+    pub const fn horizon(&self) -> TimeWindow {
+        self.horizon
+    }
+
+    /// Returns the scoring period length.
+    #[must_use]
+    pub const fn period(&self) -> Days {
+        self.period
+    }
+
+    /// Returns the consecutive scoring periods covering the horizon.
+    #[must_use]
+    pub fn periods(&self) -> Vec<TimeWindow> {
+        self.horizon.periods(self.period)
+    }
+}
+
+/// The result of running an aggregation scheme over a dataset.
+///
+/// Contains per-product aggregated scores for every scoring period
+/// (`None` when the product received no usable ratings in a period), the
+/// set of ratings the scheme marked suspicious, and the final trust values
+/// of raters for schemes that maintain trust.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchemeOutcome {
+    scores: BTreeMap<ProductId, Vec<Option<f64>>>,
+    suspicious: BTreeSet<RatingId>,
+    trust: BTreeMap<RaterId, f64>,
+}
+
+impl SchemeOutcome {
+    /// Creates an empty outcome.
+    #[must_use]
+    pub fn new() -> Self {
+        SchemeOutcome::default()
+    }
+
+    /// Records the per-period scores for a product.
+    pub fn insert_scores(&mut self, product: ProductId, scores: Vec<Option<f64>>) {
+        self.scores.insert(product, scores);
+    }
+
+    /// Returns the per-period scores for a product.
+    #[must_use]
+    pub fn scores(&self, product: ProductId) -> Option<&[Option<f64>]> {
+        self.scores.get(&product).map(Vec::as_slice)
+    }
+
+    /// Iterates over `(product, scores)` pairs in product order.
+    pub fn iter_scores(&self) -> impl Iterator<Item = (ProductId, &[Option<f64>])> {
+        self.scores.iter().map(|(p, s)| (*p, s.as_slice()))
+    }
+
+    /// Marks a rating as suspicious.
+    pub fn mark_suspicious(&mut self, id: RatingId) {
+        self.suspicious.insert(id);
+    }
+
+    /// Marks many ratings as suspicious.
+    pub fn mark_suspicious_all<I: IntoIterator<Item = RatingId>>(&mut self, ids: I) {
+        self.suspicious.extend(ids);
+    }
+
+    /// Returns the ratings marked suspicious by the scheme.
+    #[must_use]
+    pub const fn suspicious(&self) -> &BTreeSet<RatingId> {
+        &self.suspicious
+    }
+
+    /// Records a rater's final trust value.
+    pub fn set_trust(&mut self, rater: RaterId, trust: f64) {
+        self.trust.insert(rater, trust);
+    }
+
+    /// Returns the final trust value of a rater, if tracked.
+    #[must_use]
+    pub fn trust(&self, rater: RaterId) -> Option<f64> {
+        self.trust.get(&rater).copied()
+    }
+
+    /// Returns all tracked trust values.
+    #[must_use]
+    pub const fn trust_map(&self) -> &BTreeMap<RaterId, f64> {
+        &self.trust
+    }
+}
+
+/// A rating-aggregation defense scheme.
+///
+/// Implementors take a full rating dataset and produce per-product,
+/// per-period aggregated scores along with any suspicion / trust
+/// diagnostics. The three schemes of the paper — the signal-based
+/// P-scheme, plain averaging (SA), and beta-function filtering (BF) — all
+/// implement this trait in the `rrs-aggregation` crate.
+///
+/// The trait is object-safe: the MP metric and the challenge harness accept
+/// `&dyn AggregationScheme`.
+pub trait AggregationScheme {
+    /// A short human-readable name, e.g. `"P-scheme"`.
+    fn name(&self) -> &str;
+
+    /// Runs the scheme over `dataset` using the periods defined by `ctx`.
+    fn evaluate(&self, dataset: &RatingDataset, ctx: &EvalContext) -> SchemeOutcome;
+}
+
+impl<T: AggregationScheme + ?Sized> AggregationScheme for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn evaluate(&self, dataset: &RatingDataset, ctx: &EvalContext) -> SchemeOutcome {
+        (**self).evaluate(dataset, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rating, RatingSource, RatingValue};
+
+    fn rating(day: f64) -> Rating {
+        Rating::new(
+            RaterId::new(1),
+            ProductId::new(0),
+            Timestamp::new(day).unwrap(),
+            RatingValue::new(4.0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn context_from_dataset_rounds_up_to_whole_periods() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(0.0), RatingSource::Fair);
+        d.insert(rating(65.0), RatingSource::Fair);
+        let ctx = EvalContext::from_dataset(&d, Days::new(30.0).unwrap()).unwrap();
+        assert_eq!(ctx.periods().len(), 3);
+        assert_eq!(ctx.horizon().end().as_days(), 90.0);
+    }
+
+    #[test]
+    fn context_from_empty_dataset_errors() {
+        let d = RatingDataset::new();
+        assert!(EvalContext::from_dataset(&d, Days::new(30.0).unwrap()).is_err());
+    }
+
+    #[test]
+    fn context_horizon_contains_all_ratings() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(12.0), RatingSource::Fair);
+        d.insert(rating(29.999), RatingSource::Fair);
+        let ctx = EvalContext::from_dataset(&d, Days::new(30.0).unwrap()).unwrap();
+        assert!(ctx.horizon().contains(Timestamp::new(29.999).unwrap()));
+    }
+
+    #[test]
+    fn scoring_window_modes() {
+        let horizon = TimeWindow::new(
+            Timestamp::new(0.0).unwrap(),
+            Timestamp::new(90.0).unwrap(),
+        )
+        .unwrap();
+        let ctx = EvalContext::new(horizon, Days::new(30.0).unwrap());
+        assert_eq!(ctx.scoring(), ScoringMode::Cumulative);
+        let period = ctx.periods()[1];
+        // Cumulative: window reaches back to the horizon start.
+        let w = ctx.scoring_window(period);
+        assert_eq!(w.start(), horizon.start());
+        assert_eq!(w.end(), period.end());
+        // Per-period: the window is the period itself.
+        let ctx = ctx.with_scoring(ScoringMode::PerPeriod);
+        assert_eq!(ctx.scoring_window(period), period);
+    }
+
+    #[test]
+    fn outcome_roundtrip() {
+        let mut o = SchemeOutcome::new();
+        o.insert_scores(ProductId::new(0), vec![Some(4.0), None]);
+        o.set_trust(RaterId::new(3), 0.8);
+        assert_eq!(o.scores(ProductId::new(0)).unwrap()[0], Some(4.0));
+        assert_eq!(o.trust(RaterId::new(3)), Some(0.8));
+        assert_eq!(o.trust(RaterId::new(4)), None);
+        assert!(o.suspicious().is_empty());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        struct Dummy;
+        impl AggregationScheme for Dummy {
+            fn name(&self) -> &str {
+                "dummy"
+            }
+            fn evaluate(&self, _: &RatingDataset, _: &EvalContext) -> SchemeOutcome {
+                SchemeOutcome::new()
+            }
+        }
+        let d: &dyn AggregationScheme = &Dummy;
+        assert_eq!(d.name(), "dummy");
+        // Blanket impl for references also works.
+        assert_eq!(AggregationScheme::name(&d), "dummy");
+    }
+}

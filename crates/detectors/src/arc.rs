@@ -1,0 +1,473 @@
+//! The arrival-rate-change (ARC) detector and its H-ARC / L-ARC variants
+//! (paper Section IV-C).
+//!
+//! Daily rating counts `y(n)` are modeled as Poisson; a GLRT over a
+//! sliding `2D`-day window produces the ARC curve. Peaks cut the day axis
+//! into segments, and a segment whose arrival rate *increased* over its
+//! predecessor by more than a threshold is ARC-suspicious.
+//!
+//! Practical rating data rarely shows the full-stream rate change the
+//! plain detector wants, so the paper adds H-ARC (count only ratings above
+//! `threshold_a`) and L-ARC (below `threshold_b`): an unfair-rating burst
+//! concentrates in one value band even when the total arrival rate barely
+//! moves.
+
+use crate::suspicion::{SuspicionKind, SuspiciousInterval};
+use rrs_core::stream::split_at_peaks;
+use rrs_core::{ProductTimeline, TimeWindow, Timestamp};
+use rrs_signal::curve::{Curve, CurvePoint, Peak, UShape};
+use rrs_signal::glrt::arrival_rate_glrt;
+use std::ops::Range;
+
+/// Which value band the detector counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArcVariant {
+    /// Count every rating (plain ARC).
+    All,
+    /// Count ratings with value above `threshold_a` (H-ARC).
+    High,
+    /// Count ratings with value below `threshold_b` (L-ARC).
+    Low,
+}
+
+impl ArcVariant {
+    /// The suspicion kind this variant reports.
+    #[must_use]
+    pub const fn kind(self) -> SuspicionKind {
+        match self {
+            // Plain ARC reports as "high" — an overall rate surge is the
+            // classic ballot-stuffing signature.
+            ArcVariant::All | ArcVariant::High => SuspicionKind::HighArrivalRate,
+            ArcVariant::Low => SuspicionKind::LowArrivalRate,
+        }
+    }
+}
+
+/// Configuration of the ARC detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArcConfig {
+    /// Half-window `D` in days (paper: 30-day window, `D = 15`).
+    pub half_window_days: usize,
+    /// Minimum days per half at the stream edges.
+    pub min_half_days: usize,
+    /// Decision threshold on the GLRT statistic of Eq. 5.
+    pub glrt_threshold: f64,
+    /// Minimum day separation between retained peaks.
+    pub peak_separation: usize,
+    /// Valley-to-peak ratio below which two peaks frame a U-shape.
+    pub valley_ratio: f64,
+    /// A segment is suspicious when its rate exceeds the previous
+    /// segment's by more than this many ratings/day.
+    pub rate_increase_threshold: f64,
+    /// Scale-aware guard: the increase must also exceed this many
+    /// standard deviations of the segment-rate estimate
+    /// (`√(baseline / segment days)` under the Poisson model), so that
+    /// ordinary sampling noise on busy streams never flags.
+    pub rate_noise_factor: f64,
+}
+
+impl Default for ArcConfig {
+    fn default() -> Self {
+        // The GLRT threshold corresponds to 2 ln Λ ≈ 2·(2D)·0.05 = 3 at
+        // the default D = 15 — deliberately permissive (χ²₁ p ≈ 0.08) so
+        // that even a diluted low-band drip (~0.3 extra ratings/day on a
+        // near-zero base) raises peaks. False peaks merely split the day
+        // axis; the segment-flag rule (rate increase above the
+        // threshold) and the two-path integration reject the noise.
+        ArcConfig {
+            half_window_days: 15,
+            min_half_days: 4,
+            glrt_threshold: 0.05,
+            peak_separation: 6,
+            valley_ratio: 0.5,
+            rate_increase_threshold: 0.25,
+            rate_noise_factor: 4.0,
+        }
+    }
+}
+
+/// One day-axis segment between ARC peaks, with its verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcSegment {
+    /// Day-index range of the segment (relative to the horizon start).
+    pub day_range: Range<usize>,
+    /// Time window covered by the segment.
+    pub window: TimeWindow,
+    /// Mean arrival rate over the segment (ratings/day).
+    pub rate: f64,
+    /// Whether the segment was flagged ARC-suspicious.
+    pub flagged: bool,
+}
+
+/// The full output of an ARC-family detector on one product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcOutcome {
+    /// Which variant produced this outcome.
+    pub variant: ArcVariant,
+    /// The ARC curve (one sample per day index tested).
+    pub curve: Curve,
+    /// Retained peaks.
+    pub peaks: Vec<Peak>,
+    /// U-shapes (peak pairs framing a valley).
+    pub u_shapes: Vec<UShape>,
+    /// Per-segment verdicts.
+    pub segments: Vec<ArcSegment>,
+    /// Flagged segments as suspicious intervals.
+    pub suspicious: Vec<SuspiciousInterval>,
+}
+
+impl ArcOutcome {
+    fn empty(variant: ArcVariant) -> Self {
+        ArcOutcome {
+            variant,
+            curve: Curve::default(),
+            peaks: Vec::new(),
+            u_shapes: Vec::new(),
+            segments: Vec::new(),
+            suspicious: Vec::new(),
+        }
+    }
+
+    /// Returns `true` if any segment was flagged.
+    #[must_use]
+    pub fn is_suspicious(&self) -> bool {
+        !self.suspicious.is_empty()
+    }
+
+    /// Returns `true` if the detector saw a rate change at all (any peak).
+    ///
+    /// The integration logic issues an H-ARC/L-ARC *alarm* when a rate
+    /// change exists but no U-shape frames it (paper Fig. 1, path 2).
+    #[must_use]
+    pub fn has_alarm(&self) -> bool {
+        !self.peaks.is_empty()
+    }
+}
+
+/// Runs an ARC-family detector from a pre-computed daily count series.
+///
+/// `day0` is the timestamp of day index 0.
+#[must_use]
+pub fn detect_counts(
+    counts: &[u32],
+    day0: Timestamp,
+    variant: ArcVariant,
+    config: &ArcConfig,
+) -> ArcOutcome {
+    let n = counts.len();
+    if n < 2 * config.min_half_days {
+        return ArcOutcome::empty(variant);
+    }
+
+    let mut points = Vec::with_capacity(n);
+    for k in config.min_half_days..=(n - config.min_half_days) {
+        let w = config.half_window_days.min(k).min(n - k);
+        if w < config.min_half_days {
+            continue;
+        }
+        if let Some(stat) = arrival_rate_glrt(&counts[k - w..k], &counts[k..k + w]) {
+            points.push(CurvePoint {
+                index: k,
+                time: day0.as_days() + k as f64,
+                value: stat,
+            });
+        }
+    }
+    let curve = Curve::new(points);
+    let peaks = curve.find_peaks(config.glrt_threshold, config.peak_separation);
+    let u_shapes = curve.find_u_shapes(
+        config.glrt_threshold,
+        config.peak_separation,
+        config.valley_ratio,
+    );
+
+    // Segment the day axis at the peaks. Adjacent segments whose rates
+    // differ by less than the decision threshold are merged first — a
+    // spurious peak inside a stationary burst would otherwise split the
+    // burst into pieces that each fail the "higher than the previous
+    // segment" rule.
+    let peak_days = Curve::peak_stream_indices(&peaks);
+    let mut ranges: Vec<(Range<usize>, f64)> = split_at_peaks(n, &peak_days)
+        .into_iter()
+        .map(|r| {
+            let total: u32 = counts[r.clone()].iter().sum();
+            let rate = f64::from(total) / r.len() as f64;
+            (r, rate)
+        })
+        .collect();
+    let mut i = 0;
+    while i + 1 < ranges.len() {
+        if (ranges[i].1 - ranges[i + 1].1).abs() < config.rate_increase_threshold {
+            let (next, _) = ranges.remove(i + 1);
+            let merged = ranges[i].0.start..next.end;
+            let total: u32 = counts[merged.clone()].iter().sum();
+            ranges[i].1 = f64::from(total) / merged.len() as f64;
+            ranges[i].0 = merged;
+            // Re-examine the same index: the merged segment may now also
+            // be within threshold of its new right neighbor.
+        } else {
+            i += 1;
+        }
+    }
+
+    // Flag segments against a carried *baseline*: the rate of the last
+    // segment judged normal. Comparing only against the immediately
+    // previous segment (the paper's literal wording) lets a long burst
+    // that got split by a spurious interior peak launder its second half
+    // — the second piece is "not higher than the previous segment"
+    // because the previous segment is itself part of the attack.
+    let mut segments: Vec<ArcSegment> = Vec::new();
+    let mut suspicious = Vec::new();
+    let mut baseline: Option<f64> = None;
+    for (day_range, rate) in ranges {
+        let flagged = baseline.is_some_and(|base| {
+            let noise = (base / day_range.len().max(1) as f64).sqrt();
+            rate > base
+                && rate - base
+                    > config
+                        .rate_increase_threshold
+                        .max(config.rate_noise_factor * noise)
+        });
+        let window = TimeWindow::new(
+            Timestamp::new(day0.as_days() + day_range.start as f64).expect("finite"),
+            Timestamp::new(day0.as_days() + day_range.end as f64).expect("finite"),
+        )
+        .expect("ordered");
+        if flagged {
+            suspicious.push(SuspiciousInterval::new(window, variant.kind(), rate));
+        } else {
+            // The baseline only ratchets *down*: a gradually ramping
+            // attack would otherwise walk the baseline up with it
+            // segment by segment and never trip the threshold.
+            baseline = Some(baseline.map_or(rate, |b: f64| b.min(rate)));
+        }
+        segments.push(ArcSegment {
+            day_range,
+            window,
+            rate,
+            flagged,
+        });
+    }
+
+    ArcOutcome {
+        variant,
+        curve,
+        peaks,
+        u_shapes,
+        segments,
+        suspicious,
+    }
+}
+
+/// Runs an ARC-family detector over one product's timeline.
+///
+/// The value thresholds follow the paper: `threshold_a = 0.5·m` and
+/// `threshold_b = 0.5·m + 0.5` with `m` the mean rating value of the
+/// timeline (the paper computes `m` per window; the difference is
+/// negligible for streams whose fair mean is stable, and the stream-level
+/// mean is far more robust when an attack is in progress).
+#[must_use]
+pub fn detect(
+    timeline: &ProductTimeline,
+    horizon: TimeWindow,
+    variant: ArcVariant,
+    config: &ArcConfig,
+) -> ArcOutcome {
+    let m = robust_level(timeline);
+    let counts = match variant {
+        ArcVariant::All => timeline.daily_counts(horizon),
+        ArcVariant::High => {
+            let threshold_a = 0.5 * m;
+            timeline.daily_counts_filtered(horizon, |v| v > threshold_a)
+        }
+        ArcVariant::Low => {
+            let threshold_b = 0.5 * m + 0.5;
+            timeline.daily_counts_filtered(horizon, |v| v < threshold_b)
+        }
+    };
+    detect_counts(&counts, horizon.start(), variant, config)
+}
+
+/// Returns the paper's value thresholds `(threshold_a, threshold_b)` for a
+/// timeline: `0.5·m` and `0.5·m + 0.5`.
+///
+/// `m` is the *median* rating value rather than the paper's mean: the
+/// mean of an attacked stream is dragged toward the unfair ratings, which
+/// would shift the band thresholds in the attacker's favor; the median
+/// holds its level while unfair ratings are a minority.
+#[must_use]
+pub fn value_thresholds(timeline: &ProductTimeline) -> (f64, f64) {
+    let m = robust_level(timeline);
+    (0.5 * m, 0.5 * m + 0.5)
+}
+
+/// The robust central level `m` of a timeline's rating values.
+fn robust_level(timeline: &ProductTimeline) -> f64 {
+    rrs_signal::stats::median(&timeline.values()).unwrap_or(2.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rrs_signal::sampling::poisson;
+
+    fn ts(d: f64) -> Timestamp {
+        Timestamp::new(d).unwrap()
+    }
+
+    fn poisson_counts(days: usize, lambda: f64, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..days).map(|_| poisson(&mut rng, lambda) as u32).collect()
+    }
+
+    #[test]
+    fn stationary_counts_not_flagged() {
+        let counts = poisson_counts(120, 4.0, 1);
+        let out = detect_counts(&counts, ts(0.0), ArcVariant::All, &ArcConfig::default());
+        assert!(!out.is_suspicious(), "flagged: {:?}", out.suspicious);
+    }
+
+    #[test]
+    fn rate_burst_is_flagged() {
+        let mut counts = poisson_counts(120, 4.0, 2);
+        for c in counts.iter_mut().skip(50).take(15) {
+            *c += 8;
+        }
+        let out = detect_counts(&counts, ts(0.0), ArcVariant::All, &ArcConfig::default());
+        assert!(out.is_suspicious(), "burst not flagged");
+        let burst = TimeWindow::new(ts(50.0), ts(65.0)).unwrap();
+        assert!(out.suspicious.iter().any(|s| s.overlaps(burst)));
+    }
+
+    #[test]
+    fn burst_produces_u_shape() {
+        let mut counts = poisson_counts(120, 4.0, 3);
+        for c in counts.iter_mut().skip(50).take(20) {
+            *c += 10;
+        }
+        let out = detect_counts(&counts, ts(0.0), ArcVariant::All, &ArcConfig::default());
+        assert!(
+            !out.u_shapes.is_empty(),
+            "no U-shape; peaks at {:?}",
+            out.peaks.iter().map(|p| p.point.index).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gradually_ramping_rate_cannot_walk_the_baseline_up() {
+        // Rate climbs 2 -> 10 in four gentle steps: each step is small,
+        // but the ratcheting baseline keeps comparing against the
+        // original level, so the later segments are still flagged.
+        let mut counts = vec![2u32; 40];
+        counts.extend(vec![4u32; 20]);
+        counts.extend(vec![6u32; 20]);
+        counts.extend(vec![8u32; 20]);
+        counts.extend(vec![10u32; 20]);
+        let out = detect_counts(&counts, ts(0.0), ArcVariant::All, &ArcConfig::default());
+        assert!(
+            out.is_suspicious(),
+            "ramp never flagged: {:?}",
+            out.segments
+                .iter()
+                .map(|s| (s.rate, s.flagged))
+                .collect::<Vec<_>>()
+        );
+        // The flagged mass is in the later (high-rate) part.
+        assert!(out
+            .suspicious
+            .iter()
+            .any(|s| s.window.start().as_days() >= 40.0));
+    }
+
+    #[test]
+    fn too_short_series_is_silent() {
+        let out = detect_counts(&[1, 2], ts(0.0), ArcVariant::All, &ArcConfig::default());
+        assert!(out.curve.is_empty());
+        assert!(!out.has_alarm());
+    }
+
+    #[test]
+    fn variant_kinds() {
+        assert_eq!(ArcVariant::High.kind(), SuspicionKind::HighArrivalRate);
+        assert_eq!(ArcVariant::Low.kind(), SuspicionKind::LowArrivalRate);
+        assert_eq!(ArcVariant::All.kind(), SuspicionKind::HighArrivalRate);
+    }
+
+    #[test]
+    fn rate_decrease_is_not_flagged() {
+        // Start high, drop: the paper only flags *increases* (unfair
+        // ratings add traffic; they do not remove it).
+        let mut counts = vec![10u32; 60];
+        counts.extend(vec![3u32; 60]);
+        let out = detect_counts(&counts, ts(0.0), ArcVariant::All, &ArcConfig::default());
+        assert!(
+            !out.is_suspicious(),
+            "decrease wrongly flagged: {:?}",
+            out.suspicious
+        );
+    }
+
+    #[test]
+    fn low_variant_counts_only_low_ratings() {
+        use rrs_core::{ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue};
+        let mut d = RatingDataset::new();
+        let mut rater = 0u32;
+        // 60 days of fair 4-star ratings, then a burst of 1-star ratings.
+        for day in 0..60 {
+            for _ in 0..3 {
+                d.insert(
+                    Rating::new(
+                        RaterId::new(rater),
+                        ProductId::new(0),
+                        ts(f64::from(day)),
+                        RatingValue::new(4.0).unwrap(),
+                    ),
+                    RatingSource::Fair,
+                );
+                rater += 1;
+            }
+        }
+        for day in 30..42 {
+            for _ in 0..5 {
+                d.insert(
+                    Rating::new(
+                        RaterId::new(rater),
+                        ProductId::new(0),
+                        ts(f64::from(day) + 0.5),
+                        RatingValue::new(1.0).unwrap(),
+                    ),
+                    RatingSource::Unfair,
+                );
+                rater += 1;
+            }
+        }
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let horizon = TimeWindow::new(ts(0.0), ts(60.0)).unwrap();
+        let low = detect(tl, horizon, ArcVariant::Low, &ArcConfig::default());
+        assert!(low.is_suspicious(), "L-ARC missed the low-value burst");
+        // The high-band counts never changed, so H-ARC stays quiet.
+        let high = detect(tl, horizon, ArcVariant::High, &ArcConfig::default());
+        assert!(!high.is_suspicious(), "H-ARC false alarm");
+    }
+
+    #[test]
+    fn thresholds_follow_paper_formulas() {
+        use rrs_core::{ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue};
+        let mut d = RatingDataset::new();
+        d.insert(
+            Rating::new(
+                RaterId::new(0),
+                ProductId::new(0),
+                ts(0.0),
+                RatingValue::new(4.0).unwrap(),
+            ),
+            RatingSource::Fair,
+        );
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let (a, b) = value_thresholds(tl);
+        assert_eq!(a, 2.0);
+        assert_eq!(b, 2.5);
+    }
+}

@@ -1,0 +1,101 @@
+use crate::{ArcConfig, HcConfig, McConfig, MeConfig};
+
+/// Combined configuration of the four detectors and the integration logic.
+///
+/// Defaults match the paper's Rating Challenge parameters: MC and
+/// H-ARC/L-ARC windows of 30 days, HC and ME windows of 40 ratings.
+/// The `enable_*` switches exist for the ablation experiments — disabling
+/// a detector removes it from both detection paths.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DetectorConfig {
+    /// Mean-change detector settings.
+    pub mc: McConfig,
+    /// Arrival-rate detector settings (shared by H-ARC and L-ARC).
+    pub arc: ArcConfig,
+    /// Histogram-change detector settings.
+    pub hc: HcConfig,
+    /// Model-error detector settings.
+    pub me: MeConfig,
+    /// Detector enable switches.
+    pub enabled: EnabledDetectors,
+}
+
+/// Per-detector enable switches (all on by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnabledDetectors {
+    /// Mean-change detector.
+    pub mc: bool,
+    /// H-ARC and L-ARC detectors.
+    pub arc: bool,
+    /// Histogram-change detector.
+    pub hc: bool,
+    /// Model-error detector.
+    pub me: bool,
+}
+
+impl Default for EnabledDetectors {
+    fn default() -> Self {
+        EnabledDetectors {
+            mc: true,
+            arc: true,
+            hc: true,
+            me: true,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// The paper's Rating Challenge configuration (same as `Default`).
+    #[must_use]
+    pub fn paper() -> Self {
+        DetectorConfig::default()
+    }
+
+    /// Returns a copy with one detector disabled — convenience for the
+    /// ablation benches.
+    #[must_use]
+    pub fn without(mut self, detector: AblatedDetector) -> Self {
+        match detector {
+            AblatedDetector::MeanChange => self.enabled.mc = false,
+            AblatedDetector::ArrivalRate => self.enabled.arc = false,
+            AblatedDetector::Histogram => self.enabled.hc = false,
+            AblatedDetector::ModelError => self.enabled.me = false,
+        }
+        self
+    }
+}
+
+/// Which detector to ablate in [`DetectorConfig::without`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AblatedDetector {
+    /// Disable the MC detector.
+    MeanChange,
+    /// Disable H-ARC/L-ARC.
+    ArrivalRate,
+    /// Disable the HC detector.
+    Histogram,
+    /// Disable the ME detector.
+    ModelError,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_windows() {
+        let c = DetectorConfig::paper();
+        assert_eq!(c.mc.half_window_days, 15.0); // 30-day window
+        assert_eq!(c.arc.half_window_days, 15); // 30-day window
+        assert_eq!(c.hc.window_ratings, 40);
+        assert_eq!(c.me.window_ratings, 40);
+        assert!(c.enabled.mc && c.enabled.arc && c.enabled.hc && c.enabled.me);
+    }
+
+    #[test]
+    fn without_disables_one_detector() {
+        let c = DetectorConfig::paper().without(AblatedDetector::Histogram);
+        assert!(!c.enabled.hc);
+        assert!(c.enabled.mc && c.enabled.arc && c.enabled.me);
+    }
+}

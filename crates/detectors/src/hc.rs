@@ -1,0 +1,274 @@
+//! The histogram-change (HC) detector (paper Section IV-D).
+//!
+//! Collaborative unfair ratings pile probability mass at a value the fair
+//! ratings rarely take, turning the in-window histogram bimodal. The
+//! detector splits each window's values into two single-linkage clusters
+//! and reports `HC(k) = min(n₁/n₂, n₂/n₁)`: near 0 for unimodal data
+//! (the second "cluster" is a couple of stragglers), approaching 1 when
+//! two genuinely balanced modes exist.
+//!
+//! One hardening beyond the paper's two-line description: the two clusters
+//! must also be *separated* by a minimum value gap, otherwise any noisy
+//! unimodal window can split into two balanced halves at a hairline gap
+//! and fire a false alarm.
+
+use crate::suspicion::{SuspicionKind, SuspiciousInterval};
+use rrs_core::{ProductTimeline, TimeWindow, Timestamp};
+use rrs_signal::cluster::{cluster_sizes, single_linkage_1d};
+use rrs_signal::curve::{Curve, CurvePoint};
+
+/// Configuration of the HC detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HcConfig {
+    /// Window length in ratings (paper: 40).
+    pub window_ratings: usize,
+    /// Step between window starts, in ratings.
+    pub step: usize,
+    /// HC ratio above which a window is suspicious.
+    pub threshold: f64,
+    /// Minimum value gap between the two clusters for the split to count
+    /// as bimodality (rating units).
+    pub min_cluster_gap: f64,
+}
+
+impl Default for HcConfig {
+    fn default() -> Self {
+        // A gap of 0.45 rating units separates a coordinated value
+        // cluster (e.g. a run of identical extreme ratings) from the
+        // continuum of noisy fair values; the ratio threshold of 0.25
+        // flags a minority mode of ~10 ratings against a 30-rating
+        // majority.
+        HcConfig {
+            window_ratings: 40,
+            step: 5,
+            threshold: 0.25,
+            min_cluster_gap: 0.45,
+        }
+    }
+}
+
+/// The output of the HC detector on one product.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HcOutcome {
+    /// The HC curve (one sample per evaluated window center).
+    pub curve: Curve,
+    /// Maximal runs of above-threshold windows, as time intervals.
+    pub suspicious: Vec<SuspiciousInterval>,
+}
+
+impl HcOutcome {
+    /// Returns `true` if any window crossed the threshold.
+    #[must_use]
+    pub fn is_suspicious(&self) -> bool {
+        !self.suspicious.is_empty()
+    }
+}
+
+/// Computes the HC ratio of one window of values.
+///
+/// Returns 0 when the window is too small to split, when one cluster is
+/// empty, or when the clusters are not separated by `min_gap`.
+#[must_use]
+pub fn hc_ratio(values: &[f64], min_gap: f64) -> f64 {
+    if values.len() < 4 {
+        return 0.0;
+    }
+    let labels = single_linkage_1d(values, 2);
+    let sizes = cluster_sizes(&labels);
+    if sizes.len() < 2 || sizes[0] == 0 || sizes[1] == 0 {
+        return 0.0;
+    }
+    // Gap between the clusters: labels are ordered by value, so the gap is
+    // min(cluster 1) − max(cluster 0).
+    let max0 = values
+        .iter()
+        .zip(&labels)
+        .filter(|(_, &l)| l == 0)
+        .map(|(v, _)| *v)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min1 = values
+        .iter()
+        .zip(&labels)
+        .filter(|(_, &l)| l == 1)
+        .map(|(v, _)| *v)
+        .fold(f64::INFINITY, f64::min);
+    if min1 - max0 < min_gap {
+        return 0.0;
+    }
+    let (n1, n2) = (sizes[0] as f64, sizes[1] as f64);
+    (n1 / n2).min(n2 / n1)
+}
+
+/// Runs the HC detector over one product's timeline.
+#[must_use]
+pub fn detect(timeline: &ProductTimeline, config: &HcConfig) -> HcOutcome {
+    let entries = timeline.entries();
+    let n = entries.len();
+    let w = config.window_ratings;
+    if n < w || w == 0 {
+        return HcOutcome::default();
+    }
+    let values: Vec<f64> = entries.iter().map(|e| e.value()).collect();
+    let times: Vec<f64> = entries.iter().map(|e| e.time().as_days()).collect();
+
+    let step = config.step.max(1);
+    let mut points = Vec::new();
+    let mut start = 0usize;
+    while start + w <= n {
+        let center = start + w / 2;
+        let ratio = hc_ratio(&values[start..start + w], config.min_cluster_gap);
+        points.push(CurvePoint {
+            index: center,
+            time: times[center],
+            value: ratio,
+        });
+        start += step;
+    }
+    let curve = Curve::new(points);
+
+    // Merge consecutive above-threshold samples into intervals; stretch
+    // each interval to cover the full windows involved, not just centers.
+    let mut suspicious = Vec::new();
+    let pts = curve.points();
+    let mut run_start: Option<usize> = None;
+    for (i, p) in pts.iter().enumerate() {
+        let above = p.value >= config.threshold;
+        match (above, run_start) {
+            (true, None) => run_start = Some(i),
+            (false, Some(s)) => {
+                suspicious.push(run_interval(pts, s, i - 1, &times, w, config.threshold));
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = run_start {
+        suspicious.push(run_interval(pts, s, pts.len() - 1, &times, w, config.threshold));
+    }
+
+    HcOutcome { curve, suspicious }
+}
+
+fn run_interval(
+    pts: &[CurvePoint],
+    first: usize,
+    last: usize,
+    times: &[f64],
+    window: usize,
+    _threshold: f64,
+) -> SuspiciousInterval {
+    let n = times.len();
+    let start_idx = pts[first].index.saturating_sub(window / 2);
+    let end_idx = (pts[last].index + window / 2).min(n - 1);
+    let strength = pts[first..=last]
+        .iter()
+        .map(|p| p.value)
+        .fold(0.0f64, f64::max);
+    let window = TimeWindow::new(
+        Timestamp::new(times[start_idx]).expect("finite"),
+        Timestamp::new(times[end_idx] + 1e-9).expect("finite"),
+    )
+    .expect("ordered");
+    SuspiciousInterval::new(window, SuspicionKind::Histogram, strength)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rrs_core::{ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue};
+
+    fn dataset(values_by_day: impl Iterator<Item = (f64, f64)>) -> RatingDataset {
+        let mut d = RatingDataset::new();
+        for (i, (t, v)) in values_by_day.enumerate() {
+            d.insert(
+                Rating::new(
+                    RaterId::new(i as u32),
+                    ProductId::new(0),
+                    Timestamp::new(t).unwrap(),
+                    RatingValue::new_clamped(v),
+                ),
+                RatingSource::Fair,
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn hc_ratio_unimodal_is_low() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let values: Vec<f64> = (0..40).map(|_| 4.0 + rng.gen_range(-0.6..0.6)).collect();
+        assert_eq!(hc_ratio(&values, 0.8), 0.0);
+    }
+
+    #[test]
+    fn hc_ratio_balanced_bimodal_is_high() {
+        let mut values = vec![4.0; 20];
+        values.extend(vec![1.0; 20]);
+        let r = hc_ratio(&values, 0.8);
+        assert!((r - 1.0).abs() < 1e-12, "got {r}");
+    }
+
+    #[test]
+    fn hc_ratio_imbalanced_bimodal_is_moderate() {
+        let mut values = vec![4.0; 30];
+        values.extend(vec![1.0; 10]);
+        let r = hc_ratio(&values, 0.8);
+        assert!((r - 1.0 / 3.0).abs() < 1e-12, "got {r}");
+    }
+
+    #[test]
+    fn hc_ratio_tiny_window_is_zero() {
+        assert_eq!(hc_ratio(&[1.0, 4.0], 0.5), 0.0);
+    }
+
+    #[test]
+    fn fair_stream_quiet() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = dataset((0..300).map(|i| {
+            (f64::from(i) * 0.25, 4.0 + rng.gen_range(-0.7..0.7))
+        }));
+        let out = detect(
+            d.product(ProductId::new(0)).unwrap(),
+            &HcConfig::default(),
+        );
+        assert!(!out.is_suspicious(), "{:?}", out.suspicious);
+    }
+
+    #[test]
+    fn injected_mode_is_flagged_in_place() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // 300 fair ratings at 4.0; ratings 120..170 replaced by a 1.0 mode.
+        let d = dataset((0..300).map(|i| {
+            let v = if (120..170).contains(&i) {
+                1.0 + rng.gen_range(-0.2..0.2)
+            } else {
+                4.0 + rng.gen_range(-0.7..0.7)
+            };
+            (f64::from(i) * 0.25, v)
+        }));
+        let out = detect(
+            d.product(ProductId::new(0)).unwrap(),
+            &HcConfig::default(),
+        );
+        assert!(out.is_suspicious());
+        // Attack spans times 30..42.5; the flagged interval must overlap.
+        let attack = TimeWindow::new(
+            Timestamp::new(30.0).unwrap(),
+            Timestamp::new(42.5).unwrap(),
+        )
+        .unwrap();
+        assert!(out.suspicious.iter().any(|s| s.overlaps(attack)));
+    }
+
+    #[test]
+    fn short_stream_is_silent() {
+        let d = dataset((0..10).map(|i| (f64::from(i), 4.0)));
+        let out = detect(
+            d.product(ProductId::new(0)).unwrap(),
+            &HcConfig::default(),
+        );
+        assert!(out.curve.is_empty());
+    }
+}

@@ -1,0 +1,529 @@
+//! Joint detection of suspicious ratings (paper Section IV-F, Figure 1).
+//!
+//! Single detectors false-alarm too often because fair ratings are not
+//! stationary, so verdicts are combined along two parallel paths:
+//!
+//! * **Path 1 — strong attacks.** When an MC-suspicious segment and an
+//!   H-ARC (resp. L-ARC) suspicious segment coincide in time, the ratings
+//!   above `threshold_a` (resp. below `threshold_b`) inside the overlap
+//!   are marked suspicious.
+//! * **Path 2 — subtler attacks.** When H-ARC (resp. L-ARC) sees a rate
+//!   change that Path 1 did not consume — an *alarm* — the ME (resp. HC)
+//!   detector adjudicates: if its own suspicious interval overlaps the
+//!   alarmed segment, the high (resp. low) ratings in the overlap are
+//!   marked.
+//!
+//! Both paths run on every product, since a product may suffer several
+//! attacks.
+
+use crate::arc::{self, ArcOutcome, ArcVariant};
+use crate::config::DetectorConfig;
+use crate::hc::{self, HcOutcome};
+use crate::mc::{self, McOutcome};
+use crate::me::{self, MeOutcome};
+use crate::suspicion::SuspiciousInterval;
+use rrs_core::{ProductId, ProductTimeline, RaterId, RatingDataset, RatingId, TimeWindow};
+use std::collections::BTreeSet;
+
+/// Which value band a path hit marked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Band {
+    /// Ratings above `threshold_a`.
+    High,
+    /// Ratings below `threshold_b`.
+    Low,
+}
+
+/// One firing of a detection path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathHit {
+    /// 1 for the strong-attack path, 2 for the alarm path.
+    pub path: u8,
+    /// The time overlap within which ratings were marked.
+    pub window: TimeWindow,
+    /// Which value band was marked.
+    pub band: Band,
+    /// How many ratings the hit marked.
+    pub marked: usize,
+}
+
+/// Combined detection output for one product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionResult {
+    /// All ratings marked suspicious by either path.
+    pub suspicious: BTreeSet<RatingId>,
+    /// Mean-change outcome.
+    pub mc: McOutcome,
+    /// H-ARC outcome.
+    pub harc: ArcOutcome,
+    /// L-ARC outcome.
+    pub larc: ArcOutcome,
+    /// Histogram-change outcome.
+    pub hc: HcOutcome,
+    /// Model-error outcome.
+    pub me: MeOutcome,
+    /// Path firings, in detection order.
+    pub hits: Vec<PathHit>,
+}
+
+impl DetectionResult {
+    /// Returns every suspicious interval reported by any detector.
+    #[must_use]
+    pub fn all_intervals(&self) -> Vec<SuspiciousInterval> {
+        let mut out = Vec::new();
+        out.extend(self.mc.suspicious.iter().copied());
+        out.extend(self.harc.suspicious.iter().copied());
+        out.extend(self.larc.suspicious.iter().copied());
+        out.extend(self.hc.suspicious.iter().copied());
+        out.extend(self.me.suspicious.iter().copied());
+        out
+    }
+}
+
+/// The joint detector of the P-scheme: four detectors plus the Fig. 1
+/// two-path integration.
+#[derive(Debug, Clone, Default)]
+pub struct JointDetector {
+    config: DetectorConfig,
+}
+
+impl JointDetector {
+    /// Creates a joint detector with the given configuration.
+    #[must_use]
+    pub fn new(config: DetectorConfig) -> Self {
+        JointDetector { config }
+    }
+
+    /// Returns the configuration.
+    #[must_use]
+    pub const fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Runs joint detection over one product.
+    ///
+    /// `horizon` bounds the daily-count axis for the arrival-rate
+    /// detectors; `trust` supplies current rater trust (use `|_| 0.5`
+    /// before any trust has been established).
+    pub fn detect_product<F>(
+        &self,
+        timeline: &ProductTimeline,
+        horizon: TimeWindow,
+        trust: F,
+    ) -> DetectionResult
+    where
+        F: Fn(RaterId) -> f64,
+    {
+        let enabled = self.config.enabled;
+        let mc_out = if enabled.mc {
+            mc::detect(timeline, &self.config.mc, &trust)
+        } else {
+            McOutcome::default()
+        };
+        let (harc_out, larc_out) = if enabled.arc {
+            (
+                arc::detect(timeline, horizon, ArcVariant::High, &self.config.arc),
+                arc::detect(timeline, horizon, ArcVariant::Low, &self.config.arc),
+            )
+        } else {
+            (arc_empty(ArcVariant::High), arc_empty(ArcVariant::Low))
+        };
+        let hc_out = if enabled.hc {
+            hc::detect(timeline, &self.config.hc)
+        } else {
+            HcOutcome::default()
+        };
+        let me_out = if enabled.me {
+            me::detect(timeline, &self.config.me)
+        } else {
+            MeOutcome::default()
+        };
+
+        let (threshold_a, threshold_b) = arc::value_thresholds(timeline);
+        let mut suspicious = BTreeSet::new();
+        let mut hits = Vec::new();
+
+        // Path 1: strong attacks. Candidate intervals on the MC side are
+        // its U-shapes (the paper's wording) plus its flagged segments
+        // (Section IV-B.3); on the ARC side likewise. A coincidence marks
+        // the band inside the overlap.
+        let mc_candidates = candidate_windows(&mc_out.u_shapes, &mc_out.suspicious);
+        let mut path1_consumed_high: Vec<TimeWindow> = Vec::new();
+        let mut path1_consumed_low: Vec<TimeWindow> = Vec::new();
+        for mc_window in &mc_candidates {
+            for (arc_out, band, consumed) in [
+                (&harc_out, Band::High, &mut path1_consumed_high),
+                (&larc_out, Band::Low, &mut path1_consumed_low),
+            ] {
+                for arc_window in candidate_windows(&arc_out.u_shapes, &arc_out.suspicious) {
+                    if let Some(overlap) = mc_window.intersect(arc_window) {
+                        let marked = mark_band(
+                            timeline,
+                            overlap,
+                            band,
+                            threshold_a,
+                            threshold_b,
+                            &mut suspicious,
+                        );
+                        consumed.push(arc_window);
+                        hits.push(PathHit {
+                            path: 1,
+                            window: overlap,
+                            band,
+                            marked,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Path 2: un-consumed ARC alarms adjudicated by ME (high band) or
+        // HC (low band), or by a direct mean-deviation check of the
+        // alarmed interval. The last adjudicator covers diluted attacks:
+        // their gradual onset raises no MC peaks, so the MC detector
+        // never delimits a segment for Path 1 — but the alarmed interval
+        // itself, once the arrival-rate evidence has drawn its
+        // boundaries, shows the mean shift plainly.
+        let me_intervals: Vec<TimeWindow> = me_out.suspicious.iter().map(|s| s.window).collect();
+        let hc_intervals: Vec<TimeWindow> = hc_out.suspicious.iter().map(|s| s.window).collect();
+        let values: Vec<f64> = timeline.entries().iter().map(|e| e.value()).collect();
+        let stream_median = rrs_signal::stats::median(&values).unwrap_or(2.5);
+        let overall_trust = if timeline.is_empty() {
+            0.5
+        } else {
+            timeline
+                .entries()
+                .iter()
+                .map(|e| trust(e.rater()))
+                .sum::<f64>()
+                / timeline.len() as f64
+        };
+        let mean_dev_confirms = |window: TimeWindow| -> bool {
+            let slice = timeline.in_window(window);
+            if slice.is_empty() {
+                return false;
+            }
+            let mean = slice.iter().map(rrs_core::RatingEntry::value).sum::<f64>()
+                / slice.len() as f64;
+            let dev = (mean - stream_median).abs();
+            let slice_trust = slice.iter().map(|e| trust(e.rater())).sum::<f64>()
+                / slice.len() as f64;
+            let less_trusted =
+                overall_trust > 0.0 && slice_trust / overall_trust < self.config.mc.trust_ratio;
+            dev > self.config.mc.threshold1
+                || (dev > self.config.mc.threshold2 && less_trusted)
+        };
+        for (arc_out, band, consumed, adjudicator) in [
+            (&harc_out, Band::High, &path1_consumed_high, &me_intervals),
+            (&larc_out, Band::Low, &path1_consumed_low, &hc_intervals),
+        ] {
+            for arc_interval in &arc_out.suspicious {
+                if consumed.contains(&arc_interval.window) {
+                    continue;
+                }
+                let mut confirmed: Vec<TimeWindow> = adjudicator
+                    .iter()
+                    .filter_map(|adj| arc_interval.window.intersect(*adj))
+                    .collect();
+                if confirmed.is_empty() && mean_dev_confirms(arc_interval.window) {
+                    confirmed.push(arc_interval.window);
+                }
+                for overlap in confirmed {
+                    let marked = mark_band(
+                        timeline,
+                        overlap,
+                        band,
+                        threshold_a,
+                        threshold_b,
+                        &mut suspicious,
+                    );
+                    hits.push(PathHit {
+                        path: 2,
+                        window: overlap,
+                        band,
+                        marked,
+                    });
+                }
+            }
+        }
+
+        DetectionResult {
+            suspicious,
+            mc: mc_out,
+            harc: harc_out,
+            larc: larc_out,
+            hc: hc_out,
+            me: me_out,
+            hits,
+        }
+    }
+
+    /// Runs joint detection over every product of a dataset and returns
+    /// the union of suspicious marks plus the per-product results.
+    pub fn detect_all<F>(
+        &self,
+        dataset: &RatingDataset,
+        horizon: TimeWindow,
+        trust: F,
+    ) -> (BTreeSet<RatingId>, Vec<(ProductId, DetectionResult)>)
+    where
+        F: Fn(RaterId) -> f64,
+    {
+        let mut all = BTreeSet::new();
+        let mut per_product = Vec::new();
+        for (pid, timeline) in dataset.products() {
+            let result = self.detect_product(timeline, horizon, &trust);
+            all.extend(result.suspicious.iter().copied());
+            per_product.push((pid, result));
+        }
+        (all, per_product)
+    }
+}
+
+/// Collects the time windows a detector considers suspicious: its
+/// U-shapes (peak-pair frames) plus its flagged segments.
+fn candidate_windows(
+    u_shapes: &[rrs_signal::curve::UShape],
+    suspicious: &[SuspiciousInterval],
+) -> Vec<TimeWindow> {
+    let mut out: Vec<TimeWindow> = Vec::with_capacity(u_shapes.len() + suspicious.len());
+    for u in u_shapes {
+        let (lo, hi) = u.time_range();
+        if let (Ok(start), Ok(end)) = (
+            rrs_core::Timestamp::new(lo),
+            rrs_core::Timestamp::new(hi),
+        ) {
+            if let Ok(window) = TimeWindow::new(start, end) {
+                out.push(window);
+            }
+        }
+    }
+    out.extend(suspicious.iter().map(|s| s.window));
+    out
+}
+
+fn arc_empty(variant: ArcVariant) -> ArcOutcome {
+    ArcOutcome {
+        variant,
+        curve: rrs_signal::curve::Curve::default(),
+        peaks: Vec::new(),
+        u_shapes: Vec::new(),
+        segments: Vec::new(),
+        suspicious: Vec::new(),
+    }
+}
+
+/// Marks ratings of the given band inside `window`; returns how many were
+/// newly marked.
+fn mark_band(
+    timeline: &ProductTimeline,
+    window: TimeWindow,
+    band: Band,
+    threshold_a: f64,
+    threshold_b: f64,
+    suspicious: &mut BTreeSet<RatingId>,
+) -> usize {
+    let mut marked = 0;
+    for entry in timeline.in_window(window) {
+        let hit = match band {
+            Band::High => entry.value() > threshold_a,
+            Band::Low => entry.value() < threshold_b,
+        };
+        if hit && suspicious.insert(entry.id()) {
+            marked += 1;
+        }
+    }
+    marked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rrs_core::{GroundTruth, Rating, RatingSource, RatingValue, Timestamp};
+
+    fn ts(d: f64) -> Timestamp {
+        Timestamp::new(d).unwrap()
+    }
+
+    /// 90 days of fair ratings at ~4/day, mean 4.0.
+    fn fair_dataset(seed: u64) -> RatingDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = RatingDataset::new();
+        let mut rater = 0u32;
+        for day in 0..90 {
+            let n = 3 + (rng.gen::<u8>() % 3) as usize;
+            for slot in 0..n {
+                d.insert(
+                    Rating::new(
+                        RaterId::new(rater),
+                        ProductId::new(0),
+                        ts(f64::from(day) + slot as f64 / n as f64),
+                        RatingValue::new_clamped(4.0 + rng.gen_range(-0.8..0.8)),
+                    ),
+                    RatingSource::Fair,
+                );
+                rater += 1;
+            }
+        }
+        d
+    }
+
+    fn add_downgrade_burst(d: &mut RatingDataset, from: f64, days: usize, per_day: usize, value: f64) {
+        let mut rater = 50_000u32;
+        for day in 0..days {
+            for slot in 0..per_day {
+                d.insert(
+                    Rating::new(
+                        RaterId::new(rater),
+                        ProductId::new(0),
+                        ts(from + day as f64 + slot as f64 / per_day as f64),
+                        RatingValue::new_clamped(value),
+                    ),
+                    RatingSource::Unfair,
+                );
+                rater += 1;
+            }
+        }
+    }
+
+    fn horizon() -> TimeWindow {
+        TimeWindow::new(ts(0.0), ts(90.0)).unwrap()
+    }
+
+    #[test]
+    fn fair_data_produces_no_marks() {
+        let d = fair_dataset(1);
+        let det = JointDetector::default();
+        let (marks, results) = det.detect_all(&d, horizon(), |_| 0.5);
+        assert!(marks.is_empty(), "false alarms: {} marks", marks.len());
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn strong_downgrade_attack_is_caught_by_path1() {
+        let mut d = fair_dataset(2);
+        add_downgrade_burst(&mut d, 40.0, 12, 5, 0.8);
+        let det = JointDetector::default();
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let result = det.detect_product(tl, horizon(), |_| 0.5);
+        assert!(!result.suspicious.is_empty(), "attack not marked at all");
+        assert!(
+            result.hits.iter().any(|h| h.path == 1 && h.band == Band::Low),
+            "expected a path-1 low-band hit, got {:?}",
+            result.hits
+        );
+        // Detection quality: most marks should be true unfair ratings.
+        let truth = GroundTruth::from_dataset(&d);
+        let confusion = truth.score(&result.suspicious);
+        assert!(
+            confusion.recall() > 0.5,
+            "recall too low: {confusion}"
+        );
+        assert!(
+            confusion.false_alarm_rate() < 0.2,
+            "false alarms too high: {confusion}"
+        );
+    }
+
+    #[test]
+    fn ablating_all_detectors_disables_detection() {
+        let mut d = fair_dataset(3);
+        add_downgrade_burst(&mut d, 40.0, 12, 5, 0.8);
+        let config = DetectorConfig {
+            enabled: crate::EnabledDetectors {
+                mc: false,
+                arc: false,
+                hc: false,
+                me: false,
+            },
+            ..DetectorConfig::default()
+        };
+        let det = JointDetector::new(config);
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let result = det.detect_product(tl, horizon(), |_| 0.5);
+        assert!(result.suspicious.is_empty());
+        assert!(result.hits.is_empty());
+    }
+
+    #[test]
+    fn disabling_arc_silences_both_paths() {
+        let mut d = fair_dataset(4);
+        add_downgrade_burst(&mut d, 40.0, 12, 5, 0.8);
+        let config = DetectorConfig::default().without(crate::AblatedDetector::ArrivalRate);
+        let det = JointDetector::new(config);
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let result = det.detect_product(tl, horizon(), |_| 0.5);
+        // Without ARC there is no band evidence, so no marks can be made.
+        assert!(result.suspicious.is_empty());
+    }
+
+    #[test]
+    fn all_intervals_reports_every_detector() {
+        let mut d = fair_dataset(5);
+        add_downgrade_burst(&mut d, 40.0, 12, 5, 0.8);
+        let det = JointDetector::default();
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let result = det.detect_product(tl, horizon(), |_| 0.5);
+        assert!(!result.all_intervals().is_empty());
+    }
+
+    #[test]
+    fn diluted_extreme_attack_is_adjudicated_by_mean_deviation() {
+        // A 40-day drip of near-zeros: no sharp onset for MC peaks, but
+        // the L-ARC alarm plus the mean-deviation check on the alarmed
+        // interval must still mark it (path 2).
+        let mut d = fair_dataset(31);
+        for i in 0..50u32 {
+            d.insert(
+                Rating::new(
+                    RaterId::new(70_000 + i),
+                    ProductId::new(0),
+                    ts(20.0 + f64::from(i) * 0.8),
+                    RatingValue::new(0.2).unwrap(),
+                ),
+                RatingSource::Unfair,
+            );
+        }
+        let det = JointDetector::default();
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let result = det.detect_product(tl, horizon(), |_| 0.5);
+        let truth = GroundTruth::from_dataset(&d);
+        let confusion = truth.score(&result.suspicious);
+        assert!(
+            confusion.recall() > 0.4,
+            "diluted drip mostly escaped: {confusion}"
+        );
+    }
+
+    #[test]
+    fn boost_attack_marks_high_band() {
+        let mut d = fair_dataset(6);
+        // Boost with perfect 5.0s — note fair mean is already 4, so the
+        // mean moves little; the arrival + model-error evidence must carry.
+        let mut rater = 60_000u32;
+        for day in 0..12 {
+            for slot in 0..6 {
+                d.insert(
+                    Rating::new(
+                        RaterId::new(rater),
+                        ProductId::new(0),
+                        ts(40.0 + f64::from(day) + f64::from(slot) / 6.0),
+                        RatingValue::new(5.0).unwrap(),
+                    ),
+                    RatingSource::Unfair,
+                );
+                rater += 1;
+            }
+        }
+        let det = JointDetector::default();
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let result = det.detect_product(tl, horizon(), |_| 0.5);
+        assert!(
+            result.hits.iter().all(|h| h.band == Band::High) || result.hits.is_empty(),
+            "boost attack should only ever mark the high band: {:?}",
+            result.hits
+        );
+    }
+}

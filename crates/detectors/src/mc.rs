@@ -1,0 +1,379 @@
+//! The mean-change (MC) detector (paper Section IV-B).
+//!
+//! A sliding two-sided window computes the GLRT indicator
+//! `MC(k) = W·(Â₁ − Â₂)²` at every rating. Peaks of the indicator curve
+//! locate candidate change points; the stream is cut at the peaks and each
+//! segment's mean is compared against the overall mean. A segment is
+//! MC-suspicious when the deviation is large outright, or moderate *and*
+//! contributed by raters whose average trust falls below the population's
+//! (the paper's two-threshold rule).
+
+use crate::suspicion::{SuspicionKind, SuspiciousInterval};
+use rrs_core::stream::split_at_peaks;
+use rrs_core::{ProductTimeline, RaterId, TimeWindow, Timestamp};
+use rrs_signal::curve::{Curve, CurvePoint, Peak, UShape};
+use std::ops::Range;
+
+/// Configuration of the MC detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McConfig {
+    /// Half-width of the sliding window in days (paper: 30-day window,
+    /// i.e. 15 days per half).
+    pub half_window_days: f64,
+    /// Minimum ratings required in each half for a test to run.
+    pub min_half_ratings: usize,
+    /// GLRT decision factor γ: the peak threshold is `γ · 2σ̂²` where σ̂²
+    /// is the stream's value variance, so peaks correspond to
+    /// `2 ln L_G(x) > γ` (paper Eq. 1).
+    pub glrt_gamma: f64,
+    /// Minimum curve-sample separation between retained peaks.
+    pub peak_separation: usize,
+    /// Valley-to-peak ratio below which two peaks frame a U-shape.
+    pub valley_ratio: f64,
+    /// `threshold1`: a segment mean deviating this much from the overall
+    /// mean is suspicious outright (rating units).
+    pub threshold1: f64,
+    /// `threshold2 < threshold1`: a moderate deviation is suspicious when
+    /// the segment's raters are comparatively untrusted.
+    pub threshold2: f64,
+    /// A segment is "less trustworthy" when its average rater trust over
+    /// the stream average falls below this ratio.
+    pub trust_ratio: f64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            half_window_days: 15.0,
+            min_half_ratings: 4,
+            glrt_gamma: 8.0,
+            peak_separation: 8,
+            valley_ratio: 0.5,
+            threshold1: 0.8,
+            threshold2: 0.35,
+            trust_ratio: 0.95,
+        }
+    }
+}
+
+/// One segment of the stream between MC peaks, with its verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McSegment {
+    /// Rating-index range of the segment.
+    pub index_range: Range<usize>,
+    /// Time window covered by the segment.
+    pub window: TimeWindow,
+    /// Segment mean `B_j`.
+    pub mean: f64,
+    /// `|B_j − B_avg|`.
+    pub mean_deviation: f64,
+    /// Average trust of the raters in the segment.
+    pub avg_trust: f64,
+    /// Whether the segment was flagged MC-suspicious.
+    pub flagged: bool,
+}
+
+/// The full output of the MC detector on one product.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct McOutcome {
+    /// The MC indicator curve.
+    pub curve: Curve,
+    /// Retained peaks of the curve.
+    pub peaks: Vec<Peak>,
+    /// U-shapes (peak pairs framing a valley).
+    pub u_shapes: Vec<UShape>,
+    /// Per-segment verdicts.
+    pub segments: Vec<McSegment>,
+    /// Flagged segments as suspicious intervals.
+    pub suspicious: Vec<SuspiciousInterval>,
+}
+
+impl McOutcome {
+    /// Returns `true` if any segment was flagged.
+    #[must_use]
+    pub fn is_suspicious(&self) -> bool {
+        !self.suspicious.is_empty()
+    }
+}
+
+/// Runs the MC detector over one product's timeline.
+///
+/// `trust` supplies the current trust value of each rater (use
+/// `|_| 0.5` when no trust information exists yet).
+#[must_use]
+pub fn detect<F>(timeline: &ProductTimeline, config: &McConfig, trust: F) -> McOutcome
+where
+    F: Fn(RaterId) -> f64,
+{
+    let entries = timeline.entries();
+    let n = entries.len();
+    if n < 2 * config.min_half_ratings {
+        return McOutcome::default();
+    }
+    let values: Vec<f64> = entries.iter().map(|e| e.value()).collect();
+    let times: Vec<f64> = entries.iter().map(|e| e.time().as_days()).collect();
+
+    // Prefix sums make every windowed mean O(1).
+    let mut prefix = vec![0.0f64; n + 1];
+    for (i, &v) in values.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + v;
+    }
+    let range_mean = |r: Range<usize>| -> Option<f64> {
+        if r.is_empty() {
+            None
+        } else {
+            Some((prefix[r.end] - prefix[r.start]) / r.len() as f64)
+        }
+    };
+
+    // Indicator curve: for rating k, X1 = ratings in [t_k − h, t_k),
+    // X2 = [t_k, t_k + h).
+    let mut points = Vec::with_capacity(n);
+    for k in 0..n {
+        let t = times[k];
+        let lo = times.partition_point(|&x| x < t - config.half_window_days);
+        let hi = times.partition_point(|&x| x < t + config.half_window_days);
+        let left = lo..k;
+        let right = k..hi;
+        if left.len() < config.min_half_ratings || right.len() < config.min_half_ratings {
+            continue;
+        }
+        let (Some(a1), Some(a2)) = (range_mean(left.clone()), range_mean(right.clone())) else {
+            continue;
+        };
+        let n1 = left.len() as f64;
+        let n2 = right.len() as f64;
+        let w_eff = 2.0 * n1 * n2 / (n1 + n2);
+        points.push(CurvePoint {
+            index: k,
+            time: t,
+            value: w_eff * (a1 - a2).powi(2),
+        });
+    }
+    let curve = Curve::new(points);
+
+    let sigma2 = rrs_signal::stats::variance(&values)
+        .unwrap_or(0.0)
+        .max(1e-6);
+    let peak_threshold = config.glrt_gamma * 2.0 * sigma2;
+    let peaks = curve.find_peaks(peak_threshold, config.peak_separation);
+    let u_shapes = curve.find_u_shapes(peak_threshold, config.peak_separation, config.valley_ratio);
+
+    // Segment the stream at the peaks and judge each segment. The
+    // reference level `B_avg` is the *median* rating value rather than
+    // the mean: a long attack drags the mean toward itself, which would
+    // make the fair segments look deviant and the attacked segment look
+    // normal (the reference the paper uses is safe only while unfair
+    // ratings are a small minority of the stream).
+    let peak_indices = Curve::peak_stream_indices(&peaks);
+    let overall_mean = rrs_signal::stats::median(&values).expect("n > 0");
+    let trust_values: Vec<f64> = entries.iter().map(|e| trust(e.rater())).collect();
+    let overall_trust: f64 = trust_values.iter().sum::<f64>() / n as f64;
+
+    let mut segments = Vec::new();
+    let mut suspicious = Vec::new();
+    let end_time = Timestamp::new(times[n - 1] + 1e-9).expect("finite");
+    for index_range in split_at_peaks(n, &peak_indices) {
+        let mean = range_mean(index_range.clone()).expect("segments are non-empty");
+        let mean_deviation = (mean - overall_mean).abs();
+        let avg_trust: f64 = trust_values[index_range.clone()].iter().sum::<f64>()
+            / index_range.len() as f64;
+        let less_trusted = overall_trust > 0.0 && avg_trust / overall_trust < config.trust_ratio;
+        let flagged = mean_deviation > config.threshold1
+            || (mean_deviation > config.threshold2 && less_trusted);
+        let start = Timestamp::new(times[index_range.start]).expect("finite");
+        let end = if index_range.end < n {
+            Timestamp::new(times[index_range.end]).expect("finite")
+        } else {
+            end_time
+        };
+        let window = TimeWindow::new(start, end.max(start)).expect("ordered");
+        if flagged {
+            suspicious.push(SuspiciousInterval::new(
+                window,
+                SuspicionKind::MeanChange,
+                mean_deviation,
+            ));
+        }
+        segments.push(McSegment {
+            index_range,
+            window,
+            mean,
+            mean_deviation,
+            avg_trust,
+            flagged,
+        });
+    }
+
+    McOutcome {
+        curve,
+        peaks,
+        u_shapes,
+        segments,
+        suspicious,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rrs_core::{ProductId, Rating, RatingDataset, RatingSource, RatingValue};
+
+    /// Fair stream: `per_day` ratings/day for `days` days at mean 4.0 ± noise.
+    fn fair_timeline(days: usize, per_day: usize, seed: u64) -> RatingDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = RatingDataset::new();
+        let mut rater = 0u32;
+        for day in 0..days {
+            for slot in 0..per_day {
+                let t = day as f64 + slot as f64 / per_day as f64;
+                let v = (4.0 + rng.gen_range(-0.8f64..0.8)).clamp(0.0, 5.0);
+                d.insert(
+                    Rating::new(
+                        RaterId::new(rater),
+                        ProductId::new(0),
+                        Timestamp::new(t).unwrap(),
+                        RatingValue::new_clamped(v),
+                    ),
+                    RatingSource::Fair,
+                );
+                rater += 1;
+            }
+        }
+        d
+    }
+
+    fn with_attack(mut d: RatingDataset, from: f64, to: f64, per_day: usize, value: f64) -> RatingDataset {
+        let mut rater = 10_000u32;
+        let mut day = from;
+        while day < to {
+            for slot in 0..per_day {
+                d.insert(
+                    Rating::new(
+                        RaterId::new(rater),
+                        ProductId::new(0),
+                        Timestamp::new(day + slot as f64 / per_day as f64).unwrap(),
+                        RatingValue::new_clamped(value),
+                    ),
+                    RatingSource::Unfair,
+                );
+                rater += 1;
+            }
+            day += 1.0;
+        }
+        d
+    }
+
+    fn timeline(d: &RatingDataset) -> &ProductTimeline {
+        d.product(ProductId::new(0)).unwrap()
+    }
+
+    #[test]
+    fn empty_stream_yields_default() {
+        let d = RatingDataset::new();
+        let tl = ProductTimeline::default();
+        let out = detect(&tl, &McConfig::default(), |_| 0.5);
+        assert!(out.curve.is_empty());
+        assert!(!out.is_suspicious());
+        drop(d);
+    }
+
+    #[test]
+    fn fair_stream_not_flagged() {
+        let d = fair_timeline(90, 4, 1);
+        let out = detect(timeline(&d), &McConfig::default(), |_| 0.5);
+        assert!(
+            !out.is_suspicious(),
+            "fair data flagged: {:?}",
+            out.suspicious
+        );
+    }
+
+    #[test]
+    fn strong_downgrade_attack_is_flagged() {
+        let d = fair_timeline(90, 4, 2);
+        let d = with_attack(d, 40.0, 55.0, 4, 0.5);
+        let out = detect(timeline(&d), &McConfig::default(), |_| 0.5);
+        assert!(out.is_suspicious(), "attack not flagged");
+        // The flagged interval should overlap the attack window.
+        let attack = TimeWindow::new(
+            Timestamp::new(40.0).unwrap(),
+            Timestamp::new(55.0).unwrap(),
+        )
+        .unwrap();
+        assert!(
+            out.suspicious.iter().any(|s| s.overlaps(attack)),
+            "flagged intervals {:?} miss the attack",
+            out.suspicious
+        );
+    }
+
+    #[test]
+    fn strong_attack_produces_u_shape() {
+        let d = fair_timeline(90, 4, 3);
+        let d = with_attack(d, 40.0, 55.0, 6, 0.5);
+        let out = detect(timeline(&d), &McConfig::default(), |_| 0.5);
+        assert!(
+            !out.u_shapes.is_empty(),
+            "expected a U-shape framing the attack; peaks: {:?}",
+            out.peaks.len()
+        );
+        // The indicator dips to ~0 at the attack midpoint (both window
+        // halves see the same fair/unfair mix), so the U-shape's peaks sit
+        // just inside the attack boundaries and frame its center.
+        let (lo, hi) = out.u_shapes[0].time_range();
+        assert!(
+            lo >= 35.0 && hi <= 60.0 && lo < 47.5 && hi > 47.5,
+            "u-shape [{lo}, {hi}] does not frame the attack center"
+        );
+    }
+
+    #[test]
+    fn moderate_attack_flagged_only_with_low_trust() {
+        // A moderate shift that stays under threshold1.
+        let d = fair_timeline(90, 4, 4);
+        let d = with_attack(d, 40.0, 55.0, 4, 3.2);
+        let cfg = McConfig {
+            threshold1: 10.0, // disable the unconditional rule
+            threshold2: 0.15,
+            glrt_gamma: 4.0,
+            ..McConfig::default()
+        };
+        // With neutral trust everywhere, nothing can satisfy the
+        // trust-ratio condition.
+        let neutral = detect(timeline(&d), &cfg, |_| 0.5);
+        assert!(!neutral.is_suspicious());
+        // With attackers (rater ids >= 10_000) at low trust, the moderate
+        // deviation becomes suspicious.
+        let informed = detect(timeline(&d), &cfg, |r| {
+            if r.value() >= 10_000 {
+                0.1
+            } else {
+                0.9
+            }
+        });
+        assert!(informed.is_suspicious(), "trust-assisted rule never fired");
+    }
+
+    #[test]
+    fn segments_partition_stream() {
+        let d = fair_timeline(60, 3, 5);
+        let out = detect(timeline(&d), &McConfig::default(), |_| 0.5);
+        let n = timeline(&d).len();
+        assert_eq!(out.segments.first().unwrap().index_range.start, 0);
+        assert_eq!(out.segments.last().unwrap().index_range.end, n);
+        for pair in out.segments.windows(2) {
+            assert_eq!(pair[0].index_range.end, pair[1].index_range.start);
+        }
+    }
+
+    #[test]
+    fn short_stream_is_silent() {
+        let d = fair_timeline(2, 1, 6);
+        let out = detect(timeline(&d), &McConfig::default(), |_| 0.5);
+        assert!(out.curve.is_empty());
+        assert!(out.peaks.is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! The signal-model-change / model-error (ME) detector (paper Section
+//! IV-E, after Yang et al. 2007).
+//!
+//! Ratings in a sliding window are fitted to an AR model by the covariance
+//! method. Honest ratings are close to white noise around the product
+//! quality — the model predicts poorly and the (variance-normalized)
+//! model error stays near 1. Collaborative unfair ratings introduce
+//! structure the model locks onto, and the error drops. Windows whose
+//! error falls below a threshold are ME-suspicious.
+
+use crate::suspicion::{SuspicionKind, SuspiciousInterval};
+use rrs_core::{ProductTimeline, TimeWindow, Timestamp};
+use rrs_signal::ar::fit_ar;
+use rrs_signal::curve::{Curve, CurvePoint};
+
+/// Configuration of the ME detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeConfig {
+    /// Window length in ratings (paper: 40).
+    pub window_ratings: usize,
+    /// Step between window starts, in ratings.
+    pub step: usize,
+    /// AR model order.
+    pub order: usize,
+    /// Windows with normalized model error at or below this are
+    /// suspicious.
+    pub threshold: f64,
+}
+
+impl Default for MeConfig {
+    fn default() -> Self {
+        MeConfig {
+            window_ratings: 40,
+            step: 5,
+            order: 4,
+            threshold: 0.55,
+        }
+    }
+}
+
+/// The output of the ME detector on one product.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MeOutcome {
+    /// The model-error curve (one sample per evaluated window center).
+    pub curve: Curve,
+    /// Maximal runs of below-threshold windows, as time intervals.
+    pub suspicious: Vec<SuspiciousInterval>,
+}
+
+impl MeOutcome {
+    /// Returns `true` if any window fell below the threshold.
+    #[must_use]
+    pub fn is_suspicious(&self) -> bool {
+        !self.suspicious.is_empty()
+    }
+}
+
+/// Runs the ME detector over one product's timeline.
+#[must_use]
+pub fn detect(timeline: &ProductTimeline, config: &MeConfig) -> MeOutcome {
+    let entries = timeline.entries();
+    let n = entries.len();
+    let w = config.window_ratings;
+    if n < w || w == 0 || config.order == 0 {
+        return MeOutcome::default();
+    }
+    let values: Vec<f64> = entries.iter().map(|e| e.value()).collect();
+    let times: Vec<f64> = entries.iter().map(|e| e.time().as_days()).collect();
+
+    let step = config.step.max(1);
+    let mut points = Vec::new();
+    let mut start = 0usize;
+    while start + w <= n {
+        let center = start + w / 2;
+        if let Ok(model) = fit_ar(&values[start..start + w], config.order) {
+            points.push(CurvePoint {
+                index: center,
+                time: times[center],
+                value: model.normalized_error(),
+            });
+        }
+        start += step;
+    }
+    let curve = Curve::new(points);
+
+    // Merge consecutive below-threshold samples into intervals covering
+    // the full windows involved.
+    let mut suspicious = Vec::new();
+    let pts = curve.points();
+    let mut run_start: Option<usize> = None;
+    for (i, p) in pts.iter().enumerate() {
+        let below = p.value <= config.threshold;
+        match (below, run_start) {
+            (true, None) => run_start = Some(i),
+            (false, Some(s)) => {
+                suspicious.push(run_interval(pts, s, i - 1, &times, w));
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = run_start {
+        suspicious.push(run_interval(pts, s, pts.len() - 1, &times, w));
+    }
+
+    MeOutcome { curve, suspicious }
+}
+
+fn run_interval(
+    pts: &[CurvePoint],
+    first: usize,
+    last: usize,
+    times: &[f64],
+    window: usize,
+) -> SuspiciousInterval {
+    let n = times.len();
+    let start_idx = pts[first].index.saturating_sub(window / 2);
+    let end_idx = (pts[last].index + window / 2).min(n - 1);
+    // Strength: how far below threshold the error dropped (lower error =
+    // stronger signal), reported as 1 − min error.
+    let strength = 1.0
+        - pts[first..=last]
+            .iter()
+            .map(|p| p.value)
+            .fold(f64::INFINITY, f64::min);
+    let window = TimeWindow::new(
+        Timestamp::new(times[start_idx]).expect("finite"),
+        Timestamp::new(times[end_idx] + 1e-9).expect("finite"),
+    )
+    .expect("ordered");
+    SuspiciousInterval::new(window, SuspicionKind::ModelError, strength)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rrs_core::{ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue};
+
+    fn dataset(values: impl Iterator<Item = (f64, f64)>) -> RatingDataset {
+        let mut d = RatingDataset::new();
+        for (i, (t, v)) in values.enumerate() {
+            d.insert(
+                Rating::new(
+                    RaterId::new(i as u32),
+                    ProductId::new(0),
+                    Timestamp::new(t).unwrap(),
+                    RatingValue::new_clamped(v),
+                ),
+                RatingSource::Fair,
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn fair_noise_is_quiet() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let d = dataset((0..300).map(|i| (f64::from(i) * 0.25, 4.0 + rng.gen_range(-0.8..0.8))));
+        let out = detect(d.product(ProductId::new(0)).unwrap(), &MeConfig::default());
+        assert!(!out.is_suspicious(), "{:?}", out.suspicious);
+        assert!(!out.curve.is_empty());
+    }
+
+    #[test]
+    fn constant_collusion_run_is_flagged() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Ratings 120..180 all exactly 1.2: perfectly predictable.
+        let d = dataset((0..300).map(|i| {
+            let v = if (120..180).contains(&i) {
+                1.2
+            } else {
+                4.0 + rng.gen_range(-0.8..0.8)
+            };
+            (f64::from(i) * 0.25, v)
+        }));
+        let out = detect(d.product(ProductId::new(0)).unwrap(), &MeConfig::default());
+        assert!(out.is_suspicious(), "constant run not flagged");
+        let attack = TimeWindow::new(
+            Timestamp::new(30.0).unwrap(),
+            Timestamp::new(45.0).unwrap(),
+        )
+        .unwrap();
+        assert!(out.suspicious.iter().any(|s| s.overlaps(attack)));
+    }
+
+    #[test]
+    fn oscillating_collusion_is_flagged() {
+        let mut rng = StdRng::seed_from_u64(12);
+        // Deterministic alternating pattern: AR-predictable.
+        let d = dataset((0..300).map(|i| {
+            let v = if (120..180).contains(&i) {
+                if i % 2 == 0 {
+                    1.0
+                } else {
+                    2.0
+                }
+            } else {
+                4.0 + rng.gen_range(-0.8..0.8)
+            };
+            (f64::from(i) * 0.25, v)
+        }));
+        let out = detect(d.product(ProductId::new(0)).unwrap(), &MeConfig::default());
+        assert!(out.is_suspicious(), "oscillation not flagged");
+    }
+
+    #[test]
+    fn short_stream_is_silent() {
+        let d = dataset((0..10).map(|i| (f64::from(i), 4.0)));
+        let out = detect(d.product(ProductId::new(0)).unwrap(), &MeConfig::default());
+        assert!(out.curve.is_empty());
+        assert!(!out.is_suspicious());
+    }
+
+    #[test]
+    fn zero_order_is_silent() {
+        let d = dataset((0..100).map(|i| (f64::from(i), 4.0)));
+        let cfg = MeConfig {
+            order: 0,
+            ..MeConfig::default()
+        };
+        let out = detect(d.product(ProductId::new(0)).unwrap(), &cfg);
+        assert!(out.curve.is_empty());
+    }
+}

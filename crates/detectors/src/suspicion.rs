@@ -1,0 +1,99 @@
+use rrs_core::TimeWindow;
+use std::fmt;
+
+/// Which analysis flagged an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SuspicionKind {
+    /// Mean-change segment verdict (Section IV-B.3).
+    MeanChange,
+    /// Arrival-rate-change segment verdict on high-valued ratings.
+    HighArrivalRate,
+    /// Arrival-rate-change segment verdict on low-valued ratings.
+    LowArrivalRate,
+    /// Histogram-change (bimodality) verdict.
+    Histogram,
+    /// AR-model-error verdict.
+    ModelError,
+}
+
+impl fmt::Display for SuspicionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SuspicionKind::MeanChange => "mean change",
+            SuspicionKind::HighArrivalRate => "high-rating arrival rate",
+            SuspicionKind::LowArrivalRate => "low-rating arrival rate",
+            SuspicionKind::Histogram => "histogram change",
+            SuspicionKind::ModelError => "model error",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A time interval one of the detectors flagged as likely to contain
+/// unfair ratings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuspiciousInterval {
+    /// The flagged time interval.
+    pub window: TimeWindow,
+    /// Which detector flagged it.
+    pub kind: SuspicionKind,
+    /// Detector-specific strength of the verdict (larger = more
+    /// suspicious); comparable only within one `kind`.
+    pub strength: f64,
+}
+
+impl SuspiciousInterval {
+    /// Creates an interval verdict.
+    #[must_use]
+    pub const fn new(window: TimeWindow, kind: SuspicionKind, strength: f64) -> Self {
+        SuspiciousInterval {
+            window,
+            kind,
+            strength,
+        }
+    }
+
+    /// Returns `true` if this interval overlaps `other` in time.
+    #[must_use]
+    pub fn overlaps(&self, other: TimeWindow) -> bool {
+        self.window.intersect(other).is_some()
+    }
+}
+
+impl fmt::Display for SuspiciousInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} suspicious over {} (strength {:.3})",
+            self.kind, self.window, self.strength
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::Timestamp;
+
+    fn window(a: f64, b: f64) -> TimeWindow {
+        TimeWindow::new(Timestamp::new(a).unwrap(), Timestamp::new(b).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let s = SuspiciousInterval::new(window(10.0, 20.0), SuspicionKind::Histogram, 0.9);
+        assert!(s.overlaps(window(15.0, 25.0)));
+        assert!(!s.overlaps(window(20.0, 25.0)));
+    }
+
+    #[test]
+    fn display_names_detector() {
+        let s = SuspiciousInterval::new(window(0.0, 1.0), SuspicionKind::ModelError, 0.1);
+        assert!(s.to_string().contains("model error"));
+        assert!(SuspicionKind::MeanChange.to_string().contains("mean"));
+        assert!(SuspicionKind::HighArrivalRate.to_string().contains("high"));
+        assert!(SuspicionKind::LowArrivalRate.to_string().contains("low"));
+        assert!(SuspicionKind::Histogram.to_string().contains("histogram"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Ad-hoc diagnostic: trace the strongest submissions through the
+//! P-scheme — per-period scores, marks, trust — to understand where MP
+//! leaks. Not part of the documented surface.
+
+use rrs_aggregation::{PScheme, SaScheme};
+use rrs_challenge::ScoringSession;
+use rrs_core::{AggregationScheme, GroundTruth};
+use rrs_detectors::JointDetector;
+use rrs_eval::fig5::probe_attack;
+use rrs_eval::suite::{Scale, SuiteConfig, Workbench};
+
+fn probe_trace(wb: &Workbench) {
+    let p = PScheme::new();
+    let session = ScoringSession::new(&wb.challenge, &p);
+    let product = wb.focus_product();
+    // Find the strongest trial at the anomalous low-variance center.
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for trial in 0..10 {
+        let seq = probe_attack(wb, -3.34, 0.33, trial);
+        let mp = session.score(&seq).product_mp(product);
+        if mp > best.1 {
+            best = (trial, mp);
+        }
+    }
+    println!("probe(-3.34, 0.33): best trial {} MP {:.3}", best.0, best.1);
+    let seq = probe_attack(wb, -3.34, 0.33, best.0);
+    let (report, outcome, truth) = session.score_detailed(&seq);
+    println!("  report: {report}");
+    println!("  detection: {}", truth.score(outcome.suspicious()));
+    let attacked = wb.challenge.attacked_dataset(&seq);
+    let ctx = wb.challenge.eval_context();
+    let clean = p.evaluate(wb.challenge.fair_dataset(), &ctx);
+    println!("  clean : {:?}", clean.scores(product).unwrap());
+    println!("  attack: {:?}", outcome.scores(product).unwrap());
+    let t0 = seq.ratings.iter().map(|r| r.time().as_days()).fold(f64::INFINITY, f64::min);
+    let t1 = seq.ratings.iter().map(|r| r.time().as_days()).fold(0.0f64, f64::max);
+    println!("  attack spans days {t0:.1}..{t1:.1}; periods are 30 days");
+
+    // Epoch-1 view: detect on the prefix [0, 60) only.
+    let joint = JointDetector::default();
+    for end in [60.0, 90.0] {
+        let window = rrs_core::TimeWindow::new(
+            rrs_core::Timestamp::ZERO,
+            rrs_core::Timestamp::new(end).unwrap(),
+        )
+        .unwrap();
+        let prefix = attacked.restricted(window);
+        let (marks, results) = joint.detect_all(&prefix, window, |_| 0.5);
+        let truth2 = GroundTruth::from_dataset(&prefix);
+        println!("  prefix [0,{end}): {}", truth2.score(&marks));
+        for (pid, r) in &results {
+            if *pid == product {
+                println!(
+                    "    p2 detectors: mc peaks {} flags {} | larc peaks {} flags {} ushapes {} | hits {}",
+                    r.mc.peaks.len(),
+                    r.mc.suspicious.len(),
+                    r.larc.peaks.len(),
+                    r.larc.suspicious.len(),
+                    r.larc.u_shapes.len(),
+                    r.hits.len()
+                );
+                for s in &r.larc.segments {
+                    println!("      larc seg {} rate {:.2} flagged {}", s.window, s.rate, s.flagged);
+                }
+                for s in &r.mc.segments {
+                    println!("      mc seg {} dev {:.2} flagged {}", s.window, s.mean_deviation, s.flagged);
+                }
+            }
+        }
+    }
+    drop(attacked);
+    println!();
+}
+
+fn main() {
+    let wb = Workbench::build(SuiteConfig {
+        scale: Scale::Paper,
+        seed: 42,
+        out_dir: None,
+    });
+    probe_trace(&wb);
+    let p = PScheme::new();
+    let sa = SaScheme::new();
+    let p_session = ScoringSession::new(&wb.challenge, &p);
+    let sa_session = ScoringSession::new(&wb.challenge, &sa);
+    let product = wb.focus_product();
+
+    // Rank by P-scheme downgrade MP.
+    let mut ranked: Vec<(usize, f64)> = wb
+        .population
+        .iter()
+        .map(|s| (s.id, p_session.score(&s.sequence).product_mp(product)))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    for &(id, mp) in ranked.iter().take(3) {
+        let spec = &wb.population[id];
+        let (p_report, p_outcome, truth) = p_session.score_detailed(&spec.sequence);
+        let sa_report = sa_session.score(&spec.sequence);
+        println!(
+            "== submission {id} [{}] p2-MP(P) {mp:.3} | total P {:.3} SA {:.3}",
+            spec.strategy,
+            p_report.total(),
+            sa_report.total()
+        );
+        println!(
+            "   bias {:?} std {:?}",
+            spec.stats.bias.get(&product),
+            spec.stats.std_dev.get(&product)
+        );
+        let confusion = truth.score(p_outcome.suspicious());
+        println!("   detection: {confusion}");
+        let attacked = wb.challenge.attacked_dataset(&spec.sequence);
+        let ctx = wb.challenge.eval_context();
+        let clean_out = p.evaluate(wb.challenge.fair_dataset(), &ctx);
+        let att_out = p.evaluate(&attacked, &ctx);
+        println!(
+            "   P clean  scores: {:?}",
+            clean_out.scores(product).unwrap()
+        );
+        println!("   P attack scores: {:?}", att_out.scores(product).unwrap());
+        let sa_clean = sa.evaluate(wb.challenge.fair_dataset(), &ctx);
+        let sa_att = sa.evaluate(&attacked, &ctx);
+        println!(
+            "   SA clean scores: {:?}",
+            sa_clean.scores(product).unwrap()
+        );
+        println!("   SA attack scores: {:?}", sa_att.scores(product).unwrap());
+
+        // Detector view on the attacked focus-product timeline.
+        let joint = JointDetector::default();
+        let tl = attacked.product(product).unwrap();
+        let result = joint.detect_product(tl, wb.challenge.horizon(), |_| 0.5);
+        println!(
+            "   detectors on attacked p2: mc peaks {} ushapes {} flagged {} | harc peaks {} flagged {} | larc peaks {} flagged {} | hc {} me {} | hits {:?}",
+            result.mc.peaks.len(),
+            result.mc.u_shapes.len(),
+            result.mc.suspicious.len(),
+            result.harc.peaks.len(),
+            result.harc.suspicious.len(),
+            result.larc.peaks.len(),
+            result.larc.suspicious.len(),
+            result.hc.suspicious.len(),
+            result.me.suspicious.len(),
+            result.hits.len(),
+        );
+        let g = GroundTruth::from_dataset(&attacked);
+        let c2 = g.score(&result.suspicious);
+        println!("   one-shot joint detection on p2: {c2}");
+        for s in &result.mc.segments {
+            println!(
+                "     mc segment {} mean {:.2} dev {:.2} trust {:.2} flagged {}",
+                s.window, s.mean, s.mean_deviation, s.avg_trust, s.flagged
+            );
+        }
+        for u in &result.mc.u_shapes {
+            println!("     mc ushape {:?}", u.time_range());
+        }
+        for s in &result.larc.segments {
+            println!(
+                "     larc segment {} rate {:.2} flagged {}",
+                s.window, s.rate, s.flagged
+            );
+        }
+        for u in &result.larc.u_shapes {
+            println!("     larc ushape {:?}", u.time_range());
+        }
+        for h in &result.hits {
+            println!("     hit path{} {:?} {} marked {}", h.path, h.band, h.window, h.marked);
+        }
+
+        // Trust distribution after full evaluation.
+        let mut fair_trust = Vec::new();
+        let mut attacker_trust = Vec::new();
+        for (rater, t) in p_outcome.trust_map() {
+            if rater.value() >= 1_000_000 {
+                attacker_trust.push(*t);
+            } else {
+                fair_trust.push(*t);
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "   trust: fair avg {:.3} (n={}), attacker avg {:.3} (n={})",
+            avg(&fair_trust),
+            fair_trust.len(),
+            avg(&attacker_trust),
+            attacker_trust.len()
+        );
+
+        // Marks by (product, source) and the focus-product period-1 drilldown.
+        let mut marked_fair = 0;
+        let mut marked_unfair = 0;
+        for e in attacked.product(product).unwrap().entries() {
+            if p_outcome.suspicious().contains(&e.id()) {
+                if e.source().is_unfair() {
+                    marked_unfair += 1;
+                } else {
+                    marked_fair += 1;
+                }
+            }
+        }
+        println!("   p2 marks: fair {marked_fair}, unfair {marked_unfair}");
+        let period1 = ctx.periods()[1];
+        let trust_of = |r: rrs_core::RaterId| p_outcome.trust(r).unwrap_or(0.5);
+        let mut kept_fair = 0;
+        let mut kept_unfair = 0;
+        let mut removed_fair = 0;
+        let mut removed_unfair = 0;
+        let mut w_fair = 0.0;
+        let mut w_unfair = 0.0;
+        for e in attacked.product(product).unwrap().in_window(period1) {
+            let marked = p_outcome.suspicious().contains(&e.id());
+            let t = trust_of(e.rater());
+            let removed = marked && t < 0.5;
+            match (e.source().is_unfair(), removed) {
+                (true, true) => removed_unfair += 1,
+                (true, false) => {
+                    kept_unfair += 1;
+                    w_unfair += (t - 0.5).max(0.0);
+                }
+                (false, true) => removed_fair += 1,
+                (false, false) => {
+                    kept_fair += 1;
+                    w_fair += (t - 0.5).max(0.0);
+                }
+            }
+        }
+        println!(
+            "   p2 period1: kept fair {kept_fair} (weight {w_fair:.2}) unfair {kept_unfair} (weight {w_unfair:.2}); removed fair {removed_fair} unfair {removed_unfair}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! CLI driver that regenerates every figure/claim of the paper.
+//!
+//! ```text
+//! experiments [--scale small|paper] [--seed N] [--out DIR] [EXPERIMENT ...]
+//! ```
+//!
+//! With no experiment names, runs them all. Known names: `fig2` (alias
+//! `fig3`, `fig4`, `fig2_4`), `fig5`, `fig6`, `fig7`, `maxmp`,
+//! `ablation`, `detection`, `boost`, `scoring`, `roc`.
+
+use rrs_eval::suite::{Scale, SuiteConfig, Workbench};
+use rrs_eval::{ablation, boost, detection, fig2_4, fig5, fig6, fig7, max_mp, roc, scoring_ablation};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Paper;
+    let mut seed = 42u64;
+    let mut out_dir: Option<PathBuf> = Some(PathBuf::from("results"));
+    let mut names: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("small") => scale = Scale::Small,
+                Some("paper") => scale = Scale::Paper,
+                other => {
+                    eprintln!("unknown scale {other:?} (use small|paper)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                };
+                seed = v;
+            }
+            "--out" => {
+                out_dir = args.next().map(PathBuf::from);
+            }
+            "--no-out" => out_dir = None,
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--scale small|paper] [--seed N] [--out DIR | --no-out] [EXPERIMENT ...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+
+    let config = SuiteConfig {
+        scale,
+        seed,
+        out_dir,
+    };
+    eprintln!(
+        "building workbench (scale {:?}, seed {seed}) ...",
+        config.scale
+    );
+    let workbench = Workbench::build(config.clone());
+
+    let all = [
+        "fig2_4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "maxmp",
+        "ablation",
+        "detection",
+        "boost",
+        "scoring",
+        "roc",
+    ];
+    let selected: Vec<&str> = if names.is_empty() {
+        all.to_vec()
+    } else {
+        names.iter().map(String::as_str).collect()
+    };
+
+    for name in selected {
+        let report = match name {
+            "fig2" | "fig3" | "fig4" | "fig2_4" => fig2_4::run(&workbench),
+            "fig5" => fig5::run(&workbench),
+            "fig6" => fig6::run(&workbench),
+            "fig7" => fig7::run(&workbench),
+            "maxmp" => max_mp::run(&workbench),
+            "ablation" => ablation::run(&workbench),
+            "detection" => detection::run(&workbench),
+            "boost" => boost::run(&workbench),
+            "scoring" => scoring_ablation::run(&workbench),
+            "roc" => roc::run(&workbench),
+            other => {
+                eprintln!("unknown experiment {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("==== {} ====", report.name);
+        println!("{}", report.summary);
+        if let Some(dir) = &config.out_dir {
+            if let Err(e) = report.write_to(dir) {
+                eprintln!("failed to write results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

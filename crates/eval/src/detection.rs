@@ -1,0 +1,123 @@
+//! Detection quality per strategy family (extension).
+//!
+//! The paper reports detection behavior qualitatively; with ground truth
+//! in hand we can quantify it: for each attack strategy in the
+//! population, the P-scheme's precision, recall, and false-alarm rate of
+//! suspicious-rating marking.
+
+use crate::report::{ExperimentReport, Table};
+use crate::suite::Workbench;
+use rrs_aggregation::PScheme;
+use rrs_challenge::ScoringSession;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated detection quality for one strategy family.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FamilyQuality {
+    /// Number of submissions in the family.
+    pub count: usize,
+    /// Mean recall (fraction of unfair ratings marked).
+    pub recall: f64,
+    /// Mean precision of the marks.
+    pub precision: f64,
+    /// Mean false-alarm rate on fair ratings.
+    pub false_alarm: f64,
+    /// Mean MP achieved against the P-scheme.
+    pub mean_mp: f64,
+}
+
+/// Computes per-family detection quality.
+#[must_use]
+pub fn family_quality(workbench: &Workbench, max_per_family: usize) -> BTreeMap<&'static str, FamilyQuality> {
+    let scheme = PScheme::new();
+    let session = ScoringSession::new(&workbench.challenge, &scheme);
+    let mut acc: BTreeMap<&'static str, (usize, f64, f64, f64, f64)> = BTreeMap::new();
+    let mut taken: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for spec in &workbench.population {
+        let n = taken.entry(spec.strategy).or_insert(0);
+        if *n >= max_per_family {
+            continue;
+        }
+        *n += 1;
+        let (report, outcome, truth) = session.score_detailed(&spec.sequence);
+        let confusion = truth.score(outcome.suspicious());
+        let entry = acc.entry(spec.strategy).or_default();
+        entry.0 += 1;
+        entry.1 += confusion.recall();
+        entry.2 += confusion.precision();
+        entry.3 += confusion.false_alarm_rate();
+        entry.4 += report.total();
+    }
+    acc.into_iter()
+        .map(|(family, (count, recall, precision, fa, mp))| {
+            let k = count as f64;
+            (
+                family,
+                FamilyQuality {
+                    count,
+                    recall: recall / k,
+                    precision: precision / k,
+                    false_alarm: fa / k,
+                    mean_mp: mp / k,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Runs the detection-quality experiment.
+#[must_use]
+pub fn run(workbench: &Workbench) -> ExperimentReport {
+    let cap = match workbench.config.scale {
+        crate::suite::Scale::Small => 3,
+        crate::suite::Scale::Paper => 8,
+    };
+    let families = family_quality(workbench, cap);
+
+    let mut table = Table::new(vec![
+        "strategy",
+        "submissions",
+        "recall",
+        "precision",
+        "false_alarm",
+        "mean_mp",
+    ]);
+    for (family, q) in &families {
+        table.push_row(vec![
+            (*family).to_string(),
+            q.count.to_string(),
+            format!("{:.4}", q.recall),
+            format!("{:.4}", q.precision),
+            format!("{:.4}", q.false_alarm),
+            format!("{:.4}", q.mean_mp),
+        ]);
+    }
+
+    let naive = families.get("naive-extreme").cloned().unwrap_or_default();
+    let camo = families.get("camouflage").cloned().unwrap_or_default();
+    let mut summary = String::new();
+    let _ = writeln!(summary, "Detection quality per strategy family (P-scheme)");
+    let _ = writeln!(summary, "{}", table.to_ascii());
+    let _ = writeln!(
+        summary,
+        "shape check: naive extremes are detected far better than variance camouflage (recall {:.3} vs {:.3}): {}",
+        naive.recall,
+        camo.recall,
+        verdict(naive.recall > camo.recall)
+    );
+
+    ExperimentReport {
+        name: "detection".into(),
+        summary,
+        tables: vec![("family_quality".into(), table)],
+    }
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "MATCHES EXPECTATION"
+    } else {
+        "DIVERGES"
+    }
+}

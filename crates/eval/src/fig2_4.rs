@@ -1,0 +1,182 @@
+//! Figures 2–4: variance–bias scatter of the submission population under
+//! each defense scheme, with AMP/LMP/UMP marks.
+//!
+//! Shape expectations from the paper:
+//!
+//! * **P-scheme (Fig. 2):** large-MP submissions concentrate in region
+//!   **R3** — medium bias, medium-to-large variance. Variance weakens the
+//!   signal features the detectors key on.
+//! * **SA-scheme (Fig. 3):** large-MP submissions concentrate in **R1**
+//!   — the largest possible bias; with no defense, bias is everything.
+//! * **BF-scheme (Fig. 4):** like SA except the large-bias /
+//!   very-small-variance corner is filtered out.
+
+use crate::marks::{compute_marks, Marks};
+use crate::report::{ascii_scatter, ExperimentReport, Table};
+use crate::suite::Workbench;
+use rrs_aggregation::{BfScheme, PScheme, SaScheme};
+use rrs_challenge::{ScoredSubmission, ScoringSession};
+use rrs_core::AggregationScheme;
+use std::fmt::Write as _;
+
+/// Per-scheme scatter data for the focus product.
+#[derive(Debug, Clone)]
+pub struct SchemeScatter {
+    /// Scheme name.
+    pub scheme: String,
+    /// `(bias, std_dev, marks, overall MP)` per submission with data on
+    /// the focus product.
+    pub points: Vec<(f64, f64, Marks, f64)>,
+}
+
+impl SchemeScatter {
+    /// Mean bias/std of the top-`n` submissions by overall MP — the
+    /// centroid of the "winning region" on the variance–bias plane.
+    #[must_use]
+    pub fn top_centroid(&self, n: usize) -> (f64, f64) {
+        let mut ranked: Vec<&(f64, f64, Marks, f64)> = self.points.iter().collect();
+        ranked.sort_by(|a, b| b.3.total_cmp(&a.3));
+        let top: Vec<&&(f64, f64, Marks, f64)> = ranked.iter().take(n.max(1)).collect();
+        let k = top.len() as f64;
+        (
+            top.iter().map(|p| p.0).sum::<f64>() / k,
+            top.iter().map(|p| p.1).sum::<f64>() / k,
+        )
+    }
+}
+
+/// Computes the scatter for one scheme.
+#[must_use]
+pub fn scatter_for_scheme(workbench: &Workbench, scheme: &dyn AggregationScheme) -> SchemeScatter {
+    let session = ScoringSession::new(&workbench.challenge, scheme);
+    let scored: Vec<ScoredSubmission> = session.score_population(&workbench.population);
+    let product = workbench.focus_product();
+    let biases: Vec<Option<f64>> = workbench
+        .population
+        .iter()
+        .map(|s| s.stats.bias.get(&product).copied())
+        .collect();
+    let marks = compute_marks(&scored, &biases, product, 10);
+    let points = workbench
+        .population
+        .iter()
+        .zip(&scored)
+        .zip(&marks)
+        .filter_map(|((spec, s), m)| {
+            let bias = spec.stats.bias.get(&product)?;
+            let std = spec.stats.std_dev.get(&product)?;
+            Some((*bias, *std, *m, s.report.total()))
+        })
+        .collect();
+    SchemeScatter {
+        scheme: scheme.name().to_string(),
+        points,
+    }
+}
+
+/// Runs Figures 2–4 and checks the region shapes.
+#[must_use]
+pub fn run(workbench: &Workbench) -> ExperimentReport {
+    let p = PScheme::new();
+    let sa = SaScheme::new();
+    let bf = BfScheme::new();
+    let scatters = [
+        scatter_for_scheme(workbench, &p),
+        scatter_for_scheme(workbench, &sa),
+        scatter_for_scheme(workbench, &bf),
+    ];
+
+    let mut tables = Vec::new();
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "Figures 2-4: variance-bias scatter on {} ({} submissions)\n",
+        workbench.focus_product(),
+        workbench.population.len()
+    );
+
+    for scatter in &scatters {
+        let mut table = Table::new(vec!["bias", "std_dev", "overall_mp", "mark"]);
+        let mut plot_points = Vec::new();
+        for &(bias, std, marks, mp) in &scatter.points {
+            table.push_row(vec![
+                format!("{bias:.4}"),
+                format!("{std:.4}"),
+                format!("{mp:.4}"),
+                marks.glyph().to_string(),
+            ]);
+            plot_points.push((bias, std, marks.glyph()));
+        }
+        // Draw marked points last so they survive collisions.
+        plot_points.sort_by_key(|&(_, _, g)| usize::from(g != '.'));
+        let (cb, cs) = scatter.top_centroid(10);
+        let _ = writeln!(
+            summary,
+            "{}: top-10 centroid on the variance-bias plane: bias {:.2}, std {:.2}",
+            scatter.scheme, cb, cs
+        );
+        let _ = writeln!(
+            summary,
+            "{}",
+            ascii_scatter(&plot_points, "bias", "std dev", 64, 20)
+        );
+        let name = match scatter.scheme.as_str() {
+            "P-scheme" => "fig2_p_scheme",
+            "SA-scheme" => "fig3_sa_scheme",
+            _ => "fig4_bf_scheme",
+        };
+        tables.push((name.to_string(), table));
+    }
+
+    // Shape checks (paper's qualitative claims).
+    let (p_bias, p_std) = scatters[0].top_centroid(10);
+    let (sa_bias, sa_std) = scatters[1].top_centroid(10);
+    let _ = writeln!(
+        summary,
+        "shape check: P-scheme winners carry more variance than SA winners ({p_std:.2} vs {sa_std:.2}): {}",
+        verdict(p_std > sa_std)
+    );
+    let _ = writeln!(
+        summary,
+        "shape check: SA winners sit at larger |bias| than P winners ({:.2} vs {:.2}): {}",
+        sa_bias.abs(),
+        p_bias.abs(),
+        verdict(sa_bias.abs() > p_bias.abs())
+    );
+
+    ExperimentReport {
+        name: "fig2_4".into(),
+        summary,
+        tables,
+    }
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "MATCHES PAPER"
+    } else {
+        "DIVERGES"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{Scale, SuiteConfig};
+
+    #[test]
+    fn sa_scatter_rewards_extreme_bias() {
+        let wb = Workbench::build(SuiteConfig {
+            scale: Scale::Small,
+            seed: 5,
+            out_dir: None,
+        });
+        let scatter = scatter_for_scheme(&wb, &SaScheme::new());
+        assert!(!scatter.points.is_empty());
+        let (bias, _std) = scatter.top_centroid(5);
+        assert!(
+            bias < -2.0,
+            "SA winners should have large negative bias, centroid {bias:.2}"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Figure 6: MP vs average unfair-rating interval under the P-scheme.
+//!
+//! Shape expectations from the paper:
+//!
+//! * MP as a function of the average interval has an **interior
+//!   maximum** (the paper's data peaks near 3 days): very fast attacks
+//!   concentrate into detectable bursts, very slow attacks dilute past
+//!   the two counted 30-day MP periods;
+//! * without any detection the best interval is small (everything inside
+//!   two months).
+
+use crate::report::{ascii_scatter, ExperimentReport, Table};
+use crate::suite::Workbench;
+use rrs_aggregation::PScheme;
+use rrs_attack::AttackStrategy;
+use rrs_challenge::ScoringSession;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// The interval sweep: for each candidate average interval, `trials`
+/// attacks are generated and scored; returns
+/// `(interval, best MP on the focus product)` pairs.
+#[must_use]
+pub fn interval_sweep(workbench: &Workbench, intervals: &[f64], trials: usize) -> Vec<(f64, f64)> {
+    let scheme = PScheme::new();
+    let session = ScoringSession::new(&workbench.challenge, &scheme);
+    let product = workbench.focus_product();
+    let horizon = workbench.attack_ctx.horizon.length().get();
+    intervals
+        .iter()
+        .map(|&interval| {
+            let mut best = 0.0f64;
+            for trial in 0..trials {
+                let mut rng = StdRng::seed_from_u64(
+                    workbench
+                        .config
+                        .seed
+                        .wrapping_mul(977)
+                        .wrapping_add(trial as u64),
+                );
+                // Keep the whole attack inside the horizon.
+                let count = workbench.attack_ctx.raters.len() as f64;
+                let start_day = (horizon - interval * count).max(0.0) * 0.3;
+                let strategy = AttackStrategy::IntervalTuned {
+                    interval_days: interval,
+                    bias: 2.2,
+                    std_dev: 1.2,
+                    start_day,
+                };
+                let seq = strategy.build(&workbench.attack_ctx, &mut rng);
+                best = best.max(session.score(&seq).product_mp(product));
+            }
+            (interval, best)
+        })
+        .collect()
+}
+
+/// Scatter of the population: `(avg interval, MP on focus product)`.
+#[must_use]
+pub fn population_scatter(workbench: &Workbench) -> Vec<(f64, f64)> {
+    let scheme = PScheme::new();
+    let session = ScoringSession::new(&workbench.challenge, &scheme);
+    let product = workbench.focus_product();
+    workbench
+        .population
+        .iter()
+        .filter_map(|spec| {
+            let interval = spec.stats.avg_interval.get(&product)?;
+            let mp = session.score(&spec.sequence).product_mp(product);
+            Some((*interval, mp))
+        })
+        .collect()
+}
+
+/// Runs Figure 6.
+#[must_use]
+pub fn run(workbench: &Workbench) -> ExperimentReport {
+    let intervals = [0.2, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
+    let trials = match workbench.config.scale {
+        crate::suite::Scale::Small => 2,
+        crate::suite::Scale::Paper => 4,
+    };
+    let sweep = interval_sweep(workbench, &intervals, trials);
+    let scatter = population_scatter(workbench);
+
+    let mut table = Table::new(vec!["avg_interval_days", "mp_focus_product", "series"]);
+    for &(i, mp) in &sweep {
+        table.push_row(vec![format!("{i:.2}"), format!("{mp:.4}"), "sweep".into()]);
+    }
+    for &(i, mp) in &scatter {
+        table.push_row(vec![
+            format!("{i:.2}"),
+            format!("{mp:.4}"),
+            "population".into(),
+        ]);
+    }
+
+    // Locate the sweep's maximum.
+    let (best_interval, best_mp) = sweep
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((0.0, 0.0));
+    let first_mp = sweep.first().map_or(0.0, |&(_, mp)| mp);
+    let last_mp = sweep.last().map_or(0.0, |&(_, mp)| mp);
+
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "Figure 6: MP vs average unfair-rating interval (P-scheme, {})",
+        workbench.focus_product()
+    );
+    let mut points: Vec<(f64, f64, char)> =
+        scatter.iter().map(|&(x, y)| (x, y, '.')).collect();
+    points.extend(sweep.iter().map(|&(x, y)| (x, y, 'o')));
+    let _ = writeln!(
+        summary,
+        "{}",
+        ascii_scatter(&points, "avg interval (days)", "MP", 64, 18)
+    );
+    let _ = writeln!(
+        summary,
+        "sweep max: MP {best_mp:.4} at interval {best_interval:.2} days (paper: about 3 days)"
+    );
+    let _ = writeln!(
+        summary,
+        "shape check: interior maximum (peak beats both endpoints): {}",
+        verdict(best_mp > first_mp && best_mp > last_mp && best_interval > intervals[0]
+            && best_interval < intervals[intervals.len() - 1])
+    );
+
+    ExperimentReport {
+        name: "fig6".into(),
+        summary,
+        tables: vec![("interval_mp".into(), table)],
+    }
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "MATCHES PAPER"
+    } else {
+        "DIVERGES"
+    }
+}

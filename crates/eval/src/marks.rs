@@ -1,0 +1,158 @@
+//! AMP / LMP / UMP submission marking (paper Section V-B).
+//!
+//! * **AMP** — a submission whose *overall* MP is among the top 10.
+//! * **LMP(k)** — among submissions with *negative* bias on product `k`,
+//!   the MP gained from `k` is among the top 10.
+//! * **UMP(k)** — same with *positive* bias.
+
+use rrs_challenge::ScoredSubmission;
+use rrs_core::ProductId;
+use std::collections::BTreeSet;
+
+/// The marks a submission earned (for one product of interest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Marks {
+    /// Top-10 overall MP.
+    pub amp: bool,
+    /// Top-10 product MP among negative-bias submissions.
+    pub lmp: bool,
+    /// Top-10 product MP among positive-bias submissions.
+    pub ump: bool,
+}
+
+impl Marks {
+    /// The scatter-plot glyph the paper's color legend maps to:
+    /// grey `.` (unmarked), green `A` (AMP only), pink `L` / cyan `U`,
+    /// red `B` (AMP+LMP), blue `P` (AMP+UMP).
+    #[must_use]
+    pub const fn glyph(self) -> char {
+        match (self.amp, self.lmp, self.ump) {
+            (false, false, false) => '.',
+            (true, false, false) => 'A',
+            (false, true, _) => 'L',
+            (false, false, true) => 'U',
+            (true, true, _) => 'B',
+            (true, false, true) => 'P',
+        }
+    }
+}
+
+/// Computes marks for every scored submission, using `biases[i]` as
+/// submission `i`'s bias on `product`.
+///
+/// `scored` and `biases` must be parallel arrays; submissions without a
+/// bias for the product (never attacked it) get `None`.
+///
+/// # Panics
+///
+/// Panics if the arrays' lengths differ.
+#[must_use]
+pub fn compute_marks(
+    scored: &[ScoredSubmission],
+    biases: &[Option<f64>],
+    product: ProductId,
+    top: usize,
+) -> Vec<Marks> {
+    assert_eq!(scored.len(), biases.len(), "parallel arrays required");
+
+    let top_ids = |mut ranked: Vec<(usize, f64)>| -> BTreeSet<usize> {
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        ranked.into_iter().take(top).map(|(i, _)| i).collect()
+    };
+
+    let amp = top_ids(
+        scored
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.report.total()))
+            .collect(),
+    );
+    let lmp = top_ids(
+        scored
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| biases[*i].is_some_and(|b| b < 0.0))
+            .map(|(i, s)| (i, s.report.product_mp(product)))
+            .collect(),
+    );
+    let ump = top_ids(
+        scored
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| biases[*i].is_some_and(|b| b > 0.0))
+            .map(|(i, s)| (i, s.report.product_mp(product)))
+            .collect(),
+    );
+
+    (0..scored.len())
+        .map(|i| Marks {
+            amp: amp.contains(&i),
+            lmp: lmp.contains(&i),
+            ump: ump.contains(&i),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::{mp_from_outcomes, MpParams, RatingDataset, SchemeOutcome};
+
+    fn scored(total_like: f64) -> ScoredSubmission {
+        // Fabricate an MpReport via mp_from_outcomes on a tiny dataset.
+        let mut attacked = RatingDataset::new();
+        attacked.insert(
+            rrs_core::Rating::new(
+                rrs_core::RaterId::new(0),
+                ProductId::new(0),
+                rrs_core::Timestamp::new(0.0).unwrap(),
+                rrs_core::RatingValue::new(4.0).unwrap(),
+            ),
+            rrs_core::RatingSource::Fair,
+        );
+        let mut clean_outcome = SchemeOutcome::new();
+        clean_outcome.insert_scores(ProductId::new(0), vec![Some(4.0)]);
+        let mut attacked_outcome = SchemeOutcome::new();
+        attacked_outcome.insert_scores(ProductId::new(0), vec![Some(4.0 - total_like)]);
+        let report = mp_from_outcomes(
+            &attacked,
+            &clean_outcome,
+            &attacked,
+            &attacked_outcome,
+            &MpParams::paper(),
+        );
+        ScoredSubmission {
+            id: 0,
+            strategy: "test",
+            straightforward: true,
+            report,
+        }
+    }
+
+    #[test]
+    fn top_marking() {
+        let subs: Vec<ScoredSubmission> = [3.0, 1.0, 2.0].iter().map(|&m| scored(m)).collect();
+        let biases = vec![Some(-1.0), Some(-2.0), Some(1.0)];
+        let marks = compute_marks(&subs, &biases, ProductId::new(0), 2);
+        // Top-2 overall: submissions 0 and 2.
+        assert!(marks[0].amp && marks[2].amp && !marks[1].amp);
+        // Negative-bias group: {0, 1}; both are top-2 LMP.
+        assert!(marks[0].lmp && marks[1].lmp && !marks[2].lmp);
+        // Positive-bias group: {2}.
+        assert!(marks[2].ump && !marks[0].ump);
+        // Glyphs.
+        assert_eq!(marks[1].glyph(), 'L');
+        assert_eq!(marks[0].glyph(), 'B');
+        assert_eq!(marks[2].glyph(), 'P');
+        assert_eq!(Marks::default().glyph(), '.');
+    }
+
+    #[test]
+    fn missing_bias_excluded_from_lmp_ump() {
+        let subs: Vec<ScoredSubmission> = [3.0, 2.0].iter().map(|&m| scored(m)).collect();
+        let biases = vec![None, Some(-1.0)];
+        let marks = compute_marks(&subs, &biases, ProductId::new(0), 10);
+        assert!(!marks[0].lmp && !marks[0].ump);
+        assert!(marks[1].lmp);
+    }
+}

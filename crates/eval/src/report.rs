@@ -1,0 +1,255 @@
+//! Rendering of experiment results: CSV tables and ASCII plots.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple rectangular table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Returns the number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Returns the rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders as CSV (RFC-4180-ish; fields containing commas or quotes
+    /// are quoted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let header_line: Vec<String> = self.headers.iter().map(|h| esc(h)).collect();
+        let _ = writeln!(out, "{}", header_line.join(","));
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|c| esc(c)).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        }
+        out
+    }
+
+    /// Renders as an aligned ASCII table.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render = |cells: &[String], widths: &[usize], out: &mut String| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            let _ = writeln!(out, "| {} |", line.join(" | "));
+        };
+        render(&self.headers, &widths, &mut out);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            render(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Renders `(x, y, glyph)` points as an ASCII scatter plot with axis
+/// ranges in the caption. Later points overwrite earlier ones on
+/// collisions — pass the most important series last.
+#[must_use]
+pub fn ascii_scatter(
+    points: &[(f64, f64, char)],
+    x_label: &str,
+    y_label: &str,
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 2 && height >= 2, "plot must be at least 2x2");
+    if points.is_empty() {
+        return format!("(no data: {y_label} vs {x_label})\n");
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let (x_min, x_max) = bounds(&xs);
+    let (y_min, y_max) = bounds(&ys);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y, glyph) in points {
+        let col = scale(x, x_min, x_max, width);
+        let row = height - 1 - scale(y, y_min, y_max, height);
+        grid[row][col] = glyph;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{y_label} (from {y_min:.3} to {y_max:.3})");
+    for row in grid {
+        let _ = writeln!(out, "|{}", row.into_iter().collect::<String>());
+    }
+    let _ = writeln!(out, "+{}", "-".repeat(width));
+    let _ = writeln!(out, " {x_label} (from {x_min:.3} to {x_max:.3})");
+    out
+}
+
+fn bounds(vals: &[f64]) -> (f64, f64) {
+    let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (max - min).abs() < 1e-12 {
+        (min - 0.5, max + 0.5)
+    } else {
+        (min, max)
+    }
+}
+
+fn scale(v: f64, min: f64, max: f64, cells: usize) -> usize {
+    let frac = (v - min) / (max - min);
+    ((frac * (cells - 1) as f64).round() as usize).min(cells - 1)
+}
+
+/// The result of one experiment: a human summary plus named tables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExperimentReport {
+    /// Stable experiment name (e.g. `fig2`).
+    pub name: String,
+    /// Human-readable conclusion, including the shape check against the
+    /// paper.
+    pub summary: String,
+    /// Named data tables, suitable for CSV export.
+    pub tables: Vec<(String, Table)>,
+}
+
+impl ExperimentReport {
+    /// Writes each table as `<dir>/<name>_<table>.csv` and the summary as
+    /// `<dir>/<name>_summary.txt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(
+            dir.join(format!("{}_summary.txt", self.name)),
+            &self.summary,
+        )?;
+        for (table_name, table) in &self.tables {
+            fs::write(
+                dir.join(format!("{}_{}.csv", self.name, table_name)),
+                table.to_csv(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1", "x,y"]);
+        assert_eq!(t.len(), 1);
+        let csv = t.to_csv();
+        assert!(csv.contains("a,b"));
+        assert!(csv.contains("\"x,y\""));
+        let ascii = t.to_ascii();
+        assert!(ascii.contains("| a | b   |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.push_row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn scatter_renders_extremes() {
+        let plot = ascii_scatter(
+            &[(0.0, 0.0, '#'), (1.0, 1.0, '@')],
+            "bias",
+            "std",
+            20,
+            10,
+        );
+        assert!(plot.contains('#'));
+        assert!(plot.contains('@'));
+        assert!(plot.contains("bias"));
+        // '@' (max y) appears on an earlier line than '#' (min y).
+        let hi_line = plot.lines().position(|l| l.contains('@')).unwrap();
+        let lo_line = plot.lines().position(|l| l.contains('#')).unwrap();
+        assert!(hi_line < lo_line);
+    }
+
+    #[test]
+    fn scatter_empty_and_degenerate() {
+        assert!(ascii_scatter(&[], "x", "y", 10, 5).contains("no data"));
+        let plot = ascii_scatter(&[(2.0, 3.0, '*')], "x", "y", 10, 5);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn report_writes_files() {
+        let dir = std::env::temp_dir().join(format!("rrs_report_test_{}", std::process::id()));
+        let mut t = Table::new(vec!["v"]);
+        t.push_row(vec!["1"]);
+        let report = ExperimentReport {
+            name: "demo".into(),
+            summary: "ok".into(),
+            tables: vec![("data".into(), t)],
+        };
+        report.write_to(&dir).unwrap();
+        assert!(dir.join("demo_summary.txt").exists());
+        assert!(dir.join("demo_data.csv").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,265 @@
+//! Detector operating characteristics (extension).
+//!
+//! For each of the four detectors in isolation, sweep its decision
+//! threshold and measure, at the *interval* level:
+//!
+//! * **TPR** — fraction of attacked streams where some suspicious
+//!   interval overlaps the true attack window;
+//! * **FPR** — fraction of attack-free streams where anything is flagged.
+//!
+//! This is the evidence behind the default calibration in
+//! `DetectorConfig` and behind the paper's remark that "using a single
+//! detector will cause a high false alarm probability".
+
+use crate::report::{ExperimentReport, Table};
+use crate::suite::Workbench;
+use rrs_attack::AttackStrategy;
+use rrs_core::{ProductTimeline, RatingDataset, TimeWindow, Timestamp};
+use rrs_detectors::{arc, hc, mc, me, ArcConfig, ArcVariant, HcConfig, McConfig, MeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// One point of a detector's operating curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocPoint {
+    /// Detector name.
+    pub detector: &'static str,
+    /// Threshold value swept.
+    pub threshold: f64,
+    /// True-positive rate over attacked streams.
+    pub tpr: f64,
+    /// False-positive rate over clean streams.
+    pub fpr: f64,
+}
+
+/// The streams the sweep evaluates: `(timeline, Some(attack window))` for
+/// attacked ones, `None` for clean ones.
+struct Streams {
+    attacked: Vec<(RatingDataset, TimeWindow)>,
+    clean: RatingDataset,
+    horizon: TimeWindow,
+}
+
+fn build_streams(workbench: &Workbench, per_kind: usize) -> Streams {
+    let mut attacked = Vec::new();
+    let window_start = workbench.attack_ctx.horizon.start().as_days()
+        - workbench.challenge.horizon().start().as_days();
+    for i in 0..per_kind {
+        let mut rng = StdRng::seed_from_u64(workbench.config.seed.wrapping_add(900 + i as u64));
+        let start_day = 5.0 + i as f64 * 7.0;
+        let strategy = AttackStrategy::Burst {
+            bias: 2.6,
+            std_dev: 0.6,
+            start_day,
+            duration_days: 12.0,
+        };
+        let seq = strategy.build(&workbench.attack_ctx, &mut rng);
+        let dataset = workbench.challenge.attacked_dataset(&seq);
+        let abs_start = window_start + start_day + workbench.challenge.horizon().start().as_days();
+        let attack_window = TimeWindow::new(
+            Timestamp::new(abs_start).expect("finite"),
+            Timestamp::new(abs_start + 12.0).expect("finite"),
+        )
+        .expect("ordered");
+        attacked.push((dataset, attack_window));
+    }
+    Streams {
+        attacked,
+        clean: workbench.challenge.fair_dataset().clone(),
+        horizon: workbench.challenge.horizon(),
+    }
+}
+
+/// Evaluates one detector configuration over the streams; returns
+/// `(tpr, fpr)`.
+fn rates<F>(streams: &Streams, focus: rrs_core::ProductId, mut flagged_overlapping: F) -> (f64, f64)
+where
+    F: FnMut(&ProductTimeline, TimeWindow) -> Vec<TimeWindow>,
+{
+    let mut hits = 0usize;
+    for (dataset, attack_window) in &streams.attacked {
+        let timeline = dataset.product(focus).expect("focus product exists");
+        let intervals = flagged_overlapping(timeline, streams.horizon);
+        if intervals
+            .iter()
+            .any(|w| w.intersect(*attack_window).is_some())
+        {
+            hits += 1;
+        }
+    }
+    let tpr = hits as f64 / streams.attacked.len().max(1) as f64;
+
+    let mut false_products = 0usize;
+    let mut total_products = 0usize;
+    for (_, timeline) in streams.clean.products() {
+        total_products += 1;
+        if !flagged_overlapping(timeline, streams.horizon).is_empty() {
+            false_products += 1;
+        }
+    }
+    let fpr = false_products as f64 / total_products.max(1) as f64;
+    (tpr, fpr)
+}
+
+/// Runs the threshold sweeps.
+#[must_use]
+pub fn sweep(workbench: &Workbench, per_kind: usize) -> Vec<RocPoint> {
+    let streams = build_streams(workbench, per_kind);
+    let focus = workbench.focus_product();
+    let mut points = Vec::new();
+
+    // MC: sweep the GLRT decision factor gamma.
+    for gamma in [2.0, 4.0, 8.0, 16.0, 32.0] {
+        let config = McConfig {
+            glrt_gamma: gamma,
+            ..McConfig::default()
+        };
+        let (tpr, fpr) = rates(&streams, focus, |tl, _| {
+            mc::detect(tl, &config, |_| 0.5)
+                .suspicious
+                .iter()
+                .map(|s| s.window)
+                .collect()
+        });
+        points.push(RocPoint {
+            detector: "mc",
+            threshold: gamma,
+            tpr,
+            fpr,
+        });
+    }
+
+    // L-ARC: sweep the rate-increase threshold.
+    for rate in [0.1, 0.25, 0.5, 1.0, 2.0] {
+        let config = ArcConfig {
+            rate_increase_threshold: rate,
+            ..ArcConfig::default()
+        };
+        let (tpr, fpr) = rates(&streams, focus, |tl, horizon| {
+            arc::detect(tl, horizon, ArcVariant::Low, &config)
+                .suspicious
+                .iter()
+                .map(|s| s.window)
+                .collect()
+        });
+        points.push(RocPoint {
+            detector: "larc",
+            threshold: rate,
+            tpr,
+            fpr,
+        });
+    }
+
+    // HC: sweep the balance-ratio threshold.
+    for ratio in [0.1, 0.25, 0.4, 0.6, 0.8] {
+        let config = HcConfig {
+            threshold: ratio,
+            ..HcConfig::default()
+        };
+        let (tpr, fpr) = rates(&streams, focus, |tl, _| {
+            hc::detect(tl, &config)
+                .suspicious
+                .iter()
+                .map(|s| s.window)
+                .collect()
+        });
+        points.push(RocPoint {
+            detector: "hc",
+            threshold: ratio,
+            tpr,
+            fpr,
+        });
+    }
+
+    // ME: sweep the normalized-error threshold.
+    for err in [0.25, 0.4, 0.55, 0.7, 0.85] {
+        let config = MeConfig {
+            threshold: err,
+            ..MeConfig::default()
+        };
+        let (tpr, fpr) = rates(&streams, focus, |tl, _| {
+            me::detect(tl, &config)
+                .suspicious
+                .iter()
+                .map(|s| s.window)
+                .collect()
+        });
+        points.push(RocPoint {
+            detector: "me",
+            threshold: err,
+            tpr,
+            fpr,
+        });
+    }
+    points
+}
+
+/// Runs the ROC experiment.
+#[must_use]
+pub fn run(workbench: &Workbench) -> ExperimentReport {
+    let per_kind = match workbench.config.scale {
+        crate::suite::Scale::Small => 4,
+        crate::suite::Scale::Paper => 8,
+    };
+    let points = sweep(workbench, per_kind);
+
+    let mut table = Table::new(vec!["detector", "threshold", "tpr", "fpr"]);
+    for p in &points {
+        table.push_row(vec![
+            p.detector.to_string(),
+            format!("{:.3}", p.threshold),
+            format!("{:.3}", p.tpr),
+            format!("{:.3}", p.fpr),
+        ]);
+    }
+
+    // The calibration claims: at the default thresholds, each detector's
+    // operating point should separate attacked from clean streams.
+    let best = |name: &str| -> (f64, f64) {
+        points
+            .iter()
+            .filter(|p| p.detector == name)
+            .map(|p| (p.tpr - p.fpr, p.tpr))
+            .fold((f64::NEG_INFINITY, 0.0), |acc, v| {
+                if v.0 > acc.0 {
+                    v
+                } else {
+                    acc
+                }
+            })
+    };
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "Per-detector operating characteristics ({per_kind} burst attacks vs clean streams)"
+    );
+    let _ = writeln!(summary, "{}", table.to_ascii());
+    for name in ["mc", "larc", "hc", "me"] {
+        let (youden, tpr) = best(name);
+        let _ = writeln!(
+            summary,
+            "{name}: best Youden J = {youden:.3} (tpr {tpr:.3})"
+        );
+    }
+    let single_detector_fpr: f64 = points
+        .iter()
+        .filter(|p| p.tpr > 0.7)
+        .map(|p| p.fpr)
+        .fold(0.0, f64::max);
+    let _ = writeln!(
+        summary,
+        "shape check: a single detector tuned for recall pays false alarms (max fpr {single_detector_fpr:.3} among tpr>0.7 points) — the motivation for the two-path integration: {}",
+        if single_detector_fpr > 0.0 {
+            "MATCHES PAPER"
+        } else {
+            "NOT OBSERVED"
+        }
+    );
+
+    ExperimentReport {
+        name: "roc".into(),
+        summary,
+        tables: vec![("roc_points".into(), table)],
+    }
+}

@@ -1,0 +1,144 @@
+//! Autocorrelation and whiteness testing.
+//!
+//! The premise behind the paper's ME detector — and behind its Section
+//! V-D analysis of rating correlation — is that *honest ratings behave
+//! like white noise around the product quality*. This module provides the
+//! tools to check that premise on any stream: the sample autocorrelation
+//! function and the Ljung–Box portmanteau statistic.
+
+/// Sample autocorrelation of `xs` at lags `1..=max_lag`.
+///
+/// Uses the biased estimator `r_k = c_k / c_0` with
+/// `c_k = (1/n) Σ (x_t − x̄)(x_{t+k} − x̄)`, the standard choice for
+/// portmanteau tests. Returns an empty vector when the series is shorter
+/// than 2 samples or has (numerically) zero variance.
+#[must_use]
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let c0: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if c0 < 1e-12 {
+        return Vec::new();
+    }
+    (1..=max_lag.min(n - 1))
+        .map(|k| {
+            let ck: f64 = xs[..n - k]
+                .iter()
+                .zip(&xs[k..])
+                .map(|(a, b)| (a - mean) * (b - mean))
+                .sum::<f64>()
+                / n as f64;
+            ck / c0
+        })
+        .collect()
+}
+
+/// The Ljung–Box statistic `Q = n(n+2) Σ_{k=1}^{h} r_k² / (n−k)`.
+///
+/// Under the white-noise hypothesis `Q ~ χ²_h`; large values reject
+/// whiteness. Returns `None` when the autocorrelation is undefined.
+#[must_use]
+pub fn ljung_box(xs: &[f64], max_lag: usize) -> Option<f64> {
+    let acf = autocorrelation(xs, max_lag);
+    if acf.is_empty() {
+        return None;
+    }
+    let n = xs.len() as f64;
+    Some(
+        n * (n + 2.0)
+            * acf
+                .iter()
+                .enumerate()
+                .map(|(i, r)| r * r / (n - (i + 1) as f64))
+                .sum::<f64>(),
+    )
+}
+
+/// A crude whiteness verdict: `true` when the Ljung–Box statistic stays
+/// below `mean + 3·√(2·h)` of the χ²_h distribution (χ²_h has mean `h`
+/// and variance `2h`) — roughly the 99.9th percentile for moderate `h`.
+#[must_use]
+pub fn looks_white(xs: &[f64], max_lag: usize) -> bool {
+    match ljung_box(xs, max_lag) {
+        None => true, // too short / constant: nothing to reject
+        Some(q) => {
+            let h = max_lag.min(xs.len().saturating_sub(1)) as f64;
+            q < h + 3.0 * (2.0 * h).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn white(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn white_noise_has_small_acf() {
+        let xs = white(2000, 1);
+        let acf = autocorrelation(&xs, 10);
+        assert_eq!(acf.len(), 10);
+        for (k, r) in acf.iter().enumerate() {
+            assert!(r.abs() < 0.08, "lag {} acf {}", k + 1, r);
+        }
+        assert!(looks_white(&xs, 10));
+    }
+
+    #[test]
+    fn ar1_process_has_geometric_acf() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut xs = vec![0.0f64; 3000];
+        for i in 1..xs.len() {
+            xs[i] = 0.7 * xs[i - 1] + rng.gen_range(-1.0f64..1.0);
+        }
+        let acf = autocorrelation(&xs, 3);
+        assert!((acf[0] - 0.7).abs() < 0.08, "lag-1 acf {}", acf[0]);
+        assert!((acf[1] - 0.49).abs() < 0.10, "lag-2 acf {}", acf[1]);
+        assert!(!looks_white(&xs, 10));
+    }
+
+    #[test]
+    fn alternating_signal_has_negative_lag1() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let acf = autocorrelation(&xs, 2);
+        assert!(acf[0] < -0.9);
+        assert!(acf[1] > 0.9);
+        assert!(!looks_white(&xs, 5));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(autocorrelation(&[], 5).is_empty());
+        assert!(autocorrelation(&[1.0], 5).is_empty());
+        assert!(autocorrelation(&[2.0; 50], 5).is_empty());
+        assert_eq!(ljung_box(&[2.0; 50], 5), None);
+        assert!(looks_white(&[2.0; 50], 5));
+    }
+
+    #[test]
+    fn max_lag_clamped_to_series_length() {
+        let xs = white(10, 3);
+        assert_eq!(autocorrelation(&xs, 50).len(), 9);
+    }
+
+    #[test]
+    fn ljung_box_grows_with_correlation() {
+        let white_q = ljung_box(&white(500, 4), 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut xs = vec![0.0f64; 500];
+        for i in 1..xs.len() {
+            xs[i] = 0.8 * xs[i - 1] + rng.gen_range(-0.5f64..0.5);
+        }
+        let corr_q = ljung_box(&xs, 10).unwrap();
+        assert!(corr_q > white_q * 5.0, "white {white_q:.1} vs corr {corr_q:.1}");
+    }
+}

@@ -1,0 +1,185 @@
+//! CUSUM change-point detection.
+//!
+//! The paper's detectors test for changes with *windowed* GLRTs: a change
+//! is visible only while it sits inside the sliding window, which is why
+//! a sufficiently diluted attack can stay under the per-window threshold
+//! forever. The classical Page CUSUM statistic integrates evidence over
+//! unbounded time — any persistent shift eventually crosses the decision
+//! threshold — at the cost of slower reaction and a drift parameter to
+//! tune. This module provides a two-sided Gaussian CUSUM as an
+//! alternative change detector; the `cusum_vs_glrt` microbench and the
+//! detector tour compare the two.
+
+/// A detected change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CusumAlarm {
+    /// Index at which the statistic crossed the threshold.
+    pub index: usize,
+    /// Direction of the detected shift: `+1` upward, `-1` downward.
+    pub direction: i8,
+    /// Value of the crossing statistic.
+    pub statistic: f64,
+}
+
+/// Two-sided Gaussian CUSUM (Page's test).
+///
+/// Tracks `S⁺ₙ = max(0, S⁺ₙ₋₁ + (xₙ − μ₀ − k))` and the symmetric
+/// downward sum; an alarm fires when either exceeds `h`. After an alarm
+/// both sums reset, so a long stream can report several changes.
+///
+/// `reference_mean` is the in-control level `μ₀`, `drift` the
+/// slack `k` (typically half the smallest shift worth detecting, in the
+/// same units as the data), and `threshold` the decision level `h`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cusum {
+    reference_mean: f64,
+    drift: f64,
+    threshold: f64,
+    up: f64,
+    down: f64,
+    n: usize,
+}
+
+impl Cusum {
+    /// Creates a CUSUM monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drift` is negative or `threshold` is not strictly
+    /// positive.
+    #[must_use]
+    pub fn new(reference_mean: f64, drift: f64, threshold: f64) -> Self {
+        assert!(drift >= 0.0, "drift must be non-negative");
+        assert!(threshold > 0.0, "threshold must be positive");
+        Cusum {
+            reference_mean,
+            drift,
+            threshold,
+            up: 0.0,
+            down: 0.0,
+            n: 0,
+        }
+    }
+
+    /// Feeds one observation; returns an alarm if a change was detected.
+    pub fn push(&mut self, x: f64) -> Option<CusumAlarm> {
+        self.up = (self.up + (x - self.reference_mean - self.drift)).max(0.0);
+        self.down = (self.down + (self.reference_mean - x - self.drift)).max(0.0);
+        let index = self.n;
+        self.n += 1;
+        if self.up > self.threshold {
+            let statistic = self.up;
+            self.up = 0.0;
+            self.down = 0.0;
+            Some(CusumAlarm {
+                index,
+                direction: 1,
+                statistic,
+            })
+        } else if self.down > self.threshold {
+            let statistic = self.down;
+            self.up = 0.0;
+            self.down = 0.0;
+            Some(CusumAlarm {
+                index,
+                direction: -1,
+                statistic,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Returns the current `(upward, downward)` sums.
+    #[must_use]
+    pub const fn sums(&self) -> (f64, f64) {
+        (self.up, self.down)
+    }
+
+    /// Runs the monitor over a whole slice, collecting every alarm.
+    #[must_use]
+    pub fn scan(reference_mean: f64, drift: f64, threshold: f64, xs: &[f64]) -> Vec<CusumAlarm> {
+        let mut monitor = Cusum::new(reference_mean, drift, threshold);
+        xs.iter().filter_map(|&x| monitor.push(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noise(n: usize, mean: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| mean + rng.gen_range(-0.5..0.5)).collect()
+    }
+
+    #[test]
+    fn stationary_stream_stays_silent() {
+        let xs = noise(2000, 4.0, 1);
+        let alarms = Cusum::scan(4.0, 0.3, 6.0, &xs);
+        assert!(alarms.is_empty(), "{} false alarms", alarms.len());
+    }
+
+    #[test]
+    fn downward_shift_is_caught_with_direction() {
+        let mut xs = noise(200, 4.0, 2);
+        xs.extend(noise(200, 3.0, 3));
+        let alarms = Cusum::scan(4.0, 0.3, 6.0, &xs);
+        assert!(!alarms.is_empty());
+        let first = alarms[0];
+        assert_eq!(first.direction, -1);
+        assert!(
+            (200..240).contains(&first.index),
+            "detection delay too long: index {}",
+            first.index
+        );
+    }
+
+    #[test]
+    fn upward_shift_is_caught() {
+        let mut xs = noise(100, 4.0, 4);
+        xs.extend(noise(100, 4.8, 5));
+        let alarms = Cusum::scan(4.0, 0.3, 6.0, &xs);
+        assert!(alarms.iter().any(|a| a.direction == 1));
+    }
+
+    #[test]
+    fn dilute_persistent_shift_is_eventually_caught() {
+        // A shift of 0.4 with drift 0.3 leaves only 0.1 of signal per
+        // sample — a windowed test would never see it, CUSUM integrates.
+        let mut xs = noise(100, 4.0, 6);
+        xs.extend(noise(2000, 3.6, 7));
+        let alarms = Cusum::scan(4.0, 0.3, 6.0, &xs);
+        assert!(
+            alarms.iter().any(|a| a.direction == -1),
+            "diluted shift never detected"
+        );
+    }
+
+    #[test]
+    fn alarm_resets_allow_repeat_detection() {
+        let mut xs = noise(100, 4.0, 8);
+        xs.extend(noise(100, 2.0, 9));
+        xs.extend(noise(100, 4.0, 10));
+        xs.extend(noise(100, 2.0, 11));
+        let alarms = Cusum::scan(4.0, 0.5, 5.0, &xs);
+        let downs = alarms.iter().filter(|a| a.direction == -1).count();
+        assert!(downs >= 2, "expected repeated alarms, got {alarms:?}");
+    }
+
+    #[test]
+    fn incremental_matches_scan() {
+        let xs = noise(500, 4.0, 12);
+        let mut monitor = Cusum::new(4.1, 0.2, 4.0);
+        let incremental: Vec<CusumAlarm> = xs.iter().filter_map(|&x| monitor.push(x)).collect();
+        assert_eq!(incremental, Cusum::scan(4.1, 0.2, 4.0, &xs));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_threshold_panics() {
+        let _ = Cusum::new(0.0, 0.1, 0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! EWMA control chart — a third change-detector family.
+//!
+//! Between the windowed GLRT (reacts fast, forgets fast) and CUSUM
+//! (integrates forever, reacts slowly), the exponentially-weighted moving
+//! average chart holds the middle: `zₙ = (1−λ)zₙ₋₁ + λxₙ` with an alarm
+//! when `z` leaves `μ₀ ± L·σ_z`, where
+//! `σ_z = σ·√(λ/(2−λ)·(1−(1−λ)^{2n}))`. Exposed for detector
+//! experimentation alongside [`crate::cusum`].
+
+/// An EWMA alarm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EwmaAlarm {
+    /// Index at which the statistic left the control band.
+    pub index: usize,
+    /// Direction of the shift: `+1` upward, `-1` downward.
+    pub direction: i8,
+    /// Value of the EWMA statistic at the alarm.
+    pub statistic: f64,
+}
+
+/// An EWMA control chart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    mean: f64,
+    sigma: f64,
+    lambda: f64,
+    limit: f64,
+    z: f64,
+    n: usize,
+}
+
+impl Ewma {
+    /// Creates a chart around in-control mean `mean` with noise standard
+    /// deviation `sigma`, smoothing weight `lambda ∈ (0, 1]`, and control
+    /// limit `limit` (the `L` multiplier, typically ≈ 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `(0, 1]`, or `sigma`/`limit` are not
+    /// strictly positive.
+    #[must_use]
+    pub fn new(mean: f64, sigma: f64, lambda: f64, limit: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "lambda must lie in (0, 1], got {lambda}"
+        );
+        assert!(sigma > 0.0, "sigma must be positive");
+        assert!(limit > 0.0, "limit must be positive");
+        Ewma {
+            mean,
+            sigma,
+            lambda,
+            limit,
+            z: mean,
+            n: 0,
+        }
+    }
+
+    /// Feeds one observation; returns an alarm if the statistic left the
+    /// control band. The statistic resets to the center after an alarm.
+    pub fn push(&mut self, x: f64) -> Option<EwmaAlarm> {
+        self.z = (1.0 - self.lambda) * self.z + self.lambda * x;
+        let index = self.n;
+        self.n += 1;
+        let var_scale = self.lambda / (2.0 - self.lambda)
+            * (1.0 - (1.0 - self.lambda).powi(2 * self.n as i32));
+        let band = self.limit * self.sigma * var_scale.sqrt();
+        if (self.z - self.mean).abs() > band {
+            let direction = if self.z > self.mean { 1 } else { -1 };
+            let statistic = self.z;
+            self.z = self.mean;
+            Some(EwmaAlarm {
+                index,
+                direction,
+                statistic,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Returns the current EWMA statistic.
+    #[must_use]
+    pub const fn statistic(&self) -> f64 {
+        self.z
+    }
+
+    /// Runs the chart over a whole slice, collecting every alarm.
+    #[must_use]
+    pub fn scan(mean: f64, sigma: f64, lambda: f64, limit: f64, xs: &[f64]) -> Vec<EwmaAlarm> {
+        let mut chart = Ewma::new(mean, sigma, lambda, limit);
+        xs.iter().filter_map(|&x| chart.push(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noise(n: usize, mean: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| mean + rng.gen_range(-0.9..0.9)).collect()
+    }
+
+    #[test]
+    fn stationary_stream_is_quiet() {
+        // Uniform(-0.9, 0.9) noise has sigma ~0.52.
+        let xs = noise(3000, 4.0, 1);
+        let alarms = Ewma::scan(4.0, 0.52, 0.2, 3.5, &xs);
+        assert!(alarms.len() <= 1, "{} false alarms", alarms.len());
+    }
+
+    #[test]
+    fn shift_is_caught_quickly() {
+        let mut xs = noise(200, 4.0, 2);
+        xs.extend(noise(200, 3.2, 3));
+        let alarms = Ewma::scan(4.0, 0.52, 0.2, 3.0, &xs);
+        let first = alarms.iter().find(|a| a.direction == -1).expect("no alarm");
+        assert!(
+            (200..225).contains(&first.index),
+            "reaction too slow: index {}",
+            first.index
+        );
+    }
+
+    #[test]
+    fn direction_reported() {
+        let mut xs = noise(100, 4.0, 4);
+        xs.extend(noise(100, 4.8, 5));
+        let alarms = Ewma::scan(4.0, 0.52, 0.2, 3.0, &xs);
+        assert!(alarms.iter().any(|a| a.direction == 1));
+    }
+
+    #[test]
+    fn lambda_one_is_a_shewhart_chart() {
+        // With lambda = 1 the statistic is the raw observation.
+        let mut chart = Ewma::new(0.0, 1.0, 1.0, 3.0);
+        assert!(chart.push(2.0).is_none());
+        assert!(chart.push(4.0).is_some());
+    }
+
+    #[test]
+    fn statistic_tracks_input() {
+        let mut chart = Ewma::new(0.0, 1.0, 0.5, 10.0);
+        chart.push(2.0);
+        assert!((chart.statistic() - 1.0).abs() < 1e-12);
+        chart.push(2.0);
+        assert!((chart.statistic() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn zero_lambda_panics() {
+        let _ = Ewma::new(0.0, 1.0, 0.0, 3.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Generalized likelihood ratio tests used by the detectors.
+//!
+//! Two tests from the paper:
+//!
+//! * **Gaussian mean change** (Section IV-B, Eq. 1): both window halves are
+//!   modeled i.i.d. Gaussian with common variance `σ²`; the GLRT statistic
+//!   is `W(Â₁ − Â₂)² / (2σ²)` with `W` the half-window length.
+//! * **Poisson arrival-rate change** (Section IV-C, Eq. 5): daily rating
+//!   counts are Poisson; the statistic is
+//!   `(a/2D)·Ȳ₁ ln Ȳ₁ + (b/2D)·Ȳ₂ ln Ȳ₂ − Ȳ ln Ȳ`.
+
+use crate::stats;
+
+/// The Gaussian mean-change GLRT statistic `W(Â₁ − Â₂)² / (2σ²)` (paper
+/// Eq. 1).
+///
+/// `sigma2` is the (assumed common) noise variance. Returns `None` if
+/// either half is empty or `sigma2` is non-positive. When the halves have
+/// unequal lengths (shrunken edge windows) `W` is the harmonic mean-like
+/// effective length `n₁n₂/(n₁+n₂) · 2`, which reduces to `W = n` for equal
+/// halves and keeps the statistic χ²₁-scaled.
+#[must_use]
+pub fn mean_change_glrt(x1: &[f64], x2: &[f64], sigma2: f64) -> Option<f64> {
+    if x1.is_empty() || x2.is_empty() || sigma2 <= 0.0 {
+        return None;
+    }
+    let a1 = stats::mean(x1)?;
+    let a2 = stats::mean(x2)?;
+    let n1 = x1.len() as f64;
+    let n2 = x2.len() as f64;
+    let w_eff = 2.0 * n1 * n2 / (n1 + n2);
+    Some(w_eff * (a1 - a2).powi(2) / (2.0 * sigma2))
+}
+
+/// The unnormalized mean-change indicator `W(Â₁ − Â₂)²` used to build the
+/// MC indicator curve (paper Section IV-B.2).
+///
+/// The paper plots `MC(k) = W(Â₁ − Â₂)²` without dividing by the noise
+/// variance so that the curve is comparable across windows; the variance
+/// enters only through the decision threshold.
+#[must_use]
+pub fn mean_change_indicator(x1: &[f64], x2: &[f64]) -> Option<f64> {
+    if x1.is_empty() || x2.is_empty() {
+        return None;
+    }
+    let a1 = stats::mean(x1)?;
+    let a2 = stats::mean(x2)?;
+    let n1 = x1.len() as f64;
+    let n2 = x2.len() as f64;
+    let w_eff = 2.0 * n1 * n2 / (n1 + n2);
+    Some(w_eff * (a1 - a2).powi(2))
+}
+
+/// `x ln x`, continuously extended with `0 ln 0 = 0`.
+fn xlnx(x: f64) -> f64 {
+    if x <= 0.0 {
+        0.0
+    } else {
+        x * x.ln()
+    }
+}
+
+/// The Poisson arrival-rate-change GLRT statistic (paper Eq. 5).
+///
+/// `y1` and `y2` are daily rating counts left and right of the candidate
+/// change day. Returns the left-hand side of Eq. 5:
+///
+/// `(a / 2D)·Ȳ₁ ln Ȳ₁ + (b / 2D)·Ȳ₂ ln Ȳ₂ − Ȳ ln Ȳ`
+///
+/// where `a = |y1|`, `b = |y2|`, `2D = a + b`, and `Ȳ` is the overall
+/// mean. The statistic is non-negative (it is a scaled KL divergence
+/// between the split model and the pooled model) and zero when both rates
+/// agree. Returns `None` if either side is empty.
+#[must_use]
+pub fn arrival_rate_glrt(y1: &[u32], y2: &[u32]) -> Option<f64> {
+    if y1.is_empty() || y2.is_empty() {
+        return None;
+    }
+    let a = y1.len() as f64;
+    let b = y2.len() as f64;
+    let sum1: f64 = y1.iter().map(|&v| f64::from(v)).sum();
+    let sum2: f64 = y2.iter().map(|&v| f64::from(v)).sum();
+    let mean1 = sum1 / a;
+    let mean2 = sum2 / b;
+    let total = a + b;
+    let mean_all = (sum1 + sum2) / total;
+    Some((a / total) * xlnx(mean1) + (b / total) * xlnx(mean2) - xlnx(mean_all))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_change_zero_when_equal() {
+        let x = [4.0; 10];
+        assert_eq!(mean_change_glrt(&x, &x, 1.0), Some(0.0));
+        assert_eq!(mean_change_indicator(&x, &x), Some(0.0));
+    }
+
+    #[test]
+    fn mean_change_matches_formula_for_equal_halves() {
+        // Halves of length 5, means 4 and 2, sigma2 = 0.5:
+        // W (A1-A2)^2 / (2 sigma2) = 5 * 4 / 1 = 20.
+        let x1 = [4.0; 5];
+        let x2 = [2.0; 5];
+        let v = mean_change_glrt(&x1, &x2, 0.5).unwrap();
+        assert!((v - 20.0).abs() < 1e-12);
+        let ind = mean_change_indicator(&x1, &x2).unwrap();
+        assert!((ind - 20.0 * 1.0).abs() < 1e-12); // W (A1-A2)^2 = 5*4
+        assert!((ind - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_change_handles_unequal_halves() {
+        let x1 = [4.0; 2];
+        let x2 = [2.0; 8];
+        // w_eff = 2*2*8/10 = 3.2; stat = 3.2*4/(2*1) = 6.4
+        let v = mean_change_glrt(&x1, &x2, 1.0).unwrap();
+        assert!((v - 6.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_change_rejects_degenerate_inputs() {
+        assert_eq!(mean_change_glrt(&[], &[1.0], 1.0), None);
+        assert_eq!(mean_change_glrt(&[1.0], &[], 1.0), None);
+        assert_eq!(mean_change_glrt(&[1.0], &[1.0], 0.0), None);
+        assert_eq!(mean_change_indicator(&[], &[]), None);
+    }
+
+    #[test]
+    fn arrival_rate_zero_when_rates_equal() {
+        let y = [3u32; 10];
+        let v = arrival_rate_glrt(&y, &y).unwrap();
+        assert!(v.abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrival_rate_positive_on_change() {
+        let y1 = [2u32; 15];
+        let y2 = [10u32; 15];
+        let v = arrival_rate_glrt(&y1, &y2).unwrap();
+        assert!(v > 0.5, "expected a clear detection, got {v}");
+    }
+
+    #[test]
+    fn arrival_rate_handles_zero_counts() {
+        let y1 = [0u32; 10];
+        let y2 = [5u32; 10];
+        let v = arrival_rate_glrt(&y1, &y2).unwrap();
+        assert!(v.is_finite());
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn arrival_rate_empty_side_is_none() {
+        assert_eq!(arrival_rate_glrt(&[], &[1]), None);
+        assert_eq!(arrival_rate_glrt(&[1], &[]), None);
+    }
+
+    #[test]
+    fn arrival_rate_matches_hand_computation() {
+        // a = b = 2, means 1 and 3, overall 2.
+        // stat = 0.5*1*ln1 + 0.5*3*ln3 - 2*ln2
+        let y1 = [1u32, 1];
+        let y2 = [3u32, 3];
+        let expected = 0.5 * 3.0 * 3.0f64.ln() - 2.0 * 2.0f64.ln();
+        let v = arrival_rate_glrt(&y1, &y2).unwrap();
+        assert!((v - expected).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn glrt_nonnegative(
+            x1 in proptest::collection::vec(-10.0f64..10.0, 1..20),
+            x2 in proptest::collection::vec(-10.0f64..10.0, 1..20),
+            sigma2 in 0.01f64..10.0,
+        ) {
+            prop_assert!(mean_change_glrt(&x1, &x2, sigma2).unwrap() >= 0.0);
+        }
+
+        #[test]
+        fn glrt_shift_invariant(
+            x1 in proptest::collection::vec(-5.0f64..5.0, 2..20),
+            x2 in proptest::collection::vec(-5.0f64..5.0, 2..20),
+            shift in -100.0f64..100.0,
+        ) {
+            let s1: Vec<f64> = x1.iter().map(|v| v + shift).collect();
+            let s2: Vec<f64> = x2.iter().map(|v| v + shift).collect();
+            let a = mean_change_glrt(&x1, &x2, 1.0).unwrap();
+            let b = mean_change_glrt(&s1, &s2, 1.0).unwrap();
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+
+        #[test]
+        fn arrival_rate_nonnegative(
+            y1 in proptest::collection::vec(0u32..20, 1..30),
+            y2 in proptest::collection::vec(0u32..20, 1..30),
+        ) {
+            prop_assert!(arrival_rate_glrt(&y1, &y2).unwrap() >= -1e-12);
+        }
+    }
+}

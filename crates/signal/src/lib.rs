@@ -1,0 +1,46 @@
+//! Statistical signal-processing substrate for unfair-rating detection.
+//!
+//! The paper's detectors reduce to a handful of classical tools, all
+//! implemented here from first principles:
+//!
+//! * descriptive statistics ([`stats`]),
+//! * the Gaussian mean-change GLRT of Eq. (1) and the Poisson
+//!   arrival-rate GLRT of Eq. (5) ([`glrt`]),
+//! * autoregressive modeling by the covariance method, used by the
+//!   model-error detector ([`ar`]), backed by a small dense linear solver
+//!   ([`linalg`]),
+//! * single-linkage agglomerative clustering, replacing MATLAB's
+//!   `clusterdata()` in the histogram-change detector ([`cluster`]),
+//! * indicator-curve analysis: peaks, U-shapes, segmentation ([`curve`]),
+//! * special functions for the beta-reputation machinery: `ln Γ`, the
+//!   regularized incomplete beta function and its inverse ([`special`]),
+//! * random sampling primitives (Gaussian via Box–Muller, Poisson,
+//!   truncated normal) used by the fair-data and attack generators
+//!   ([`sampling`]),
+//! * alternative change-detector families for comparison — Page CUSUM
+//!   ([`cusum`]) and the EWMA control chart ([`ewma`]) — and whiteness
+//!   diagnostics (autocorrelation, Ljung–Box) that check the paper's
+//!   honest-ratings-are-white-noise premise ([`autocorr`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ar;
+pub mod autocorr;
+pub mod cluster;
+pub mod curve;
+pub mod cusum;
+pub mod ewma;
+pub mod glrt;
+pub mod linalg;
+pub mod sampling;
+pub mod special;
+pub mod stats;
+
+pub use ar::{fit_ar, ArModel};
+pub use cluster::{single_linkage, single_linkage_1d};
+pub use cusum::{Cusum, CusumAlarm};
+pub use ewma::{Ewma, EwmaAlarm};
+pub use curve::{Curve, CurvePoint, Peak, UShape};
+pub use glrt::{arrival_rate_glrt, mean_change_glrt, mean_change_indicator};
+pub use special::{ln_gamma, reg_inc_beta, reg_inc_beta_inv};

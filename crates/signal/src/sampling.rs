@@ -1,0 +1,210 @@
+//! Random sampling primitives.
+//!
+//! `rand` 0.8 ships uniform sampling only; the distributions the fair-data
+//! and attack generators need — Gaussian, Poisson, truncated Gaussian,
+//! exponential — are implemented here so the workspace carries no extra
+//! dependency.
+
+use rand::Rng;
+
+/// Draws a Gaussian sample by the Box–Muller transform.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or either parameter is non-finite.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(
+        mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+        "gaussian parameters must be finite with std_dev >= 0"
+    );
+    if std_dev == 0.0 {
+        return mean;
+    }
+    // u1 in (0, 1] avoids ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    let radius = (-2.0 * u1.ln()).sqrt();
+    let angle = 2.0 * std::f64::consts::PI * u2;
+    mean + std_dev * radius * angle.cos()
+}
+
+/// Draws a Poisson sample with rate `lambda`.
+///
+/// Uses Knuth's multiplication method for small rates and the additivity
+/// of the Poisson distribution for large ones (`Poisson(λ₁ + λ₂) =
+/// Poisson(λ₁) + Poisson(λ₂)`), so the result is exact for any rate.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "poisson rate must be finite and non-negative"
+    );
+    const CHUNK: f64 = 30.0;
+    let mut remaining = lambda;
+    let mut total = 0u64;
+    while remaining > CHUNK {
+        total += poisson_knuth(rng, CHUNK);
+        remaining -= CHUNK;
+    }
+    total + poisson_knuth(rng, remaining)
+}
+
+fn poisson_knuth<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Draws a Gaussian sample conditioned on lying in `[lo, hi]`.
+///
+/// Rejection-samples up to 128 times, then falls back to clamping — the
+/// generators that use this (rating values on the 0–5 scale) prefer a
+/// slightly distorted tail over an unbounded loop when the requested mass
+/// barely overlaps the interval, which is exactly what a human attacker
+/// pinning values at the scale boundary does.
+///
+/// # Panics
+///
+/// Panics if `hi < lo` or any parameter is non-finite.
+pub fn truncated_gaussian<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(lo.is_finite() && hi.is_finite() && hi >= lo, "invalid truncation interval");
+    for _ in 0..128 {
+        let x = gaussian(rng, mean, std_dev);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    gaussian(rng, mean, std_dev).clamp(lo, hi)
+}
+
+/// Draws an exponential sample with the given rate (mean `1 / rate`).
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "exponential rate must be positive"
+    );
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFEED)
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..40_000).map(|_| gaussian(&mut r, 4.0, 0.5)).collect();
+        let m = stats::mean(&xs).unwrap();
+        let s = stats::std_dev(&xs).unwrap();
+        assert!((m - 4.0).abs() < 0.02, "mean {m}");
+        assert!((s - 0.5).abs() < 0.02, "std {s}");
+    }
+
+    #[test]
+    fn gaussian_zero_std_is_constant() {
+        let mut r = rng();
+        assert_eq!(gaussian(&mut r, 3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn poisson_moments_small_lambda() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..40_000).map(|_| poisson(&mut r, 3.0) as f64).collect();
+        let m = stats::mean(&xs).unwrap();
+        let v = stats::variance(&xs).unwrap();
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+        assert!((v - 3.0).abs() < 0.15, "var {v}");
+    }
+
+    #[test]
+    fn poisson_moments_large_lambda() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut r, 95.0) as f64).collect();
+        let m = stats::mean(&xs).unwrap();
+        let v = stats::variance(&xs).unwrap();
+        assert!((m - 95.0).abs() < 0.5, "mean {m}");
+        assert!((v - 95.0).abs() < 4.0, "var {v}");
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn truncated_gaussian_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..2_000 {
+            let x = truncated_gaussian(&mut r, 4.0, 2.0, 0.0, 5.0);
+            assert!((0.0..=5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_gaussian_far_mean_clamps() {
+        let mut r = rng();
+        // Mass almost entirely below lo: fallback clamping must terminate.
+        let x = truncated_gaussian(&mut r, -100.0, 0.1, 0.0, 5.0);
+        assert_eq!(x, 0.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..40_000).map(|_| exponential(&mut r, 2.0)).collect();
+        let m = stats::mean(&xs).unwrap();
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = exponential(&mut rng(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(1);
+            (0..10).map(|_| poisson(&mut r, 5.0)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(1);
+            (0..10).map(|_| poisson(&mut r, 5.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

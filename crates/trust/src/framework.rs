@@ -1,0 +1,181 @@
+//! A simplified generic trust-establishment framework (Sun & Yang,
+//! ICC'07).
+//!
+//! The paper's trust manager is described as "simplifying the generic
+//! framework of trust establishment proposed in \[15\]". The two core
+//! operators of that framework are kept here:
+//!
+//! * **Concatenation** along a recommendation path — trust through a chain
+//!   of recommenders can never exceed any link.
+//! * **Fusion** across independent paths — multiple opinions combine with
+//!   weights proportional to their confidence.
+//!
+//! Trust values live in `[0, 1]` with 0.5 meaning "no information", as in
+//! the beta model.
+
+/// An opinion about a subject: a trust value and the confidence (number of
+/// observations, or any non-negative weight) behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Opinion {
+    /// Trust value in `[0, 1]`.
+    pub trust: f64,
+    /// Non-negative confidence weight.
+    pub confidence: f64,
+}
+
+impl Opinion {
+    /// Creates an opinion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trust` is outside `[0, 1]` or `confidence` is negative.
+    #[must_use]
+    pub fn new(trust: f64, confidence: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&trust),
+            "trust must lie in [0, 1], got {trust}"
+        );
+        assert!(
+            confidence.is_finite() && confidence >= 0.0,
+            "confidence must be non-negative"
+        );
+        Opinion { trust, confidence }
+    }
+
+    /// The neutral, zero-information opinion.
+    #[must_use]
+    pub fn neutral() -> Self {
+        Opinion {
+            trust: 0.5,
+            confidence: 0.0,
+        }
+    }
+}
+
+/// Concatenates trust along a recommendation path.
+///
+/// If A trusts B with `t_ab` and B reports trust `t_bc` in C, A's derived
+/// trust in C is pulled from `t_bc` toward the neutral 0.5 in proportion to
+/// how far `t_ab` falls below certainty:
+///
+/// `t_ac = 0.5 + (t_bc − 0.5) · r(t_ab)`, with `r(t) = max(2t − 1, 0)`.
+///
+/// A recommender at or below trust 0.5 contributes nothing (`t_ac = 0.5`)
+/// — distrusted recommenders are ignored rather than inverted, which is
+/// the standard defense against badmouthing the badmouther.
+#[must_use]
+pub fn concatenate(t_ab: f64, t_bc: f64) -> f64 {
+    let reliability = (2.0 * t_ab - 1.0).max(0.0);
+    0.5 + (t_bc - 0.5) * reliability
+}
+
+/// Fuses independent opinions by confidence-weighted averaging.
+///
+/// Returns the neutral opinion when the total confidence is zero. The
+/// fused confidence is the sum of the inputs' confidences.
+#[must_use]
+pub fn fuse(opinions: &[Opinion]) -> Opinion {
+    let total: f64 = opinions.iter().map(|o| o.confidence).sum();
+    if total <= 0.0 {
+        return Opinion::neutral();
+    }
+    let trust = opinions
+        .iter()
+        .map(|o| o.trust * o.confidence)
+        .sum::<f64>()
+        / total;
+    Opinion {
+        trust,
+        confidence: total,
+    }
+}
+
+/// Derives trust through a multi-hop path by repeated concatenation.
+///
+/// An empty path yields full self-trust (1.0): concatenating nothing is
+/// the identity.
+#[must_use]
+pub fn path_trust(path: &[f64]) -> f64 {
+    let mut acc = 1.0;
+    for &hop in path {
+        acc = concatenate(acc, hop);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn concatenate_with_full_trust_is_identity() {
+        assert_eq!(concatenate(1.0, 0.9), 0.9);
+        assert_eq!(concatenate(1.0, 0.2), 0.2);
+    }
+
+    #[test]
+    fn concatenate_with_neutral_recommender_is_neutral() {
+        assert_eq!(concatenate(0.5, 0.9), 0.5);
+        // Distrusted recommenders are ignored, not inverted.
+        assert_eq!(concatenate(0.1, 0.9), 0.5);
+    }
+
+    #[test]
+    fn concatenate_shrinks_toward_neutral() {
+        let derived = concatenate(0.8, 0.9);
+        assert!(derived > 0.5 && derived < 0.9);
+    }
+
+    #[test]
+    fn fuse_weighted_average() {
+        let fused = fuse(&[Opinion::new(1.0, 3.0), Opinion::new(0.0, 1.0)]);
+        assert!((fused.trust - 0.75).abs() < 1e-12);
+        assert_eq!(fused.confidence, 4.0);
+    }
+
+    #[test]
+    fn fuse_empty_is_neutral() {
+        assert_eq!(fuse(&[]), Opinion::neutral());
+        assert_eq!(fuse(&[Opinion::new(0.9, 0.0)]), Opinion::neutral());
+    }
+
+    #[test]
+    fn path_trust_degrades_with_length() {
+        let short = path_trust(&[0.9]);
+        let long = path_trust(&[0.9, 0.9, 0.9]);
+        assert!(long < short);
+        assert!(long > 0.5);
+        assert_eq!(path_trust(&[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trust must lie")]
+    fn opinion_rejects_out_of_range() {
+        let _ = Opinion::new(1.2, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn concatenate_never_exceeds_recommendation_confidence(
+            t_ab in 0.0f64..=1.0,
+            t_bc in 0.0f64..=1.0,
+        ) {
+            let t = concatenate(t_ab, t_bc);
+            prop_assert!((0.0..=1.0).contains(&t));
+            // Derived opinion is never more extreme than the recommendation.
+            prop_assert!((t - 0.5).abs() <= (t_bc - 0.5).abs() + 1e-12);
+        }
+
+        #[test]
+        fn fuse_bounded_by_inputs(
+            opinions in proptest::collection::vec((0.0f64..=1.0, 0.01f64..10.0), 1..8)
+        ) {
+            let ops: Vec<Opinion> = opinions.iter().map(|&(t, c)| Opinion::new(t, c)).collect();
+            let fused = fuse(&ops);
+            let lo = ops.iter().map(|o| o.trust).fold(f64::INFINITY, f64::min);
+            let hi = ops.iter().map(|o| o.trust).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(fused.trust >= lo - 1e-12 && fused.trust <= hi + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+use crate::BetaTrust;
+use rrs_core::{RaterId, RatingDataset, RatingId, TimeWindow};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summary of one trust-update epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrustUpdate {
+    /// Raters whose records changed in this epoch.
+    pub touched: Vec<RaterId>,
+    /// Total ratings processed.
+    pub ratings: usize,
+    /// Total ratings that were marked suspicious.
+    pub suspicious: usize,
+}
+
+/// The trust manager of the P-scheme (paper Procedure 1).
+///
+/// Maintains one [`BetaTrust`] record per rater. At each update epoch the
+/// caller supplies the time window covered by the epoch and the set of
+/// ratings currently marked suspicious; the manager counts, per rater, how
+/// many of that rater's ratings in the window were suspicious and updates
+/// the record.
+///
+/// ```
+/// use rrs_core::{ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue,
+///                TimeWindow, Timestamp};
+/// use rrs_trust::TrustManager;
+/// use std::collections::BTreeSet;
+///
+/// # fn main() -> Result<(), rrs_core::CoreError> {
+/// let mut dataset = RatingDataset::new();
+/// let id = dataset.insert(
+///     Rating::new(RaterId::new(1), ProductId::new(0), Timestamp::new(3.0)?, RatingValue::new(0.0)?),
+///     RatingSource::Unfair,
+/// );
+/// let mut manager = TrustManager::new();
+/// let mut suspicious = BTreeSet::new();
+/// suspicious.insert(id);
+/// let window = TimeWindow::new(Timestamp::new(0.0)?, Timestamp::new(30.0)?)?;
+/// manager.update_epoch(&dataset, window, &suspicious);
+/// assert!(manager.trust_of(RaterId::new(1)) < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TrustManager {
+    records: BTreeMap<RaterId, BetaTrust>,
+}
+
+impl TrustManager {
+    /// Creates a manager with no records; unknown raters have trust 0.5.
+    #[must_use]
+    pub fn new() -> Self {
+        TrustManager::default()
+    }
+
+    /// Runs one epoch of Procedure 1 over all ratings in `window`.
+    ///
+    /// For each rater: `n_i` = ratings provided in the window, `f_i` =
+    /// those marked suspicious; accumulates `F_i += f_i`,
+    /// `S_i += n_i − f_i`.
+    pub fn update_epoch(
+        &mut self,
+        dataset: &RatingDataset,
+        window: TimeWindow,
+        suspicious: &BTreeSet<RatingId>,
+    ) -> TrustUpdate {
+        let mut per_rater: BTreeMap<RaterId, (u64, u64)> = BTreeMap::new();
+        let mut total = 0usize;
+        let mut total_suspicious = 0usize;
+        for (_, timeline) in dataset.products() {
+            for entry in timeline.in_window(window) {
+                let counts = per_rater.entry(entry.rater()).or_insert((0, 0));
+                counts.0 += 1;
+                total += 1;
+                if suspicious.contains(&entry.id()) {
+                    counts.1 += 1;
+                    total_suspicious += 1;
+                }
+            }
+        }
+        let mut touched = Vec::with_capacity(per_rater.len());
+        for (rater, (n, f)) in per_rater {
+            self.records.entry(rater).or_default().record(n, f);
+            touched.push(rater);
+        }
+        TrustUpdate {
+            touched,
+            ratings: total,
+            suspicious: total_suspicious,
+        }
+    }
+
+    /// Returns the trust value of a rater (0.5 if never observed).
+    #[must_use]
+    pub fn trust_of(&self, rater: RaterId) -> f64 {
+        self.records.get(&rater).map_or(0.5, BetaTrust::trust)
+    }
+
+    /// Returns the full record of a rater, if one exists.
+    #[must_use]
+    pub fn record(&self, rater: RaterId) -> Option<&BetaTrust> {
+        self.records.get(&rater)
+    }
+
+    /// Returns a snapshot of all trust values.
+    #[must_use]
+    pub fn snapshot(&self) -> BTreeMap<RaterId, f64> {
+        self.records
+            .iter()
+            .map(|(r, t)| (*r, t.trust()))
+            .collect()
+    }
+
+    /// Applies exponential forgetting to every record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is outside `[0, 1]`.
+    pub fn discount_all(&mut self, factor: f64) {
+        for record in self.records.values_mut() {
+            record.discount(factor);
+        }
+    }
+
+    /// Returns the number of raters with records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if no rater has been observed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrs_core::{ProductId, Rating, RatingSource, RatingValue, Timestamp};
+
+    fn rating(rater: u32, product: u16, day: f64, value: f64) -> Rating {
+        Rating::new(
+            RaterId::new(rater),
+            ProductId::new(product),
+            Timestamp::new(day).unwrap(),
+            RatingValue::new(value).unwrap(),
+        )
+    }
+
+    fn window(a: f64, b: f64) -> TimeWindow {
+        TimeWindow::new(Timestamp::new(a).unwrap(), Timestamp::new(b).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn unknown_rater_is_neutral() {
+        let m = TrustManager::new();
+        assert_eq!(m.trust_of(RaterId::new(9)), 0.5);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn honest_rater_gains_trust_over_epochs() {
+        let mut d = RatingDataset::new();
+        for day in 0..60 {
+            d.insert(rating(1, 0, f64::from(day), 4.0), RatingSource::Fair);
+        }
+        let mut m = TrustManager::new();
+        let empty = BTreeSet::new();
+        m.update_epoch(&d, window(0.0, 30.0), &empty);
+        let after_one = m.trust_of(RaterId::new(1));
+        m.update_epoch(&d, window(30.0, 60.0), &empty);
+        let after_two = m.trust_of(RaterId::new(1));
+        assert!(after_one > 0.9);
+        assert!(after_two > after_one);
+    }
+
+    #[test]
+    fn suspicious_marks_destroy_trust() {
+        let mut d = RatingDataset::new();
+        let mut marked = BTreeSet::new();
+        for day in 0..20 {
+            let id = d.insert(rating(2, 0, f64::from(day), 0.0), RatingSource::Unfair);
+            marked.insert(id);
+        }
+        let mut m = TrustManager::new();
+        m.update_epoch(&d, window(0.0, 30.0), &marked);
+        assert!(m.trust_of(RaterId::new(2)) < 0.1);
+    }
+
+    #[test]
+    fn update_counts_only_ratings_in_window() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(1, 0, 5.0, 4.0), RatingSource::Fair);
+        d.insert(rating(1, 0, 45.0, 4.0), RatingSource::Fair);
+        let mut m = TrustManager::new();
+        let up = m.update_epoch(&d, window(0.0, 30.0), &BTreeSet::new());
+        assert_eq!(up.ratings, 1);
+        // (S+1)/(S+F+2) with S=1, F=0 => 2/3.
+        assert!((m.trust_of(RaterId::new(1)) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_spans_products() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(1, 0, 1.0, 4.0), RatingSource::Fair);
+        d.insert(rating(1, 1, 2.0, 4.0), RatingSource::Fair);
+        let mut m = TrustManager::new();
+        let up = m.update_epoch(&d, window(0.0, 30.0), &BTreeSet::new());
+        assert_eq!(up.ratings, 2);
+        assert_eq!(up.touched, vec![RaterId::new(1)]);
+    }
+
+    #[test]
+    fn mixed_marks_balance() {
+        let mut d = RatingDataset::new();
+        let mut marked = BTreeSet::new();
+        for day in 0..10 {
+            let id = d.insert(rating(3, 0, f64::from(day), 4.0), RatingSource::Fair);
+            if day < 5 {
+                marked.insert(id);
+            }
+        }
+        let mut m = TrustManager::new();
+        let up = m.update_epoch(&d, window(0.0, 30.0), &marked);
+        assert_eq!(up.suspicious, 5);
+        // S=5, F=5 => 6/12 = 0.5.
+        assert!((m.trust_of(RaterId::new(3)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_and_len() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(1, 0, 1.0, 4.0), RatingSource::Fair);
+        d.insert(rating(2, 0, 2.0, 4.0), RatingSource::Fair);
+        let mut m = TrustManager::new();
+        m.update_epoch(&d, window(0.0, 30.0), &BTreeSet::new());
+        assert_eq!(m.len(), 2);
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.values().all(|&t| t > 0.5));
+    }
+
+    #[test]
+    fn discount_all_moves_toward_neutral() {
+        let mut d = RatingDataset::new();
+        for day in 0..30 {
+            d.insert(rating(1, 0, f64::from(day), 4.0), RatingSource::Fair);
+        }
+        let mut m = TrustManager::new();
+        m.update_epoch(&d, window(0.0, 30.0), &BTreeSet::new());
+        let before = m.trust_of(RaterId::new(1));
+        m.discount_all(0.01);
+        let after = m.trust_of(RaterId::new(1));
+        assert!(after < before);
+        assert!((after - 0.5).abs() < (before - 0.5).abs());
+    }
+}

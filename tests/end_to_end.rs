@@ -1,0 +1,125 @@
+//! End-to-end integration: challenge generation → attack → validation →
+//! scoring across all three defense schemes.
+
+use rrs::aggregation::{BfScheme, PScheme, SaScheme};
+use rrs::attack::AttackStrategy;
+use rrs::challenge::{ChallengeConfig, RatingChallenge, ScoringSession};
+use rrs::AggregationScheme;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn challenge() -> RatingChallenge {
+    RatingChallenge::generate(&ChallengeConfig::small(), 1234)
+}
+
+#[test]
+fn full_pipeline_runs_and_defenses_rank_correctly() {
+    let challenge = challenge();
+    let ctx = challenge.attack_context();
+    let mut rng = StdRng::seed_from_u64(5);
+    let attack = AttackStrategy::NaiveExtreme {
+        start_day: 8.0,
+        duration_days: 10.0,
+    }
+    .build(&ctx, &mut rng);
+    challenge.validate(&attack).expect("strategy obeys the rules");
+
+    let p = challenge.score(&PScheme::new(), &attack).unwrap();
+    let sa = challenge.score(&SaScheme::new(), &attack).unwrap();
+    let bf = challenge.score(&BfScheme::new(), &attack).unwrap();
+
+    assert!(sa.total() > 0.3, "naive attack should hurt SA: {sa}");
+    assert!(
+        p.total() < sa.total() * 0.5,
+        "P-scheme must blunt a naive attack well below SA: P {} vs SA {}",
+        p.total(),
+        sa.total()
+    );
+    assert!(
+        bf.total() < sa.total(),
+        "BF filters zero-variance extremes: BF {} vs SA {}",
+        bf.total(),
+        sa.total()
+    );
+}
+
+#[test]
+fn scoring_is_deterministic_per_seed() {
+    let a = {
+        let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 7);
+        let ctx = challenge.attack_context();
+        let mut rng = StdRng::seed_from_u64(2);
+        let attack = AttackStrategy::UniformSpread.build(&ctx, &mut rng);
+        challenge.score(&PScheme::new(), &attack).unwrap().total()
+    };
+    let b = {
+        let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 7);
+        let ctx = challenge.attack_context();
+        let mut rng = StdRng::seed_from_u64(2);
+        let attack = AttackStrategy::UniformSpread.build(&ctx, &mut rng);
+        challenge.score(&PScheme::new(), &attack).unwrap().total()
+    };
+    assert_eq!(a, b);
+}
+
+#[test]
+fn scoring_session_agrees_with_direct_scoring_for_every_scheme() {
+    let challenge = challenge();
+    let ctx = challenge.attack_context();
+    let mut rng = StdRng::seed_from_u64(3);
+    let attack = AttackStrategy::Burst {
+        bias: 2.5,
+        std_dev: 0.8,
+        start_day: 10.0,
+        duration_days: 12.0,
+    }
+    .build(&ctx, &mut rng);
+
+    let p = PScheme::new();
+    let sa = SaScheme::new();
+    let bf = BfScheme::new();
+    for scheme in [&p as &dyn AggregationScheme, &sa, &bf] {
+        let session = ScoringSession::new(&challenge, scheme);
+        let via_session = session.score(&attack);
+        let direct = challenge.score(scheme, &attack).unwrap();
+        assert_eq!(via_session, direct, "mismatch for {}", scheme.name());
+    }
+}
+
+#[test]
+fn unvalidated_garbage_is_rejected() {
+    use rrs::attack::AttackSequence;
+    use rrs::{ProductId, RaterId, Rating, RatingValue, Timestamp};
+
+    let challenge = challenge();
+    // Rater id outside the assigned biased block.
+    let rogue = AttackSequence::new(
+        "rogue",
+        vec![Rating::new(
+            RaterId::new(3),
+            ProductId::new(0),
+            Timestamp::new(40.0).unwrap(),
+            RatingValue::new(0.0).unwrap(),
+        )],
+    );
+    assert!(challenge.validate(&rogue).is_err());
+}
+
+#[test]
+fn boost_and_downgrade_both_move_scores() {
+    let challenge = challenge();
+    let ctx = challenge.attack_context();
+    let mut rng = StdRng::seed_from_u64(9);
+    let attack = AttackStrategy::NaiveExtreme {
+        start_day: 5.0,
+        duration_days: 8.0,
+    }
+    .build(&ctx, &mut rng);
+    let report = challenge.score(&SaScheme::new(), &attack).unwrap();
+    let boost = challenge.config().boost_targets[0];
+    let downgrade = challenge.config().downgrade_targets[0];
+    assert!(report.product_mp(downgrade) > 0.0);
+    assert!(report.product_mp(boost) > 0.0);
+    // Downgrading has more room than boosting a ~4.0 product.
+    assert!(report.product_mp(downgrade) > report.product_mp(boost));
+}

@@ -1,0 +1,86 @@
+//! The attack generator and population always satisfy the challenge
+//! rules, across strategies and seeds.
+
+use rrs::attack::{generate_population, strategies, PopulationConfig};
+use rrs::challenge::{ChallengeConfig, RatingChallenge};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn every_catalog_strategy_validates_against_the_paper_challenge() {
+    let challenge = RatingChallenge::generate(&ChallengeConfig::paper(), 77);
+    let ctx = challenge.attack_context();
+    let mut rng = StdRng::seed_from_u64(8);
+    for strategy in strategies::catalog() {
+        let seq = strategy.build(&ctx, &mut rng);
+        assert_eq!(
+            challenge.validate(&seq),
+            Ok(()),
+            "{} violates the challenge rules",
+            strategy.name()
+        );
+        assert!(!seq.is_empty(), "{} is empty", strategy.name());
+    }
+}
+
+#[test]
+fn population_is_deterministic_and_valid() {
+    let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 78);
+    let ctx = challenge.attack_context();
+    let config = PopulationConfig {
+        size: 40,
+        seed: 99,
+    };
+    let a = generate_population(&ctx, &config);
+    let b = generate_population(&ctx, &config);
+    assert_eq!(a, b, "population generation must be reproducible");
+    for spec in &a {
+        challenge
+            .validate(&spec.sequence)
+            .unwrap_or_else(|e| panic!("submission {} [{}]: {e}", spec.id, spec.strategy));
+    }
+}
+
+#[test]
+fn population_stats_are_consistent_with_sequences() {
+    let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 79);
+    let ctx = challenge.attack_context();
+    let population = generate_population(
+        &ctx,
+        &PopulationConfig {
+            size: 30,
+            seed: 5,
+        },
+    );
+    for spec in &population {
+        for (&product, &bias) in &spec.stats.bias {
+            let fair_mean = ctx.fair_view(product).mean;
+            let ratings = spec.sequence.for_product(product);
+            let mean: f64 =
+                ratings.iter().map(|r| r.value().get()).sum::<f64>() / ratings.len() as f64;
+            assert!(
+                (mean - fair_mean - bias).abs() < 1e-9,
+                "bias bookkeeping drifted for {product} in submission {}",
+                spec.id
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn population_respects_rules_across_seeds(seed in 0u64..1000) {
+        let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 80);
+        let ctx = challenge.attack_context();
+        let population = generate_population(
+            &ctx,
+            &PopulationConfig { size: 10, seed },
+        );
+        for spec in &population {
+            prop_assert!(challenge.validate(&spec.sequence).is_ok());
+        }
+    }
+}

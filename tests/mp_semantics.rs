@@ -1,0 +1,139 @@
+//! Cross-crate properties of the manipulation-power metric.
+
+use rrs::aggregation::SaScheme;
+use rrs::attack::AttackStrategy;
+use rrs::challenge::{ChallengeConfig, RatingChallenge};
+use rrs::core::{manipulation_power, io, MpParams, ScoringMode};
+use rrs::{Days, RatingValue};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture() -> (RatingChallenge, rrs::attack::AttackSequence) {
+    let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 99);
+    let ctx = challenge.attack_context();
+    let mut rng = StdRng::seed_from_u64(17);
+    let attack = AttackStrategy::Burst {
+        bias: 3.0,
+        std_dev: 0.5,
+        start_day: 10.0,
+        duration_days: 12.0,
+    }
+    .build(&ctx, &mut rng);
+    (challenge, attack)
+}
+
+#[test]
+fn mp_is_bounded_by_the_rating_scale() {
+    let (challenge, attack) = fixture();
+    let report = challenge.score(&SaScheme::new(), &attack).unwrap();
+    let params = MpParams::paper();
+    let max_per_product = RatingValue::SCALE_MAX * params.top_k as f64;
+    for (product, detail) in report.iter() {
+        assert!(
+            detail.mp() <= max_per_product,
+            "{product}: MP {} exceeds the theoretical bound",
+            detail.mp()
+        );
+        for d in detail.deltas() {
+            assert!(*d <= RatingValue::SCALE_MAX);
+            assert!(*d >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn per_period_and_cumulative_modes_agree_on_zero_attack() {
+    let (challenge, _) = fixture();
+    let clean = challenge.fair_dataset();
+    for scoring in [ScoringMode::Cumulative, ScoringMode::PerPeriod] {
+        let params = MpParams {
+            scoring,
+            ..MpParams::paper()
+        };
+        let report = manipulation_power(&SaScheme::new(), clean, clean, &params).unwrap();
+        assert_eq!(report.total(), 0.0, "mode {scoring:?}");
+    }
+}
+
+#[test]
+fn top_k_is_monotone() {
+    let (challenge, attack) = fixture();
+    let attacked = challenge.attacked_dataset(&attack);
+    let clean = challenge.fair_dataset();
+    let mut previous = 0.0;
+    for top_k in 1..=4 {
+        let params = MpParams {
+            top_k,
+            ..MpParams::paper()
+        };
+        let total = manipulation_power(&SaScheme::new(), clean, &attacked, &params)
+            .unwrap()
+            .total();
+        assert!(
+            total >= previous - 1e-12,
+            "MP must grow with top_k: {previous} -> {total} at k={top_k}"
+        );
+        previous = total;
+    }
+}
+
+#[test]
+fn shorter_periods_never_lose_the_attack() {
+    // With 10-day checkpoints the attack cannot straddle its way out of
+    // visibility entirely.
+    let (challenge, attack) = fixture();
+    let attacked = challenge.attacked_dataset(&attack);
+    let params = MpParams {
+        period: Days::new(10.0).unwrap(),
+        ..MpParams::paper()
+    };
+    let report =
+        manipulation_power(&SaScheme::new(), challenge.fair_dataset(), &attacked, &params)
+            .unwrap();
+    assert!(report.total() > 0.1, "attack vanished: {report}");
+}
+
+#[test]
+fn csv_round_trip_preserves_mp() {
+    let (challenge, attack) = fixture();
+    let attacked = challenge.attacked_dataset(&attack);
+    let params = MpParams::paper();
+    let direct =
+        manipulation_power(&SaScheme::new(), challenge.fair_dataset(), &attacked, &params)
+            .unwrap();
+
+    let clean_restored = io::read_csv(io::to_csv_string(challenge.fair_dataset()).as_bytes())
+        .expect("clean csv round-trips");
+    let attacked_restored =
+        io::read_csv(io::to_csv_string(&attacked).as_bytes()).expect("attacked csv round-trips");
+    let restored =
+        manipulation_power(&SaScheme::new(), &clean_restored, &attacked_restored, &params)
+            .unwrap();
+    assert!(
+        (direct.total() - restored.total()).abs() < 1e-9,
+        "MP drifted across CSV: {} vs {}",
+        direct.total(),
+        restored.total()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn mp_never_negative_for_any_burst(bias in 0.5f64..4.0, std in 0.0f64..1.5, start in 0.0f64..30.0) {
+        let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 7);
+        let ctx = challenge.attack_context();
+        let mut rng = StdRng::seed_from_u64(3);
+        let attack = AttackStrategy::Burst {
+            bias,
+            std_dev: std,
+            start_day: start,
+            duration_days: 10.0,
+        }
+        .build(&ctx, &mut rng);
+        let report = challenge.score(&SaScheme::new(), &attack).unwrap();
+        prop_assert!(report.total() >= 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-crate invariants of the defense schemes.
+
+use rrs::aggregation::{BfScheme, PScheme, SaScheme};
+use rrs::attack::AttackStrategy;
+use rrs::challenge::{ChallengeConfig, RatingChallenge};
+use rrs::core::GroundTruth;
+use rrs::AggregationScheme;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn no_attack_means_zero_mp_for_every_scheme() {
+    let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 11);
+    let clean = challenge.fair_dataset().clone();
+    let p = PScheme::new();
+    let sa = SaScheme::new();
+    let bf = BfScheme::new();
+    for scheme in [&p as &dyn AggregationScheme, &sa, &bf] {
+        let report = challenge.score_dataset(scheme, &clean).unwrap();
+        assert_eq!(
+            report.total(),
+            0.0,
+            "{} reports phantom manipulation",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn p_scheme_rarely_marks_fair_data() {
+    let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 12);
+    let outcome = PScheme::new().evaluate(challenge.fair_dataset(), &challenge.eval_context());
+    let total = challenge.fair_dataset().len();
+    let marked = outcome.suspicious().len();
+    assert!(
+        (marked as f64) < total as f64 * 0.05,
+        "P-scheme marked {marked}/{total} fair ratings"
+    );
+}
+
+#[test]
+fn scores_stay_on_the_rating_scale() {
+    let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 13);
+    let ctx = challenge.attack_context();
+    let mut rng = StdRng::seed_from_u64(1);
+    let attack = AttackStrategy::ExtremeWide {
+        std_dev: 1.8,
+        start_day: 10.0,
+        duration_days: 15.0,
+    }
+    .build(&ctx, &mut rng);
+    let attacked = challenge.attacked_dataset(&attack);
+    let p = PScheme::new();
+    let sa = SaScheme::new();
+    let bf = BfScheme::new();
+    for scheme in [&p as &dyn AggregationScheme, &sa, &bf] {
+        let outcome = scheme.evaluate(&attacked, &challenge.eval_context());
+        for (product, scores) in outcome.iter_scores() {
+            for score in scores.iter().flatten() {
+                assert!(
+                    (0.0..=5.0).contains(score),
+                    "{} produced off-scale score {score} for {product}",
+                    scheme.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn more_attackers_do_more_damage_to_sa() {
+    let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 14);
+    let ctx = challenge.attack_context();
+    let sa = SaScheme::new();
+
+    let mp_with = |n: usize| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut limited = ctx.clone();
+        limited.raters.truncate(n);
+        let attack = AttackStrategy::NaiveExtreme {
+            start_day: 8.0,
+            duration_days: 10.0,
+        }
+        .build(&limited, &mut rng);
+        challenge.score(&sa, &attack).unwrap().total()
+    };
+    let small = mp_with(10);
+    let large = mp_with(50);
+    assert!(
+        large > small,
+        "50 attackers ({large}) should beat 10 ({small}) against plain averaging"
+    );
+}
+
+#[test]
+fn p_scheme_detects_most_of_a_naive_burst() {
+    let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 15);
+    let ctx = challenge.attack_context();
+    let mut rng = StdRng::seed_from_u64(6);
+    let attack = AttackStrategy::NaiveExtreme {
+        start_day: 12.0,
+        duration_days: 10.0,
+    }
+    .build(&ctx, &mut rng);
+    let attacked = challenge.attacked_dataset(&attack);
+    let outcome = PScheme::new().evaluate(&attacked, &challenge.eval_context());
+    let truth = GroundTruth::from_dataset(&attacked);
+    let confusion = truth.score(outcome.suspicious());
+    assert!(
+        confusion.recall() > 0.6,
+        "naive burst should be mostly caught: {confusion}"
+    );
+    assert!(
+        confusion.false_alarm_rate() < 0.25,
+        "too many fair casualties: {confusion}"
+    );
+}
+
+#[test]
+fn bf_scheme_filters_extremes_but_not_moderates() {
+    // The paper's Fig. 3 vs Fig. 4 contrast: BF trims the large-bias /
+    // zero-variance corner but leaves moderate attacks intact.
+    let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 16);
+    let ctx = challenge.attack_context();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let extreme = AttackStrategy::NaiveExtreme {
+        start_day: 10.0,
+        duration_days: 10.0,
+    }
+    .build(&ctx, &mut rng);
+    let moderate = AttackStrategy::MajoritySneak {
+        bias: 1.0,
+        start_day: 10.0,
+        duration_days: 20.0,
+    }
+    .build(&ctx, &mut rng);
+
+    let ratio = |attack: &rrs::attack::AttackSequence| {
+        let sa = challenge.score(&SaScheme::new(), attack).unwrap().total();
+        let bf = challenge.score(&BfScheme::new(), attack).unwrap().total();
+        bf / sa.max(1e-9)
+    };
+    let extreme_ratio = ratio(&extreme);
+    let moderate_ratio = ratio(&moderate);
+    assert!(
+        extreme_ratio < 0.9,
+        "BF should trim a zero-variance extreme attack, ratio {extreme_ratio:.3}"
+    );
+    assert!(
+        moderate_ratio > 0.9,
+        "BF should NOT stop a majority-sneak attack, ratio {moderate_ratio:.3}"
+    );
+}
