@@ -17,9 +17,7 @@
 
 use crate::filter::filter_ratings;
 use crate::weighted::weighted_aggregate;
-use rrs_core::{
-    AggregationScheme, EvalContext, RatingDataset, SchemeOutcome, TimeWindow,
-};
+use rrs_core::{AggregationScheme, EvalContext, RatingDataset, SchemeOutcome, TimeWindow};
 use rrs_detectors::{DetectorConfig, JointDetector};
 use rrs_trust::TrustManager;
 use std::collections::BTreeMap;
@@ -156,8 +154,8 @@ impl AggregationScheme for PScheme {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rrs_core::rng::RrsRng;
+    use rrs_core::rng::Xoshiro256pp;
     use rrs_core::{
         Days, GroundTruth, ProductId, RaterId, Rating, RatingSource, RatingValue, Timestamp,
     };
@@ -168,7 +166,7 @@ mod tests {
 
     /// 90 days of fair data, ~4 ratings/day at mean 4.0, raters recur.
     fn fair_dataset(seed: u64) -> RatingDataset {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut d = RatingDataset::new();
         for day in 0..90 {
             let n = 3 + (rng.gen::<u8>() % 3) as u32;

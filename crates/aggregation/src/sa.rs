@@ -34,10 +34,7 @@ impl AggregationScheme for SaScheme {
                     if slice.is_empty() {
                         None
                     } else {
-                        Some(
-                            slice.iter().map(RatingEntry::value).sum::<f64>()
-                                / slice.len() as f64,
-                        )
+                        Some(slice.iter().map(RatingEntry::value).sum::<f64>() / slice.len() as f64)
                     }
                 })
                 .collect();

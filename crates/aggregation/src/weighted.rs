@@ -18,10 +18,7 @@ pub fn weighted_aggregate(ratings: &[(f64, f64)]) -> Option<f64> {
     }
     let total_weight: f64 = ratings.iter().map(|(_, t)| (t - 0.5).max(0.0)).sum();
     if total_weight > 0.0 {
-        let weighted: f64 = ratings
-            .iter()
-            .map(|(v, t)| v * (t - 0.5).max(0.0))
-            .sum();
+        let weighted: f64 = ratings.iter().map(|(v, t)| v * (t - 0.5).max(0.0)).sum();
         Some(weighted / total_weight)
     } else {
         Some(ratings.iter().map(|(v, _)| v).sum::<f64>() / ratings.len() as f64)
@@ -31,7 +28,8 @@ pub fn weighted_aggregate(ratings: &[(f64, f64)]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rrs_core::check::vec_of;
+    use rrs_core::{prop_assert, props};
 
     #[test]
     fn empty_is_none() {
@@ -58,10 +56,10 @@ mod tests {
         assert!((weighted_aggregate(&r).unwrap() - 3.6).abs() < 1e-12);
     }
 
-    proptest! {
+    props! {
         #[test]
         fn result_bounded_by_values(
-            ratings in proptest::collection::vec((0.0f64..=5.0, 0.0f64..=1.0), 1..20)
+            ratings in vec_of((0.0f64..=5.0, 0.0f64..=1.0), 1..20)
         ) {
             let agg = weighted_aggregate(&ratings).unwrap();
             let lo = ratings.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min);
@@ -71,7 +69,7 @@ mod tests {
 
         #[test]
         fn uniform_trust_equals_mean(
-            values in proptest::collection::vec(0.0f64..=5.0, 1..20),
+            values in vec_of(0.0f64..=5.0, 1..20),
             trust in 0.6f64..1.0,
         ) {
             let ratings: Vec<(f64, f64)> = values.iter().map(|&v| (v, trust)).collect();

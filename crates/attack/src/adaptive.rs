@@ -16,8 +16,7 @@ use crate::mapper::MappingStrategy;
 use crate::search::{RegionSearch, SearchConfig, SearchOutcome, SearchSpace};
 use crate::time_gen::ArrivalModel;
 use crate::types::{AttackContext, AttackSequence};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rrs_core::rng::Xoshiro256pp;
 use rrs_core::{Days, Timestamp};
 
 /// Configuration of the adaptive attacker.
@@ -110,7 +109,7 @@ impl AdaptiveAttacker {
             mapping: MappingStrategy::InOrder,
             calibrated: true,
         };
-        let mut rng = StdRng::seed_from_u64(
+        let mut rng = Xoshiro256pp::seed_from_u64(
             self.config
                 .seed
                 .wrapping_mul(8191)
@@ -170,11 +169,8 @@ mod tests {
             );
         }
         AttackContext {
-            horizon: TimeWindow::new(
-                Timestamp::new(0.0).unwrap(),
-                Timestamp::new(90.0).unwrap(),
-            )
-            .unwrap(),
+            horizon: TimeWindow::new(Timestamp::new(0.0).unwrap(), Timestamp::new(90.0).unwrap())
+                .unwrap(),
             raters: (0..50).map(RaterId::new).collect(),
             targets: vec![
                 (ProductId::new(0), Direction::Boost),
@@ -189,9 +185,12 @@ mod tests {
         // Oracle rewards realized bias near -2 with spread near 1 on the
         // downgraded product.
         let ctx = context();
+        // 4 trials per cell: with fewer, per-cell sampling noise in the
+        // realized spread can steer the quadrant refinement just past the
+        // tolerance below.
         let attacker = AdaptiveAttacker::with_config(AdaptiveConfig {
             search: SearchConfig {
-                trials: 2,
+                trials: 4,
                 ..SearchConfig::default()
             },
             ..AdaptiveConfig::default()
@@ -203,8 +202,7 @@ mod tests {
                 .map(|r| r.value().get())
                 .collect();
             let mean = values.iter().sum::<f64>() / values.len() as f64;
-            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                / values.len() as f64;
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
             let bias = mean - 4.0;
             2.0 - (bias - -2.0).powi(2) - (var.sqrt() - 1.0).powi(2)
         });

@@ -10,7 +10,7 @@ use crate::mapper::{map_values_to_times, MappingStrategy};
 use crate::time_gen::{generate_times, ArrivalModel};
 use crate::types::{AttackContext, AttackSequence, Direction};
 use crate::value_gen::generate_values;
-use rand::Rng;
+use rrs_core::rng::RrsRng;
 use rrs_core::{Days, ProductId, Rating, Timestamp};
 
 /// Parameters of the attack on one product.
@@ -74,7 +74,7 @@ impl AttackGenerator {
     /// `ctx.raters` in order; `config.count` is capped at the number of
     /// available raters so the "one rating per rater per object"
     /// challenge rule always holds.
-    pub fn generate_product<R: Rng + ?Sized>(
+    pub fn generate_product<R: RrsRng + ?Sized>(
         &self,
         rng: &mut R,
         ctx: &AttackContext,
@@ -86,7 +86,13 @@ impl AttackGenerator {
         let count = config.count.min(ctx.raters.len());
         let bias = direction.sign() * config.bias_magnitude;
         let values = if config.calibrated {
-            crate::value_gen::generate_values_calibrated(rng, fair.mean, bias, config.std_dev, count)
+            crate::value_gen::generate_values_calibrated(
+                rng,
+                fair.mean,
+                bias,
+                config.std_dev,
+                count,
+            )
         } else {
             generate_values(rng, fair.mean, bias, config.std_dev, count)
         };
@@ -108,7 +114,7 @@ impl AttackGenerator {
 
     /// Generates a full submission: the same config applied to every
     /// target of the context (signs per target direction).
-    pub fn generate<R: Rng + ?Sized>(
+    pub fn generate<R: RrsRng + ?Sized>(
         &self,
         rng: &mut R,
         ctx: &AttackContext,
@@ -127,8 +133,7 @@ impl AttackGenerator {
 mod tests {
     use super::*;
     use crate::types::FairView;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rrs_core::rng::Xoshiro256pp;
     use rrs_core::{RaterId, TimeWindow};
     use std::collections::BTreeMap;
 
@@ -139,11 +144,8 @@ mod tests {
             fair.insert(ProductId::new(p), FairView::new(fair_points.clone()));
         }
         AttackContext {
-            horizon: TimeWindow::new(
-                Timestamp::new(0.0).unwrap(),
-                Timestamp::new(180.0).unwrap(),
-            )
-            .unwrap(),
+            horizon: TimeWindow::new(Timestamp::new(0.0).unwrap(), Timestamp::new(180.0).unwrap())
+                .unwrap(),
             raters: (0..50).map(RaterId::new).collect(),
             targets: vec![
                 (ProductId::new(0), Direction::Boost),
@@ -157,7 +159,7 @@ mod tests {
 
     #[test]
     fn generates_one_rating_per_rater_per_product() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let ctx = context();
         let seq = AttackGenerator::new().generate(
             &mut rng,
@@ -178,7 +180,7 @@ mod tests {
 
     #[test]
     fn direction_controls_value_side() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
         let ctx = context();
         let config = AttackConfig {
             bias_magnitude: 3.0,
@@ -196,7 +198,7 @@ mod tests {
 
     #[test]
     fn count_is_capped_by_rater_pool() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         let mut ctx = context();
         ctx.raters.truncate(10);
         let config = AttackConfig {
@@ -215,7 +217,7 @@ mod tests {
 
     #[test]
     fn times_respect_attack_window() {
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
         let ctx = context();
         let config = AttackConfig {
             start: Timestamp::new(60.0).unwrap(),
@@ -240,13 +242,13 @@ mod tests {
         let ctx = context();
         let config = AttackConfig::naive_burst(Timestamp::new(30.0).unwrap());
         let a = AttackGenerator::new().generate(
-            &mut StdRng::seed_from_u64(42),
+            &mut Xoshiro256pp::seed_from_u64(42),
             &ctx,
             "a",
             &config,
         );
         let b = AttackGenerator::new().generate(
-            &mut StdRng::seed_from_u64(42),
+            &mut Xoshiro256pp::seed_from_u64(42),
             &ctx,
             "b",
             &config,

@@ -42,7 +42,9 @@ pub mod value_gen;
 pub use adaptive::{AdaptiveAttacker, AdaptiveConfig, AdaptiveOutcome};
 pub use generator::{AttackConfig, AttackGenerator};
 pub use mapper::MappingStrategy;
-pub use population::{generate_population, submission_stats, PopulationConfig, SubmissionSpec, SubmissionStats};
+pub use population::{
+    generate_population, submission_stats, PopulationConfig, SubmissionSpec, SubmissionStats,
+};
 pub use search::{RegionSearch, SearchConfig, SearchOutcome, SearchSpace};
 pub use strategies::AttackStrategy;
 pub use time_gen::ArrivalModel;

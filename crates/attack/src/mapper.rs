@@ -10,8 +10,8 @@
 //! pull strongest against whatever the fair signal is currently showing.
 
 use crate::types::FairView;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use rrs_core::rng::RrsRng;
+use rrs_core::rng::SliceRandom;
 use rrs_core::{RatingValue, Timestamp};
 
 /// How values are matched to times.
@@ -38,7 +38,7 @@ pub enum MappingStrategy {
 /// # Panics
 ///
 /// Panics if `values` and `times` have different lengths.
-pub fn map_values_to_times<R: Rng + ?Sized>(
+pub fn map_values_to_times<R: RrsRng + ?Sized>(
     rng: &mut R,
     values: &[RatingValue],
     times: &[Timestamp],
@@ -53,7 +53,10 @@ pub fn map_values_to_times<R: Rng + ?Sized>(
     let mut sorted_times = times.to_vec();
     sorted_times.sort();
     match strategy {
-        MappingStrategy::InOrder => sorted_times.into_iter().zip(values.iter().copied()).collect(),
+        MappingStrategy::InOrder => sorted_times
+            .into_iter()
+            .zip(values.iter().copied())
+            .collect(),
         MappingStrategy::Random => {
             let mut shuffled = values.to_vec();
             shuffled.shuffle(rng);
@@ -126,9 +129,9 @@ pub fn anti_correlation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rrs_core::check::vec_of;
+    use rrs_core::rng::Xoshiro256pp;
+    use rrs_core::{prop_assert, prop_assert_eq, props};
 
     fn ts(d: f64) -> Timestamp {
         Timestamp::new(d).unwrap()
@@ -140,12 +143,16 @@ mod tests {
 
     fn fair() -> FairView {
         // Fair values alternate 5 and 3 day by day.
-        FairView::new((0..20).map(|i| (f64::from(i), if i % 2 == 0 { 5.0 } else { 3.0 })).collect())
+        FairView::new(
+            (0..20)
+                .map(|i| (f64::from(i), if i % 2 == 0 { 5.0 } else { 3.0 }))
+                .collect(),
+        )
     }
 
     #[test]
     fn in_order_keeps_sequence() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let pairs = map_values_to_times(
             &mut rng,
             &[rv(1.0), rv(2.0)],
@@ -160,7 +167,7 @@ mod tests {
 
     #[test]
     fn random_is_a_permutation() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let values = [rv(0.0), rv(1.0), rv(2.0), rv(3.0)];
         let times = [ts(0.5), ts(1.5), ts(2.5), ts(3.5)];
         let pairs =
@@ -212,7 +219,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "equal sizes")]
     fn mismatched_lengths_panic() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let _ = map_values_to_times(
             &mut rng,
             &[rv(1.0)],
@@ -222,13 +229,13 @@ mod tests {
         );
     }
 
-    proptest! {
+    props! {
         #[test]
         fn all_strategies_preserve_multiset(
-            values in proptest::collection::vec(0.0f64..=5.0, 1..30),
+            values in vec_of(0.0f64..=5.0, 1..30),
             seed in 0u64..100,
         ) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
             let vs: Vec<RatingValue> = values.iter().map(|&v| rv(v)).collect();
             let times: Vec<Timestamp> = (0..vs.len()).map(|i| ts(i as f64 * 0.7)).collect();
             for strategy in [

@@ -17,8 +17,8 @@ use crate::strategies::AttackStrategy;
 use crate::time_gen::average_interval;
 use crate::types::{AttackContext, AttackSequence};
 use crate::value_gen::realized_bias_std;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rrs_core::rng::RrsRng;
+use rrs_core::rng::Xoshiro256pp;
 use rrs_core::{ProductId, RatingValue};
 use std::collections::BTreeMap;
 
@@ -73,7 +73,7 @@ pub struct SubmissionSpec {
 /// Deterministic given `config.seed`.
 #[must_use]
 pub fn generate_population(ctx: &AttackContext, config: &PopulationConfig) -> Vec<SubmissionSpec> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
     (0..config.size)
         .map(|id| {
             let strategy = sample_strategy(&mut rng, ctx);
@@ -117,7 +117,7 @@ pub fn submission_stats(ctx: &AttackContext, sequence: &AttackSequence) -> Submi
 ///
 /// Weights keep the straightforward share a bit above one half, matching
 /// the paper's observation about the collected data.
-fn sample_strategy<R: Rng + ?Sized>(rng: &mut R, ctx: &AttackContext) -> AttackStrategy {
+fn sample_strategy<R: RrsRng + ?Sized>(rng: &mut R, ctx: &AttackContext) -> AttackStrategy {
     let horizon = ctx.horizon.length().get();
     // Random attack window helpers.
     let start = |rng: &mut R, max_dur: f64| rng.gen_range(0.0..(horizon - max_dur).max(1.0));
@@ -240,11 +240,8 @@ mod tests {
             );
         }
         AttackContext {
-            horizon: TimeWindow::new(
-                Timestamp::new(0.0).unwrap(),
-                Timestamp::new(180.0).unwrap(),
-            )
-            .unwrap(),
+            horizon: TimeWindow::new(Timestamp::new(0.0).unwrap(), Timestamp::new(180.0).unwrap())
+                .unwrap(),
             raters: (1000..1050).map(RaterId::new).collect(),
             targets: vec![
                 (ProductId::new(0), Direction::Boost),
@@ -259,10 +256,7 @@ mod tests {
     #[test]
     fn population_has_requested_size_and_is_deterministic() {
         let ctx = context();
-        let config = PopulationConfig {
-            size: 40,
-            seed: 7,
-        };
+        let config = PopulationConfig { size: 40, seed: 7 };
         let a = generate_population(&ctx, &config);
         let b = generate_population(&ctx, &config);
         assert_eq!(a.len(), 40);
@@ -286,13 +280,7 @@ mod tests {
     #[test]
     fn stats_signs_match_directions() {
         let ctx = context();
-        let pop = generate_population(
-            &ctx,
-            &PopulationConfig {
-                size: 60,
-                seed: 11,
-            },
-        );
+        let pop = generate_population(&ctx, &PopulationConfig { size: 60, seed: 11 });
         for spec in &pop {
             if spec.strategy == "random-noise" {
                 continue; // unbiased by construction
@@ -357,13 +345,7 @@ mod tests {
     #[test]
     fn every_submission_respects_challenge_rules() {
         let ctx = context();
-        let pop = generate_population(
-            &ctx,
-            &PopulationConfig {
-                size: 80,
-                seed: 3,
-            },
-        );
+        let pop = generate_population(&ctx, &PopulationConfig { size: 80, seed: 3 });
         for spec in &pop {
             assert!(spec.sequence.len() <= ctx.raters.len() * ctx.targets.len());
             for r in &spec.sequence.ratings {

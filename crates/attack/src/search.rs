@@ -221,7 +221,10 @@ mod tests {
         }
         // Union of quadrant bias ranges spans the area.
         let lo = qs.iter().map(|q| q.bias.0).fold(f64::INFINITY, f64::min);
-        let hi = qs.iter().map(|q| q.bias.1).fold(f64::NEG_INFINITY, f64::max);
+        let hi = qs
+            .iter()
+            .map(|q| q.bias.1)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!((lo, hi), s.bias);
     }
 
@@ -242,7 +245,11 @@ mod tests {
             2.0 * (-d).exp()
         };
         let outcome = RegionSearch::new().run(SearchSpace::paper_downgrade(), surface);
-        assert!(outcome.rounds.len() >= 3, "rounds: {}", outcome.rounds.len());
+        assert!(
+            outcome.rounds.len() >= 3,
+            "rounds: {}",
+            outcome.rounds.len()
+        );
         let (bias, std) = outcome.final_area.center();
         assert!(
             (bias - -2.3).abs() < 0.6,
@@ -280,13 +287,10 @@ mod tests {
             max_rounds: 1,
             ..SearchConfig::default()
         };
-        let _ = RegionSearch::with_config(config).run(
-            SearchSpace::paper_downgrade(),
-            |_, _, t| {
-                trials_seen.push(t);
-                0.0
-            },
-        );
+        let _ = RegionSearch::with_config(config).run(SearchSpace::paper_downgrade(), |_, _, t| {
+            trials_seen.push(t);
+            0.0
+        });
         // 4 subareas x 3 trials.
         assert_eq!(trials_seen.len(), 12);
         assert_eq!(trials_seen.iter().filter(|&&t| t == 0).count(), 4);

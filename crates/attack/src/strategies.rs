@@ -17,7 +17,7 @@ use crate::mapper::{map_values_to_times, MappingStrategy};
 use crate::time_gen::{generate_times, ArrivalModel};
 use crate::types::{AttackContext, AttackSequence, Direction};
 use crate::value_gen::generate_values;
-use rand::Rng;
+use rrs_core::rng::RrsRng;
 use rrs_core::{Days, Rating, RatingValue, Timestamp};
 
 /// A parameterized attack strategy.
@@ -215,7 +215,7 @@ impl AttackStrategy {
     }
 
     /// Builds the unfair ratings of one submission using this strategy.
-    pub fn build<R: Rng + ?Sized>(&self, ctx: &AttackContext, rng: &mut R) -> AttackSequence {
+    pub fn build<R: RrsRng + ?Sized>(&self, ctx: &AttackContext, rng: &mut R) -> AttackSequence {
         let generator = AttackGenerator::new();
         let count = ctx.raters.len();
         let horizon_days = ctx.horizon.length().get();
@@ -355,9 +355,7 @@ impl AttackStrategy {
                     dur(duration_days),
                     move |fair_mean, direction, i| {
                         let progress = i as f64 / n;
-                        RatingValue::new_clamped(
-                            fair_mean + direction.sign() * max_bias * progress,
-                        )
+                        RatingValue::new_clamped(fair_mean + direction.sign() * max_bias * progress)
                     },
                 )
             }
@@ -379,9 +377,8 @@ impl AttackStrategy {
                         mapping: MappingStrategy::InOrder,
                         calibrated: false,
                     };
-                    ratings.extend(
-                        generator.generate_product(rng, ctx, product, direction, &config),
-                    );
+                    ratings
+                        .extend(generator.generate_product(rng, ctx, product, direction, &config));
                 }
                 AttackSequence::new(self.name(), ratings)
             }
@@ -552,7 +549,6 @@ impl AttackStrategy {
             ),
         }
     }
-
 }
 
 /// Builds a submission whose values come from a per-index function of
@@ -568,7 +564,7 @@ fn build_with_value_fn<R, F>(
     value_fn: F,
 ) -> AttackSequence
 where
-    R: Rng + ?Sized,
+    R: RrsRng + ?Sized,
     F: Fn(f64, Direction, usize) -> RatingValue,
 {
     let count = ctx.raters.len();
@@ -673,8 +669,7 @@ pub fn catalog() -> Vec<AttackStrategy> {
 mod tests {
     use super::*;
     use crate::types::FairView;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rrs_core::rng::Xoshiro256pp;
     use rrs_core::ProductId;
     use rrs_core::{RaterId, TimeWindow};
     use std::collections::BTreeMap;
@@ -684,15 +679,16 @@ mod tests {
         for p in 0..4u16 {
             fair.insert(
                 ProductId::new(p),
-                FairView::new((0..180).map(|i| (f64::from(i), 4.0 + f64::from(i % 3) * 0.2)).collect()),
+                FairView::new(
+                    (0..180)
+                        .map(|i| (f64::from(i), 4.0 + f64::from(i % 3) * 0.2))
+                        .collect(),
+                ),
             );
         }
         AttackContext {
-            horizon: TimeWindow::new(
-                Timestamp::new(0.0).unwrap(),
-                Timestamp::new(180.0).unwrap(),
-            )
-            .unwrap(),
+            horizon: TimeWindow::new(Timestamp::new(0.0).unwrap(), Timestamp::new(180.0).unwrap())
+                .unwrap(),
             raters: (0..50).map(RaterId::new).collect(),
             targets: vec![
                 (ProductId::new(0), Direction::Boost),
@@ -707,7 +703,7 @@ mod tests {
     #[test]
     fn every_strategy_builds_valid_submissions() {
         let ctx = context();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         for strategy in catalog() {
             let seq = strategy.build(&ctx, &mut rng);
             assert!(!seq.is_empty(), "{} built nothing", strategy.name());
@@ -742,7 +738,7 @@ mod tests {
     #[test]
     fn downgrade_targets_get_low_values_boost_high() {
         let ctx = context();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let seq = AttackStrategy::NaiveExtreme {
             start_day: 30.0,
             duration_days: 10.0,
@@ -759,7 +755,7 @@ mod tests {
     #[test]
     fn oscillator_alternates() {
         let ctx = context();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let seq = AttackStrategy::Oscillator {
             bias: 2.0,
             amplitude: 1.0,
@@ -779,7 +775,7 @@ mod tests {
     #[test]
     fn ramp_is_monotone_toward_bias() {
         let ctx = context();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let seq = AttackStrategy::Ramp {
             max_bias: 3.0,
             start_day: 20.0,

@@ -7,7 +7,7 @@
 //! truncated to the 0–5 scale — exactly the parameterization of the
 //! variance–bias plane in the paper's Figures 2–5.
 
-use rand::Rng;
+use rrs_core::rng::RrsRng;
 use rrs_core::RatingValue;
 use rrs_signal::sampling::truncated_gaussian;
 
@@ -21,7 +21,7 @@ use rrs_signal::sampling::truncated_gaussian;
 /// # Panics
 ///
 /// Panics if `std_dev` is negative or any parameter is non-finite.
-pub fn generate_values<R: Rng + ?Sized>(
+pub fn generate_values<R: RrsRng + ?Sized>(
     rng: &mut R,
     fair_mean: f64,
     bias: f64,
@@ -67,7 +67,7 @@ pub fn generate_values<R: Rng + ?Sized>(
 /// # Panics
 ///
 /// Panics if `std_dev` is negative or any parameter is non-finite.
-pub fn generate_values_calibrated<R: Rng + ?Sized>(
+pub fn generate_values_calibrated<R: RrsRng + ?Sized>(
     rng: &mut R,
     fair_mean: f64,
     bias: f64,
@@ -124,12 +124,11 @@ pub fn realized_bias_std(values: &[RatingValue], fair_mean: f64) -> Option<(f64,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rrs_core::rng::Xoshiro256pp;
+    use rrs_core::{prop_assert, prop_assert_eq, props};
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(99)
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(99)
     }
 
     #[test]
@@ -184,7 +183,7 @@ mod tests {
         assert!(generate_values(&mut rng(), 4.0, -1.0, 0.5, 0).is_empty());
     }
 
-    proptest! {
+    props! {
         #[test]
         fn values_always_on_scale(
             bias in -5.0f64..2.0,
@@ -192,7 +191,7 @@ mod tests {
             count in 0usize..100,
             seed in 0u64..1000,
         ) {
-            let mut r = StdRng::seed_from_u64(seed);
+            let mut r = Xoshiro256pp::seed_from_u64(seed);
             let vs = generate_values(&mut r, 4.0, bias, std, count);
             prop_assert_eq!(vs.len(), count);
             for v in vs {

@@ -12,11 +12,12 @@
 //! | `ext_boost_plane` | boost-side analysis (paper future work) |
 //! | `ext_roc_sweep` | per-detector operating characteristics |
 //! | `ext_scoring_modes` | cumulative vs per-period MP scoring |
+//!
+//! Emits `BENCH_figures.json` (see `rrs_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rrs_aggregation::{BfScheme, PScheme, SaScheme};
 use rrs_attack::{RegionSearch, SearchConfig, SearchSpace};
-use rrs_bench::bench_workbench;
+use rrs_bench::{bench_workbench, Harness};
 use rrs_challenge::ScoringSession;
 use rrs_core::AggregationScheme;
 use rrs_eval::{boost, fig5, fig6, fig7, roc, scoring_ablation};
@@ -24,43 +25,36 @@ use std::hint::black_box;
 
 const POPULATION_SLICE: usize = 12;
 
-fn score_slice(c: &mut Criterion, name: &str, scheme: &dyn AggregationScheme) {
+fn score_slice(h: &mut Harness, name: &str, scheme: &dyn AggregationScheme) {
     let workbench = bench_workbench(42);
     let session = ScoringSession::new(&workbench.challenge, scheme);
-    c.bench_function(name, |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for spec in workbench.population.iter().take(POPULATION_SLICE) {
-                total += session.score(black_box(&spec.sequence)).total();
-            }
-            black_box(total)
-        });
+    h.bench(name, || {
+        let mut total = 0.0;
+        for spec in workbench.population.iter().take(POPULATION_SLICE) {
+            total += session.score(black_box(&spec.sequence)).total();
+        }
+        total
     });
 }
 
-fn fig2_variance_bias_p(c: &mut Criterion) {
-    score_slice(c, "fig2_variance_bias_p", &PScheme::new());
-}
+fn main() {
+    let mut h = Harness::new("figures");
 
-fn fig3_variance_bias_sa(c: &mut Criterion) {
-    score_slice(c, "fig3_variance_bias_sa", &SaScheme::new());
-}
+    score_slice(&mut h, "fig2_variance_bias_p", &PScheme::new());
+    score_slice(&mut h, "fig3_variance_bias_sa", &SaScheme::new());
+    score_slice(&mut h, "fig4_variance_bias_bf", &BfScheme::new());
 
-fn fig4_variance_bias_bf(c: &mut Criterion) {
-    score_slice(c, "fig4_variance_bias_bf", &BfScheme::new());
-}
-
-fn fig5_region_search(c: &mut Criterion) {
     let workbench = bench_workbench(42);
-    let scheme = PScheme::new();
-    let session = ScoringSession::new(&workbench.challenge, &scheme);
-    let config = SearchConfig {
-        trials: 2,
-        max_rounds: 2,
-        ..SearchConfig::default()
-    };
-    c.bench_function("fig5_region_search", |b| {
-        b.iter(|| {
+
+    {
+        let scheme = PScheme::new();
+        let session = ScoringSession::new(&workbench.challenge, &scheme);
+        let config = SearchConfig {
+            trials: 2,
+            max_rounds: 2,
+            ..SearchConfig::default()
+        };
+        h.bench("fig5_region_search", || {
             let outcome = RegionSearch::with_config(config).run(
                 SearchSpace::paper_downgrade(),
                 |bias, std, trial| {
@@ -68,60 +62,24 @@ fn fig5_region_search(c: &mut Criterion) {
                     fig5::downgrade_mp(&workbench, &session.score(&seq))
                 },
             );
-            black_box(outcome.best_mp)
+            outcome.best_mp
         });
-    });
-}
+    }
 
-fn fig6_interval_sweep(c: &mut Criterion) {
-    let workbench = bench_workbench(42);
-    c.bench_function("fig6_interval_sweep", |b| {
-        b.iter(|| {
-            let sweep = fig6::interval_sweep(&workbench, &[0.5, 2.0, 6.0, 12.0], 1);
-            black_box(sweep.len())
-        });
+    h.bench("fig6_interval_sweep", || {
+        fig6::interval_sweep(&workbench, &[0.5, 2.0, 6.0, 12.0], 1).len()
     });
-}
 
-fn fig7_correlation(c: &mut Criterion) {
-    let workbench = bench_workbench(42);
-    c.bench_function("fig7_correlation", |b| {
-        b.iter(|| {
-            let comparisons = fig7::compare_orders(&workbench, 3, 2);
-            black_box(comparisons.len())
-        });
+    h.bench("fig7_correlation", || {
+        fig7::compare_orders(&workbench, 3, 2).len()
     });
-}
 
-fn ext_boost_plane(c: &mut Criterion) {
-    let workbench = bench_workbench(42);
-    c.bench_function("ext_boost_plane", |b| {
-        b.iter(|| black_box(boost::run(&workbench).tables.len()));
-    });
-}
-
-fn ext_roc_sweep(c: &mut Criterion) {
-    let workbench = bench_workbench(42);
-    c.bench_function("ext_roc_sweep", |b| {
-        b.iter(|| black_box(roc::sweep(&workbench, 2).len()));
-    });
-}
-
-fn ext_scoring_modes(c: &mut Criterion) {
-    let workbench = bench_workbench(42);
-    c.bench_function("ext_scoring_modes", |b| {
-        b.iter(|| black_box(scoring_ablation::run(&workbench).summary.len()));
-    });
-}
-
-fn claim_max_mp_ratio(c: &mut Criterion) {
-    let workbench = bench_workbench(42);
-    let p = PScheme::new();
-    let sa = SaScheme::new();
-    let p_session = ScoringSession::new(&workbench.challenge, &p);
-    let sa_session = ScoringSession::new(&workbench.challenge, &sa);
-    c.bench_function("claim_max_mp_ratio", |b| {
-        b.iter(|| {
+    {
+        let p = PScheme::new();
+        let sa = SaScheme::new();
+        let p_session = ScoringSession::new(&workbench.challenge, &p);
+        let sa_session = ScoringSession::new(&workbench.challenge, &sa);
+        h.bench("claim_max_mp_ratio", || {
             let best = |session: &ScoringSession<'_>| {
                 workbench
                     .population
@@ -130,29 +88,15 @@ fn claim_max_mp_ratio(c: &mut Criterion) {
                     .map(|s| session.score(&s.sequence).total())
                     .fold(0.0f64, f64::max)
             };
-            let ratio = best(&p_session) / best(&sa_session).max(1e-9);
-            black_box(ratio)
+            best(&p_session) / best(&sa_session).max(1e-9)
         });
+    }
+
+    h.bench("ext_boost_plane", || boost::run(&workbench).tables.len());
+    h.bench("ext_roc_sweep", || roc::sweep(&workbench, 2).len());
+    h.bench("ext_scoring_modes", || {
+        scoring_ablation::run(&workbench).summary.len()
     });
-}
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
+    h.finish();
 }
-
-criterion_group! {
-    name = figures;
-    config = config();
-    targets =
-        fig2_variance_bias_p,
-        fig3_variance_bias_sa,
-        fig4_variance_bias_bf,
-        fig5_region_search,
-        fig6_interval_sweep,
-        fig7_correlation,
-        claim_max_mp_ratio,
-        ext_boost_plane,
-        ext_roc_sweep,
-        ext_scoring_modes
-}
-criterion_main!(figures);

@@ -1,52 +1,54 @@
 //! Microbenchmarks: per-component costs of the detectors, schemes,
 //! generator stages, and math kernels.
+//!
+//! Emits `BENCH_micro.json` (see `rrs_bench::harness`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rrs_aggregation::{BfScheme, PScheme, SaScheme};
 use rrs_attack::generator::{AttackConfig, AttackGenerator};
 use rrs_attack::mapper::{heuristic_correlation, MappingStrategy};
 use rrs_attack::{ArrivalModel, FairView};
-use rrs_bench::bench_workbench;
+use rrs_bench::{bench_workbench, Harness};
+use rrs_core::rng::{RrsRng, Xoshiro256pp};
 use rrs_core::{AggregationScheme, RatingValue, Timestamp};
-use rrs_detectors::{arc, hc, mc, me, ArcConfig, ArcVariant, HcConfig, JointDetector, McConfig, MeConfig};
+use rrs_detectors::{
+    arc, hc, mc, me, ArcConfig, ArcVariant, HcConfig, JointDetector, McConfig, MeConfig,
+};
 use rrs_signal::special::reg_inc_beta_inv;
 use rrs_signal::{cluster, fit_ar, glrt};
-use std::hint::black_box;
 
-fn detectors(c: &mut Criterion) {
+fn detectors(h: &mut Harness) {
     let workbench = bench_workbench(7);
     let dataset = workbench.challenge.fair_dataset();
     let product = workbench.focus_product();
     let timeline = dataset.product(product).unwrap();
     let horizon = workbench.challenge.horizon();
 
-    c.bench_function("detector_mc", |b| {
-        b.iter(|| black_box(mc::detect(timeline, &McConfig::default(), |_| 0.5).peaks.len()));
+    h.bench("detector_mc", || {
+        mc::detect(timeline, &McConfig::default(), |_| 0.5)
+            .peaks
+            .len()
     });
-    c.bench_function("detector_arc_high", |b| {
-        b.iter(|| {
-            black_box(
-                arc::detect(timeline, horizon, ArcVariant::High, &ArcConfig::default())
-                    .peaks
-                    .len(),
-            )
-        });
+    h.bench("detector_arc_high", || {
+        arc::detect(timeline, horizon, ArcVariant::High, &ArcConfig::default())
+            .peaks
+            .len()
     });
-    c.bench_function("detector_hc", |b| {
-        b.iter(|| black_box(hc::detect(timeline, &HcConfig::default()).curve.len()));
+    h.bench("detector_hc", || {
+        hc::detect(timeline, &HcConfig::default()).curve.len()
     });
-    c.bench_function("detector_me", |b| {
-        b.iter(|| black_box(me::detect(timeline, &MeConfig::default()).curve.len()));
+    h.bench("detector_me", || {
+        me::detect(timeline, &MeConfig::default()).curve.len()
     });
-    c.bench_function("detector_joint", |b| {
-        let joint = JointDetector::default();
-        b.iter(|| black_box(joint.detect_product(timeline, horizon, |_| 0.5).suspicious.len()));
+    let joint = JointDetector::default();
+    h.bench("detector_joint", || {
+        joint
+            .detect_product(timeline, horizon, |_| 0.5)
+            .suspicious
+            .len()
     });
 }
 
-fn schemes(c: &mut Criterion) {
+fn schemes(h: &mut Harness) {
     let workbench = bench_workbench(8);
     let dataset = workbench.challenge.fair_dataset();
     let ctx = workbench.challenge.eval_context();
@@ -55,13 +57,11 @@ fn schemes(c: &mut Criterion) {
         ("scheme_bf", &BfScheme::new()),
         ("scheme_p", &PScheme::new()),
     ] {
-        c.bench_function(name, |b| {
-            b.iter(|| black_box(scheme.evaluate(dataset, &ctx).suspicious().len()));
-        });
+        h.bench(name, || scheme.evaluate(dataset, &ctx).suspicious().len());
     }
 }
 
-fn attack_generation(c: &mut Criterion) {
+fn attack_generation(h: &mut Harness) {
     let workbench = bench_workbench(9);
     let ctx = &workbench.attack_ctx;
     let config = AttackConfig {
@@ -74,10 +74,10 @@ fn attack_generation(c: &mut Criterion) {
         mapping: MappingStrategy::HeuristicCorrelation,
         calibrated: false,
     };
-    c.bench_function("attack_generate_submission", |b| {
-        let mut rng = StdRng::seed_from_u64(1);
-        let generator = AttackGenerator::new();
-        b.iter(|| black_box(generator.generate(&mut rng, ctx, "bench", &config).len()));
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let generator = AttackGenerator::new();
+    h.bench("attack_generate_submission", || {
+        generator.generate(&mut rng, ctx, "bench", &config).len()
     });
 
     let fair = FairView::new((0..720).map(|i| (f64::from(i) * 0.25, 4.0)).collect());
@@ -87,57 +87,64 @@ fn attack_generation(c: &mut Criterion) {
     let times: Vec<Timestamp> = (0..50)
         .map(|i| Timestamp::new(30.0 + f64::from(i) * 0.5).unwrap())
         .collect();
-    c.bench_function("mapper_heuristic_correlation", |b| {
-        b.iter(|| black_box(heuristic_correlation(&values, &times, &fair).len()));
+    h.bench("mapper_heuristic_correlation", || {
+        heuristic_correlation(&values, &times, &fair).len()
     });
 }
 
-fn math_kernels(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(3);
+fn math_kernels(h: &mut Harness) {
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
     let noise: Vec<f64> = (0..200).map(|_| 4.0 + rng.gen_range(-0.8..0.8)).collect();
-    c.bench_function("kernel_ar_fit_order4", |b| {
-        b.iter(|| black_box(fit_ar(&noise[..40], 4).unwrap().normalized_error()));
+    h.bench("kernel_ar_fit_order4", || {
+        fit_ar(&noise[..40], 4).unwrap().normalized_error()
     });
-    c.bench_function("kernel_single_linkage_40", |b| {
-        b.iter(|| black_box(cluster::single_linkage_1d(&noise[..40], 2).len()));
+    h.bench("kernel_single_linkage_40", || {
+        cluster::single_linkage_1d(&noise[..40], 2).len()
     });
     let y1: Vec<u32> = (0..15).map(|i| 3 + (i % 3)).collect();
     let y2: Vec<u32> = (0..15).map(|i| 8 + (i % 4)).collect();
-    c.bench_function("kernel_poisson_glrt", |b| {
-        b.iter(|| black_box(glrt::arrival_rate_glrt(&y1, &y2)));
-    });
-    c.bench_function("kernel_beta_inverse", |b| {
-        b.iter(|| black_box(reg_inc_beta_inv(3.5, 2.5, 0.15)));
-    });
+    h.bench("kernel_poisson_glrt", || glrt::arrival_rate_glrt(&y1, &y2));
+    h.bench("kernel_beta_inverse", || reg_inc_beta_inv(3.5, 2.5, 0.15));
 }
 
-fn substrate_extras(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(21);
+fn substrate_extras(h: &mut Harness) {
+    let mut rng = Xoshiro256pp::seed_from_u64(21);
     let mut xs: Vec<f64> = (0..500).map(|_| 4.0 + rng.gen_range(-0.8..0.8)).collect();
     for v in xs.iter_mut().skip(300) {
         *v -= 1.5;
     }
-    c.bench_function("kernel_cusum_scan_500", |b| {
-        b.iter(|| black_box(rrs_signal::cusum::Cusum::scan(4.0, 0.3, 6.0, &xs).len()));
+    h.bench("kernel_cusum_scan_500", || {
+        rrs_signal::cusum::Cusum::scan(4.0, 0.3, 6.0, &xs).len()
     });
 
     let workbench = bench_workbench(11);
     let csv = rrs_core::io::to_csv_string(workbench.challenge.fair_dataset());
-    c.bench_function("io_csv_round_trip", |b| {
-        b.iter(|| {
-            let d = rrs_core::io::read_csv(black_box(csv.as_bytes())).expect("valid csv");
-            black_box(d.len())
-        });
+    h.bench("io_csv_round_trip", || {
+        rrs_core::io::read_csv(csv.as_bytes())
+            .expect("valid csv")
+            .len()
+    });
+    let dataset = workbench.challenge.fair_dataset();
+    h.bench("io_json_export", || {
+        rrs_core::io::to_json_string(dataset).len()
+    });
+
+    let mut rng = Xoshiro256pp::seed_from_u64(42);
+    h.bench("rng_next_u64_x1000", || {
+        let mut acc = 0u64;
+        for _ in 0..1_000 {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        acc
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
+fn main() {
+    let mut h = Harness::new("micro");
+    detectors(&mut h);
+    schemes(&mut h);
+    attack_generation(&mut h);
+    math_kernels(&mut h);
+    substrate_extras(&mut h);
+    h.finish();
 }
-
-criterion_group! {
-    name = micro;
-    config = config();
-    targets = detectors, schemes, attack_generation, math_kernels, substrate_extras
-}
-criterion_main!(micro);

@@ -1,0 +1,216 @@
+//! A minimal wall-clock timing harness replacing Criterion.
+//!
+//! Design goals, in order: **zero dependencies**, **stable JSON output**
+//! (`BENCH_<suite>.json`, one file per suite, append-friendly for
+//! trajectory tracking across commits), and **bounded runtime** (a suite
+//! of a dozen benches finishes in seconds, not minutes).
+//!
+//! Methodology: each bench body is first calibrated — run repeatedly until
+//! one batch takes at least [`TARGET_BATCH_NANOS`] — then timed for a
+//! fixed number of batches. The JSON records mean/median/min/max/std-dev
+//! nanoseconds **per iteration**, so numbers are comparable across
+//! machines regardless of the calibrated batch size.
+//!
+//! Environment knobs:
+//!
+//! * `RRS_BENCH_SAMPLES` — batches per bench (default 10).
+//! * `RRS_BENCH_OUT` — output directory for `BENCH_*.json` (default `.`;
+//!   `cargo bench` runs bench binaries from the package root, so the
+//!   files land in `crates/bench/` unless overridden).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Calibration target: one measured batch should take at least this long.
+const TARGET_BATCH_NANOS: u128 = 20_000_000; // 20 ms
+
+/// Default number of measured batches per bench.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Summary statistics for one bench, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Bench name as shown in output and JSON.
+    pub name: String,
+    /// Iterations per measured batch (set by calibration).
+    pub iters_per_sample: u64,
+    /// Number of measured batches.
+    pub samples: usize,
+    /// Mean ns/iter across batches.
+    pub mean_ns: f64,
+    /// Median ns/iter across batches.
+    pub median_ns: f64,
+    /// Fastest batch, ns/iter.
+    pub min_ns: f64,
+    /// Slowest batch, ns/iter.
+    pub max_ns: f64,
+    /// Population standard deviation of ns/iter across batches.
+    pub std_dev_ns: f64,
+}
+
+/// Collects [`BenchResult`]s for one suite and writes `BENCH_<suite>.json`
+/// when [`finish`](Harness::finish)ed.
+pub struct Harness {
+    suite: String,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+impl Harness {
+    /// Creates a harness for the named suite (e.g. `"figures"`).
+    #[must_use]
+    pub fn new(suite: &str) -> Self {
+        Self {
+            suite: suite.to_string(),
+            samples: env_usize("RRS_BENCH_SAMPLES", DEFAULT_SAMPLES),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `body`, printing a one-line summary and recording the result.
+    ///
+    /// The closure's return value is passed through [`black_box`] so the
+    /// optimizer cannot elide the work.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut body: F) {
+        // Calibrate: grow the batch until it costs ≥ TARGET_BATCH_NANOS.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            let elapsed = start.elapsed().as_nanos();
+            if elapsed >= TARGET_BATCH_NANOS || iters >= 1 << 30 {
+                break;
+            }
+            // Aim straight for the target with 2x headroom, at least doubling.
+            let scale = (TARGET_BATCH_NANOS * 2 / elapsed.max(1)) as u64;
+            iters = iters.saturating_mul(scale.clamp(2, 1024));
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(body());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+
+        let n = per_iter.len() as f64;
+        let mean = per_iter.iter().sum::<f64>() / n;
+        let median = if per_iter.len() % 2 == 1 {
+            per_iter[per_iter.len() / 2]
+        } else {
+            (per_iter[per_iter.len() / 2 - 1] + per_iter[per_iter.len() / 2]) / 2.0
+        };
+        let var = per_iter.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let result = BenchResult {
+            name: name.to_string(),
+            iters_per_sample: iters,
+            samples: per_iter.len(),
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+            std_dev_ns: var.sqrt(),
+        };
+        println!(
+            "{:<32} {:>12.1} ns/iter (median {:.1}, ±{:.1}, {} iters × {} samples)",
+            result.name,
+            result.mean_ns,
+            result.median_ns,
+            result.std_dev_ns,
+            result.iters_per_sample,
+            result.samples,
+        );
+        self.results.push(result);
+    }
+
+    /// Writes `BENCH_<suite>.json` into `RRS_BENCH_OUT` (default `.`) and
+    /// prints the path. Call exactly once, after the last bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output file cannot be written — a bench run that
+    /// silently loses its trajectory is worse than one that fails.
+    pub fn finish(self) {
+        let dir = std::env::var("RRS_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+        let path = format!("{dir}/BENCH_{}.json", self.suite);
+        let json = self.to_json();
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path} ({} benches)", self.results.len());
+    }
+
+    /// Renders the suite as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", self.suite));
+        out.push_str(&format!("  \"samples_per_bench\": {},\n", self.samples));
+        out.push_str("  \"unit\": \"ns_per_iter\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters_per_sample\": {}, \"samples\": {}, \
+                 \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"max_ns\": {:.1}, \"std_dev_ns\": {:.1}}}{comma}\n",
+                r.name,
+                r.iters_per_sample,
+                r.samples,
+                r.mean_ns,
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.std_dev_ns,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_sane_statistics() {
+        let mut h = Harness::new("selftest");
+        h.samples = 4;
+        h.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        let r = &h.results[0];
+        assert_eq!(r.samples, 4);
+        assert!(r.iters_per_sample >= 1);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut h = Harness::new("shape");
+        h.samples = 2;
+        h.bench("noop", || 1u64);
+        let json = h.to_json();
+        assert!(json.contains("\"suite\": \"shape\""));
+        assert!(json.contains("\"unit\": \"ns_per_iter\""));
+        assert!(json.contains("\"name\": \"noop\""));
+        assert!(json.ends_with("]\n}\n"));
+    }
+}

@@ -1,13 +1,19 @@
-//! Shared fixtures for the Criterion benchmark harness.
+//! Shared fixtures and the self-contained timing harness for the
+//! benchmark suites.
 //!
 //! Each paper figure/claim has a bench in `benches/figures.rs` that
-//! regenerates it at reduced scale (Criterion runs each body many times;
-//! the full paper scale lives in the `experiments` binary).
-//! `benches/micro.rs` covers the per-component costs: detectors,
-//! aggregation schemes, the attack generator, and the MP metric.
+//! regenerates it at reduced scale; `benches/micro.rs` covers the
+//! per-component costs: detectors, aggregation schemes, the attack
+//! generator, and the MP metric. Both emit `BENCH_<suite>.json`
+//! trajectories via [`Harness`] instead of depending on Criterion, so
+//! `cargo bench` works offline with zero external crates.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod harness;
+
+pub use harness::{BenchResult, Harness};
 
 use rrs_eval::suite::{Scale, SuiteConfig, Workbench};
 

@@ -228,19 +228,14 @@ impl RatingChallenge {
 mod tests {
     use super::*;
     use rrs_attack::AttackStrategy;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rrs_core::rng::Xoshiro256pp;
 
     struct MeanScheme;
     impl AggregationScheme for MeanScheme {
         fn name(&self) -> &str {
             "mean"
         }
-        fn evaluate(
-            &self,
-            dataset: &RatingDataset,
-            ctx: &EvalContext,
-        ) -> rrs_core::SchemeOutcome {
+        fn evaluate(&self, dataset: &RatingDataset, ctx: &EvalContext) -> rrs_core::SchemeOutcome {
             let mut out = rrs_core::SchemeOutcome::new();
             for (pid, tl) in dataset.products() {
                 let scores = ctx
@@ -290,7 +285,7 @@ mod tests {
     fn naive_attack_hurts_undefended_mean() {
         let c = RatingChallenge::generate(&ChallengeConfig::small(), 4);
         let ctx = c.attack_context();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let seq = AttackStrategy::NaiveExtreme {
             start_day: 35.0,
             duration_days: 10.0,
@@ -309,7 +304,7 @@ mod tests {
     fn attacked_dataset_labels_ground_truth() {
         let c = RatingChallenge::generate(&ChallengeConfig::small(), 6);
         let ctx = c.attack_context();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let seq = AttackStrategy::UniformSpread.build(&ctx, &mut rng);
         let attacked = c.attacked_dataset(&seq);
         assert_eq!(attacked.unfair_ids().len(), seq.len());
@@ -320,7 +315,7 @@ mod tests {
     fn submissions_from_strategies_validate() {
         let c = RatingChallenge::generate(&ChallengeConfig::small(), 8);
         let ctx = c.attack_context();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
         for strategy in rrs_attack::strategies::catalog() {
             let seq = strategy.build(&ctx, &mut rng);
             assert_eq!(

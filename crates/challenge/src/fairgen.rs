@@ -15,9 +15,11 @@
 //! * a recurring rater pool, so trust in honest raters can accumulate.
 
 use crate::products::ProductCatalog;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rrs_core::{Days, RaterId, Rating, RatingDataset, RatingSource, RatingValue, TimeWindow, Timestamp};
+use rrs_core::rng::RrsRng;
+use rrs_core::rng::Xoshiro256pp;
+use rrs_core::{
+    Days, RaterId, Rating, RatingDataset, RatingSource, RatingValue, TimeWindow, Timestamp,
+};
 use rrs_signal::sampling::{gaussian, poisson, truncated_gaussian};
 
 /// Configuration of the fair-rating generator.
@@ -87,7 +89,7 @@ pub fn generate_fair_data(
     config: &FairDataConfig,
     seed: u64,
 ) -> RatingDataset {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut dataset = RatingDataset::new();
 
     // Per-rater leniency: some honest raters are systematically generous
@@ -139,8 +141,7 @@ pub fn generate_fair_data(
                     Rating::new(
                         RaterId::new(rater_idx as u32),
                         product.id,
-                        Timestamp::new(t.min(config.horizon_days - 1e-6))
-                            .expect("time is finite"),
+                        Timestamp::new(t.min(config.horizon_days - 1e-6)).expect("time is finite"),
                         RatingValue::new_clamped(value),
                     ),
                     RatingSource::Fair,
@@ -294,6 +295,5 @@ mod tests {
             distinct < total,
             "no rater ever recurs: {distinct} raters for {total} ratings"
         );
-
     }
 }

@@ -29,4 +29,4 @@ pub use challenge::{ChallengeConfig, RatingChallenge};
 pub use fairgen::FairDataConfig;
 pub use products::{Product, ProductCatalog};
 pub use scoring::{ScoredSubmission, ScoringSession};
-pub use submission::{SubmissionError, validate_submission};
+pub use submission::{validate_submission, SubmissionError};

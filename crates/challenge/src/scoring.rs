@@ -63,7 +63,10 @@ impl<'a> ScoringSession<'a> {
     /// attacked dataset plus the ground truth — for detection-quality
     /// analysis.
     #[must_use]
-    pub fn score_detailed(&self, sequence: &AttackSequence) -> (MpReport, SchemeOutcome, GroundTruth) {
+    pub fn score_detailed(
+        &self,
+        sequence: &AttackSequence,
+    ) -> (MpReport, SchemeOutcome, GroundTruth) {
         let attacked = self.challenge.attacked_dataset(sequence);
         let attacked_outcome = self.scheme.evaluate(&attacked, &self.ctx);
         let truth = GroundTruth::from_dataset(&attacked);
@@ -106,8 +109,7 @@ mod tests {
     use crate::challenge::ChallengeConfig;
     use rrs_aggregation::SaScheme;
     use rrs_attack::AttackStrategy;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rrs_core::rng::Xoshiro256pp;
 
     #[test]
     fn session_matches_direct_scoring() {
@@ -115,7 +117,7 @@ mod tests {
         let scheme = SaScheme::new();
         let session = ScoringSession::new(&challenge, &scheme);
         let ctx = challenge.attack_context();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let seq = AttackStrategy::NaiveExtreme {
             start_day: 35.0,
             duration_days: 10.0,
@@ -133,7 +135,7 @@ mod tests {
         let scheme = SaScheme::new();
         let session = ScoringSession::new(&challenge, &scheme);
         let ctx = challenge.attack_context();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let seq = AttackStrategy::UniformSpread.build(&ctx, &mut rng);
         let (report, _outcome, truth) = session.score_detailed(&seq);
         assert!(report.total() > 0.0);

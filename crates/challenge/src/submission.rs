@@ -47,7 +47,10 @@ impl fmt::Display for SubmissionError {
                 write!(f, "{rater} rates {product} more than once")
             }
             SubmissionError::OutOfHorizon { time_days } => {
-                write!(f, "rating at day {time_days} is outside the challenge horizon")
+                write!(
+                    f,
+                    "rating at day {time_days} is outside the challenge horizon"
+                )
             }
         }
     }

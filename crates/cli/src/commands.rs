@@ -1,12 +1,11 @@
 //! The `rrs` subcommands. Each returns its report as a `String`.
 
 use crate::args::Args;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use rrs_aggregation::{BfScheme, PScheme, SaScheme};
 use rrs_attack::{AttackContext, AttackStrategy, Direction, FairView};
 use rrs_challenge::{ChallengeConfig, RatingChallenge};
 use rrs_core::io::{read_csv, to_csv_string};
+use rrs_core::rng::Xoshiro256pp;
 use rrs_core::{
     manipulation_power, AggregationScheme, Days, EvalContext, GroundTruth, MpParams, ProductId,
     RaterId, RatingDataset, RatingSource, TimeWindow, Timestamp,
@@ -70,8 +69,7 @@ fn check_flags(args: &Args, known: &[&str]) -> Result<(), CommandError> {
 }
 
 fn load(path: &str) -> Result<RatingDataset, CommandError> {
-    let file = fs::File::open(Path::new(path))
-        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    let file = fs::File::open(Path::new(path)).map_err(|e| format!("cannot open {path}: {e}"))?;
     Ok(read_csv(file).map_err(|e| format!("{path}: {e}"))?)
 }
 
@@ -291,7 +289,7 @@ fn attack(args: &Args) -> Result<String, CommandError> {
         start,
         duration,
     )?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let sequence = strategy.build(&ctx, &mut rng);
 
     let mut attacked = dataset;
@@ -329,7 +327,11 @@ fn evaluate(args: &Args) -> Result<String, CommandError> {
             .collect();
         let _ = writeln!(out, "  {product}: {}", rendered.join("  "));
     }
-    let _ = writeln!(out, "suspicious ratings marked: {}", outcome.suspicious().len());
+    let _ = writeln!(
+        out,
+        "suspicious ratings marked: {}",
+        outcome.suspicious().len()
+    );
     let mut distrusted: Vec<(&RaterId, &f64)> = outcome
         .trust_map()
         .iter()
@@ -345,7 +347,11 @@ fn evaluate(args: &Args) -> Result<String, CommandError> {
     // If the dataset carries ground truth, score the marks.
     let truth = GroundTruth::from_dataset(&dataset);
     if truth.unfair_count() > 0 {
-        let _ = writeln!(out, "vs ground truth: {}", truth.score(outcome.suspicious()));
+        let _ = writeln!(
+            out,
+            "vs ground truth: {}",
+            truth.score(outcome.suspicious())
+        );
     }
     Ok(out)
 }
@@ -441,9 +447,26 @@ mod tests {
         let msg = run_ok(
             "attack",
             &[
-                "--data", &fair, "--out", &attacked, "--strategy", "burst", "--bias", "3.0",
-                "--std", "0.4", "--start", "40", "--duration", "10", "--seed", "5", "--boost",
-                "0", "--downgrade", "2",
+                "--data",
+                &fair,
+                "--out",
+                &attacked,
+                "--strategy",
+                "burst",
+                "--bias",
+                "3.0",
+                "--std",
+                "0.4",
+                "--start",
+                "40",
+                "--duration",
+                "10",
+                "--seed",
+                "5",
+                "--boost",
+                "0",
+                "--downgrade",
+                "2",
             ],
         );
         assert!(msg.contains("injected"), "{msg}");
@@ -515,8 +538,7 @@ mod tests {
             "extreme-wide",
             "anti-correlated",
         ] {
-            strategy_by_name(name, 2.0, 1.0, 5.0, 20.0)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            strategy_by_name(name, 2.0, 1.0, 5.0, 20.0).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
         assert!(strategy_by_name("bogus", 0.0, 0.0, 0.0, 0.0).is_err());
     }

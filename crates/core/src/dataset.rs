@@ -11,7 +11,6 @@ use std::fmt;
 /// which is what lets the challenge harness compare suspicion marks against
 /// ground truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RatingId(u64);
 
 impl RatingId {
@@ -31,7 +30,6 @@ impl fmt::Display for RatingId {
 /// A rating stored in a dataset, together with its identifier and
 /// ground-truth provenance.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RatingEntry {
     id: RatingId,
     rating: Rating,
@@ -81,7 +79,6 @@ impl RatingEntry {
 /// Entries are kept sorted by `(time, id)`; ties in time preserve insertion
 /// order.
 #[derive(Debug, Clone, Default, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProductTimeline {
     entries: Vec<RatingEntry>,
 }
@@ -108,9 +105,7 @@ impl ProductTimeline {
     /// Returns the contiguous slice of entries whose times fall in `window`.
     #[must_use]
     pub fn in_window(&self, window: TimeWindow) -> &[RatingEntry] {
-        let lo = self
-            .entries
-            .partition_point(|e| e.time() < window.start());
+        let lo = self.entries.partition_point(|e| e.time() < window.start());
         let hi = self.entries.partition_point(|e| e.time() < window.end());
         &self.entries[lo..hi]
     }
@@ -223,7 +218,6 @@ impl ProductTimeline {
 /// # }
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RatingDataset {
     products: BTreeMap<ProductId, ProductTimeline>,
     next_id: u64,
@@ -388,8 +382,9 @@ impl RatingDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check::vec_of;
     use crate::RatingValue;
-    use proptest::prelude::*;
+    use crate::{prop_assert, prop_assert_eq, props};
 
     fn rating(rater: u32, product: u16, day: f64, value: f64) -> Rating {
         Rating::new(
@@ -545,9 +540,9 @@ mod tests {
         assert_eq!(ProductTimeline::default().mean_value(), None);
     }
 
-    proptest! {
+    props! {
         #[test]
-        fn timeline_always_sorted(days in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        fn timeline_always_sorted(days in vec_of(0.0f64..100.0, 1..50)) {
             let mut d = RatingDataset::new();
             for (i, day) in days.iter().enumerate() {
                 d.insert(rating(i as u32, 0, *day, 3.0), RatingSource::Fair);
@@ -559,7 +554,7 @@ mod tests {
         }
 
         #[test]
-        fn daily_counts_sum_to_window_population(days in proptest::collection::vec(0.0f64..30.0, 0..80)) {
+        fn daily_counts_sum_to_window_population(days in vec_of(0.0f64..30.0, 0..80)) {
             let mut d = RatingDataset::new();
             for (i, day) in days.iter().enumerate() {
                 d.insert(rating(i as u32, 0, *day, 3.0), RatingSource::Fair);

@@ -44,7 +44,10 @@ impl fmt::Display for CoreError {
                 write!(f, "timestamp {value} is not a finite number")
             }
             CoreError::InvalidDuration { days } => {
-                write!(f, "duration of {days} days is not a finite non-negative number")
+                write!(
+                    f,
+                    "duration of {days} days is not a finite non-negative number"
+                )
             }
             CoreError::InvalidWindow { start, end } => {
                 write!(f, "time window [{start}, {end}) has end before start")
@@ -66,7 +69,10 @@ mod tests {
             CoreError::InvalidValue { value: 9.0 },
             CoreError::InvalidTime { value: f64::NAN },
             CoreError::InvalidDuration { days: -1.0 },
-            CoreError::InvalidWindow { start: 2.0, end: 1.0 },
+            CoreError::InvalidWindow {
+                start: 2.0,
+                end: 1.0,
+            },
             CoreError::Empty { what: "dataset" },
         ];
         for e in errs {

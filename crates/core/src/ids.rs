@@ -11,7 +11,6 @@ use std::fmt;
 /// assert_eq!(r.value(), 42);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RaterId(u32);
 
 impl RaterId {
@@ -51,7 +50,6 @@ impl From<u32> for RaterId {
 /// assert_eq!(p.value(), 3);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProductId(u16);
 
 impl ProductId {

@@ -15,7 +15,9 @@
 //! numeric or a fixed keyword — which keeps the format trivially
 //! interoperable with spreadsheet tools.
 
-use crate::{CoreError, ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue, Timestamp};
+use crate::{
+    CoreError, ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue, Timestamp,
+};
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -52,7 +54,10 @@ impl fmt::Display for CsvError {
         match self {
             CsvError::Io(e) => write!(f, "i/o error: {e}"),
             CsvError::Header { found } => {
-                write!(f, "expected header 'rater,product,day,value[,source]', found {found:?}")
+                write!(
+                    f,
+                    "expected header 'rater,product,day,value[,source]', found {found:?}"
+                )
             }
             CsvError::Row { line, message } => write!(f, "line {line}: {message}"),
             CsvError::Domain { line, source } => write!(f, "line {line}: {source}"),
@@ -109,6 +114,62 @@ pub fn to_csv_string(dataset: &RatingDataset) -> String {
     String::from_utf8(buf).expect("csv output is ASCII")
 }
 
+/// Writes a dataset as a JSON array of rating objects:
+///
+/// ```json
+/// [
+///   {"rater":17,"product":0,"day":12.5,"value":4.0,"source":"fair"}
+/// ]
+/// ```
+///
+/// Hand-rolled on purpose: every field is a finite number or one of two
+/// fixed keywords, so the workspace stays free of a serialization
+/// dependency. Row order matches [`write_csv`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_json<W: Write>(dataset: &RatingDataset, mut writer: W) -> Result<(), CsvError> {
+    writeln!(writer, "[")?;
+    let total = dataset.len();
+    for (i, entry) in dataset.iter().enumerate() {
+        let r = entry.rating();
+        let comma = if i + 1 < total { "," } else { "" };
+        writeln!(
+            writer,
+            "  {{\"rater\":{},\"product\":{},\"day\":{},\"value\":{},\"source\":\"{}\"}}{comma}",
+            r.rater().value(),
+            r.product().value(),
+            json_number(r.time().as_days()),
+            json_number(r.value().get()),
+            entry.source(),
+        )?;
+    }
+    writeln!(writer, "]")?;
+    Ok(())
+}
+
+/// Renders a dataset as a JSON string.
+#[must_use]
+pub fn to_json_string(dataset: &RatingDataset) -> String {
+    let mut buf = Vec::new();
+    write_json(dataset, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("json output is ASCII")
+}
+
+/// Formats a finite `f64` as a JSON number (Rust's shortest round-trip
+/// `Display`, with a trailing `.0` forced onto integral values so the
+/// field reads back as floating-point in typed consumers).
+fn json_number(x: f64) -> String {
+    debug_assert!(x.is_finite(), "rating fields are finite by construction");
+    let s = x.to_string();
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
 /// Reads a dataset from CSV.
 ///
 /// Accepts both 4-column (`rater,product,day,value`) and 5-column
@@ -120,10 +181,7 @@ pub fn to_csv_string(dataset: &RatingDataset) -> String {
 /// or out-of-domain values.
 pub fn read_csv<R: Read>(reader: R) -> Result<RatingDataset, CsvError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .transpose()?
-        .unwrap_or_default();
+    let header = lines.next().transpose()?.unwrap_or_default();
     let normalized = header.trim().to_ascii_lowercase();
     if normalized != "rater,product,day,value,source" && normalized != "rater,product,day,value" {
         return Err(CsvError::Header { found: header });
@@ -219,6 +277,27 @@ mod tests {
             assert_eq!(a.rating(), b.rating());
             assert_eq!(a.source(), b.source());
         }
+    }
+
+    #[test]
+    fn json_export_is_wellformed_and_ordered() {
+        let json = to_json_string(&sample());
+        assert_eq!(
+            json,
+            "[\n  {\"rater\":1,\"product\":0,\"day\":1.5,\"value\":4.0,\"source\":\"fair\"},\n  \
+             {\"rater\":2,\"product\":1,\"day\":2.25,\"value\":0.5,\"source\":\"unfair\"}\n]\n"
+        );
+    }
+
+    #[test]
+    fn json_export_of_empty_dataset_is_empty_array() {
+        assert_eq!(to_json_string(&RatingDataset::new()), "[\n]\n");
+    }
+
+    #[test]
+    fn json_number_forces_float_shape_on_integral_values() {
+        assert_eq!(json_number(10.0), "10.0");
+        assert_eq!(json_number(1.5), "1.5");
     }
 
     #[test]

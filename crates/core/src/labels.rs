@@ -199,7 +199,11 @@ mod tests {
         let (d, fair, unfair) = build();
         let truth = GroundTruth::from_dataset(&d);
         // Mark 2 unfair and 2 fair.
-        let marks: BTreeSet<_> = unfair[..2].iter().chain(fair[..2].iter()).copied().collect();
+        let marks: BTreeSet<_> = unfair[..2]
+            .iter()
+            .chain(fair[..2].iter())
+            .copied()
+            .collect();
         let c = truth.score(&marks);
         assert_eq!(c.tp, 2);
         assert_eq!(c.fp, 2);

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod check;
 mod dataset;
 mod error;
 mod ids;
@@ -43,6 +44,7 @@ pub mod io;
 pub mod labels;
 pub mod metrics;
 mod rating;
+pub mod rng;
 mod scheme;
 pub mod stream;
 mod time;
@@ -52,7 +54,9 @@ pub use dataset::{ProductTimeline, RatingDataset, RatingEntry, RatingId};
 pub use error::CoreError;
 pub use ids::{ProductId, RaterId};
 pub use labels::{ConfusionCounts, GroundTruth};
-pub use metrics::{manipulation_power, mp_from_outcomes, shared_context, MpParams, MpReport, ProductMp};
+pub use metrics::{
+    manipulation_power, mp_from_outcomes, shared_context, MpParams, MpReport, ProductMp,
+};
 pub use rating::{Rating, RatingSource};
 pub use scheme::{AggregationScheme, EvalContext, SchemeOutcome, ScoringMode};
 pub use time::{Days, TimeWindow, Timestamp};

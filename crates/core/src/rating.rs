@@ -17,7 +17,6 @@ use std::fmt;
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rating {
     rater: RaterId,
     product: ProductId,
@@ -100,7 +99,6 @@ impl fmt::Display for Rating {
 /// were inserted by participants; this enum carries that knowledge through
 /// the simulation so detection quality can be scored against truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RatingSource {
     /// An honest rating reflecting the product's true quality (plus noise).
     #[default]

@@ -253,11 +253,8 @@ mod tests {
 
     #[test]
     fn scoring_window_modes() {
-        let horizon = TimeWindow::new(
-            Timestamp::new(0.0).unwrap(),
-            Timestamp::new(90.0).unwrap(),
-        )
-        .unwrap();
+        let horizon =
+            TimeWindow::new(Timestamp::new(0.0).unwrap(), Timestamp::new(90.0).unwrap()).unwrap();
         let ctx = EvalContext::new(horizon, Days::new(30.0).unwrap());
         assert_eq!(ctx.scoring(), ScoringMode::Cumulative);
         let period = ctx.periods()[1];

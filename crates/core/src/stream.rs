@@ -70,7 +70,11 @@ pub fn centered_windows(len: usize, half: usize, min_half: usize) -> Vec<Centere
 /// segment (paper Sections IV-B.3 and IV-C.3).
 #[must_use]
 pub fn split_at_peaks(len: usize, peaks: &[usize]) -> Vec<Range<usize>> {
-    let mut cuts: Vec<usize> = peaks.iter().copied().filter(|&p| p > 0 && p < len).collect();
+    let mut cuts: Vec<usize> = peaks
+        .iter()
+        .copied()
+        .filter(|&p| p > 0 && p < len)
+        .collect();
     cuts.sort_unstable();
     cuts.dedup();
     let mut out = Vec::with_capacity(cuts.len() + 1);
@@ -88,7 +92,8 @@ pub fn split_at_peaks(len: usize, peaks: &[usize]) -> Vec<Range<usize>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::check::vec_of;
+    use crate::{prop_assert, prop_assert_eq, props};
 
     #[test]
     fn windows_full_width_in_middle() {
@@ -141,7 +146,7 @@ mod tests {
         assert_eq!(split_at_peaks(10, &[7, 3]), vec![0..3, 3..7, 7..10]);
     }
 
-    proptest! {
+    props! {
         #[test]
         fn windows_are_in_bounds(len in 0usize..200, half in 1usize..40, min_half in 1usize..5) {
             for w in centered_windows(len, half, min_half) {
@@ -154,7 +159,7 @@ mod tests {
         }
 
         #[test]
-        fn segments_partition_range(len in 1usize..100, peaks in proptest::collection::vec(0usize..120, 0..10)) {
+        fn segments_partition_range(len in 1usize..100, peaks in vec_of(0usize..120, 0..10)) {
             let segs = split_at_peaks(len, &peaks);
             prop_assert_eq!(segs.first().unwrap().start, 0);
             prop_assert_eq!(segs.last().unwrap().end, len);

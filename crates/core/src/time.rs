@@ -11,7 +11,6 @@ use std::ops::{Add, Sub};
 ///
 /// The inner value is guaranteed finite.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Timestamp(f64);
 
 impl Timestamp {
@@ -97,7 +96,6 @@ impl Sub<Timestamp> for Timestamp {
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Days(f64);
 
 impl Days {
@@ -171,7 +169,6 @@ impl PartialOrd for Days {
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimeWindow {
     start: Timestamp,
     end: Timestamp,
@@ -276,14 +273,19 @@ impl TimeWindow {
 
 impl fmt::Display for TimeWindow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:.2}, {:.2}) days", self.start.as_days(), self.end.as_days())
+        write!(
+            f,
+            "[{:.2}, {:.2}) days",
+            self.start.as_days(),
+            self.end.as_days()
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::{prop_assert, prop_assert_eq, props};
 
     fn ts(d: f64) -> Timestamp {
         Timestamp::new(d).unwrap()
@@ -350,7 +352,7 @@ mod tests {
         assert_eq!(i.end(), ts(5.0));
     }
 
-    proptest! {
+    props! {
         #[test]
         fn periods_partition(start in -100.0f64..100.0, len in 0.1f64..400.0, period in 0.5f64..60.0) {
             let w = TimeWindow::with_length(ts(start), Days::new(len).unwrap()).unwrap();

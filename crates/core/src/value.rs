@@ -19,7 +19,6 @@ use std::fmt;
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RatingValue(f64);
 
 impl RatingValue {
@@ -115,7 +114,8 @@ impl From<RatingValue> for f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::check::any_f64;
+    use crate::{prop_assert, prop_assert_eq, props};
 
     #[test]
     fn new_rejects_out_of_scale() {
@@ -157,9 +157,9 @@ mod tests {
         assert_eq!(a.cmp(&b), std::cmp::Ordering::Less);
     }
 
-    proptest! {
+    props! {
         #[test]
-        fn clamped_always_in_scale(x in proptest::num::f64::ANY) {
+        fn clamped_always_in_scale(x in any_f64()) {
             let v = RatingValue::new_clamped(x);
             prop_assert!(v.get() >= RatingValue::SCALE_MIN);
             prop_assert!(v.get() <= RatingValue::SCALE_MAX);

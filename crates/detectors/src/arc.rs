@@ -60,9 +60,12 @@ pub struct ArcConfig {
     /// segment's by more than this many ratings/day.
     pub rate_increase_threshold: f64,
     /// Scale-aware guard: the increase must also exceed this many
-    /// standard deviations of the segment-rate estimate
-    /// (`√(baseline / segment days)` under the Poisson model), so that
-    /// ordinary sampling noise on busy streams never flags.
+    /// standard deviations of the *difference* between the segment-rate
+    /// estimate and the baseline estimate
+    /// (`√(base/segment_days + base/baseline_days)` under the Poisson
+    /// model), so that ordinary sampling noise on busy streams — or a
+    /// baseline that was itself estimated from a short segment — never
+    /// flags.
     pub rate_noise_factor: f64,
 }
 
@@ -218,15 +221,19 @@ pub fn detect_counts(
     // because the previous segment is itself part of the attack.
     let mut segments: Vec<ArcSegment> = Vec::new();
     let mut suspicious = Vec::new();
-    let mut baseline: Option<f64> = None;
+    // Baseline rate plus the day-length of the segment that set it: the
+    // baseline is itself a noisy Poisson estimate, and a short quiet
+    // opening segment would otherwise anchor an over-tight baseline whose
+    // estimation error the guard never sees.
+    let mut baseline: Option<(f64, usize)> = None;
     for (day_range, rate) in ranges {
-        let flagged = baseline.is_some_and(|base| {
-            let noise = (base / day_range.len().max(1) as f64).sqrt();
+        let flagged = baseline.is_some_and(|(base, base_days)| {
+            let var = base / day_range.len().max(1) as f64 + base / base_days.max(1) as f64;
             rate > base
                 && rate - base
                     > config
                         .rate_increase_threshold
-                        .max(config.rate_noise_factor * noise)
+                        .max(config.rate_noise_factor * var.sqrt())
         });
         let window = TimeWindow::new(
             Timestamp::new(day0.as_days() + day_range.start as f64).expect("finite"),
@@ -239,7 +246,10 @@ pub fn detect_counts(
             // The baseline only ratchets *down*: a gradually ramping
             // attack would otherwise walk the baseline up with it
             // segment by segment and never trip the threshold.
-            baseline = Some(baseline.map_or(rate, |b: f64| b.min(rate)));
+            baseline = Some(match baseline {
+                Some((b, days)) if b <= rate => (b, days),
+                _ => (rate, day_range.len()),
+            });
         }
         segments.push(ArcSegment {
             day_range,
@@ -309,8 +319,7 @@ fn robust_level(timeline: &ProductTimeline) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rrs_core::rng::Xoshiro256pp;
     use rrs_signal::sampling::poisson;
 
     fn ts(d: f64) -> Timestamp {
@@ -318,8 +327,10 @@ mod tests {
     }
 
     fn poisson_counts(days: usize, lambda: f64, seed: u64) -> Vec<u32> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..days).map(|_| poisson(&mut rng, lambda) as u32).collect()
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        (0..days)
+            .map(|_| poisson(&mut rng, lambda) as u32)
+            .collect()
     }
 
     #[test]

@@ -143,7 +143,14 @@ pub fn detect(timeline: &ProductTimeline, config: &HcConfig) -> HcOutcome {
         }
     }
     if let Some(s) = run_start {
-        suspicious.push(run_interval(pts, s, pts.len() - 1, &times, w, config.threshold));
+        suspicious.push(run_interval(
+            pts,
+            s,
+            pts.len() - 1,
+            &times,
+            w,
+            config.threshold,
+        ));
     }
 
     HcOutcome { curve, suspicious }
@@ -175,8 +182,8 @@ fn run_interval(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rrs_core::rng::RrsRng;
+    use rrs_core::rng::Xoshiro256pp;
     use rrs_core::{ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue};
 
     fn dataset(values_by_day: impl Iterator<Item = (f64, f64)>) -> RatingDataset {
@@ -197,7 +204,7 @@ mod tests {
 
     #[test]
     fn hc_ratio_unimodal_is_low() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let values: Vec<f64> = (0..40).map(|_| 4.0 + rng.gen_range(-0.6..0.6)).collect();
         assert_eq!(hc_ratio(&values, 0.8), 0.0);
     }
@@ -225,20 +232,15 @@ mod tests {
 
     #[test]
     fn fair_stream_quiet() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let d = dataset((0..300).map(|i| {
-            (f64::from(i) * 0.25, 4.0 + rng.gen_range(-0.7..0.7))
-        }));
-        let out = detect(
-            d.product(ProductId::new(0)).unwrap(),
-            &HcConfig::default(),
-        );
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let d = dataset((0..300).map(|i| (f64::from(i) * 0.25, 4.0 + rng.gen_range(-0.7..0.7))));
+        let out = detect(d.product(ProductId::new(0)).unwrap(), &HcConfig::default());
         assert!(!out.is_suspicious(), "{:?}", out.suspicious);
     }
 
     #[test]
     fn injected_mode_is_flagged_in_place() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         // 300 fair ratings at 4.0; ratings 120..170 replaced by a 1.0 mode.
         let d = dataset((0..300).map(|i| {
             let v = if (120..170).contains(&i) {
@@ -248,27 +250,18 @@ mod tests {
             };
             (f64::from(i) * 0.25, v)
         }));
-        let out = detect(
-            d.product(ProductId::new(0)).unwrap(),
-            &HcConfig::default(),
-        );
+        let out = detect(d.product(ProductId::new(0)).unwrap(), &HcConfig::default());
         assert!(out.is_suspicious());
         // Attack spans times 30..42.5; the flagged interval must overlap.
-        let attack = TimeWindow::new(
-            Timestamp::new(30.0).unwrap(),
-            Timestamp::new(42.5).unwrap(),
-        )
-        .unwrap();
+        let attack =
+            TimeWindow::new(Timestamp::new(30.0).unwrap(), Timestamp::new(42.5).unwrap()).unwrap();
         assert!(out.suspicious.iter().any(|s| s.overlaps(attack)));
     }
 
     #[test]
     fn short_stream_is_silent() {
         let d = dataset((0..10).map(|i| (f64::from(i), 4.0)));
-        let out = detect(
-            d.product(ProductId::new(0)).unwrap(),
-            &HcConfig::default(),
-        );
+        let out = detect(d.product(ProductId::new(0)).unwrap(), &HcConfig::default());
         assert!(out.curve.is_empty());
     }
 }

@@ -203,15 +203,14 @@ impl JointDetector {
             if slice.is_empty() {
                 return false;
             }
-            let mean = slice.iter().map(rrs_core::RatingEntry::value).sum::<f64>()
-                / slice.len() as f64;
+            let mean =
+                slice.iter().map(rrs_core::RatingEntry::value).sum::<f64>() / slice.len() as f64;
             let dev = (mean - stream_median).abs();
-            let slice_trust = slice.iter().map(|e| trust(e.rater())).sum::<f64>()
-                / slice.len() as f64;
+            let slice_trust =
+                slice.iter().map(|e| trust(e.rater())).sum::<f64>() / slice.len() as f64;
             let less_trusted =
                 overall_trust > 0.0 && slice_trust / overall_trust < self.config.mc.trust_ratio;
-            dev > self.config.mc.threshold1
-                || (dev > self.config.mc.threshold2 && less_trusted)
+            dev > self.config.mc.threshold1 || (dev > self.config.mc.threshold2 && less_trusted)
         };
         for (arc_out, band, consumed, adjudicator) in [
             (&harc_out, Band::High, &path1_consumed_high, &me_intervals),
@@ -289,10 +288,7 @@ fn candidate_windows(
     let mut out: Vec<TimeWindow> = Vec::with_capacity(u_shapes.len() + suspicious.len());
     for u in u_shapes {
         let (lo, hi) = u.time_range();
-        if let (Ok(start), Ok(end)) = (
-            rrs_core::Timestamp::new(lo),
-            rrs_core::Timestamp::new(hi),
-        ) {
+        if let (Ok(start), Ok(end)) = (rrs_core::Timestamp::new(lo), rrs_core::Timestamp::new(hi)) {
             if let Ok(window) = TimeWindow::new(start, end) {
                 out.push(window);
             }
@@ -339,8 +335,8 @@ fn mark_band(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rrs_core::rng::RrsRng;
+    use rrs_core::rng::Xoshiro256pp;
     use rrs_core::{GroundTruth, Rating, RatingSource, RatingValue, Timestamp};
 
     fn ts(d: f64) -> Timestamp {
@@ -349,7 +345,7 @@ mod tests {
 
     /// 90 days of fair ratings at ~4/day, mean 4.0.
     fn fair_dataset(seed: u64) -> RatingDataset {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut d = RatingDataset::new();
         let mut rater = 0u32;
         for day in 0..90 {
@@ -370,7 +366,13 @@ mod tests {
         d
     }
 
-    fn add_downgrade_burst(d: &mut RatingDataset, from: f64, days: usize, per_day: usize, value: f64) {
+    fn add_downgrade_burst(
+        d: &mut RatingDataset,
+        from: f64,
+        days: usize,
+        per_day: usize,
+        value: f64,
+    ) {
         let mut rater = 50_000u32;
         for day in 0..days {
             for slot in 0..per_day {
@@ -410,17 +412,17 @@ mod tests {
         let result = det.detect_product(tl, horizon(), |_| 0.5);
         assert!(!result.suspicious.is_empty(), "attack not marked at all");
         assert!(
-            result.hits.iter().any(|h| h.path == 1 && h.band == Band::Low),
+            result
+                .hits
+                .iter()
+                .any(|h| h.path == 1 && h.band == Band::Low),
             "expected a path-1 low-band hit, got {:?}",
             result.hits
         );
         // Detection quality: most marks should be true unfair ratings.
         let truth = GroundTruth::from_dataset(&d);
         let confusion = truth.score(&result.suspicious);
-        assert!(
-            confusion.recall() > 0.5,
-            "recall too low: {confusion}"
-        );
+        assert!(confusion.recall() > 0.5, "recall too low: {confusion}");
         assert!(
             confusion.false_alarm_rate() < 0.2,
             "false alarms too high: {confusion}"

@@ -176,8 +176,8 @@ where
     for index_range in split_at_peaks(n, &peak_indices) {
         let mean = range_mean(index_range.clone()).expect("segments are non-empty");
         let mean_deviation = (mean - overall_mean).abs();
-        let avg_trust: f64 = trust_values[index_range.clone()].iter().sum::<f64>()
-            / index_range.len() as f64;
+        let avg_trust: f64 =
+            trust_values[index_range.clone()].iter().sum::<f64>() / index_range.len() as f64;
         let less_trusted = overall_trust > 0.0 && avg_trust / overall_trust < config.trust_ratio;
         let flagged = mean_deviation > config.threshold1
             || (mean_deviation > config.threshold2 && less_trusted);
@@ -217,13 +217,13 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rrs_core::rng::RrsRng;
+    use rrs_core::rng::Xoshiro256pp;
     use rrs_core::{ProductId, Rating, RatingDataset, RatingSource, RatingValue};
 
     /// Fair stream: `per_day` ratings/day for `days` days at mean 4.0 ± noise.
     fn fair_timeline(days: usize, per_day: usize, seed: u64) -> RatingDataset {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut d = RatingDataset::new();
         let mut rater = 0u32;
         for day in 0..days {
@@ -245,7 +245,13 @@ mod tests {
         d
     }
 
-    fn with_attack(mut d: RatingDataset, from: f64, to: f64, per_day: usize, value: f64) -> RatingDataset {
+    fn with_attack(
+        mut d: RatingDataset,
+        from: f64,
+        to: f64,
+        per_day: usize,
+        value: f64,
+    ) -> RatingDataset {
         let mut rater = 10_000u32;
         let mut day = from;
         while day < to {
@@ -298,11 +304,8 @@ mod tests {
         let out = detect(timeline(&d), &McConfig::default(), |_| 0.5);
         assert!(out.is_suspicious(), "attack not flagged");
         // The flagged interval should overlap the attack window.
-        let attack = TimeWindow::new(
-            Timestamp::new(40.0).unwrap(),
-            Timestamp::new(55.0).unwrap(),
-        )
-        .unwrap();
+        let attack =
+            TimeWindow::new(Timestamp::new(40.0).unwrap(), Timestamp::new(55.0).unwrap()).unwrap();
         assert!(
             out.suspicious.iter().any(|s| s.overlaps(attack)),
             "flagged intervals {:?} miss the attack",

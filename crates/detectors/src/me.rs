@@ -134,8 +134,8 @@ fn run_interval(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rrs_core::rng::RrsRng;
+    use rrs_core::rng::Xoshiro256pp;
     use rrs_core::{ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue};
 
     fn dataset(values: impl Iterator<Item = (f64, f64)>) -> RatingDataset {
@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn fair_noise_is_quiet() {
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
         let d = dataset((0..300).map(|i| (f64::from(i) * 0.25, 4.0 + rng.gen_range(-0.8..0.8))));
         let out = detect(d.product(ProductId::new(0)).unwrap(), &MeConfig::default());
         assert!(!out.is_suspicious(), "{:?}", out.suspicious);
@@ -165,7 +165,7 @@ mod tests {
 
     #[test]
     fn constant_collusion_run_is_flagged() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
         // Ratings 120..180 all exactly 1.2: perfectly predictable.
         let d = dataset((0..300).map(|i| {
             let v = if (120..180).contains(&i) {
@@ -177,17 +177,14 @@ mod tests {
         }));
         let out = detect(d.product(ProductId::new(0)).unwrap(), &MeConfig::default());
         assert!(out.is_suspicious(), "constant run not flagged");
-        let attack = TimeWindow::new(
-            Timestamp::new(30.0).unwrap(),
-            Timestamp::new(45.0).unwrap(),
-        )
-        .unwrap();
+        let attack =
+            TimeWindow::new(Timestamp::new(30.0).unwrap(), Timestamp::new(45.0).unwrap()).unwrap();
         assert!(out.suspicious.iter().any(|s| s.overlaps(attack)));
     }
 
     #[test]
     fn oscillating_collusion_is_flagged() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Xoshiro256pp::seed_from_u64(12);
         // Deterministic alternating pattern: AR-predictable.
         let d = dataset((0..300).map(|i| {
             let v = if (120..180).contains(&i) {

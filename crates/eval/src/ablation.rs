@@ -112,7 +112,12 @@ pub fn run(workbench: &Workbench) -> ExperimentReport {
         })
         .collect();
 
-    let mut table = Table::new(vec!["variant", "best_mp", "mean_recall", "mean_false_alarm"]);
+    let mut table = Table::new(vec![
+        "variant",
+        "best_mp",
+        "mean_recall",
+        "mean_false_alarm",
+    ]);
     for r in &rows {
         table.push_row(vec![
             r.variant.clone(),
@@ -128,7 +133,10 @@ pub fn run(workbench: &Workbench) -> ExperimentReport {
         .find(|r| r.variant == "no-arrival-rate")
         .expect("variant list is fixed");
     let mut summary = String::new();
-    let _ = writeln!(summary, "Detector ablation over the {sample} strongest submissions");
+    let _ = writeln!(
+        summary,
+        "Detector ablation over the {sample} strongest submissions"
+    );
     let _ = writeln!(summary, "{}", table.to_ascii());
     let _ = writeln!(
         summary,

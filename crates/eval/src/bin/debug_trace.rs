@@ -32,8 +32,16 @@ fn probe_trace(wb: &Workbench) {
     let clean = p.evaluate(wb.challenge.fair_dataset(), &ctx);
     println!("  clean : {:?}", clean.scores(product).unwrap());
     println!("  attack: {:?}", outcome.scores(product).unwrap());
-    let t0 = seq.ratings.iter().map(|r| r.time().as_days()).fold(f64::INFINITY, f64::min);
-    let t1 = seq.ratings.iter().map(|r| r.time().as_days()).fold(0.0f64, f64::max);
+    let t0 = seq
+        .ratings
+        .iter()
+        .map(|r| r.time().as_days())
+        .fold(f64::INFINITY, f64::min);
+    let t1 = seq
+        .ratings
+        .iter()
+        .map(|r| r.time().as_days())
+        .fold(0.0f64, f64::max);
     println!("  attack spans days {t0:.1}..{t1:.1}; periods are 30 days");
 
     // Epoch-1 view: detect on the prefix [0, 60) only.
@@ -60,10 +68,16 @@ fn probe_trace(wb: &Workbench) {
                     r.hits.len()
                 );
                 for s in &r.larc.segments {
-                    println!("      larc seg {} rate {:.2} flagged {}", s.window, s.rate, s.flagged);
+                    println!(
+                        "      larc seg {} rate {:.2} flagged {}",
+                        s.window, s.rate, s.flagged
+                    );
                 }
                 for s in &r.mc.segments {
-                    println!("      mc seg {} dev {:.2} flagged {}", s.window, s.mean_deviation, s.flagged);
+                    println!(
+                        "      mc seg {} dev {:.2} flagged {}",
+                        s.window, s.mean_deviation, s.flagged
+                    );
                 }
             }
         }
@@ -166,7 +180,10 @@ fn main() {
             println!("     larc ushape {:?}", u.time_range());
         }
         for h in &result.hits {
-            println!("     hit path{} {:?} {} marked {}", h.path, h.band, h.window, h.marked);
+            println!(
+                "     hit path{} {:?} {} marked {}",
+                h.path, h.band, h.window, h.marked
+            );
         }
 
         // Trust distribution after full evaluation.

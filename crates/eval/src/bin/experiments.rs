@@ -9,7 +9,9 @@
 //! `ablation`, `detection`, `boost`, `scoring`, `roc`.
 
 use rrs_eval::suite::{Scale, SuiteConfig, Workbench};
-use rrs_eval::{ablation, boost, detection, fig2_4, fig5, fig6, fig7, max_mp, roc, scoring_ablation};
+use rrs_eval::{
+    ablation, boost, detection, fig2_4, fig5, fig6, fig7, max_mp, roc, scoring_ablation,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 

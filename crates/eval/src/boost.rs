@@ -16,9 +16,8 @@ use rrs_aggregation::PScheme;
 use rrs_attack::generator::{AttackConfig, AttackGenerator};
 use rrs_attack::{ArrivalModel, AttackSequence, MappingStrategy};
 use rrs_challenge::ScoringSession;
+use rrs_core::rng::Xoshiro256pp;
 use rrs_core::{Days, Timestamp};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::fmt::Write as _;
 
 /// Builds a boost probe: every target attacked, MP scored on the boost
@@ -38,7 +37,7 @@ pub fn boost_probe(workbench: &Workbench, bias: f64, std_dev: f64, trial: usize)
         mapping: MappingStrategy::InOrder,
         calibrated: true,
     };
-    let mut rng = StdRng::seed_from_u64(
+    let mut rng = Xoshiro256pp::seed_from_u64(
         workbench
             .config
             .seed
@@ -88,10 +87,7 @@ pub fn run(workbench: &Workbench) -> ExperimentReport {
                 let b = boost_probe(workbench, bias, std, trial);
                 best_boost = best_boost.max(boost_mp(workbench, &session.score(&b)));
                 let d = probe_attack(workbench, -bias, std, trial);
-                best_down = best_down.max(crate::fig5::downgrade_mp(
-                    workbench,
-                    &session.score(&d),
-                ));
+                best_down = best_down.max(crate::fig5::downgrade_mp(workbench, &session.score(&d)));
             }
             boost_values.push(best_boost);
             downgrade_values.push(best_down);

@@ -29,7 +29,10 @@ pub struct FamilyQuality {
 
 /// Computes per-family detection quality.
 #[must_use]
-pub fn family_quality(workbench: &Workbench, max_per_family: usize) -> BTreeMap<&'static str, FamilyQuality> {
+pub fn family_quality(
+    workbench: &Workbench,
+    max_per_family: usize,
+) -> BTreeMap<&'static str, FamilyQuality> {
     let scheme = PScheme::new();
     let session = ScoringSession::new(&workbench.challenge, &scheme);
     let mut acc: BTreeMap<&'static str, (usize, f64, f64, f64, f64)> = BTreeMap::new();

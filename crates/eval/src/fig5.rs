@@ -12,13 +12,11 @@ use crate::suite::Workbench;
 use rrs_aggregation::PScheme;
 use rrs_attack::{
     generator::{AttackConfig, AttackGenerator},
-    ArrivalModel, AttackSequence, MappingStrategy, RegionSearch, SearchOutcome,
-    SearchSpace,
+    ArrivalModel, AttackSequence, MappingStrategy, RegionSearch, SearchOutcome, SearchSpace,
 };
 use rrs_challenge::ScoringSession;
+use rrs_core::rng::Xoshiro256pp;
 use rrs_core::{Days, Timestamp};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::fmt::Write as _;
 
 /// Builds the downgrade attack Procedure 2 probes: a one-month burst on
@@ -55,7 +53,7 @@ pub fn probe_attack(
         mapping: MappingStrategy::InOrder,
         calibrated: true,
     };
-    let mut rng = StdRng::seed_from_u64(
+    let mut rng = Xoshiro256pp::seed_from_u64(
         workbench
             .config
             .seed

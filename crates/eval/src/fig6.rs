@@ -14,8 +14,7 @@ use crate::suite::Workbench;
 use rrs_aggregation::PScheme;
 use rrs_attack::AttackStrategy;
 use rrs_challenge::ScoringSession;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rrs_core::rng::Xoshiro256pp;
 use std::fmt::Write as _;
 
 /// The interval sweep: for each candidate average interval, `trials`
@@ -32,7 +31,7 @@ pub fn interval_sweep(workbench: &Workbench, intervals: &[f64], trials: usize) -
         .map(|&interval| {
             let mut best = 0.0f64;
             for trial in 0..trials {
-                let mut rng = StdRng::seed_from_u64(
+                let mut rng = Xoshiro256pp::seed_from_u64(
                     workbench
                         .config
                         .seed
@@ -76,7 +75,9 @@ pub fn population_scatter(workbench: &Workbench) -> Vec<(f64, f64)> {
 /// Runs Figure 6.
 #[must_use]
 pub fn run(workbench: &Workbench) -> ExperimentReport {
-    let intervals = [0.2, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
+    let intervals = [
+        0.2, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0,
+    ];
     let trials = match workbench.config.scale {
         crate::suite::Scale::Small => 2,
         crate::suite::Scale::Paper => 4,
@@ -111,8 +112,7 @@ pub fn run(workbench: &Workbench) -> ExperimentReport {
         "Figure 6: MP vs average unfair-rating interval (P-scheme, {})",
         workbench.focus_product()
     );
-    let mut points: Vec<(f64, f64, char)> =
-        scatter.iter().map(|&(x, y)| (x, y, '.')).collect();
+    let mut points: Vec<(f64, f64, char)> = scatter.iter().map(|&(x, y)| (x, y, '.')).collect();
     points.extend(sweep.iter().map(|&(x, y)| (x, y, 'o')));
     let _ = writeln!(
         summary,
@@ -126,8 +126,12 @@ pub fn run(workbench: &Workbench) -> ExperimentReport {
     let _ = writeln!(
         summary,
         "shape check: interior maximum (peak beats both endpoints): {}",
-        verdict(best_mp > first_mp && best_mp > last_mp && best_interval > intervals[0]
-            && best_interval < intervals[intervals.len() - 1])
+        verdict(
+            best_mp > first_mp
+                && best_mp > last_mp
+                && best_interval > intervals[0]
+                && best_interval < intervals[intervals.len() - 1]
+        )
     );
 
     ExperimentReport {

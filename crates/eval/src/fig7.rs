@@ -13,8 +13,7 @@ use rrs_aggregation::PScheme;
 use rrs_attack::mapper::{map_values_to_times, MappingStrategy};
 use rrs_attack::AttackSequence;
 use rrs_challenge::ScoringSession;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rrs_core::rng::Xoshiro256pp;
 use std::fmt::Write as _;
 
 /// Rebuilds a submission with its per-product values re-paired to the
@@ -26,7 +25,7 @@ pub fn reorder_submission(
     strategy: MappingStrategy,
     seed: u64,
 ) -> AttackSequence {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let ctx = &workbench.attack_ctx;
     let mut ratings = Vec::with_capacity(sequence.len());
     for (product, fair) in &ctx.fair {
@@ -84,7 +83,11 @@ impl OrderComparison {
 
 /// Runs the comparison over the top-`n` MP submissions.
 #[must_use]
-pub fn compare_orders(workbench: &Workbench, n: usize, random_trials: usize) -> Vec<OrderComparison> {
+pub fn compare_orders(
+    workbench: &Workbench,
+    n: usize,
+    random_trials: usize,
+) -> Vec<OrderComparison> {
     let scheme = PScheme::new();
     let session = ScoringSession::new(&workbench.challenge, &scheme);
     let mut scored: Vec<(usize, f64)> = workbench

@@ -214,13 +214,7 @@ mod tests {
 
     #[test]
     fn scatter_renders_extremes() {
-        let plot = ascii_scatter(
-            &[(0.0, 0.0, '#'), (1.0, 1.0, '@')],
-            "bias",
-            "std",
-            20,
-            10,
-        );
+        let plot = ascii_scatter(&[(0.0, 0.0, '#'), (1.0, 1.0, '@')], "bias", "std", 20, 10);
         assert!(plot.contains('#'));
         assert!(plot.contains('@'));
         assert!(plot.contains("bias"));

@@ -14,10 +14,9 @@
 use crate::report::{ExperimentReport, Table};
 use crate::suite::Workbench;
 use rrs_attack::AttackStrategy;
+use rrs_core::rng::Xoshiro256pp;
 use rrs_core::{ProductTimeline, RatingDataset, TimeWindow, Timestamp};
 use rrs_detectors::{arc, hc, mc, me, ArcConfig, ArcVariant, HcConfig, McConfig, MeConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::fmt::Write as _;
 
 /// One point of a detector's operating curve.
@@ -46,7 +45,8 @@ fn build_streams(workbench: &Workbench, per_kind: usize) -> Streams {
     let window_start = workbench.attack_ctx.horizon.start().as_days()
         - workbench.challenge.horizon().start().as_days();
     for i in 0..per_kind {
-        let mut rng = StdRng::seed_from_u64(workbench.config.seed.wrapping_add(900 + i as u64));
+        let mut rng =
+            Xoshiro256pp::seed_from_u64(workbench.config.seed.wrapping_add(900 + i as u64));
         let start_day = 5.0 + i as f64 * 7.0;
         let strategy = AttackStrategy::Burst {
             bias: 2.6,
@@ -221,13 +221,16 @@ pub fn run(workbench: &Workbench) -> ExperimentReport {
             .iter()
             .filter(|p| p.detector == name)
             .map(|p| (p.tpr - p.fpr, p.tpr))
-            .fold((f64::NEG_INFINITY, 0.0), |acc, v| {
-                if v.0 > acc.0 {
-                    v
-                } else {
-                    acc
-                }
-            })
+            .fold(
+                (f64::NEG_INFINITY, 0.0),
+                |acc, v| {
+                    if v.0 > acc.0 {
+                        v
+                    } else {
+                        acc
+                    }
+                },
+            )
     };
     let mut summary = String::new();
     let _ = writeln!(

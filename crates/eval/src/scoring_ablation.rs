@@ -63,8 +63,16 @@ pub fn run(workbench: &Workbench) -> ExperimentReport {
     ] {
         let p_best = best_mp(workbench, &p, mode, sample);
         let sa_best = best_mp(workbench, &sa, mode, sample);
-        table.push_row(vec![label.into(), "P-scheme".into(), format!("{p_best:.4}")]);
-        table.push_row(vec![label.into(), "SA-scheme".into(), format!("{sa_best:.4}")]);
+        table.push_row(vec![
+            label.into(),
+            "P-scheme".into(),
+            format!("{p_best:.4}"),
+        ]);
+        table.push_row(vec![
+            label.into(),
+            "SA-scheme".into(),
+            format!("{sa_best:.4}"),
+        ]);
         ratios.push((label, p_best / sa_best.max(1e-9)));
     }
 

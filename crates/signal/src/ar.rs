@@ -40,7 +40,10 @@ impl fmt::Display for ArError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArError::TooShort { needed, got } => {
-                write!(f, "window of {got} samples is too short for AR fit (need {needed})")
+                write!(
+                    f,
+                    "window of {got} samples is too short for AR fit (need {needed})"
+                )
             }
             ArError::Singular => write!(f, "normal equations are singular"),
             ArError::ZeroOrder => write!(f, "model order must be at least 1"),
@@ -129,9 +132,7 @@ pub fn fit_ar(x: &[f64], order: usize) -> Result<ArModel, ArError> {
     let n = xs.len();
     let p = order;
     // c(j, k) = sum_{t=p}^{n-1} xs[t-j] * xs[t-k]
-    let c = |j: usize, k: usize| -> f64 {
-        (p..n).map(|t| xs[t - j] * xs[t - k]).sum()
-    };
+    let c = |j: usize, k: usize| -> f64 { (p..n).map(|t| xs[t - j] * xs[t - k]).sum() };
     // Ridge term: a signal that satisfies an exact lower-order recurrence
     // (e.g. a pure sinusoid is exactly AR(2)) makes the order-p normal
     // equations rank-deficient; a tiny diagonal load keeps them solvable
@@ -150,7 +151,12 @@ pub fn fit_ar(x: &[f64], order: usize) -> Result<ArModel, ArError> {
     let coeffs = matrix.solve(&rhs).map_err(|_| ArError::Singular)?;
 
     // Residual energy: c(0,0) − Σ w_k c(0,k).
-    let residual: f64 = c(0, 0) - coeffs.iter().enumerate().map(|(i, w)| w * c(0, i + 1)).sum::<f64>();
+    let residual: f64 = c(0, 0)
+        - coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, w)| w * c(0, i + 1))
+            .sum::<f64>();
     let mse = (residual / (n - p) as f64).max(0.0);
     Ok(ArModel {
         normalized_error: (mse / var).max(0.0),
@@ -162,11 +168,11 @@ pub fn fit_ar(x: &[f64], order: usize) -> Result<ArModel, ArError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rrs_core::rng::RrsRng;
+    use rrs_core::rng::Xoshiro256pp;
 
     fn white_noise(n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         (0..n).map(|_| 4.0 + rng.gen_range(-1.0..1.0)).collect()
     }
 
@@ -203,7 +209,7 @@ mod tests {
     #[test]
     fn strong_ar1_signal_has_low_normalized_error() {
         // x[n] = 0.95 x[n-1] + small noise: highly predictable.
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let mut x = vec![0.0f64; 300];
         for i in 1..300 {
             x[i] = 0.95 * x[i - 1] + 0.05 * rng.gen_range(-1.0..1.0);
@@ -220,9 +226,7 @@ mod tests {
 
     #[test]
     fn sinusoid_is_predictable() {
-        let x: Vec<f64> = (0..100)
-            .map(|i| 4.0 + (f64::from(i) * 0.3).sin())
-            .collect();
+        let x: Vec<f64> = (0..100).map(|i| 4.0 + (f64::from(i) * 0.3).sin()).collect();
         let m = fit_ar(&x, 4).unwrap();
         assert!(m.normalized_error() < 0.05, "got {}", m.normalized_error());
     }

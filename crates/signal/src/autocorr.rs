@@ -74,11 +74,11 @@ pub fn looks_white(xs: &[f64], max_lag: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rrs_core::rng::RrsRng;
+    use rrs_core::rng::Xoshiro256pp;
 
     fn white(n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
     }
 
@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn ar1_process_has_geometric_acf() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let mut xs = vec![0.0f64; 3000];
         for i in 1..xs.len() {
             xs[i] = 0.7 * xs[i - 1] + rng.gen_range(-1.0f64..1.0);
@@ -108,7 +108,9 @@ mod tests {
 
     #[test]
     fn alternating_signal_has_negative_lag1() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let acf = autocorrelation(&xs, 2);
         assert!(acf[0] < -0.9);
         assert!(acf[1] > 0.9);
@@ -133,12 +135,15 @@ mod tests {
     #[test]
     fn ljung_box_grows_with_correlation() {
         let white_q = ljung_box(&white(500, 4), 10).unwrap();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let mut xs = vec![0.0f64; 500];
         for i in 1..xs.len() {
             xs[i] = 0.8 * xs[i - 1] + rng.gen_range(-0.5f64..0.5);
         }
         let corr_q = ljung_box(&xs, 10).unwrap();
-        assert!(corr_q > white_q * 5.0, "white {white_q:.1} vs corr {corr_q:.1}");
+        assert!(
+            corr_q > white_q * 5.0,
+            "white {white_q:.1} vs corr {corr_q:.1}"
+        );
     }
 }

@@ -125,7 +125,8 @@ pub fn cluster_sizes(labels: &[usize]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rrs_core::check::vec_of;
+    use rrs_core::{prop_assert, prop_assert_eq, props};
 
     fn partition_sets(labels: &[usize]) -> Vec<std::collections::BTreeSet<usize>> {
         let k = labels.iter().copied().max().map_or(0, |m| m + 1);
@@ -191,16 +192,16 @@ mod tests {
         assert!(cluster_sizes(&[]).is_empty());
     }
 
-    proptest! {
+    props! {
         #[test]
-        fn both_methods_agree(values in proptest::collection::vec(-10.0f64..10.0, 1..25), k in 1usize..4) {
+        fn both_methods_agree(values in vec_of(-10.0f64..10.0, 1..25), k in 1usize..4) {
             let a = partition_sets(&single_linkage_1d(&values, k));
             let b = partition_sets(&single_linkage(&values, k));
             prop_assert_eq!(a, b);
         }
 
         #[test]
-        fn label_count_bounded(values in proptest::collection::vec(-10.0f64..10.0, 1..40), k in 1usize..5) {
+        fn label_count_bounded(values in vec_of(-10.0f64..10.0, 1..40), k in 1usize..5) {
             let labels = single_linkage_1d(&values, k);
             let distinct = labels.iter().collect::<std::collections::BTreeSet<_>>().len();
             prop_assert!(distinct <= k);
@@ -208,7 +209,7 @@ mod tests {
         }
 
         #[test]
-        fn clusters_are_intervals_in_value_order(values in proptest::collection::vec(-10.0f64..10.0, 2..30)) {
+        fn clusters_are_intervals_in_value_order(values in vec_of(-10.0f64..10.0, 2..30)) {
             // Single linkage in 1-D always produces clusters that are
             // contiguous in sorted value order.
             let labels = single_linkage_1d(&values, 2);

@@ -107,11 +107,11 @@ impl Cusum {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rrs_core::rng::RrsRng;
+    use rrs_core::rng::Xoshiro256pp;
 
     fn noise(n: usize, mean: f64, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         (0..n).map(|_| mean + rng.gen_range(-0.5..0.5)).collect()
     }
 

@@ -62,8 +62,8 @@ impl Ewma {
         self.z = (1.0 - self.lambda) * self.z + self.lambda * x;
         let index = self.n;
         self.n += 1;
-        let var_scale = self.lambda / (2.0 - self.lambda)
-            * (1.0 - (1.0 - self.lambda).powi(2 * self.n as i32));
+        let var_scale =
+            self.lambda / (2.0 - self.lambda) * (1.0 - (1.0 - self.lambda).powi(2 * self.n as i32));
         let band = self.limit * self.sigma * var_scale.sqrt();
         if (self.z - self.mean).abs() > band {
             let direction = if self.z > self.mean { 1 } else { -1 };
@@ -96,11 +96,11 @@ impl Ewma {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use rrs_core::rng::RrsRng;
+    use rrs_core::rng::Xoshiro256pp;
 
     fn noise(n: usize, mean: f64, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         (0..n).map(|_| mean + rng.gen_range(-0.9..0.9)).collect()
     }
 

@@ -90,7 +90,8 @@ pub fn arrival_rate_glrt(y1: &[u32], y2: &[u32]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rrs_core::check::vec_of;
+    use rrs_core::{prop_assert, props};
 
     #[test]
     fn mean_change_zero_when_equal() {
@@ -170,11 +171,11 @@ mod tests {
         assert!((v - expected).abs() < 1e-12);
     }
 
-    proptest! {
+    props! {
         #[test]
         fn glrt_nonnegative(
-            x1 in proptest::collection::vec(-10.0f64..10.0, 1..20),
-            x2 in proptest::collection::vec(-10.0f64..10.0, 1..20),
+            x1 in vec_of(-10.0f64..10.0, 1..20),
+            x2 in vec_of(-10.0f64..10.0, 1..20),
             sigma2 in 0.01f64..10.0,
         ) {
             prop_assert!(mean_change_glrt(&x1, &x2, sigma2).unwrap() >= 0.0);
@@ -182,8 +183,8 @@ mod tests {
 
         #[test]
         fn glrt_shift_invariant(
-            x1 in proptest::collection::vec(-5.0f64..5.0, 2..20),
-            x2 in proptest::collection::vec(-5.0f64..5.0, 2..20),
+            x1 in vec_of(-5.0f64..5.0, 2..20),
+            x2 in vec_of(-5.0f64..5.0, 2..20),
             shift in -100.0f64..100.0,
         ) {
             let s1: Vec<f64> = x1.iter().map(|v| v + shift).collect();
@@ -195,8 +196,8 @@ mod tests {
 
         #[test]
         fn arrival_rate_nonnegative(
-            y1 in proptest::collection::vec(0u32..20, 1..30),
-            y2 in proptest::collection::vec(0u32..20, 1..30),
+            y1 in vec_of(0u32..20, 1..30),
+            y2 in vec_of(0u32..20, 1..30),
         ) {
             prop_assert!(arrival_rate_glrt(&y1, &y2).unwrap() >= -1e-12);
         }

@@ -146,7 +146,8 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rrs_core::check::vec_of;
+    use rrs_core::{prop_assert, props};
 
     #[test]
     fn solve_identity() {
@@ -195,11 +196,11 @@ mod tests {
         let _ = m.solve(&[1.0]);
     }
 
-    proptest! {
+    props! {
         #[test]
         fn solve_round_trips(
-            coeffs in proptest::collection::vec(-5.0f64..5.0, 9),
-            xs in proptest::collection::vec(-5.0f64..5.0, 3),
+            coeffs in vec_of(-5.0f64..5.0, 9),
+            xs in vec_of(-5.0f64..5.0, 3),
         ) {
             let rows: Vec<Vec<f64>> = coeffs.chunks(3).map(<[f64]>::to_vec).collect();
             // Make the matrix diagonally dominant so it is well-conditioned.

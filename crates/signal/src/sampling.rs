@@ -1,18 +1,18 @@
 //! Random sampling primitives.
 //!
-//! `rand` 0.8 ships uniform sampling only; the distributions the fair-data
-//! and attack generators need — Gaussian, Poisson, truncated Gaussian,
-//! exponential — are implemented here so the workspace carries no extra
-//! dependency.
+//! [`rrs_core::rng`] ships uniform sampling only; the distributions the
+//! fair-data and attack generators need — Gaussian, Poisson, truncated
+//! Gaussian, exponential — are implemented here so the workspace carries
+//! no extra dependency.
 
-use rand::Rng;
+use rrs_core::rng::RrsRng;
 
 /// Draws a Gaussian sample by the Box–Muller transform.
 ///
 /// # Panics
 ///
 /// Panics if `std_dev` is negative or either parameter is non-finite.
-pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+pub fn gaussian<R: RrsRng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
     assert!(
         mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
         "gaussian parameters must be finite with std_dev >= 0"
@@ -37,7 +37,7 @@ pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `lambda` is negative or non-finite.
-pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+pub fn poisson<R: RrsRng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
     assert!(
         lambda.is_finite() && lambda >= 0.0,
         "poisson rate must be finite and non-negative"
@@ -52,7 +52,7 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
     total + poisson_knuth(rng, remaining)
 }
 
-fn poisson_knuth<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+fn poisson_knuth<R: RrsRng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
     if lambda <= 0.0 {
         return 0;
     }
@@ -79,14 +79,17 @@ fn poisson_knuth<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
 /// # Panics
 ///
 /// Panics if `hi < lo` or any parameter is non-finite.
-pub fn truncated_gaussian<R: Rng + ?Sized>(
+pub fn truncated_gaussian<R: RrsRng + ?Sized>(
     rng: &mut R,
     mean: f64,
     std_dev: f64,
     lo: f64,
     hi: f64,
 ) -> f64 {
-    assert!(lo.is_finite() && hi.is_finite() && hi >= lo, "invalid truncation interval");
+    assert!(
+        lo.is_finite() && hi.is_finite() && hi >= lo,
+        "invalid truncation interval"
+    );
     for _ in 0..128 {
         let x = gaussian(rng, mean, std_dev);
         if (lo..=hi).contains(&x) {
@@ -101,7 +104,7 @@ pub fn truncated_gaussian<R: Rng + ?Sized>(
 /// # Panics
 ///
 /// Panics if `rate` is not strictly positive and finite.
-pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+pub fn exponential<R: RrsRng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
     assert!(
         rate.is_finite() && rate > 0.0,
         "exponential rate must be positive"
@@ -114,11 +117,10 @@ pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::stats;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rrs_core::rng::Xoshiro256pp;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(0xFEED)
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(0xFEED)
     }
 
     #[test]
@@ -198,11 +200,11 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let a: Vec<u64> = {
-            let mut r = StdRng::seed_from_u64(1);
+            let mut r = Xoshiro256pp::seed_from_u64(1);
             (0..10).map(|_| poisson(&mut r, 5.0)).collect()
         };
         let b: Vec<u64> = {
-            let mut r = StdRng::seed_from_u64(1);
+            let mut r = Xoshiro256pp::seed_from_u64(1);
             (0..10).map(|_| poisson(&mut r, 5.0)).collect()
         };
         assert_eq!(a, b);

@@ -164,8 +164,9 @@ pub fn reg_inc_beta_inv(a: f64, b: f64, p: f64) -> f64 {
             lo = x;
         }
         // Newton step using the beta density as the derivative.
-        let ln_pdf =
-            ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + (a - 1.0) * x.ln() + (b - 1.0) * (1.0 - x).ln();
+        let ln_pdf = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
+            + (a - 1.0) * x.ln()
+            + (b - 1.0) * (1.0 - x).ln();
         let pdf = ln_pdf.exp();
         let newton = if pdf > 1e-300 { x - f / pdf } else { f64::NAN };
         x = if newton.is_finite() && newton > lo && newton < hi {
@@ -189,7 +190,7 @@ pub fn beta_mean(a: f64, b: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rrs_core::{prop_assert, props};
 
     #[test]
     fn ln_gamma_matches_factorials() {
@@ -262,7 +263,7 @@ mod tests {
         assert_eq!(beta_mean(1.0, 3.0), 0.25);
     }
 
-    proptest! {
+    props! {
         #[test]
         fn inc_beta_is_monotone(a in 0.2f64..20.0, b in 0.2f64..20.0, x1 in 0.0f64..1.0, x2 in 0.0f64..1.0) {
             let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };

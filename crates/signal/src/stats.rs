@@ -192,7 +192,8 @@ impl Welford {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rrs_core::check::vec_of;
+    use rrs_core::{prop_assert, prop_assert_eq, props};
 
     #[test]
     fn mean_basic() {
@@ -261,14 +262,14 @@ mod tests {
         assert_eq!(Welford::new().mean(), None);
     }
 
-    proptest! {
+    props! {
         #[test]
-        fn variance_nonnegative(xs in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        fn variance_nonnegative(xs in vec_of(-100.0f64..100.0, 1..50)) {
             prop_assert!(variance(&xs).unwrap() >= 0.0);
         }
 
         #[test]
-        fn welford_agrees_with_batch(xs in proptest::collection::vec(-50.0f64..50.0, 1..60)) {
+        fn welford_agrees_with_batch(xs in vec_of(-50.0f64..50.0, 1..60)) {
             let mut w = Welford::new();
             for &x in &xs { w.push(x); }
             prop_assert!((w.mean().unwrap() - mean(&xs).unwrap()).abs() < 1e-9);
@@ -276,13 +277,13 @@ mod tests {
         }
 
         #[test]
-        fn histogram_total_counts_everything(xs in proptest::collection::vec(-10.0f64..10.0, 0..100)) {
+        fn histogram_total_counts_everything(xs in vec_of(-10.0f64..10.0, 0..100)) {
             let h = histogram(&xs, 0.0, 5.0, 10);
             prop_assert_eq!(h.total(), xs.len());
         }
 
         #[test]
-        fn mean_bounded_by_min_max(xs in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        fn mean_bounded_by_min_max(xs in vec_of(-100.0f64..100.0, 1..50)) {
             let m = mean(&xs).unwrap();
             prop_assert!(m >= min(&xs).unwrap() - 1e-9);
             prop_assert!(m <= max(&xs).unwrap() + 1e-9);

@@ -120,7 +120,8 @@ impl fmt::Display for BetaTrust {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rrs_core::check::vec_of;
+    use rrs_core::{prop_assert, prop_assert_eq, props};
 
     #[test]
     fn fresh_record_is_neutral() {
@@ -180,7 +181,7 @@ mod tests {
         assert!(s.contains("F = 1.0"));
     }
 
-    proptest! {
+    props! {
         #[test]
         fn trust_in_open_unit_interval(s in 0.0f64..1e6, f in 0.0f64..1e6) {
             let t = BetaTrust::with_counts(s, f).trust();
@@ -202,7 +203,7 @@ mod tests {
         }
 
         #[test]
-        fn record_accumulates(epochs in proptest::collection::vec((0u64..50, 0u64..50), 0..20)) {
+        fn record_accumulates(epochs in vec_of((0u64..50, 0u64..50), 0..20)) {
             let mut t = BetaTrust::new();
             let mut s_total = 0u64;
             let mut f_total = 0u64;

@@ -79,11 +79,7 @@ pub fn fuse(opinions: &[Opinion]) -> Opinion {
     if total <= 0.0 {
         return Opinion::neutral();
     }
-    let trust = opinions
-        .iter()
-        .map(|o| o.trust * o.confidence)
-        .sum::<f64>()
-        / total;
+    let trust = opinions.iter().map(|o| o.trust * o.confidence).sum::<f64>() / total;
     Opinion {
         trust,
         confidence: total,
@@ -106,7 +102,8 @@ pub fn path_trust(path: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rrs_core::check::vec_of;
+    use rrs_core::{prop_assert, props};
 
     #[test]
     fn concatenate_with_full_trust_is_identity() {
@@ -155,7 +152,7 @@ mod tests {
         let _ = Opinion::new(1.2, 1.0);
     }
 
-    proptest! {
+    props! {
         #[test]
         fn concatenate_never_exceeds_recommendation_confidence(
             t_ab in 0.0f64..=1.0,
@@ -169,7 +166,7 @@ mod tests {
 
         #[test]
         fn fuse_bounded_by_inputs(
-            opinions in proptest::collection::vec((0.0f64..=1.0, 0.01f64..10.0), 1..8)
+            opinions in vec_of((0.0f64..=1.0, 0.01f64..10.0), 1..8)
         ) {
             let ops: Vec<Opinion> = opinions.iter().map(|&(t, c)| Opinion::new(t, c)).collect();
             let fused = fuse(&ops);

@@ -106,10 +106,7 @@ impl TrustManager {
     /// Returns a snapshot of all trust values.
     #[must_use]
     pub fn snapshot(&self) -> BTreeMap<RaterId, f64> {
-        self.records
-            .iter()
-            .map(|(r, t)| (*r, t.trust()))
-            .collect()
+        self.records.iter().map(|(r, t)| (*r, t.trust())).collect()
     }
 
     /// Applies exponential forgetting to every record.

@@ -46,8 +46,6 @@ fn main() {
             .filter(|s| s.straightforward)
             .map(|s| s.report.total())
             .fold(0.0f64, f64::max);
-        println!(
-            "max MP {max:.4}; best straightforward submission {straightforward_best:.4}\n"
-        );
+        println!("max MP {max:.4}; best straightforward submission {straightforward_best:.4}\n");
     }
 }

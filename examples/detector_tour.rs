@@ -10,15 +10,16 @@
 use rrs::attack::AttackStrategy;
 use rrs::challenge::{ChallengeConfig, RatingChallenge};
 use rrs::core::GroundTruth;
-use rrs::detectors::{arc, hc, mc, me, ArcConfig, ArcVariant, HcConfig, JointDetector, McConfig, MeConfig};
+use rrs::detectors::{
+    arc, hc, mc, me, ArcConfig, ArcVariant, HcConfig, JointDetector, McConfig, MeConfig,
+};
 use rrs::eval::report::ascii_scatter;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rrs_core::rng::Xoshiro256pp;
 
 fn main() {
     let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 11);
     let ctx = challenge.attack_context();
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
     let attack = AttackStrategy::Burst {
         bias: 3.0,
         std_dev: 0.6,
@@ -47,27 +48,59 @@ fn main() {
     let mc_out = mc::detect(timeline, &McConfig::default(), |_| 0.5);
     plot(
         "MC indicator  W*(A1-A2)^2",
-        mc_out.curve.points().iter().map(|p| (p.time, p.value)).collect(),
+        mc_out
+            .curve
+            .points()
+            .iter()
+            .map(|p| (p.time, p.value))
+            .collect(),
     );
-    println!("MC flagged segments: {:?}\n", mc_out.suspicious.iter().map(|s| s.window.to_string()).collect::<Vec<_>>());
+    println!(
+        "MC flagged segments: {:?}\n",
+        mc_out
+            .suspicious
+            .iter()
+            .map(|s| s.window.to_string())
+            .collect::<Vec<_>>()
+    );
 
     let larc = arc::detect(timeline, horizon, ArcVariant::Low, &ArcConfig::default());
     plot(
         "L-ARC GLRT",
-        larc.curve.points().iter().map(|p| (p.time, p.value)).collect(),
+        larc.curve
+            .points()
+            .iter()
+            .map(|p| (p.time, p.value))
+            .collect(),
     );
-    println!("L-ARC flagged segments: {:?}\n", larc.suspicious.iter().map(|s| s.window.to_string()).collect::<Vec<_>>());
+    println!(
+        "L-ARC flagged segments: {:?}\n",
+        larc.suspicious
+            .iter()
+            .map(|s| s.window.to_string())
+            .collect::<Vec<_>>()
+    );
 
     let hc_out = hc::detect(timeline, &HcConfig::default());
     plot(
         "HC ratio min(n1/n2, n2/n1)",
-        hc_out.curve.points().iter().map(|p| (p.time, p.value)).collect(),
+        hc_out
+            .curve
+            .points()
+            .iter()
+            .map(|p| (p.time, p.value))
+            .collect(),
     );
 
     let me_out = me::detect(timeline, &MeConfig::default());
     plot(
         "ME normalized model error",
-        me_out.curve.points().iter().map(|p| (p.time, p.value)).collect(),
+        me_out
+            .curve
+            .points()
+            .iter()
+            .map(|p| (p.time, p.value))
+            .collect(),
     );
 
     // Bonus: the CUSUM alternative — a detector family the paper does

@@ -10,8 +10,7 @@ use rrs::attack::AttackStrategy;
 use rrs::challenge::{ChallengeConfig, RatingChallenge};
 use rrs::core::GroundTruth;
 use rrs::AggregationScheme;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rrs_core::rng::Xoshiro256pp;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Generate the challenge: nine TVs, 180 days of fair ratings.
@@ -27,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    variance) — the paper's region-R3 recipe against signal-based
     //    detection.
     let ctx = challenge.attack_context();
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
     let attack = AttackStrategy::Camouflage {
         bias: 2.2,
         std_dev: 1.5,

@@ -10,8 +10,7 @@ use rrs::attack::strategies;
 use rrs::challenge::{ChallengeConfig, RatingChallenge, ScoringSession};
 use rrs::signal::autocorr;
 use rrs::AggregationScheme;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rrs_core::rng::Xoshiro256pp;
 
 fn main() {
     let challenge = RatingChallenge::generate(&ChallengeConfig::paper(), 7);
@@ -33,8 +32,7 @@ fn main() {
     let p = PScheme::new();
     let sa = SaScheme::new();
     let bf = BfScheme::new();
-    let schemes: Vec<(&str, &dyn AggregationScheme)> =
-        vec![("SA", &sa), ("BF", &bf), ("P", &p)];
+    let schemes: Vec<(&str, &dyn AggregationScheme)> = vec![("SA", &sa), ("BF", &bf), ("P", &p)];
     let sessions: Vec<(&str, ScoringSession<'_>)> = schemes
         .iter()
         .map(|(name, scheme)| (*name, ScoringSession::new(&challenge, *scheme)))
@@ -44,7 +42,7 @@ fn main() {
         "{:<20} {:>8} {:>8} {:>8}   (manipulation power; lower = better defense)",
         "strategy", "SA", "BF", "P"
     );
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
     for strategy in strategies::catalog() {
         let attack = strategy.build(&ctx, &mut rng);
         print!("{:<20}", strategy.name());

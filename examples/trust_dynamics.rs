@@ -10,13 +10,12 @@ use rrs::challenge::{ChallengeConfig, RatingChallenge};
 use rrs::core::{Days, EvalContext, TimeWindow};
 use rrs::detectors::JointDetector;
 use rrs::trust::TrustManager;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rrs_core::rng::Xoshiro256pp;
 
 fn main() {
     let challenge = RatingChallenge::generate(&ChallengeConfig::paper(), 3);
     let ctx = challenge.attack_context();
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
     let attack = AttackStrategy::Burst {
         bias: 3.2,
         std_dev: 0.4,

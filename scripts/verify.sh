@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the exact commands CI runs, in the exact order.
+# Everything must pass offline — the workspace has zero external
+# dependencies, and this script is what keeps it that way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --workspace --offline
+cargo fmt --check
+
+echo "verify: OK"

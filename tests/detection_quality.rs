@@ -5,14 +5,13 @@ use rrs::attack::AttackStrategy;
 use rrs::challenge::{ChallengeConfig, RatingChallenge};
 use rrs::core::GroundTruth;
 use rrs::detectors::{AblatedDetector, DetectorConfig, JointDetector};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rrs_core::rng::Xoshiro256pp;
 use std::collections::BTreeSet;
 
 fn attacked_fixture(seed: u64) -> (RatingChallenge, rrs::RatingDataset) {
     let challenge = RatingChallenge::generate(&ChallengeConfig::small(), seed);
     let ctx = challenge.attack_context();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xABCD);
     let attack = AttackStrategy::Burst {
         bias: 3.0,
         std_dev: 0.5,
@@ -56,7 +55,8 @@ fn each_single_ablation_degrades_or_preserves_but_never_panics() {
         AblatedDetector::ModelError,
     ] {
         let config = DetectorConfig::paper().without(ablated);
-        let (marks, _) = JointDetector::new(config).detect_all(&attacked, challenge.horizon(), |_| 0.5);
+        let (marks, _) =
+            JointDetector::new(config).detect_all(&attacked, challenge.horizon(), |_| 0.5);
         let recall = truth.score(&marks).recall();
         assert!(
             recall <= full_recall + 1e-9,
@@ -80,7 +80,7 @@ fn low_trust_raters_are_easier_to_flag() {
     // neutral trust but is flagged when its raters are known-shady.
     let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 24);
     let ctx = challenge.attack_context();
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = Xoshiro256pp::seed_from_u64(77);
     let attack = AttackStrategy::MajoritySneak {
         bias: 1.1,
         start_day: 8.0,
@@ -110,7 +110,11 @@ fn low_trust_raters_are_easier_to_flag() {
 fn detection_is_deterministic() {
     let (challenge, attacked) = attacked_fixture(25);
     let detector = JointDetector::default();
-    let a = detector.detect_all(&attacked, challenge.horizon(), |_| 0.5).0;
-    let b = detector.detect_all(&attacked, challenge.horizon(), |_| 0.5).0;
+    let a = detector
+        .detect_all(&attacked, challenge.horizon(), |_| 0.5)
+        .0;
+    let b = detector
+        .detect_all(&attacked, challenge.horizon(), |_| 0.5)
+        .0;
     assert_eq!(a, b);
 }

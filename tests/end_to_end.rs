@@ -5,8 +5,7 @@ use rrs::aggregation::{BfScheme, PScheme, SaScheme};
 use rrs::attack::AttackStrategy;
 use rrs::challenge::{ChallengeConfig, RatingChallenge, ScoringSession};
 use rrs::AggregationScheme;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rrs_core::rng::Xoshiro256pp;
 
 fn challenge() -> RatingChallenge {
     RatingChallenge::generate(&ChallengeConfig::small(), 1234)
@@ -16,13 +15,15 @@ fn challenge() -> RatingChallenge {
 fn full_pipeline_runs_and_defenses_rank_correctly() {
     let challenge = challenge();
     let ctx = challenge.attack_context();
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
     let attack = AttackStrategy::NaiveExtreme {
         start_day: 8.0,
         duration_days: 10.0,
     }
     .build(&ctx, &mut rng);
-    challenge.validate(&attack).expect("strategy obeys the rules");
+    challenge
+        .validate(&attack)
+        .expect("strategy obeys the rules");
 
     let p = challenge.score(&PScheme::new(), &attack).unwrap();
     let sa = challenge.score(&SaScheme::new(), &attack).unwrap();
@@ -48,14 +49,14 @@ fn scoring_is_deterministic_per_seed() {
     let a = {
         let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 7);
         let ctx = challenge.attack_context();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let attack = AttackStrategy::UniformSpread.build(&ctx, &mut rng);
         challenge.score(&PScheme::new(), &attack).unwrap().total()
     };
     let b = {
         let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 7);
         let ctx = challenge.attack_context();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let attack = AttackStrategy::UniformSpread.build(&ctx, &mut rng);
         challenge.score(&PScheme::new(), &attack).unwrap().total()
     };
@@ -66,7 +67,7 @@ fn scoring_is_deterministic_per_seed() {
 fn scoring_session_agrees_with_direct_scoring_for_every_scheme() {
     let challenge = challenge();
     let ctx = challenge.attack_context();
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = Xoshiro256pp::seed_from_u64(3);
     let attack = AttackStrategy::Burst {
         bias: 2.5,
         std_dev: 0.8,
@@ -109,7 +110,7 @@ fn unvalidated_garbage_is_rejected() {
 fn boost_and_downgrade_both_move_scores() {
     let challenge = challenge();
     let ctx = challenge.attack_context();
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
     let attack = AttackStrategy::NaiveExtreme {
         start_day: 5.0,
         duration_days: 8.0,

@@ -3,15 +3,14 @@
 
 use rrs::attack::{generate_population, strategies, PopulationConfig};
 use rrs::challenge::{ChallengeConfig, RatingChallenge};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rrs_core::rng::Xoshiro256pp;
+use rrs_core::{prop_assert, props};
 
 #[test]
 fn every_catalog_strategy_validates_against_the_paper_challenge() {
     let challenge = RatingChallenge::generate(&ChallengeConfig::paper(), 77);
     let ctx = challenge.attack_context();
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = Xoshiro256pp::seed_from_u64(8);
     for strategy in strategies::catalog() {
         let seq = strategy.build(&ctx, &mut rng);
         assert_eq!(
@@ -28,10 +27,7 @@ fn every_catalog_strategy_validates_against_the_paper_challenge() {
 fn population_is_deterministic_and_valid() {
     let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 78);
     let ctx = challenge.attack_context();
-    let config = PopulationConfig {
-        size: 40,
-        seed: 99,
-    };
+    let config = PopulationConfig { size: 40, seed: 99 };
     let a = generate_population(&ctx, &config);
     let b = generate_population(&ctx, &config);
     assert_eq!(a, b, "population generation must be reproducible");
@@ -46,13 +42,7 @@ fn population_is_deterministic_and_valid() {
 fn population_stats_are_consistent_with_sequences() {
     let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 79);
     let ctx = challenge.attack_context();
-    let population = generate_population(
-        &ctx,
-        &PopulationConfig {
-            size: 30,
-            seed: 5,
-        },
-    );
+    let population = generate_population(&ctx, &PopulationConfig { size: 30, seed: 5 });
     for spec in &population {
         for (&product, &bias) in &spec.stats.bias {
             let fair_mean = ctx.fair_view(product).mean;
@@ -68,8 +58,8 @@ fn population_stats_are_consistent_with_sequences() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+props! {
+    #![cases(8)]
 
     #[test]
     fn population_respects_rules_across_seeds(seed in 0u64..1000) {

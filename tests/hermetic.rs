@@ -1,0 +1,56 @@
+//! Guards the zero-dependency invariant: the workspace must resolve to
+//! path dependencies only, so builds can never touch a registry or the
+//! network. A dependency that sneaks back in shows up here as a loud
+//! failure instead of a broken offline build three commits later.
+
+use std::path::Path;
+use std::process::Command;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn cargo_lock_has_only_path_packages() {
+    let lock = std::fs::read_to_string(workspace_root().join("Cargo.lock"))
+        .expect("Cargo.lock must be committed at the workspace root");
+    // Path-only packages carry no `source` key in the lockfile; registry
+    // and git packages do. Checking for the key (not a specific URL)
+    // also catches mirrors and vendored-registry setups.
+    let offenders: Vec<&str> = lock
+        .lines()
+        .filter(|l| l.trim_start().starts_with("source = "))
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "Cargo.lock references non-path package sources: {offenders:?}"
+    );
+    // The lockfile should still describe a real workspace, not be empty.
+    assert!(
+        lock.matches("[[package]]").count() >= 10,
+        "Cargo.lock lists fewer packages than the workspace has crates"
+    );
+}
+
+#[test]
+fn cargo_metadata_reports_only_path_dependencies() {
+    let output = Command::new(env!("CARGO"))
+        .args(["metadata", "--format-version", "1", "--offline"])
+        .current_dir(workspace_root())
+        .output()
+        .expect("cargo metadata must run");
+    assert!(
+        output.status.success(),
+        "cargo metadata failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let metadata = String::from_utf8(output.stdout).expect("utf-8 metadata");
+    // In `cargo metadata` JSON, a crates.io package carries
+    // `"source":"registry+https://..."`; path packages have `"source":null`.
+    for marker in ["registry+", "git+"] {
+        assert!(
+            !metadata.contains(marker),
+            "cargo metadata mentions a non-path source ({marker})"
+        );
+    }
+}

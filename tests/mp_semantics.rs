@@ -3,16 +3,15 @@
 use rrs::aggregation::SaScheme;
 use rrs::attack::AttackStrategy;
 use rrs::challenge::{ChallengeConfig, RatingChallenge};
-use rrs::core::{manipulation_power, io, MpParams, ScoringMode};
+use rrs::core::{io, manipulation_power, MpParams, ScoringMode};
 use rrs::{Days, RatingValue};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rrs_core::rng::Xoshiro256pp;
+use rrs_core::{prop_assert, props};
 
 fn fixture() -> (RatingChallenge, rrs::attack::AttackSequence) {
     let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 99);
     let ctx = challenge.attack_context();
-    let mut rng = StdRng::seed_from_u64(17);
+    let mut rng = Xoshiro256pp::seed_from_u64(17);
     let attack = AttackStrategy::Burst {
         bias: 3.0,
         std_dev: 0.5,
@@ -88,9 +87,13 @@ fn shorter_periods_never_lose_the_attack() {
         period: Days::new(10.0).unwrap(),
         ..MpParams::paper()
     };
-    let report =
-        manipulation_power(&SaScheme::new(), challenge.fair_dataset(), &attacked, &params)
-            .unwrap();
+    let report = manipulation_power(
+        &SaScheme::new(),
+        challenge.fair_dataset(),
+        &attacked,
+        &params,
+    )
+    .unwrap();
     assert!(report.total() > 0.1, "attack vanished: {report}");
 }
 
@@ -99,17 +102,25 @@ fn csv_round_trip_preserves_mp() {
     let (challenge, attack) = fixture();
     let attacked = challenge.attacked_dataset(&attack);
     let params = MpParams::paper();
-    let direct =
-        manipulation_power(&SaScheme::new(), challenge.fair_dataset(), &attacked, &params)
-            .unwrap();
+    let direct = manipulation_power(
+        &SaScheme::new(),
+        challenge.fair_dataset(),
+        &attacked,
+        &params,
+    )
+    .unwrap();
 
     let clean_restored = io::read_csv(io::to_csv_string(challenge.fair_dataset()).as_bytes())
         .expect("clean csv round-trips");
     let attacked_restored =
         io::read_csv(io::to_csv_string(&attacked).as_bytes()).expect("attacked csv round-trips");
-    let restored =
-        manipulation_power(&SaScheme::new(), &clean_restored, &attacked_restored, &params)
-            .unwrap();
+    let restored = manipulation_power(
+        &SaScheme::new(),
+        &clean_restored,
+        &attacked_restored,
+        &params,
+    )
+    .unwrap();
     assert!(
         (direct.total() - restored.total()).abs() < 1e-9,
         "MP drifted across CSV: {} vs {}",
@@ -118,14 +129,14 @@ fn csv_round_trip_preserves_mp() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+props! {
+    #![cases(6)]
 
     #[test]
     fn mp_never_negative_for_any_burst(bias in 0.5f64..4.0, std in 0.0f64..1.5, start in 0.0f64..30.0) {
         let challenge = RatingChallenge::generate(&ChallengeConfig::small(), 7);
         let ctx = challenge.attack_context();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let attack = AttackStrategy::Burst {
             bias,
             std_dev: std,
