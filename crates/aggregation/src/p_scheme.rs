@@ -17,10 +17,13 @@
 
 use crate::filter::filter_ratings;
 use crate::weighted::weighted_aggregate;
-use rrs_core::{AggregationScheme, EvalContext, RatingDataset, SchemeOutcome, TimeWindow};
-use rrs_detectors::{DetectorConfig, JointDetector};
-use rrs_trust::TrustManager;
-use std::collections::BTreeMap;
+use rrs_core::{
+    AggregationScheme, EvalContext, ProductId, RaterId, RatingDataset, RatingId, SchemeOutcome,
+    TimeWindow,
+};
+use rrs_detectors::{Band, DetectionResult, DetectorConfig, JointDetector};
+use rrs_trust::{TrustManager, TrustUpdate};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration of the P-scheme pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -96,7 +99,7 @@ impl AggregationScheme for PScheme {
 
             // 1. Detect with the previous epoch's trust.
             let snapshot = trust.snapshot();
-            let (marks, _) = detector.detect_all(&prefix, prefix_window, |r| {
+            let (marks, per_product) = detector.detect_all(&prefix, prefix_window, |r| {
                 snapshot.get(&r).copied().unwrap_or(0.5)
             });
             out.mark_suspicious_all(marks.iter().copied());
@@ -106,7 +109,18 @@ impl AggregationScheme for PScheme {
             if let Some(factor) = self.config.trust_discount {
                 trust.discount_all(factor);
             }
-            trust.update_epoch(&prefix, period, &marks);
+            let update = trust.update_epoch(&prefix, period, &marks);
+
+            if rrs_obs::enabled() {
+                record_decisions(
+                    &prefix,
+                    period,
+                    &per_product,
+                    &marks,
+                    &update,
+                    &self.config.detectors,
+                );
+            }
 
             // 3 + 4. Filter and aggregate each product over the scoring
             // window (all ratings so far under cumulative scoring).
@@ -117,12 +131,15 @@ impl AggregationScheme for PScheme {
                     entry.push(None);
                     continue;
                 }
+                let filter_span = rrs_obs::trace::span("aggregate.filter");
                 let kept = filter_ratings(
                     slice,
                     &marks,
                     |r| trust.trust_of(r),
                     self.config.filter_trust_threshold,
                 );
+                drop(filter_span);
+                let _weighted_span = rrs_obs::trace::span("aggregate.weighted");
                 let pairs: Vec<(f64, f64)> = kept
                     .iter()
                     .map(|e| (e.value(), trust.trust_of(e.rater())))
@@ -148,6 +165,79 @@ impl AggregationScheme for PScheme {
             out.set_trust(rater, value);
         }
         out
+    }
+}
+
+/// Builds one [`rrs_obs::decision::DecisionRecord`] per product for the
+/// just-finished scoring period and pushes it into the trace buffer.
+///
+/// Quiet products are recorded too — a trace that only shows alarms
+/// cannot answer "why did nothing fire here?".
+fn record_decisions(
+    prefix: &RatingDataset,
+    period: TimeWindow,
+    per_product: &[(ProductId, DetectionResult)],
+    marks: &BTreeSet<RatingId>,
+    update: &TrustUpdate,
+    config: &DetectorConfig,
+) {
+    for (pid, result) in per_product {
+        let Some(timeline) = prefix.product(*pid) else {
+            continue;
+        };
+        let mut suspicious: Vec<u64> = Vec::new();
+        let mut raters: BTreeSet<RaterId> = BTreeSet::new();
+        for entry in timeline.in_window(period) {
+            if marks.contains(&entry.id()) {
+                suspicious.push(entry.id().value());
+                raters.insert(entry.rater());
+            }
+        }
+        let trust = update
+            .deltas
+            .iter()
+            .filter(|d| raters.contains(&d.rater))
+            .map(|d| rrs_obs::decision::TrustTrajectory {
+                rater: u64::from(d.rater.value()),
+                alpha_before: d.successes_before + 1.0,
+                beta_before: d.failures_before + 1.0,
+                alpha_after: d.successes_after + 1.0,
+                beta_after: d.failures_after + 1.0,
+            })
+            .collect();
+        let detectors = result
+            .verdict_summaries(config)
+            .into_iter()
+            .map(|v| rrs_obs::decision::DetectorVerdict {
+                name: v.name,
+                statistic: v.statistic,
+                threshold: v.threshold,
+                fired: v.fired,
+            })
+            .collect();
+        let paths = result
+            .hits
+            .iter()
+            .map(|h| rrs_obs::decision::PathDecision {
+                path: h.path,
+                band: match h.band {
+                    Band::High => "high",
+                    Band::Low => "low",
+                },
+                start_day: h.window.start().as_days(),
+                end_day: h.window.end().as_days(),
+                marked: h.marked,
+            })
+            .collect();
+        rrs_obs::decision::record(rrs_obs::decision::DecisionRecord {
+            product: u64::from(pid.value()),
+            start_day: period.start().as_days(),
+            end_day: period.end().as_days(),
+            detectors,
+            paths,
+            suspicious,
+            trust,
+        });
     }
 }
 

@@ -54,6 +54,7 @@ pub struct Harness {
     suite: String,
     samples: usize,
     results: Vec<BenchResult>,
+    stages: Vec<rrs_obs::trace::SpanAgg>,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -71,7 +72,44 @@ impl Harness {
             suite: suite.to_string(),
             samples: env_usize("RRS_BENCH_SAMPLES", DEFAULT_SAMPLES),
             results: Vec::new(),
+            stages: Vec::new(),
         }
+    }
+
+    /// Runs `body` once with span tracing enabled and folds the spans it
+    /// emits into the suite's per-stage breakdown (the
+    /// `"stage_breakdown"` section of `BENCH_<suite>.json`). Repeated
+    /// calls accumulate. The tracing switch is restored afterwards, so
+    /// surrounding [`bench`](Harness::bench) calls keep measuring the
+    /// disabled path.
+    pub fn trace_stages<T>(&mut self, body: impl FnOnce() -> T) -> T {
+        let was_enabled = rrs_obs::enabled();
+        rrs_obs::enable();
+        rrs_obs::trace::drain_spans();
+        let out = body();
+        let spans = rrs_obs::trace::drain_spans();
+        if !was_enabled {
+            rrs_obs::disable();
+        }
+        let mut merged: std::collections::BTreeMap<String, (u64, u64)> = self
+            .stages
+            .drain(..)
+            .map(|s| (s.name, (s.count, s.total_ns)))
+            .collect();
+        for s in rrs_obs::trace::stage_totals(&spans) {
+            let slot = merged.entry(s.name).or_insert((0, 0));
+            slot.0 += s.count;
+            slot.1 += s.total_ns;
+        }
+        self.stages = merged
+            .into_iter()
+            .map(|(name, (count, total_ns))| rrs_obs::trace::SpanAgg {
+                name,
+                count,
+                total_ns,
+            })
+            .collect();
+        out
     }
 
     /// Times `body`, printing a one-line summary and recording the result.
@@ -158,6 +196,17 @@ impl Harness {
         out.push_str(&format!("  \"suite\": \"{}\",\n", self.suite));
         out.push_str(&format!("  \"samples_per_bench\": {},\n", self.samples));
         out.push_str("  \"unit\": \"ns_per_iter\",\n");
+        if !self.stages.is_empty() {
+            out.push_str("  \"stage_breakdown\": [\n");
+            for (i, s) in self.stages.iter().enumerate() {
+                let comma = if i + 1 < self.stages.len() { "," } else { "" };
+                out.push_str(&format!(
+                    "    {{\"stage\": \"{}\", \"spans\": {}, \"total_ns\": {}}}{comma}\n",
+                    s.name, s.count, s.total_ns,
+                ));
+            }
+            out.push_str("  ],\n");
+        }
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let comma = if i + 1 < self.results.len() { "," } else { "" };
@@ -211,6 +260,24 @@ mod tests {
         assert!(json.contains("\"suite\": \"shape\""));
         assert!(json.contains("\"unit\": \"ns_per_iter\""));
         assert!(json.contains("\"name\": \"noop\""));
+        assert!(json.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn stage_breakdown_lands_in_json() {
+        let _guard = rrs_obs::trace::tests_lock();
+        rrs_obs::disable();
+        let mut h = Harness::new("stages");
+        h.samples = 2;
+        h.trace_stages(|| {
+            let _a = rrs_obs::trace::span("signal.fake");
+            let _b = rrs_obs::trace::span("detect.fake");
+        });
+        assert!(!rrs_obs::enabled(), "switch must be restored");
+        let json = h.to_json();
+        assert!(json.contains("\"stage_breakdown\""));
+        assert!(json.contains("\"stage\": \"signal\""));
+        assert!(json.contains("\"stage\": \"detect\""));
         assert!(json.ends_with("]\n}\n"));
     }
 }

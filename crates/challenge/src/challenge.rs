@@ -84,6 +84,7 @@ impl RatingChallenge {
     /// and seed.
     #[must_use]
     pub fn generate(config: &ChallengeConfig, seed: u64) -> Self {
+        let _span = rrs_obs::trace::span("challenge.generate");
         let fair = generate_fair_data(&config.catalog, &config.fair, seed);
         let horizon = horizon_of(&config.fair);
         let raters = (0..config.biased_raters as u32)
@@ -204,6 +205,7 @@ impl RatingChallenge {
         scheme: &dyn AggregationScheme,
         sequence: &AttackSequence,
     ) -> Result<MpReport, CoreError> {
+        let _span = rrs_obs::trace::span("challenge.score");
         let attacked = self.attacked_dataset(sequence);
         manipulation_power(scheme, &self.fair, &attacked, &self.config.mp)
     }

@@ -11,6 +11,7 @@ use rrs_core::{
     RaterId, RatingDataset, RatingSource, TimeWindow, Timestamp,
 };
 use rrs_detectors::JointDetector;
+use rrs_obs::log::Level;
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -27,6 +28,12 @@ pub type CommandError = Box<dyn Error + Send + Sync>;
 /// Returns a human-readable error for unknown commands, argument
 /// problems, unreadable files, or malformed datasets.
 pub fn run(command: &str, tokens: &[String]) -> Result<String, CommandError> {
+    let tokens = apply_global_flags(tokens)?;
+    // `trace` takes a leading positional scenario name, which the
+    // flag-only parser would reject — handle it before Args::parse.
+    if command == "trace" {
+        return trace(&tokens);
+    }
     let args = Args::parse(tokens.iter().cloned())?;
     match command {
         "generate" => generate(&args),
@@ -37,6 +44,39 @@ pub fn run(command: &str, tokens: &[String]) -> Result<String, CommandError> {
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage()).into()),
     }
+}
+
+/// Consumes the global output flags (`--quiet`, `--verbosity N`),
+/// applying them to the [`rrs_obs::log`] level, and returns the
+/// remaining tokens for the subcommand parser.
+///
+/// [`run`] already applies this to its tokens; the binary additionally
+/// calls it on the full argument list so the flags are accepted both
+/// before and after the subcommand name.
+///
+/// # Errors
+///
+/// Returns an error when `--verbosity` is missing its value or the
+/// value is not a number.
+pub fn apply_global_flags(tokens: &[String]) -> Result<Vec<String>, CommandError> {
+    let mut rest = Vec::with_capacity(tokens.len());
+    let mut iter = tokens.iter();
+    while let Some(token) = iter.next() {
+        match token.as_str() {
+            "--quiet" | "-q" => rrs_obs::log::set_verbosity(Level::Error),
+            "--verbosity" => {
+                let raw = iter
+                    .next()
+                    .ok_or_else(|| String::from("--verbosity needs a value (0-3)"))?;
+                let v: u8 = raw
+                    .parse()
+                    .map_err(|e| format!("--verbosity {raw:?}: {e}"))?;
+                rrs_obs::log::set_verbosity(Level::from_verbosity(v));
+            }
+            _ => rest.push(token.clone()),
+        }
+    }
+    Ok(rest)
 }
 
 /// The CLI usage text.
@@ -52,11 +92,19 @@ USAGE:
   rrs evaluate --data FILE [--scheme p|sa|bf] [--period DAYS]
   rrs detect   --data FILE [--period DAYS]
   rrs mp       --clean FILE --attacked FILE [--scheme p|sa|bf] [--period DAYS]
+  rrs trace    [SCENARIO] [--out FILE] [--seed N] [--period DAYS]
+
+GLOBAL FLAGS (any command):
+  --quiet          errors only
+  --verbosity N    0 = errors .. 3 = debug (default 2)
+Setting RRS_TRACE=1 enables span/metric collection in any command.
 
 Datasets are CSV: rater,product,day,value[,source]. Strategies:
 naive-extreme, uniform-spread, camouflage, burst, slow-poison,
 majority-sneak, interval-tuned, mimic-shift, correlated (see docs for
-the full list); or omit --strategy and give --bias/--std directly."
+the full list); or omit --strategy and give --bias/--std directly.
+Trace scenarios: downgrade-burst (default), boost-burst, camouflage,
+slow-poison; the decision trace is written as JSONL."
 }
 
 fn check_flags(args: &Args, known: &[&str]) -> Result<(), CommandError> {
@@ -414,6 +462,103 @@ fn mp(args: &Args) -> Result<String, CommandError> {
     Ok(out)
 }
 
+/// `rrs trace` — run a seeded attack scenario through the P-scheme with
+/// decision-trace collection on and write the trace as JSONL.
+///
+/// The trace body contains no wall-clock values, so the same scenario
+/// and seed produce a byte-identical file on every run.
+fn trace(tokens: &[String]) -> Result<String, CommandError> {
+    let (scenario, rest) = match tokens.split_first() {
+        Some((s, rest)) if !s.starts_with("--") => (s.as_str(), rest),
+        _ => ("downgrade-burst", tokens),
+    };
+    let args = Args::parse(rest.iter().cloned())?;
+    check_flags(&args, &["out", "seed", "period"])?;
+    let seed: u64 = args.parsed_or("seed", 7)?;
+    let period: f64 = args.parsed_or("period", 30.0)?;
+    let default_out = format!("trace_{scenario}.jsonl");
+    let out_path = args.get("out").unwrap_or(&default_out);
+
+    let strategy = match scenario {
+        "downgrade-burst" => AttackStrategy::NaiveExtreme {
+            start_day: 35.0,
+            duration_days: 10.0,
+        },
+        "boost-burst" => AttackStrategy::Burst {
+            bias: 2.5,
+            std_dev: 0.4,
+            start_day: 40.0,
+            duration_days: 10.0,
+        },
+        "camouflage" => AttackStrategy::Camouflage {
+            bias: 2.0,
+            std_dev: 0.8,
+            start_day: 35.0,
+            duration_days: 15.0,
+        },
+        "slow-poison" => AttackStrategy::SlowPoison {
+            bias: 2.0,
+            std_dev: 0.6,
+        },
+        other => {
+            return Err(format!(
+                "unknown scenario {other:?} \
+                 (use downgrade-burst, boost-burst, camouflage, or slow-poison)"
+            )
+            .into())
+        }
+    };
+
+    let challenge = RatingChallenge::generate(&ChallengeConfig::small(), seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let sequence = strategy.build(&challenge.attack_context(), &mut rng);
+    let attacked = challenge.attacked_dataset(&sequence);
+    let ctx = eval_context(&attacked, period)?;
+
+    let was_enabled = rrs_obs::enabled();
+    rrs_obs::enable();
+    rrs_obs::decision::drain();
+    rrs_obs::trace::drain_spans();
+    let outcome = PScheme::new().evaluate(&attacked, &ctx);
+    let records = rrs_obs::decision::drain();
+    let spans = rrs_obs::trace::drain_spans();
+    if !was_enabled {
+        rrs_obs::disable();
+    }
+
+    rrs_obs::export::write_trace_file(Path::new(out_path), &records)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+
+    let flagged = records.iter().filter(|r| r.any_fired()).count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scenario {scenario}: {} unfair ratings injected (seed {seed})",
+        sequence.len()
+    );
+    let _ = writeln!(
+        out,
+        "decision trace: {} records ({flagged} with detector activity) -> {out_path}",
+        records.len()
+    );
+    let _ = writeln!(
+        out,
+        "suspicious ratings marked: {}",
+        outcome.suspicious().len()
+    );
+    let _ = writeln!(out, "stage timings (this run, not in the trace file):");
+    for s in rrs_obs::trace::stage_totals(&spans) {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>6} spans  {:>12.3} ms",
+            s.name,
+            s.count,
+            s.total_ns as f64 / 1e6
+        );
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,6 +631,63 @@ mod tests {
 
         std::fs::remove_file(&fair).ok();
         std::fs::remove_file(&attacked).ok();
+    }
+
+    #[test]
+    fn trace_writes_decision_jsonl() {
+        let _guard = rrs_obs::trace::tests_lock();
+        let out = tmp("trace.jsonl");
+        let msg = run_ok("trace", &["downgrade-burst", "--out", &out, "--seed", "7"]);
+        assert!(msg.contains("decision trace"), "{msg}");
+        let body = std::fs::read_to_string(&out).expect("trace file written");
+        std::fs::remove_file(&out).ok();
+        assert!(!body.is_empty());
+        for key in [
+            "\"product\"",
+            "\"detectors\"",
+            "\"paths\"",
+            "\"suspicious\"",
+            "\"trust\"",
+        ] {
+            assert!(body.contains(key), "trace body missing {key}: {body}");
+        }
+        // The scenario is a real attack: at least one record must show a
+        // fired detector.
+        assert!(body.contains("\"fired\":true"), "no detector fired");
+        // The switch must be restored after the command.
+        assert!(!rrs_obs::enabled());
+    }
+
+    #[test]
+    fn trace_rejects_unknown_scenario() {
+        let _guard = rrs_obs::trace::tests_lock();
+        let err = run("trace", &["made-up".into()]).unwrap_err().to_string();
+        assert!(err.contains("made-up"), "{err}");
+    }
+
+    #[test]
+    fn global_flags_are_stripped_and_applied() {
+        let _guard = rrs_obs::trace::tests_lock();
+        let err = run(
+            "generate",
+            &["--quiet".into(), "--verbosity".into(), "3".into()],
+        )
+        .unwrap_err()
+        .to_string();
+        // --quiet and --verbosity must not reach the subcommand parser;
+        // the failure is the missing --out, nothing else.
+        assert!(err.contains("--out"), "{err}");
+        assert_eq!(rrs_obs::log::verbosity(), Level::Debug);
+        rrs_obs::log::set_verbosity(Level::Info);
+    }
+
+    #[test]
+    fn verbosity_without_value_is_an_error() {
+        let _guard = rrs_obs::trace::tests_lock();
+        let err = run("detect", &["--verbosity".into()])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--verbosity"), "{err}");
     }
 
     #[test]

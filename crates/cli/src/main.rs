@@ -1,20 +1,31 @@
 //! The `rrs` command-line entry point.
 
+use rrs_obs::{rrs_error, rrs_info};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    rrs_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Strip `--quiet`/`--verbosity N` from the whole line so they work
+    // before the subcommand too (`rrs --quiet evaluate ...`).
+    let args = match rrs_cli::commands::apply_global_flags(&args) {
+        Ok(args) => args,
+        Err(e) => {
+            rrs_error!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some((command, rest)) = args.split_first() else {
-        println!("{}", rrs_cli::commands::usage());
+        rrs_info!("{}", rrs_cli::commands::usage());
         return ExitCode::SUCCESS;
     };
     match rrs_cli::commands::run(command, rest) {
         Ok(report) => {
-            println!("{report}");
+            rrs_info!("{report}");
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}");
+            rrs_error!("{e}");
             ExitCode::FAILURE
         }
     }

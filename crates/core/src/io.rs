@@ -160,7 +160,8 @@ pub fn to_json_string(dataset: &RatingDataset) -> String {
 /// Formats a finite `f64` as a JSON number (Rust's shortest round-trip
 /// `Display`, with a trailing `.0` forced onto integral values so the
 /// field reads back as floating-point in typed consumers).
-fn json_number(x: f64) -> String {
+#[must_use]
+pub fn json_number(x: f64) -> String {
     debug_assert!(x.is_finite(), "rating fields are finite by construction");
     let s = x.to_string();
     if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
@@ -168,6 +169,36 @@ fn json_number(x: f64) -> String {
     } else {
         format!("{s}.0")
     }
+}
+
+/// Escapes and quotes `s` as a JSON string literal.
+///
+/// Handles the two mandatory escapes (`"` and `\`), the common control
+/// characters as their short forms (`\n`, `\r`, `\t`, `\u{8}`, `\u{c}`),
+/// and every other control character as `\u00XX`. Non-ASCII characters
+/// pass through unescaped — JSON documents are UTF-8, so `é` or `日` are
+/// valid in string bodies as-is.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Reads a dataset from CSV.
@@ -298,6 +329,49 @@ mod tests {
     fn json_number_forces_float_shape_on_integral_values() {
         assert_eq!(json_number(10.0), "10.0");
         assert_eq!(json_number(1.5), "1.5");
+    }
+
+    #[test]
+    fn json_string_escapes_quotes_and_backslashes() {
+        assert_eq!(json_string(r#"say "hi""#), r#""say \"hi\"""#);
+        assert_eq!(json_string(r"a\b"), r#""a\\b""#);
+        // An already-escaped-looking input must be escaped again, not
+        // passed through: the writer escapes *content*, not syntax.
+        assert_eq!(json_string(r#"\""#), r#""\\\"""#);
+    }
+
+    #[test]
+    fn json_string_escapes_control_characters() {
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("a\rb"), "\"a\\rb\"");
+        assert_eq!(json_string("a\tb"), "\"a\\tb\"");
+        assert_eq!(json_string("a\u{8}b"), "\"a\\bb\"");
+        assert_eq!(json_string("a\u{c}b"), "\"a\\fb\"");
+        // Control characters without a short form use \u00XX.
+        assert_eq!(json_string("a\u{0}b"), "\"a\\u0000b\"");
+        assert_eq!(json_string("a\u{1f}b"), "\"a\\u001fb\"");
+        // 0x7F (DEL) is not a JSON-mandated escape; it passes through.
+        assert_eq!(json_string("a\u{7f}b"), "\"a\u{7f}b\"");
+    }
+
+    #[test]
+    fn json_string_passes_non_ascii_through_as_utf8() {
+        assert_eq!(json_string("café"), "\"café\"");
+        assert_eq!(json_string("日本語"), "\"日本語\"");
+        assert_eq!(json_string("emoji 🎉"), "\"emoji 🎉\"");
+        // Mixed: the multibyte characters survive while the neighbors
+        // still get escaped.
+        assert_eq!(json_string("é\n\"日\""), "\"é\\n\\\"日\\\"\"");
+    }
+
+    #[test]
+    fn json_string_plain_ascii_is_just_quoted() {
+        assert_eq!(json_string(""), "\"\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(
+            json_string("with space / punct."),
+            "\"with space / punct.\""
+        );
     }
 
     #[test]

@@ -162,6 +162,7 @@ pub fn detect_counts(
         return ArcOutcome::empty(variant);
     }
 
+    let signal_span = rrs_obs::trace::span("signal.arc");
     let mut points = Vec::with_capacity(n);
     for k in config.min_half_days..=(n - config.min_half_days) {
         let w = config.half_window_days.min(k).min(n - k);
@@ -183,6 +184,8 @@ pub fn detect_counts(
         config.peak_separation,
         config.valley_ratio,
     );
+    drop(signal_span);
+    let _detect_span = rrs_obs::trace::span("detect.arc");
 
     // Segment the day axis at the peaks. Adjacent segments whose rates
     // differ by less than the decision threshold are merged first — a

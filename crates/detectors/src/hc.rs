@@ -111,6 +111,7 @@ pub fn detect(timeline: &ProductTimeline, config: &HcConfig) -> HcOutcome {
     let values: Vec<f64> = entries.iter().map(|e| e.value()).collect();
     let times: Vec<f64> = entries.iter().map(|e| e.time().as_days()).collect();
 
+    let signal_span = rrs_obs::trace::span("signal.hc");
     let step = config.step.max(1);
     let mut points = Vec::new();
     let mut start = 0usize;
@@ -125,6 +126,8 @@ pub fn detect(timeline: &ProductTimeline, config: &HcConfig) -> HcOutcome {
         start += step;
     }
     let curve = Curve::new(points);
+    drop(signal_span);
+    let _detect_span = rrs_obs::trace::span("detect.hc");
 
     // Merge consecutive above-threshold samples into intervals; stretch
     // each interval to cover the full windows involved, not just centers.

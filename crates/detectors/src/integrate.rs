@@ -66,6 +66,21 @@ pub struct DetectionResult {
     pub hits: Vec<PathHit>,
 }
 
+/// One detector's contribution to a decision, reduced to a single
+/// comparable statistic: the raw value the detector thresholded, the
+/// threshold it used, and whether it fired.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorVerdictSummary {
+    /// Detector name: `"mc"`, `"h-arc"`, `"l-arc"`, `"hc"`, or `"me"`.
+    pub name: &'static str,
+    /// The detector's headline statistic for this product.
+    pub statistic: f64,
+    /// The threshold the statistic was judged against.
+    pub threshold: f64,
+    /// Whether the detector reported any suspicious interval.
+    pub fired: bool,
+}
+
 impl DetectionResult {
     /// Returns every suspicious interval reported by any detector.
     #[must_use]
@@ -77,6 +92,77 @@ impl DetectionResult {
         out.extend(self.hc.suspicious.iter().copied());
         out.extend(self.me.suspicious.iter().copied());
         out
+    }
+
+    /// Reduces each detector's outcome to one [`DetectorVerdictSummary`],
+    /// in the fixed order mc, h-arc, l-arc, hc, me.
+    ///
+    /// Headline statistics: MC reports its largest segment mean
+    /// deviation; the ARC variants report the largest rate increase
+    /// between consecutive segments; HC reports its peak histogram
+    /// ratio; ME reports its *minimum* model error (it fires on values
+    /// at or below the threshold, so 1.0 is the neutral value for an
+    /// empty curve).
+    #[must_use]
+    pub fn verdict_summaries(&self, config: &DetectorConfig) -> Vec<DetectorVerdictSummary> {
+        let mc_stat = self
+            .mc
+            .segments
+            .iter()
+            .map(|s| s.mean_deviation)
+            .fold(0.0f64, f64::max);
+        let arc_stat = |out: &ArcOutcome| {
+            out.segments
+                .windows(2)
+                .map(|pair| pair[1].rate - pair[0].rate)
+                .fold(0.0f64, f64::max)
+        };
+        let hc_stat = self
+            .hc
+            .curve
+            .points()
+            .iter()
+            .map(|p| p.value)
+            .fold(0.0f64, f64::max);
+        let me_stat = self
+            .me
+            .curve
+            .points()
+            .iter()
+            .map(|p| p.value)
+            .fold(1.0f64, f64::min);
+        vec![
+            DetectorVerdictSummary {
+                name: "mc",
+                statistic: mc_stat,
+                threshold: config.mc.threshold1,
+                fired: !self.mc.suspicious.is_empty(),
+            },
+            DetectorVerdictSummary {
+                name: "h-arc",
+                statistic: arc_stat(&self.harc),
+                threshold: config.arc.rate_increase_threshold,
+                fired: !self.harc.suspicious.is_empty(),
+            },
+            DetectorVerdictSummary {
+                name: "l-arc",
+                statistic: arc_stat(&self.larc),
+                threshold: config.arc.rate_increase_threshold,
+                fired: !self.larc.suspicious.is_empty(),
+            },
+            DetectorVerdictSummary {
+                name: "hc",
+                statistic: hc_stat,
+                threshold: config.hc.threshold,
+                fired: !self.hc.suspicious.is_empty(),
+            },
+            DetectorVerdictSummary {
+                name: "me",
+                statistic: me_stat,
+                threshold: config.me.threshold,
+                fired: !self.me.suspicious.is_empty(),
+            },
+        ]
     }
 }
 
@@ -139,6 +225,7 @@ impl JointDetector {
             MeOutcome::default()
         };
 
+        let _integrate_span = rrs_obs::trace::span("detect.integrate");
         let (threshold_a, threshold_b) = arc::value_thresholds(timeline);
         let mut suspicious = BTreeSet::new();
         let mut hits = Vec::new();
@@ -244,6 +331,17 @@ impl JointDetector {
                     });
                 }
             }
+        }
+
+        if rrs_obs::enabled() {
+            for hit in &hits {
+                let name = match hit.path {
+                    1 => "detect.path1_hits",
+                    _ => "detect.path2_hits",
+                };
+                rrs_obs::metrics::counter_add(name, 1);
+            }
+            rrs_obs::metrics::counter_add("detect.marked_ratings", suspicious.len() as u64);
         }
 
         DetectionResult {

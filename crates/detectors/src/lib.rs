@@ -34,7 +34,7 @@ mod suspicion;
 pub use arc::{ArcConfig, ArcOutcome, ArcVariant};
 pub use config::{AblatedDetector, DetectorConfig, EnabledDetectors};
 pub use hc::{HcConfig, HcOutcome};
-pub use integrate::{Band, DetectionResult, JointDetector, PathHit};
+pub use integrate::{Band, DetectionResult, DetectorVerdictSummary, JointDetector, PathHit};
 pub use mc::{McConfig, McOutcome};
 pub use me::{MeConfig, MeOutcome};
 pub use suspicion::{SuspicionKind, SuspiciousInterval};

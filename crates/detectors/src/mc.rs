@@ -128,6 +128,7 @@ where
 
     // Indicator curve: for rating k, X1 = ratings in [t_k − h, t_k),
     // X2 = [t_k, t_k + h).
+    let signal_span = rrs_obs::trace::span("signal.mc");
     let mut points = Vec::with_capacity(n);
     for k in 0..n {
         let t = times[k];
@@ -158,6 +159,8 @@ where
     let peak_threshold = config.glrt_gamma * 2.0 * sigma2;
     let peaks = curve.find_peaks(peak_threshold, config.peak_separation);
     let u_shapes = curve.find_u_shapes(peak_threshold, config.peak_separation, config.valley_ratio);
+    drop(signal_span);
+    let _detect_span = rrs_obs::trace::span("detect.mc");
 
     // Segment the stream at the peaks and judge each segment. The
     // reference level `B_avg` is the *median* rating value rather than

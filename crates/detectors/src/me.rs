@@ -67,6 +67,7 @@ pub fn detect(timeline: &ProductTimeline, config: &MeConfig) -> MeOutcome {
     let values: Vec<f64> = entries.iter().map(|e| e.value()).collect();
     let times: Vec<f64> = entries.iter().map(|e| e.time().as_days()).collect();
 
+    let signal_span = rrs_obs::trace::span("signal.me");
     let step = config.step.max(1);
     let mut points = Vec::new();
     let mut start = 0usize;
@@ -82,6 +83,8 @@ pub fn detect(timeline: &ProductTimeline, config: &MeConfig) -> MeOutcome {
         start += step;
     }
     let curve = Curve::new(points);
+    drop(signal_span);
+    let _detect_span = rrs_obs::trace::span("detect.me");
 
     // Merge consecutive below-threshold samples into intervals covering
     // the full windows involved.

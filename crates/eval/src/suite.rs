@@ -55,6 +55,7 @@ impl Workbench {
     /// Builds the workbench for a configuration.
     #[must_use]
     pub fn build(config: SuiteConfig) -> Self {
+        let _span = rrs_obs::trace::span("eval.workbench_build");
         let challenge_config = match config.scale {
             Scale::Small => ChallengeConfig::small(),
             Scale::Paper => ChallengeConfig::paper(),
@@ -101,6 +102,7 @@ impl Workbench {
 ///
 /// Propagates filesystem errors from report writing.
 pub fn run_all(config: &SuiteConfig) -> std::io::Result<Vec<ExperimentReport>> {
+    let _span = rrs_obs::trace::span("eval.run_all");
     let workbench = Workbench::build(config.clone());
     let reports = vec![
         crate::fig2_4::run(&workbench),

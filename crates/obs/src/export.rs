@@ -1,0 +1,118 @@
+//! JSONL / JSON export of decision traces, in the same hand-rolled
+//! style as `rrs_core::io` so traces land next to `results/` without a
+//! serialization dependency.
+
+use crate::decision::DecisionRecord;
+use std::io::Write;
+
+/// Writes records as JSONL: one [`DecisionRecord::to_json`] object per
+/// line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_jsonl<W: Write>(records: &[DecisionRecord], mut writer: W) -> std::io::Result<()> {
+    for r in records {
+        writeln!(writer, "{}", r.to_json())?;
+    }
+    Ok(())
+}
+
+/// Renders records as a JSONL string.
+#[must_use]
+pub fn to_jsonl_string(records: &[DecisionRecord]) -> String {
+    let mut buf = Vec::new();
+    write_jsonl(records, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("decision traces are valid UTF-8")
+}
+
+/// Writes records as a pretty-enough JSON array (one record per line,
+/// for tools that want a single document instead of JSONL).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_json_array<W: Write>(
+    records: &[DecisionRecord],
+    mut writer: W,
+) -> std::io::Result<()> {
+    writeln!(writer, "[")?;
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        writeln!(writer, "  {}{comma}", r.to_json())?;
+    }
+    writeln!(writer, "]")?;
+    Ok(())
+}
+
+/// Writes records to `path` as JSONL.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_trace_file(path: &std::path::Path, records: &[DecisionRecord]) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_jsonl(records, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::DetectorVerdict;
+
+    fn tiny(product: u64) -> DecisionRecord {
+        DecisionRecord {
+            product,
+            start_day: 0.0,
+            end_day: 30.0,
+            detectors: vec![DetectorVerdict {
+                name: "mc",
+                statistic: 0.1,
+                threshold: 0.8,
+                fired: false,
+            }],
+            paths: Vec::new(),
+            suspicious: Vec::new(),
+            trust: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_record_per_line() {
+        let s = to_jsonl_string(&[tiny(0), tiny(1)]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"product\":0,"));
+        assert!(lines[1].starts_with("{\"product\":1,"));
+        assert!(lines.iter().all(|l| l.ends_with('}')));
+    }
+
+    #[test]
+    fn json_array_brackets_every_record() {
+        let mut buf = Vec::new();
+        write_json_array(&[tiny(0), tiny(1)], &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("[\n"));
+        assert!(s.ends_with("]\n"));
+        assert_eq!(s.matches("\"product\"").count(), 2);
+        assert_eq!(s.matches(',').count() >= 1, true);
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        assert_eq!(to_jsonl_string(&[]), "");
+        let mut buf = Vec::new();
+        write_json_array(&[], &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "[\n]\n");
+    }
+
+    #[test]
+    fn trace_file_round_trips_through_disk() {
+        let path =
+            std::env::temp_dir().join(format!("rrs_obs_export_{}.jsonl", std::process::id()));
+        write_trace_file(&path, &[tiny(7)]).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(read, to_jsonl_string(&[tiny(7)]));
+    }
+}

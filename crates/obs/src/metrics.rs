@@ -1,0 +1,244 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! All writes go through free functions against one global registry and
+//! are no-ops while collection is [disabled](crate::enabled).
+//! [`snapshot`] returns an owned, ordered copy of every metric —
+//! deterministic given deterministic inputs, since nothing here reads a
+//! clock.
+
+use rrs_core::io::{json_number, json_string};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static REGISTRY: Mutex<Option<Inner>> = Mutex::new(None);
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+fn with_inner<T>(f: impl FnOnce(&mut Inner) -> T) -> Option<T> {
+    let mut slot = REGISTRY.lock().ok()?;
+    Some(f(slot.get_or_insert_with(Inner::default)))
+}
+
+/// A fixed-bucket histogram: `counts[i]` holds observations at or below
+/// `bounds[i]`, with one extra overflow bucket at the end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bucket bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Mean of the observed values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Adds `by` to the named counter.
+#[inline]
+pub fn counter_add(name: &str, by: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        *inner.counters.entry(name.to_string()).or_insert(0) += by;
+    });
+}
+
+/// Sets the named gauge to `value`.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        inner.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Records `value` into the named histogram, creating it with `bounds`
+/// on first use (later calls ignore `bounds`).
+#[inline]
+pub fn observe(name: &str, value: f64, bounds: &[f64]) {
+    if !crate::enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    });
+}
+
+/// An owned, ordered copy of every metric at one point in time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a single JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", json_string(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(name), json_number(*v)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let bounds: Vec<String> = h.bounds.iter().map(|b| json_number(*b)).collect();
+            let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
+            out.push_str(&format!(
+                "{}:{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
+                json_string(name),
+                bounds.join(","),
+                counts.join(","),
+                json_number(h.sum),
+                h.count,
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Returns a copy of every metric currently registered.
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    with_inner(|inner| MetricsSnapshot {
+        counters: inner.counters.clone(),
+        gauges: inner.gauges.clone(),
+        histograms: inner.histograms.clone(),
+    })
+    .unwrap_or_default()
+}
+
+/// Clears every counter, gauge, and histogram.
+pub fn reset() {
+    with_inner(|inner| *inner = Inner::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::tests_lock;
+
+    #[test]
+    fn disabled_writes_are_dropped() {
+        let _guard = tests_lock();
+        crate::disable();
+        reset();
+        counter_add("c", 3);
+        gauge_set("g", 1.5);
+        observe("h", 0.2, &[1.0]);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let _guard = tests_lock();
+        crate::enable();
+        reset();
+        counter_add("marks", 2);
+        counter_add("marks", 5);
+        gauge_set("raters", 10.0);
+        gauge_set("raters", 12.0);
+        let snap = snapshot();
+        crate::disable();
+        assert_eq!(snap.counters["marks"], 7);
+        assert!((snap.gauges["raters"] - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let _guard = tests_lock();
+        crate::enable();
+        reset();
+        let bounds = [1.0, 10.0];
+        observe("lat", 0.5, &bounds);
+        observe("lat", 5.0, &bounds);
+        observe("lat", 50.0, &bounds);
+        let snap = snapshot();
+        crate::disable();
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.count, 3);
+        assert!((h.mean() - 55.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed() {
+        let _guard = tests_lock();
+        crate::enable();
+        reset();
+        counter_add("a.b", 1);
+        gauge_set("g", 2.0);
+        observe("h", 0.5, &[1.0]);
+        let json = snapshot().to_json();
+        crate::disable();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"a.b\":1"));
+        assert!(json.contains("\"g\":2.0"));
+        assert!(json.contains("\"bounds\":[1.0]"));
+        assert!(json.ends_with("}}"));
+    }
+}

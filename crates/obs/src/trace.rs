@@ -1,0 +1,288 @@
+//! The span/event tracer: monotonic timing into a thread-safe in-memory
+//! sink.
+//!
+//! A *span* measures one region of code: [`span`] starts the clock (only
+//! when collection is [enabled](crate::enabled)) and the returned guard
+//! records elapsed nanoseconds into the sink on drop. Span names are
+//! dotted `stage.detail` strings; [`stage_totals`] folds them into
+//! per-stage totals for bench breakdowns.
+//!
+//! An *event* is a named point-in-time note with a lazily built message —
+//! the closure only runs when collection is enabled, so formatting costs
+//! nothing on the disabled path.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+static SPANS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+static EVENTS: Mutex<Vec<EventRecord>> = Mutex::new(Vec::new());
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Dotted `stage.detail` span name.
+    pub name: &'static str,
+    /// Elapsed monotonic nanoseconds.
+    pub nanos: u64,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Dotted event name.
+    pub name: &'static str,
+    /// The rendered message.
+    pub message: String,
+}
+
+/// An in-flight span; records itself into the sink when dropped.
+///
+/// Inert (no clock was read) when collection was disabled at creation.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if let Ok(mut sink) = SPANS.lock() {
+                sink.push(SpanRecord {
+                    name: self.name,
+                    nanos,
+                });
+            }
+        }
+    }
+}
+
+/// Opens a span. Bind the guard (`let _span = ...`) so it covers the
+/// intended region; when collection is disabled this is a single atomic
+/// load and no clock is read.
+#[inline]
+#[must_use]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: crate::enabled().then(Instant::now),
+    }
+}
+
+/// Records an event. The message closure only runs when collection is
+/// enabled.
+#[inline]
+pub fn event<F: FnOnce() -> String>(name: &'static str, message: F) {
+    if !crate::enabled() {
+        return;
+    }
+    let record = EventRecord {
+        name,
+        message: message(),
+    };
+    if let Ok(mut sink) = EVENTS.lock() {
+        sink.push(record);
+    }
+}
+
+/// Takes every completed span out of the sink, in completion order.
+pub fn drain_spans() -> Vec<SpanRecord> {
+    SPANS
+        .lock()
+        .map(|mut v| std::mem::take(&mut *v))
+        .unwrap_or_default()
+}
+
+/// Takes every recorded event out of the sink, in record order.
+pub fn drain_events() -> Vec<EventRecord> {
+    EVENTS
+        .lock()
+        .map(|mut v| std::mem::take(&mut *v))
+        .unwrap_or_default()
+}
+
+/// Aggregate statistics of all spans sharing one name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// The span name.
+    pub name: String,
+    /// How many spans completed under this name.
+    pub count: u64,
+    /// Summed elapsed nanoseconds.
+    pub total_ns: u64,
+}
+
+/// Folds raw span records into per-name aggregates, sorted by name.
+#[must_use]
+pub fn aggregate(records: &[SpanRecord]) -> Vec<SpanAgg> {
+    let mut by_name: std::collections::BTreeMap<&'static str, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for r in records {
+        let slot = by_name.entry(r.name).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += r.nanos;
+    }
+    by_name
+        .into_iter()
+        .map(|(name, (count, total_ns))| SpanAgg {
+            name: name.to_string(),
+            count,
+            total_ns,
+        })
+        .collect()
+}
+
+/// Folds span records into per-stage totals, where the stage is the name
+/// prefix before the first `.` (`"signal.mc"` → `"signal"`). Sorted by
+/// stage name.
+#[must_use]
+pub fn stage_totals(records: &[SpanRecord]) -> Vec<SpanAgg> {
+    let mut by_stage: std::collections::BTreeMap<&'static str, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for r in records {
+        let stage = r.name.split('.').next().unwrap_or(r.name);
+        let slot = by_stage.entry(stage).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += r.nanos;
+    }
+    by_stage
+        .into_iter()
+        .map(|(name, (count, total_ns))| SpanAgg {
+            name: name.to_string(),
+            count,
+            total_ns,
+        })
+        .collect()
+}
+
+/// Serializes tests that toggle the global switch or drain the global
+/// sinks. Only meaningful inside this workspace's test suites.
+#[doc(hidden)]
+pub fn tests_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let _guard = tests_lock();
+        crate::disable();
+        drain_spans();
+        {
+            let _s = span("stage.noop");
+        }
+        assert!(drain_spans().is_empty());
+    }
+
+    #[test]
+    fn enabled_span_lands_in_sink_with_timing() {
+        let _guard = tests_lock();
+        crate::enable();
+        drain_spans();
+        {
+            let _s = span("stage.work");
+            std::hint::black_box((0..500).sum::<u64>());
+        }
+        let spans = drain_spans();
+        crate::disable();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "stage.work");
+    }
+
+    #[test]
+    fn disabled_event_never_runs_the_closure() {
+        let _guard = tests_lock();
+        crate::disable();
+        drain_events();
+        event("stage.note", || panic!("must not be called"));
+        assert!(drain_events().is_empty());
+    }
+
+    #[test]
+    fn enabled_event_captures_message() {
+        let _guard = tests_lock();
+        crate::enable();
+        drain_events();
+        event("stage.note", || format!("answer {}", 42));
+        let events = drain_events();
+        crate::disable();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].message, "answer 42");
+    }
+
+    #[test]
+    fn aggregate_sums_per_name_and_sorts() {
+        let records = vec![
+            SpanRecord {
+                name: "b.x",
+                nanos: 5,
+            },
+            SpanRecord {
+                name: "a.y",
+                nanos: 3,
+            },
+            SpanRecord {
+                name: "b.x",
+                nanos: 7,
+            },
+        ];
+        let aggs = aggregate(&records);
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].name, "a.y");
+        assert_eq!(aggs[0].count, 1);
+        assert_eq!(aggs[1].name, "b.x");
+        assert_eq!(aggs[1].count, 2);
+        assert_eq!(aggs[1].total_ns, 12);
+    }
+
+    #[test]
+    fn stage_totals_group_by_prefix() {
+        let records = vec![
+            SpanRecord {
+                name: "signal.mc",
+                nanos: 4,
+            },
+            SpanRecord {
+                name: "signal.hc",
+                nanos: 6,
+            },
+            SpanRecord {
+                name: "detect.integrate",
+                nanos: 9,
+            },
+        ];
+        let stages = stage_totals(&records);
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].name, "detect");
+        assert_eq!(stages[0].total_ns, 9);
+        assert_eq!(stages[1].name, "signal");
+        assert_eq!(stages[1].total_ns, 10);
+        assert_eq!(stages[1].count, 2);
+    }
+
+    #[test]
+    fn spans_from_threads_all_arrive() {
+        let _guard = tests_lock();
+        crate::enable();
+        drain_spans();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = span("stage.threaded");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let spans = drain_spans();
+        crate::disable();
+        assert_eq!(spans.len(), 4);
+    }
+}

@@ -20,4 +20,4 @@ pub mod framework;
 mod manager;
 
 pub use beta::BetaTrust;
-pub use manager::{TrustManager, TrustUpdate};
+pub use manager::{TrustDelta, TrustManager, TrustUpdate};

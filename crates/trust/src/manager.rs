@@ -2,8 +2,27 @@ use crate::BetaTrust;
 use rrs_core::{RaterId, RatingDataset, RatingId, TimeWindow};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// The before/after beta-trust state of one rater across an epoch.
+///
+/// Recorded only for raters that had at least one suspicious rating in
+/// the epoch, so the list stays bounded by the attack size rather than
+/// the population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustDelta {
+    /// The rater whose record changed.
+    pub rater: RaterId,
+    /// Accumulated successes `S` before the epoch.
+    pub successes_before: f64,
+    /// Accumulated failures `F` before the epoch.
+    pub failures_before: f64,
+    /// Accumulated successes `S` after the epoch.
+    pub successes_after: f64,
+    /// Accumulated failures `F` after the epoch.
+    pub failures_after: f64,
+}
+
 /// Summary of one trust-update epoch.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TrustUpdate {
     /// Raters whose records changed in this epoch.
     pub touched: Vec<RaterId>,
@@ -11,6 +30,8 @@ pub struct TrustUpdate {
     pub ratings: usize,
     /// Total ratings that were marked suspicious.
     pub suspicious: usize,
+    /// Before/after records for raters that had suspicious ratings.
+    pub deltas: Vec<TrustDelta>,
 }
 
 /// The trust manager of the P-scheme (paper Procedure 1).
@@ -65,6 +86,7 @@ impl TrustManager {
         window: TimeWindow,
         suspicious: &BTreeSet<RatingId>,
     ) -> TrustUpdate {
+        let _span = rrs_obs::trace::span("trust.update_epoch");
         let mut per_rater: BTreeMap<RaterId, (u64, u64)> = BTreeMap::new();
         let mut total = 0usize;
         let mut total_suspicious = 0usize;
@@ -80,14 +102,29 @@ impl TrustManager {
             }
         }
         let mut touched = Vec::with_capacity(per_rater.len());
+        let mut deltas = Vec::new();
         for (rater, (n, f)) in per_rater {
-            self.records.entry(rater).or_default().record(n, f);
+            let record = self.records.entry(rater).or_default();
+            let (s_before, f_before) = (record.successes(), record.failures());
+            record.record(n, f);
+            if f > 0 {
+                deltas.push(TrustDelta {
+                    rater,
+                    successes_before: s_before,
+                    failures_before: f_before,
+                    successes_after: record.successes(),
+                    failures_after: record.failures(),
+                });
+            }
             touched.push(rater);
         }
+        rrs_obs::metrics::counter_add("trust.epochs", 1);
+        rrs_obs::metrics::counter_add("trust.suspicious_ratings", total_suspicious as u64);
         TrustUpdate {
             touched,
             ratings: total,
             suspicious: total_suspicious,
+            deltas,
         }
     }
 

@@ -5,8 +5,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
+# --workspace: the root manifest is a package AND a workspace, so a bare
+# `cargo build` would compile only the facade lib and leave member
+# binaries (the `rrs` CLI the smoke-run below needs) stale.
+cargo build --release --offline --workspace
 cargo test -q --workspace --offline
 cargo fmt --check
+
+# Trace smoke-run: the observability layer must produce a non-empty,
+# schema-complete decision-trace JSONL from a release binary.
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+target/release/rrs trace downgrade-burst --out "$TRACE_TMP/trace.jsonl" --seed 7
+test -s "$TRACE_TMP/trace.jsonl"
+for key in product detectors paths suspicious trust; do
+    grep -q "\"$key\"" "$TRACE_TMP/trace.jsonl"
+done
 
 echo "verify: OK"

@@ -19,6 +19,8 @@
 //! * [`challenge`] — the Rating Challenge simulator and fair-data
 //!   generator.
 //! * [`eval`] — experiment harness reproducing every figure of the paper.
+//! * [`obs`] — zero-dependency tracing, metrics, and decision traces for
+//!   the detection pipeline (`rrs trace`, `RRS_TRACE=1`).
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@ pub use rrs_challenge as challenge;
 pub use rrs_core as core;
 pub use rrs_detectors as detectors;
 pub use rrs_eval as eval;
+pub use rrs_obs as obs;
 pub use rrs_signal as signal;
 pub use rrs_trust as trust;
 

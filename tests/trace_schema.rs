@@ -1,0 +1,91 @@
+//! Golden integration test for the `rrs trace` decision-trace schema.
+//!
+//! Runs in its own process, so the global trace switch and sinks are not
+//! shared with other test binaries — byte-level determinism can be
+//! asserted here even though the in-process CLI tests cannot.
+
+use std::fs;
+
+fn run_trace(out: &std::path::Path, seed: &str) -> String {
+    let args: Vec<String> = [
+        "downgrade-burst",
+        "--out",
+        out.to_str().unwrap(),
+        "--seed",
+        seed,
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    rrs_cli::commands::run("trace", &args).expect("trace command succeeds")
+}
+
+#[test]
+fn trace_jsonl_is_deterministic_and_schema_complete() {
+    let dir = std::env::temp_dir().join("rrs_trace_schema_test");
+    fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+
+    let report = run_trace(&a, "7");
+    run_trace(&b, "7");
+
+    let body_a = fs::read(&a).unwrap();
+    let body_b = fs::read(&b).unwrap();
+    assert_eq!(
+        body_a, body_b,
+        "same scenario + seed must be byte-identical"
+    );
+    assert!(report.contains("decision trace"), "report: {report}");
+
+    let text = String::from_utf8(body_a).unwrap();
+    let records: Vec<&str> = text.lines().collect();
+    assert!(!records.is_empty(), "trace file has at least one record");
+
+    // Every record carries the full schema.
+    for line in &records {
+        for key in [
+            "\"product\":",
+            "\"start_day\":",
+            "\"end_day\":",
+            "\"detectors\":",
+            "\"paths\":",
+            "\"suspicious\":",
+            "\"trust\":",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        for name in ["\"mc\"", "\"h-arc\"", "\"l-arc\"", "\"hc\"", "\"me\""] {
+            assert!(line.contains(name), "missing detector {name} in {line}");
+        }
+    }
+
+    // At least one interval was flagged: a fired detector, a joint-decision
+    // path, a non-empty suspicion set, and a beta-trust update for the
+    // implicated raters.
+    let flagged = records
+        .iter()
+        .find(|l| l.contains("\"fired\":true") && !l.contains("\"suspicious\":[]"))
+        .expect("at least one flagged interval");
+    for key in [
+        "\"path\":",
+        "\"band\":",
+        "\"marked\":",
+        "\"rater\":",
+        "\"alpha_before\":",
+        "\"beta_before\":",
+        "\"alpha_after\":",
+        "\"beta_after\":",
+    ] {
+        assert!(flagged.contains(key), "missing {key} in flagged record");
+    }
+
+    // No wall-clock contamination: trace bodies never embed timestamps.
+    assert!(
+        !text.contains("_ns\""),
+        "trace records must not carry timings"
+    );
+
+    fs::remove_file(&a).ok();
+    fs::remove_file(&b).ok();
+}
