@@ -95,10 +95,9 @@ impl AdaptiveAttacker {
     ) -> AttackSequence {
         let duration = self.config.durations[trial % self.config.durations.len()];
         let horizon_days = ctx.horizon.length().get();
-        let start = Timestamp::new(
+        let start = Timestamp::saturating(
             ctx.horizon.start().as_days() + self.config.start_offset.min(horizon_days / 2.0),
-        )
-        .expect("offset stays inside the horizon");
+        );
         let config = AttackConfig {
             bias_magnitude: bias.abs(),
             std_dev,

@@ -48,7 +48,7 @@ impl AttackConfig {
             bias_magnitude: 5.0,
             std_dev: 0.0,
             start,
-            duration: Days::new(10.0).expect("constant"),
+            duration: Days::new_saturating(10.0),
             count: 50,
             arrival: ArrivalModel::Even,
             mapping: MappingStrategy::InOrder,

@@ -83,15 +83,15 @@ pub fn heuristic_correlation(
     let mut out = Vec::with_capacity(values.len());
     for &t in sorted_times {
         let near = fair.value_just_before(t.as_days());
-        let (idx, _) = remaining
-            .iter()
-            .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                let da = (a.get() - near).abs();
-                let db = (b.get() - near).abs();
-                da.total_cmp(&db)
-            })
-            .expect("lengths are equal, so a value remains for every time");
+        // With equal-length inputs a value remains for every time; a
+        // longer time set simply leaves the surplus slots unpaired.
+        let Some((idx, _)) = remaining.iter().enumerate().max_by(|(_, a), (_, b)| {
+            let da = (a.get() - near).abs();
+            let db = (b.get() - near).abs();
+            da.total_cmp(&db)
+        }) else {
+            break;
+        };
         let v = remaining.swap_remove(idx);
         out.push((t, v));
     }
@@ -111,15 +111,14 @@ pub fn anti_correlation(
     let mut out = Vec::with_capacity(values.len());
     for &t in sorted_times {
         let near = fair.value_just_before(t.as_days());
-        let (idx, _) = remaining
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                let da = (a.get() - near).abs();
-                let db = (b.get() - near).abs();
-                da.total_cmp(&db)
-            })
-            .expect("lengths are equal, so a value remains for every time");
+        // Same surplus-slot tolerance as `heuristic_correlation`.
+        let Some((idx, _)) = remaining.iter().enumerate().min_by(|(_, a), (_, b)| {
+            let da = (a.get() - near).abs();
+            let db = (b.get() - near).abs();
+            da.total_cmp(&db)
+        }) else {
+            break;
+        };
         let v = remaining.swap_remove(idx);
         out.push((t, v));
     }

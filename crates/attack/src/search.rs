@@ -186,7 +186,11 @@ impl RegionSearch {
                 probes.push((sub, sub_max));
             }
             rounds.push(SearchRound { area, probes });
-            area = round_best.expect("quadrants() is non-empty").0;
+            // quadrants() is non-empty, so a round best always exists;
+            // keeping the current area is the harmless degenerate case.
+            if let Some((sub, _)) = round_best {
+                area = sub;
+            }
         }
 
         SearchOutcome {

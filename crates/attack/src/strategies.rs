@@ -219,7 +219,7 @@ impl AttackStrategy {
         let generator = AttackGenerator::new();
         let count = ctx.raters.len();
         let horizon_days = ctx.horizon.length().get();
-        let ts = |d: f64| Timestamp::new(ctx.horizon.start().as_days() + d).expect("finite");
+        let ts = |d: f64| Timestamp::saturating(ctx.horizon.start().as_days() + d);
         let dur = |d: f64| Days::new_saturating(d);
 
         let simple = |rng: &mut R, config: AttackConfig, label: &str| -> AttackSequence {

@@ -84,7 +84,7 @@ pub fn generate_times<R: RrsRng + ?Sized>(
             let clipped = t
                 .max(horizon.start().as_days())
                 .min(horizon.end().as_days() - 1e-6);
-            Timestamp::new(clipped).expect("clipped time is finite")
+            Timestamp::saturating(clipped)
         })
         .collect();
     times.sort();
@@ -98,10 +98,8 @@ pub fn generate_times<R: RrsRng + ?Sized>(
 /// is zero, hence so is the interval.
 #[must_use]
 pub fn average_interval(times: &[Timestamp]) -> Option<Days> {
-    if times.is_empty() {
-        return None;
-    }
-    let span = times.last().expect("non-empty").as_days() - times[0].as_days();
+    let (first, last) = (times.first()?, times.last()?);
+    let span = last.as_days() - first.as_days();
     Some(Days::new_saturating(span / times.len() as f64))
 }
 

@@ -35,6 +35,7 @@ pub fn generate_values<R: RrsRng + ?Sized>(
     let center = fair_mean + bias;
     (0..count)
         .map(|_| {
+            // lint:allow(float-eq): zero is an exact sentinel for the degenerate distribution
             if std_dev == 0.0 {
                 RatingValue::new_clamped(center)
             } else {

@@ -162,7 +162,7 @@ impl Harness {
             max_ns: per_iter[per_iter.len() - 1],
             std_dev_ns: var.sqrt(),
         };
-        println!(
+        rrs_obs::rrs_info!(
             "{:<32} {:>12.1} ns/iter (median {:.1}, ±{:.1}, {} iters × {} samples)",
             result.name,
             result.mean_ns,
@@ -186,7 +186,7 @@ impl Harness {
         let path = format!("{dir}/BENCH_{}.json", self.suite);
         let json = self.to_json();
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        println!("wrote {path} ({} benches)", self.results.len());
+        rrs_obs::rrs_info!("wrote {path} ({} benches)", self.results.len());
     }
 
     /// Renders the suite as pretty-printed JSON.

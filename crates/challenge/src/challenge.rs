@@ -124,11 +124,10 @@ impl RatingChallenge {
         let (lo, hi) = self.config.attack_window_frac;
         let start = self.horizon.start().as_days() + len * lo;
         let end = self.horizon.start().as_days() + len * hi;
-        TimeWindow::new(
-            rrs_core::Timestamp::new(start).expect("fractions are finite"),
-            rrs_core::Timestamp::new(end).expect("fractions are finite"),
+        TimeWindow::ordered(
+            rrs_core::Timestamp::saturating(start),
+            rrs_core::Timestamp::saturating(end),
         )
-        .expect("attack window fractions are ordered")
     }
 
     /// Returns the biased rater ids a participant controls.

@@ -141,7 +141,7 @@ pub fn generate_fair_data(
                     Rating::new(
                         RaterId::new(rater_idx as u32),
                         product.id,
-                        Timestamp::new(t.min(config.horizon_days - 1e-6)).expect("time is finite"),
+                        Timestamp::saturating(t.min(config.horizon_days - 1e-6)),
                         RatingValue::new_clamped(value),
                     ),
                     RatingSource::Fair,

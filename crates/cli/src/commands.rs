@@ -41,6 +41,7 @@ pub fn run(command: &str, tokens: &[String]) -> Result<String, CommandError> {
         "evaluate" => evaluate(&args),
         "detect" => detect(&args),
         "mp" => mp(&args),
+        "lint" => lint(&args),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage()).into()),
     }
@@ -93,6 +94,7 @@ USAGE:
   rrs detect   --data FILE [--period DAYS]
   rrs mp       --clean FILE --attacked FILE [--scheme p|sa|bf] [--period DAYS]
   rrs trace    [SCENARIO] [--out FILE] [--seed N] [--period DAYS]
+  rrs lint     [--root DIR] [--jsonl FILE]
 
 GLOBAL FLAGS (any command):
   --quiet          errors only
@@ -462,6 +464,24 @@ fn mp(args: &Args) -> Result<String, CommandError> {
     Ok(out)
 }
 
+/// `rrs lint` — run the workspace's static analysis pass.
+///
+/// Clean trees return the summary line; any finding is an error (so
+/// the process exits nonzero), carrying the full findings list.
+fn lint(args: &Args) -> Result<String, CommandError> {
+    check_flags(args, &["root", "jsonl"])?;
+    let root = Path::new(args.get("root").unwrap_or("."));
+    let report = rrs_lint::scan_root(root).map_err(|e| format!("{}: {e}", root.display()))?;
+    if let Some(path) = args.get("jsonl") {
+        fs::write(path, report.to_jsonl()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if report.is_clean() {
+        Ok(report.render())
+    } else {
+        Err(report.render().into())
+    }
+}
+
 /// `rrs trace` — run a seeded attack scenario through the P-scheme with
 /// decision-trace collection on and write the trace as JSONL.
 ///
@@ -688,6 +708,37 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("--verbosity"), "{err}");
+    }
+
+    #[test]
+    fn lint_subcommand_reports_clean_and_dirty_trees() {
+        let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let msg = run_ok("lint", &["--root", repo_root]);
+        assert!(msg.contains("0 finding(s)"), "{msg}");
+
+        let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/../lint/fixtures/output");
+        let err = run("lint", &["--root".into(), fixture.into()])
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("[print]"), "{err}");
+    }
+
+    #[test]
+    fn lint_subcommand_writes_jsonl() {
+        let out = tmp("lint.jsonl");
+        let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/../lint/fixtures/float_eq");
+        let _ = run(
+            "lint",
+            &[
+                "--root".into(),
+                fixture.into(),
+                "--jsonl".into(),
+                out.clone(),
+            ],
+        );
+        let body = std::fs::read_to_string(&out).expect("jsonl written");
+        std::fs::remove_file(&out).ok();
+        assert!(body.contains("\"rule\":\"float-eq\""), "{body}");
     }
 
     #[test]

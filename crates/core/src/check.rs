@@ -30,6 +30,10 @@
 //! with the `RRS_PROP_CASES` environment variable; `RRS_PROP_SEED` rotates
 //! the suite seed.
 
+// The doctest's `#[test]` is the `props!` grammar itself, not a unit
+// test smuggled into documentation; the example compiles and runs.
+#![allow(clippy::test_attr_in_doctest)]
+
 use crate::rng::{RrsRng, Xoshiro256pp};
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};

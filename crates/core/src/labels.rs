@@ -114,6 +114,7 @@ impl ConfusionCounts {
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
+        // lint:allow(float-eq): both terms are non-negative, so the sum is exactly zero only when both are
         if p + r == 0.0 {
             0.0
         } else {

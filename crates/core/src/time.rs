@@ -30,6 +30,27 @@ impl Timestamp {
         }
     }
 
+    /// Creates a timestamp, clamping non-finite inputs instead of
+    /// erroring: `NaN` maps to the origin, infinities to the nearest
+    /// finite value.
+    ///
+    /// This is the constructor for call sites whose input is already
+    /// validated (loop counters scaled by finite constants, sums of
+    /// finite timestamps): it keeps the type's finiteness invariant
+    /// without an `.expect()` chain on an unreachable branch.
+    #[must_use]
+    pub fn saturating(days: f64) -> Self {
+        if days.is_finite() {
+            Timestamp(days)
+        } else if days == f64::INFINITY {
+            Timestamp(f64::MAX)
+        } else if days == f64::NEG_INFINITY {
+            Timestamp(f64::MIN)
+        } else {
+            Timestamp(0.0)
+        }
+    }
+
     /// Returns the timestamp as fractional days.
     #[must_use]
     pub const fn as_days(self) -> f64 {
@@ -201,6 +222,21 @@ impl TimeWindow {
         TimeWindow::new(start, end)
     }
 
+    /// Creates the window spanning `a` and `b` in either order.
+    ///
+    /// Both orderings produce the same `[min, max)` window, so this
+    /// constructor cannot fail — it replaces
+    /// `TimeWindow::new(..).expect("ordered endpoints")` at call sites
+    /// whose endpoints are ordered by construction.
+    #[must_use]
+    pub fn ordered(a: Timestamp, b: Timestamp) -> Self {
+        if b < a {
+            TimeWindow { start: b, end: a }
+        } else {
+            TimeWindow { start: a, end: b }
+        }
+    }
+
     /// Returns the inclusive start of the window.
     #[must_use]
     pub const fn start(self) -> Timestamp {
@@ -317,6 +353,24 @@ mod tests {
     #[test]
     fn window_rejects_reversed() {
         assert!(TimeWindow::new(ts(2.0), ts(1.0)).is_err());
+    }
+
+    #[test]
+    fn saturating_timestamp_clamps() {
+        assert_eq!(Timestamp::saturating(1.5).as_days(), 1.5);
+        assert_eq!(Timestamp::saturating(f64::NAN).as_days(), 0.0);
+        assert_eq!(Timestamp::saturating(f64::INFINITY).as_days(), f64::MAX);
+        assert_eq!(Timestamp::saturating(f64::NEG_INFINITY).as_days(), f64::MIN);
+    }
+
+    #[test]
+    fn ordered_window_accepts_either_order() {
+        let w = TimeWindow::ordered(ts(5.0), ts(2.0));
+        assert_eq!(w.start(), ts(2.0));
+        assert_eq!(w.end(), ts(5.0));
+        assert_eq!(TimeWindow::ordered(ts(2.0), ts(5.0)), w);
+        let degenerate = TimeWindow::ordered(ts(3.0), ts(3.0));
+        assert_eq!(degenerate.length(), Days::ZERO);
     }
 
     #[test]

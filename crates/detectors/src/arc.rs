@@ -238,11 +238,10 @@ pub fn detect_counts(
                         .rate_increase_threshold
                         .max(config.rate_noise_factor * var.sqrt())
         });
-        let window = TimeWindow::new(
-            Timestamp::new(day0.as_days() + day_range.start as f64).expect("finite"),
-            Timestamp::new(day0.as_days() + day_range.end as f64).expect("finite"),
-        )
-        .expect("ordered");
+        let window = TimeWindow::ordered(
+            Timestamp::saturating(day0.as_days() + day_range.start as f64),
+            Timestamp::saturating(day0.as_days() + day_range.end as f64),
+        );
         if flagged {
             suspicious.push(SuspiciousInterval::new(window, variant.kind(), rate));
         } else {

@@ -174,11 +174,10 @@ fn run_interval(
         .iter()
         .map(|p| p.value)
         .fold(0.0f64, f64::max);
-    let window = TimeWindow::new(
-        Timestamp::new(times[start_idx]).expect("finite"),
-        Timestamp::new(times[end_idx] + 1e-9).expect("finite"),
-    )
-    .expect("ordered");
+    let window = TimeWindow::ordered(
+        Timestamp::saturating(times[start_idx]),
+        Timestamp::saturating(times[end_idx] + 1e-9),
+    );
     SuspiciousInterval::new(window, SuspicionKind::Histogram, strength)
 }
 

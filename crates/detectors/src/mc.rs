@@ -175,7 +175,7 @@ where
 
     let mut segments = Vec::new();
     let mut suspicious = Vec::new();
-    let end_time = Timestamp::new(times[n - 1] + 1e-9).expect("finite");
+    let end_time = Timestamp::saturating(times[n - 1] + 1e-9);
     for index_range in split_at_peaks(n, &peak_indices) {
         let mean = range_mean(index_range.clone()).expect("segments are non-empty");
         let mean_deviation = (mean - overall_mean).abs();
@@ -184,13 +184,13 @@ where
         let less_trusted = overall_trust > 0.0 && avg_trust / overall_trust < config.trust_ratio;
         let flagged = mean_deviation > config.threshold1
             || (mean_deviation > config.threshold2 && less_trusted);
-        let start = Timestamp::new(times[index_range.start]).expect("finite");
+        let start = Timestamp::saturating(times[index_range.start]);
         let end = if index_range.end < n {
-            Timestamp::new(times[index_range.end]).expect("finite")
+            Timestamp::saturating(times[index_range.end])
         } else {
             end_time
         };
-        let window = TimeWindow::new(start, end.max(start)).expect("ordered");
+        let window = TimeWindow::ordered(start, end);
         if flagged {
             suspicious.push(SuspiciousInterval::new(
                 window,

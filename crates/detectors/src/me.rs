@@ -126,11 +126,10 @@ fn run_interval(
             .iter()
             .map(|p| p.value)
             .fold(f64::INFINITY, f64::min);
-    let window = TimeWindow::new(
-        Timestamp::new(times[start_idx]).expect("finite"),
-        Timestamp::new(times[end_idx] + 1e-9).expect("finite"),
-    )
-    .expect("ordered");
+    let window = TimeWindow::ordered(
+        Timestamp::saturating(times[start_idx]),
+        Timestamp::saturating(times[end_idx] + 1e-9),
+    );
     SuspiciousInterval::new(window, SuspicionKind::ModelError, strength)
 }
 

@@ -12,10 +12,12 @@ use rrs_eval::suite::{Scale, SuiteConfig, Workbench};
 use rrs_eval::{
     ablation, boost, detection, fig2_4, fig5, fig6, fig7, max_mp, roc, scoring_ablation,
 };
+use rrs_obs::{rrs_error, rrs_info};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    rrs_obs::init_from_env();
     let mut scale = Scale::Paper;
     let mut seed = 42u64;
     let mut out_dir: Option<PathBuf> = Some(PathBuf::from("results"));
@@ -28,13 +30,13 @@ fn main() -> ExitCode {
                 Some("small") => scale = Scale::Small,
                 Some("paper") => scale = Scale::Paper,
                 other => {
-                    eprintln!("unknown scale {other:?} (use small|paper)");
+                    rrs_error!("unknown scale {other:?} (use small|paper)");
                     return ExitCode::FAILURE;
                 }
             },
             "--seed" => {
                 let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
-                    eprintln!("--seed needs an integer");
+                    rrs_error!("--seed needs an integer");
                     return ExitCode::FAILURE;
                 };
                 seed = v;
@@ -44,7 +46,7 @@ fn main() -> ExitCode {
             }
             "--no-out" => out_dir = None,
             "--help" | "-h" => {
-                println!(
+                rrs_info!(
                     "usage: experiments [--scale small|paper] [--seed N] [--out DIR | --no-out] [EXPERIMENT ...]"
                 );
                 return ExitCode::SUCCESS;
@@ -58,7 +60,7 @@ fn main() -> ExitCode {
         seed,
         out_dir,
     };
-    eprintln!(
+    rrs_info!(
         "building workbench (scale {:?}, seed {seed}) ...",
         config.scale
     );
@@ -95,15 +97,15 @@ fn main() -> ExitCode {
             "scoring" => scoring_ablation::run(&workbench),
             "roc" => roc::run(&workbench),
             other => {
-                eprintln!("unknown experiment {other}");
+                rrs_error!("unknown experiment {other}");
                 return ExitCode::FAILURE;
             }
         };
-        println!("==== {} ====", report.name);
-        println!("{}", report.summary);
+        rrs_info!("==== {} ====", report.name);
+        rrs_info!("{}", report.summary);
         if let Some(dir) = &config.out_dir {
             if let Err(e) = report.write_to(dir) {
-                eprintln!("failed to write results: {e}");
+                rrs_error!("failed to write results: {e}");
                 return ExitCode::FAILURE;
             }
         }

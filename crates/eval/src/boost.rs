@@ -26,7 +26,7 @@ use std::fmt::Write as _;
 pub fn boost_probe(workbench: &Workbench, bias: f64, std_dev: f64, trial: usize) -> AttackSequence {
     let ctx = &workbench.attack_ctx;
     let horizon_days = ctx.horizon.length().get();
-    let start = Timestamp::new(ctx.horizon.start().as_days() + 2.0).expect("inside horizon");
+    let start = Timestamp::saturating(ctx.horizon.start().as_days() + 2.0);
     let config = AttackConfig {
         bias_magnitude: bias.abs(),
         std_dev,

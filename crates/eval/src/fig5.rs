@@ -34,7 +34,7 @@ pub fn probe_attack(
     // least shielded while the fair history is still short, so a rational
     // attacker finishes as soon after the window opens as detection
     // pressure allows.
-    let start = Timestamp::new(ctx.horizon.start().as_days() + 2.0).expect("inside horizon");
+    let start = Timestamp::saturating(ctx.horizon.start().as_days() + 2.0);
     // Trials alternate between a concentrated strike and a full-window
     // drip — Procedure 2 generates "m sets of unfair rating data" per
     // center, and the time profile is part of that variation.

@@ -57,11 +57,10 @@ fn build_streams(workbench: &Workbench, per_kind: usize) -> Streams {
         let seq = strategy.build(&workbench.attack_ctx, &mut rng);
         let dataset = workbench.challenge.attacked_dataset(&seq);
         let abs_start = window_start + start_day + workbench.challenge.horizon().start().as_days();
-        let attack_window = TimeWindow::new(
-            Timestamp::new(abs_start).expect("finite"),
-            Timestamp::new(abs_start + 12.0).expect("finite"),
-        )
-        .expect("ordered");
+        let attack_window = TimeWindow::ordered(
+            Timestamp::saturating(abs_start),
+            Timestamp::saturating(abs_start + 12.0),
+        );
         attacked.push((dataset, attack_window));
     }
     Streams {

@@ -1,0 +1,4 @@
+pub fn is_zero(x: f64) -> bool {
+    // lint:allow(float-eq)
+    x == 0.0
+}

@@ -1,0 +1,3 @@
+pub fn take(o: Option<u8>) -> u8 {
+    o.unwrap()
+}

@@ -1,0 +1,7 @@
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn not_unit(x: f64) -> bool {
+    x != 1.0e0
+}

@@ -1,0 +1,5 @@
+pub fn report(n: usize) {
+    println!("n = {n}");
+    eprintln!("done");
+    dbg!(n);
+}

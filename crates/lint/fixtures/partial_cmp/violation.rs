@@ -1,0 +1,13 @@
+pub fn sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn max_multiline(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .max_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("NaN-free input")
+        })
+        .unwrap_or(0.0)
+}

@@ -1,0 +1,4 @@
+pub fn stamp() -> std::time::SystemTime {
+    let _warmup = std::time::Instant::now();
+    std::time::SystemTime::now()
+}

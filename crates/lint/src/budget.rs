@@ -1,0 +1,247 @@
+//! The `lint.lock` robustness-budget ratchet.
+//!
+//! `lint.lock` (committed at the workspace root) records, per crate,
+//! how many `.unwrap()` / `.expect(` / `panic!` sites exist in
+//! non-test *library* code. The scanner recounts on every run and
+//! requires an exact match:
+//!
+//! * count **above** the lock → new panic sites crept in: handle the
+//!   error instead, or consciously raise the budget in review;
+//! * count **below** the lock → progress! Run `--write-lock` so the
+//!   slack cannot be silently spent later.
+//!
+//! `--write-lock` itself refuses to *raise* any entry, so the budgets
+//! can only move toward zero over the life of the repository.
+
+use crate::report::Finding;
+use crate::rules::{PanicSites, RULE_BUDGET};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-crate panic-site totals, keyed by crate name.
+pub type Budgets = BTreeMap<String, PanicSites>;
+
+/// The lock-file header comment.
+const HEADER: &str = "\
+# rrs-lint robustness budgets: counts of .unwrap() / .expect( / panic!
+# sites in non-test library code, per crate. The ratchet only turns one
+# way: counts may decrease but never increase. After removing a panic
+# site, regenerate with `cargo run -p rrs-lint -- --write-lock`
+# (which refuses to raise any entry).";
+
+/// Renders budgets in the lock format.
+#[must_use]
+pub fn render_lock(budgets: &Budgets) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for (name, b) in budgets {
+        let _ = writeln!(
+            out,
+            "{name} unwrap={} expect={} panic={}",
+            b.unwrap, b.expect, b.panic
+        );
+    }
+    out
+}
+
+/// Parses a lock file.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_lock(text: &str) -> Result<Budgets, String> {
+    let mut out = Budgets::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing crate name", idx + 1))?;
+        let mut sites = PanicSites::default();
+        for part in parts {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key=value, found {part:?}", idx + 1))?;
+            let value: usize = value
+                .parse()
+                .map_err(|e| format!("line {}: bad count {value:?}: {e}", idx + 1))?;
+            match key {
+                "unwrap" => sites.unwrap = value,
+                "expect" => sites.expect = value,
+                "panic" => sites.panic = value,
+                other => return Err(format!("line {}: unknown counter {other:?}", idx + 1)),
+            }
+        }
+        out.insert(name.to_string(), sites);
+    }
+    Ok(out)
+}
+
+/// Compares actual counts against the lock, producing findings for
+/// every mismatch (both directions) and for crates missing from the
+/// lock.
+#[must_use]
+pub fn check(lock_rel: &str, locked: &Budgets, actual: &Budgets) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut emit = |msg: String| {
+        findings.push(Finding {
+            rule: RULE_BUDGET,
+            file: lock_rel.to_string(),
+            line: 0,
+            crate_name: String::new(),
+            message: msg,
+        });
+    };
+    for (name, a) in actual {
+        let Some(l) = locked.get(name) else {
+            emit(format!(
+                "crate {name} has no budget entry — add it via --write-lock"
+            ));
+            continue;
+        };
+        for (counter, actual_n, locked_n) in [
+            ("unwrap", a.unwrap, l.unwrap),
+            ("expect", a.expect, l.expect),
+            ("panic", a.panic, l.panic),
+        ] {
+            if actual_n > locked_n {
+                emit(format!(
+                    "{name}: {counter} count {actual_n} exceeds the locked budget \
+                     {locked_n} — handle the error instead of panicking, or raise \
+                     the budget explicitly in review"
+                ));
+            } else if actual_n < locked_n {
+                emit(format!(
+                    "{name}: {counter} count {actual_n} is below the locked budget \
+                     {locked_n} — ratchet it down with --write-lock so the slack \
+                     cannot be spent later"
+                ));
+            }
+        }
+    }
+    for name in locked.keys() {
+        if !actual.contains_key(name) {
+            emit(format!(
+                "locked crate {name} no longer exists — remove it via --write-lock"
+            ));
+        }
+    }
+    findings
+}
+
+/// Produces the new lock contents, enforcing the ratchet: no entry of
+/// `actual` may exceed its entry in `previous`.
+///
+/// # Errors
+///
+/// Returns the offending crate/counter when a count would increase.
+pub fn write_lock(previous: Option<&Budgets>, actual: &Budgets) -> Result<String, String> {
+    if let Some(prev) = previous {
+        for (name, a) in actual {
+            if let Some(p) = prev.get(name) {
+                for (counter, actual_n, prev_n) in [
+                    ("unwrap", a.unwrap, p.unwrap),
+                    ("expect", a.expect, p.expect),
+                    ("panic", a.panic, p.panic),
+                ] {
+                    if actual_n > prev_n {
+                        return Err(format!(
+                            "refusing to raise {name} {counter} from {prev_n} to \
+                             {actual_n}: the budget ratchet only turns down. Remove \
+                             the new panic site, or edit lint.lock by hand and defend \
+                             the increase in review."
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(render_lock(actual))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(unwrap: usize, expect: usize, panic: usize) -> PanicSites {
+        PanicSites {
+            unwrap,
+            expect,
+            panic,
+        }
+    }
+
+    fn budgets(entries: &[(&str, PanicSites)]) -> Budgets {
+        entries.iter().map(|(n, s)| (n.to_string(), *s)).collect()
+    }
+
+    #[test]
+    fn lock_round_trips() {
+        let b = budgets(&[("rrs-core", sites(3, 2, 1)), ("rrs-eval", sites(0, 0, 0))]);
+        let parsed = parse_lock(&render_lock(&b)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["rrs-core"].unwrap, 3);
+        assert_eq!(parsed["rrs-core"].expect, 2);
+        assert_eq!(parsed["rrs-core"].panic, 1);
+    }
+
+    #[test]
+    fn exceeding_the_budget_is_a_finding() {
+        let locked = budgets(&[("a", sites(1, 0, 0))]);
+        let actual = budgets(&[("a", sites(2, 0, 0))]);
+        let f = check("lint.lock", &locked, &actual);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("exceeds"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn slack_below_the_budget_is_also_a_finding() {
+        let locked = budgets(&[("a", sites(5, 0, 0))]);
+        let actual = budgets(&[("a", sites(3, 0, 0))]);
+        let f = check("lint.lock", &locked, &actual);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("below"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let b = budgets(&[("a", sites(2, 1, 0)), ("b", sites(0, 0, 0))]);
+        assert!(check("lint.lock", &b, &b).is_empty());
+    }
+
+    #[test]
+    fn missing_and_stale_crates_are_findings() {
+        let locked = budgets(&[("gone", sites(0, 0, 0))]);
+        let actual = budgets(&[("new", sites(0, 0, 0))]);
+        let f = check("lint.lock", &locked, &actual);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn write_lock_refuses_to_raise() {
+        let prev = budgets(&[("a", sites(1, 0, 0))]);
+        let worse = budgets(&[("a", sites(2, 0, 0))]);
+        let err = write_lock(Some(&prev), &worse).unwrap_err();
+        assert!(err.contains("refusing to raise"), "{err}");
+    }
+
+    #[test]
+    fn write_lock_accepts_decreases_and_new_crates() {
+        let prev = budgets(&[("a", sites(2, 0, 0))]);
+        let better = budgets(&[("a", sites(1, 0, 0)), ("b", sites(4, 0, 0))]);
+        let text = write_lock(Some(&prev), &better).unwrap();
+        let parsed = parse_lock(&text).unwrap();
+        assert_eq!(parsed["a"].unwrap, 1);
+        assert_eq!(parsed["b"].unwrap, 4);
+    }
+
+    #[test]
+    fn malformed_lock_lines_are_rejected() {
+        assert!(parse_lock("a unwrap=x").is_err());
+        assert!(parse_lock("a frobs=3").is_err());
+        assert!(parse_lock("a unwrap").is_err());
+    }
+}

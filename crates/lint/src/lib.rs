@@ -1,0 +1,172 @@
+//! # rrs-lint — static enforcement of the workspace's invariants
+//!
+//! A zero-dependency static analysis pass that keeps the properties
+//! the reproduction's verdicts depend on from rotting:
+//!
+//! * **Determinism** — no wall-clock reads ([`rules::RULE_WALLCLOCK`])
+//!   or ambient entropy ([`rules::RULE_ENTROPY`]) outside their
+//!   sanctioned homes, and no randomized-iteration-order collections
+//!   in result-producing crates ([`rules::RULE_DEFAULT_HASHER`]). The
+//!   golden trace tests and `EXPERIMENTS.md` verdicts compare exact
+//!   numeric outcomes; a stray `HashMap` iteration breaks them
+//!   silently.
+//! * **Numeric safety** — exact float-literal comparisons
+//!   ([`rules::RULE_FLOAT_EQ`]) and NaN-panicking
+//!   `partial_cmp().unwrap()` chains ([`rules::RULE_PARTIAL_CMP`]),
+//!   steering to `total_cmp`.
+//! * **Robustness budgets** — per-crate `unwrap`/`expect`/`panic!`
+//!   counts in non-test library code, ratcheted downward through the
+//!   committed `lint.lock` ([`budget`]).
+//! * **Output discipline** — all terminal output flows through the
+//!   `rrs-obs` logger ([`rules::RULE_PRINT`]).
+//! * **Hermeticity** — every manifest stays free of external
+//!   dependencies ([`manifest`]), and every library root carries
+//!   `#![forbid(unsafe_code)]` ([`rules::RULE_FORBID_UNSAFE`]).
+//!
+//! Run it as `cargo run -p rrs-lint` or `rrs lint`; findings are also
+//! exportable as machine-readable JSONL. Individual sites are waived
+//! in-source with `// lint:allow(rule): justification`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod budget;
+pub mod lexer;
+pub mod manifest;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+use budget::Budgets;
+use report::{Finding, Report};
+use rules::{Config, RULE_FORBID_UNSAFE};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The lock file's name at the workspace root.
+pub const LOCK_FILE: &str = "lint.lock";
+
+/// Scans the tree under `config.root` and returns the full report.
+///
+/// Budget findings are produced only when a `lint.lock` exists at the
+/// root (always the case for the real workspace; fixture directories
+/// opt in by shipping one).
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn scan(config: &Config) -> io::Result<Report> {
+    let ws = walk::discover(&config.root)?;
+    let mut findings = Vec::new();
+    let mut budgets = Budgets::new();
+
+    for file in &ws.sources {
+        let text = fs::read_to_string(&file.path)?;
+        let scanned = rules::scan_file(config, file, &text);
+        findings.extend(scanned.findings);
+        let entry = budgets.entry(file.crate_name.clone()).or_default();
+        entry.unwrap += scanned.panic_sites.unwrap;
+        entry.expect += scanned.panic_sites.expect;
+        entry.panic += scanned.panic_sites.panic;
+        if ws.lib_roots.contains(&file.rel) && !scanned.has_forbid_unsafe {
+            findings.push(Finding {
+                rule: RULE_FORBID_UNSAFE,
+                file: file.rel.clone(),
+                line: 0,
+                crate_name: file.crate_name.clone(),
+                message: "library root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+
+    for m in &ws.manifests {
+        let text = fs::read_to_string(&m.path)?;
+        findings.extend(manifest::audit(&m.rel, &text));
+    }
+
+    let lock_path = config.root.join(LOCK_FILE);
+    if lock_path.is_file() {
+        let text = fs::read_to_string(&lock_path)?;
+        match budget::parse_lock(&text) {
+            Ok(locked) => findings.extend(budget::check(LOCK_FILE, &locked, &budgets)),
+            Err(e) => findings.push(Finding {
+                rule: rules::RULE_BUDGET,
+                file: LOCK_FILE.to_string(),
+                line: 0,
+                crate_name: String::new(),
+                message: format!("malformed lock file: {e}"),
+            }),
+        }
+    } else if ws.is_workspace {
+        findings.push(Finding {
+            rule: rules::RULE_BUDGET,
+            file: LOCK_FILE.to_string(),
+            line: 0,
+            crate_name: String::new(),
+            message: "missing lint.lock at the workspace root — generate it with --write-lock"
+                .to_string(),
+        });
+    }
+
+    findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+            .then(a.message.cmp(&b.message))
+    });
+
+    Ok(Report {
+        findings,
+        budgets,
+        files_scanned: ws.sources.len(),
+        manifests_audited: ws.manifests.len(),
+    })
+}
+
+/// Scans and then rewrites `lint.lock` with the current counts,
+/// enforcing the downward ratchet.
+///
+/// Returns the scan report (whose budget findings reflect the state
+/// *before* the rewrite).
+///
+/// # Errors
+///
+/// Returns an I/O error for unreadable trees, or an
+/// [`io::ErrorKind::InvalidData`] error when a count would increase.
+pub fn scan_and_write_lock(config: &Config) -> io::Result<Report> {
+    let report = scan(config)?;
+    let lock_path = config.root.join(LOCK_FILE);
+    let previous = if lock_path.is_file() {
+        let text = fs::read_to_string(&lock_path)?;
+        Some(budget::parse_lock(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?)
+    } else {
+        None
+    };
+    let new_lock = budget::write_lock(previous.as_ref(), &report.budgets)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(&lock_path, new_lock)?;
+    Ok(report)
+}
+
+/// Scans `root`, auto-selecting workspace or bare policy based on the
+/// tree's layout (the `rrs lint` subcommand's entry point).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the scan.
+pub fn scan_root(root: &Path) -> io::Result<Report> {
+    scan(&config_for(root))
+}
+
+/// Chooses the policy for `root`: the full workspace policy when the
+/// tree looks like this repository, maximal strictness otherwise.
+#[must_use]
+pub fn config_for(root: &Path) -> Config {
+    if root.join("Cargo.toml").is_file() && root.join("crates").is_dir() {
+        Config::workspace(root.to_path_buf())
+    } else {
+        Config::bare(root.to_path_buf())
+    }
+}

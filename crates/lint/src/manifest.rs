@@ -1,0 +1,106 @@
+//! Manifest audit: every dependency must stay in-tree.
+//!
+//! The workspace's hermeticity (PR 1) rests on every `Cargo.toml`
+//! declaring only `path =` / `workspace = true` dependencies. This
+//! audit re-verifies that on every lint run: any dependency entry that
+//! names a registry version, a git URL, or a registry source is a
+//! finding.
+
+use crate::report::Finding;
+use crate::rules::RULE_MANIFEST;
+
+/// Audits one manifest's text.
+#[must_use]
+pub fn audit(rel: &str, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            // [dependencies], [dev-dependencies], [build-dependencies],
+            // [workspace.dependencies], [target.'…'.dependencies]
+            in_dep_section = line.trim_end_matches(']').ends_with("dependencies");
+            continue;
+        }
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim();
+        let value = value.trim();
+        // `foo.workspace = true` and `foo = { path = "...", ... }` and
+        // `foo = { workspace = true }` are the in-tree shapes.
+        let in_tree = name.ends_with(".workspace")
+            || value.contains("path")
+            || value.contains("workspace = true");
+        if !in_tree {
+            findings.push(Finding {
+                rule: RULE_MANIFEST,
+                file: rel.to_string(),
+                line: idx + 1,
+                crate_name: String::new(),
+                message: format!(
+                    "dependency `{name}` is not an in-tree path dependency — the \
+                     workspace builds offline with zero external crates"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let toml = "\
+[dependencies]
+rrs-core = { path = \"crates/core\" }
+rrs-obs.workspace = true
+rrs-signal = { workspace = true }
+";
+        assert!(audit("Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn registry_version_is_flagged() {
+        let toml = "[dependencies]\nserde = \"1.0\"\n";
+        let f = audit("Cargo.toml", toml);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("serde"));
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn git_and_detailed_registry_deps_are_flagged() {
+        let toml = "\
+[dev-dependencies]
+rand = { version = \"0.8\", features = [\"small_rng\"] }
+left-pad = { git = \"https://example.invalid/left-pad\" }
+";
+        assert_eq!(audit("Cargo.toml", toml).len(), 2);
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let toml = "\
+[package]
+name = \"rrs-core\"
+version = \"0.1.0\"
+
+[features]
+default = []
+";
+        assert!(audit("Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependencies_section_is_audited() {
+        let toml = "[workspace.dependencies]\nserde = \"1\"\n";
+        assert_eq!(audit("Cargo.toml", toml).len(), 1);
+    }
+}

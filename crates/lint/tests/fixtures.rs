@@ -1,0 +1,121 @@
+//! Golden tests over the seeded violation fixtures in `fixtures/`.
+//!
+//! Each directory holds one class of violation; the scan must report
+//! exactly the expected `(rule, line)` pairs — no more, no fewer. The
+//! `clean` fixture is the negative control: a file full of lexer bait
+//! (violations quoted in comments, strings, and `#[cfg(test)]` code)
+//! that must produce zero findings.
+
+use rrs_lint::rules;
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// Scans a fixture and returns its findings as `(rule, line)` pairs,
+/// in the report's deterministic order.
+fn findings(name: &str) -> Vec<(&'static str, usize)> {
+    let report = rrs_lint::scan_root(&fixture(name)).expect("fixture directory scans");
+    report.findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn wallclock_fixture() {
+    assert_eq!(
+        findings("wallclock"),
+        vec![
+            (rules::RULE_WALLCLOCK, 1),
+            (rules::RULE_WALLCLOCK, 2),
+            (rules::RULE_WALLCLOCK, 3),
+        ]
+    );
+}
+
+#[test]
+fn hashed_fixture() {
+    assert_eq!(
+        findings("hashed"),
+        vec![
+            (rules::RULE_DEFAULT_HASHER, 1),
+            (rules::RULE_DEFAULT_HASHER, 3),
+            (rules::RULE_DEFAULT_HASHER, 4),
+        ]
+    );
+}
+
+#[test]
+fn entropy_fixture() {
+    assert_eq!(findings("entropy"), vec![(rules::RULE_ENTROPY, 2)]);
+}
+
+#[test]
+fn float_eq_fixture() {
+    assert_eq!(
+        findings("float_eq"),
+        vec![(rules::RULE_FLOAT_EQ, 2), (rules::RULE_FLOAT_EQ, 6)]
+    );
+}
+
+#[test]
+fn partial_cmp_fixture() {
+    assert_eq!(
+        findings("partial_cmp"),
+        vec![(rules::RULE_PARTIAL_CMP, 2), (rules::RULE_PARTIAL_CMP, 9)]
+    );
+}
+
+#[test]
+fn output_fixture() {
+    assert_eq!(
+        findings("output"),
+        vec![
+            (rules::RULE_PRINT, 2),
+            (rules::RULE_PRINT, 3),
+            (rules::RULE_PRINT, 4),
+        ]
+    );
+}
+
+#[test]
+fn budget_fixture_exceeds_its_lock() {
+    let got = findings("budget");
+    assert_eq!(got, vec![(rules::RULE_BUDGET, 0)]);
+    let report = rrs_lint::scan_root(&fixture("budget")).unwrap();
+    assert!(
+        report.findings[0].message.contains("unwrap"),
+        "budget finding names the counter: {}",
+        report.findings[0].message
+    );
+}
+
+#[test]
+fn allow_fixture_flags_reasonless_directive() {
+    // The malformed directive is itself a finding, and it does NOT
+    // waive the violation on the next line.
+    assert_eq!(
+        findings("allow"),
+        vec![(rules::RULE_BAD_ALLOW, 2), (rules::RULE_FLOAT_EQ, 3)]
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let report = rrs_lint::scan_root(&fixture("clean")).expect("clean fixture scans");
+    assert!(
+        report.is_clean(),
+        "negative control tripped: {:?}",
+        report.findings
+    );
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn fixtures_use_the_bare_policy() {
+    // Fixture directories have no Cargo.toml, so the strict policy
+    // (every crate denied everything) applies.
+    let report = rrs_lint::scan_root(&fixture("wallclock")).unwrap();
+    assert_eq!(report.manifests_audited, 0);
+}

@@ -95,7 +95,7 @@ mod tests {
         assert!(s.starts_with("[\n"));
         assert!(s.ends_with("]\n"));
         assert_eq!(s.matches("\"product\"").count(), 2);
-        assert_eq!(s.matches(',').count() >= 1, true);
+        assert!(s.matches(',').count() >= 1);
     }
 
     #[test]

@@ -108,6 +108,7 @@ impl Matrix {
             let pivot = a[col * n + col];
             for row in (col + 1)..n {
                 let factor = a[row * n + col] / pivot;
+                // lint:allow(float-eq): exact-zero factor skips a no-op elimination row
                 if factor == 0.0 {
                     continue;
                 }

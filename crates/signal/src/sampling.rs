@@ -17,6 +17,7 @@ pub fn gaussian<R: RrsRng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64
         mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
         "gaussian parameters must be finite with std_dev >= 0"
     );
+    // lint:allow(float-eq): zero is an exact sentinel for the degenerate distribution
     if std_dev == 0.0 {
         return mean;
     }

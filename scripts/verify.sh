@@ -12,6 +12,20 @@ cargo build --release --offline --workspace
 cargo test -q --workspace --offline
 cargo fmt --check
 
+# Static analysis: the committed tree must be lint-clean (exit 0), and
+# every seeded violation fixture must be caught (exit 1). The fixtures
+# double as an end-to-end self-test of the binary, not just the library.
+target/release/rrs-lint
+for fixture in crates/lint/fixtures/*/; do
+    name="$(basename "$fixture")"
+    if [ "$name" = clean ]; then
+        target/release/rrs-lint --root "$fixture"
+    elif target/release/rrs-lint --quiet --root "$fixture"; then
+        echo "verify: fixture $name should have produced findings" >&2
+        exit 1
+    fi
+done
+
 # Trace smoke-run: the observability layer must produce a non-empty,
 # schema-complete decision-trace JSONL from a release binary.
 TRACE_TMP="$(mktemp -d)"

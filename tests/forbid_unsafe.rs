@@ -1,0 +1,33 @@
+//! Every library crate in the workspace must forbid `unsafe` code.
+//!
+//! `rrs-lint` enforces the same invariant as a rule; this test keeps
+//! the guarantee even for builds that skip the lint (and fails with a
+//! directly actionable message naming the offending crate root).
+
+use std::path::Path;
+
+#[test]
+fn every_library_root_forbids_unsafe_code() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut lib_roots = vec![root.join("src/lib.rs")];
+    let crates = std::fs::read_dir(root.join("crates")).expect("crates/ exists");
+    for entry in crates.filter_map(Result::ok) {
+        let lib = entry.path().join("src/lib.rs");
+        if lib.is_file() {
+            lib_roots.push(lib);
+        }
+    }
+    // The facade plus every member crate: keep this in sync when
+    // adding crates (the assert below catches silent walk failures).
+    assert!(lib_roots.len() >= 13, "found only {}", lib_roots.len());
+
+    for lib in lib_roots {
+        let text = std::fs::read_to_string(&lib).expect("lib.rs is readable");
+        let normalized: String = text.split_whitespace().collect::<Vec<_>>().join("");
+        assert!(
+            normalized.contains("#![forbid(unsafe_code)]"),
+            "{} is missing #![forbid(unsafe_code)]",
+            lib.display()
+        );
+    }
+}
