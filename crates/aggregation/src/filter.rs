@@ -14,6 +14,9 @@ use std::collections::BTreeSet;
 ///
 /// Returns the entries of `candidates` that are **not** removed. A rating
 /// is removed iff its id is in `marks` and `trust(rater) < trust_threshold`.
+/// The comparison is strict: a marked rating whose rater sits **exactly at**
+/// the threshold survives (the neutral-trust newcomer at 0.5 is not
+/// filtered by the paper's 0.5 threshold).
 pub fn filter_ratings<'a, F>(
     candidates: &'a [RatingEntry],
     marks: &BTreeSet<RatingId>,
@@ -73,6 +76,21 @@ mod tests {
         );
         assert_eq!(kept.len(), 3);
         assert!(kept.iter().all(|e| e.rater() != RaterId::new(0)));
+    }
+
+    #[test]
+    fn marked_rating_at_exact_threshold_survives() {
+        // The removal test is strictly `trust < threshold`: trust exactly
+        // equal to the threshold keeps the rating. This pins the boundary
+        // so neutral newcomers (trust 0.5) survive the paper's 0.5 cut.
+        let (d, ids) = build();
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let marks: BTreeSet<_> = ids.iter().copied().collect();
+        let kept = filter_ratings(tl.entries(), &marks, |_| 0.5, 0.5);
+        assert_eq!(kept.len(), 4);
+        // An infinitesimally lower trust flips to removal.
+        let kept = filter_ratings(tl.entries(), &marks, |_| 0.5 - 1e-12, 0.5);
+        assert!(kept.is_empty());
     }
 
     #[test]

@@ -18,8 +18,8 @@
 use crate::filter::filter_ratings;
 use crate::weighted::weighted_aggregate;
 use rrs_core::{
-    AggregationScheme, EvalContext, ProductId, RaterId, RatingDataset, RatingId, SchemeOutcome,
-    TimeWindow,
+    AggregationScheme, DatasetView, EvalContext, ProductId, RaterId, RatingDataset, RatingId,
+    SchemeOutcome, TimeWindow,
 };
 use rrs_detectors::{Band, DetectionResult, DetectorConfig, JointDetector};
 use rrs_trust::{TrustManager, TrustUpdate};
@@ -92,10 +92,14 @@ impl AggregationScheme for PScheme {
         let mut scores: BTreeMap<rrs_core::ProductId, Vec<Option<f64>>> = BTreeMap::new();
 
         for period in ctx.periods() {
-            // Everything seen up to the end of this period.
+            // Everything seen up to the end of this period, as a borrowed
+            // prefix view: epoch e must not re-clone epochs 0..e (the old
+            // `restricted()` copy made the run O(epochs × ratings) in
+            // allocation alone; the `#[cfg(test)]` oracle below keeps the
+            // copy path as the reference the view is tested against).
             let prefix_window = TimeWindow::new(ctx.horizon().start(), period.end())
                 .expect("period lies inside the horizon");
-            let prefix = dataset.restricted(prefix_window);
+            let prefix = dataset.prefix_view(prefix_window);
 
             // 1. Detect with the previous epoch's trust.
             let snapshot = trust.snapshot();
@@ -174,7 +178,7 @@ impl AggregationScheme for PScheme {
 /// Quiet products are recorded too — a trace that only shows alarms
 /// cannot answer "why did nothing fire here?".
 fn record_decisions(
-    prefix: &RatingDataset,
+    prefix: &DatasetView<'_>,
     period: TimeWindow,
     per_product: &[(ProductId, DetectionResult)],
     marks: &BTreeSet<RatingId>,
@@ -247,8 +251,72 @@ mod tests {
     use rrs_core::rng::RrsRng;
     use rrs_core::rng::Xoshiro256pp;
     use rrs_core::{
-        Days, GroundTruth, ProductId, RaterId, Rating, RatingSource, RatingValue, Timestamp,
+        prop_assert, props, Days, GroundTruth, ProductId, RaterId, Rating, RatingSource,
+        RatingValue, Timestamp,
     };
+
+    /// The pre-refactor reference implementation of
+    /// [`PScheme::evaluate`]: every epoch materializes its prefix with
+    /// `RatingDataset::restricted` (a full copy) instead of the zero-copy
+    /// [`RatingDataset::prefix_view`]. Kept behind `#[cfg(test)]` as the
+    /// oracle the view path is property-tested against.
+    fn evaluate_with_restricted_copies(
+        scheme: &PScheme,
+        dataset: &RatingDataset,
+        ctx: &EvalContext,
+    ) -> SchemeOutcome {
+        let detector = JointDetector::new(scheme.config.detectors);
+        let mut trust = TrustManager::new();
+        let mut out = SchemeOutcome::new();
+        let mut scores: BTreeMap<ProductId, Vec<Option<f64>>> = BTreeMap::new();
+        for period in ctx.periods() {
+            let prefix_window = TimeWindow::new(ctx.horizon().start(), period.end())
+                .expect("period lies inside the horizon");
+            let prefix = dataset.restricted(prefix_window);
+            let snapshot = trust.snapshot();
+            let (marks, _per_product) = detector.detect_all(&prefix, prefix_window, |r| {
+                snapshot.get(&r).copied().unwrap_or(0.5)
+            });
+            out.mark_suspicious_all(marks.iter().copied());
+            if let Some(factor) = scheme.config.trust_discount {
+                trust.discount_all(factor);
+            }
+            trust.update_epoch(&prefix, period, &marks);
+            for (pid, timeline) in dataset.products() {
+                let slice = timeline.in_window(ctx.scoring_window(period));
+                let entry = scores.entry(pid).or_default();
+                if slice.is_empty() {
+                    entry.push(None);
+                    continue;
+                }
+                let kept = filter_ratings(
+                    slice,
+                    &marks,
+                    |r| trust.trust_of(r),
+                    scheme.config.filter_trust_threshold,
+                );
+                let pairs: Vec<(f64, f64)> = kept
+                    .iter()
+                    .map(|e| (e.value(), trust.trust_of(e.rater())))
+                    .collect();
+                let score = weighted_aggregate(&pairs).or_else(|| {
+                    let pairs: Vec<(f64, f64)> = slice
+                        .iter()
+                        .map(|e| (e.value(), trust.trust_of(e.rater())))
+                        .collect();
+                    weighted_aggregate(&pairs)
+                });
+                entry.push(score);
+            }
+        }
+        for (pid, s) in scores {
+            out.insert_scores(pid, s);
+        }
+        for (rater, value) in trust.snapshot() {
+            out.set_trust(rater, value);
+        }
+        out
+    }
 
     fn ts(d: f64) -> Timestamp {
         Timestamp::new(d).unwrap()
@@ -373,6 +441,29 @@ mod tests {
         assert_eq!(s.name(), "P-scheme");
         assert_eq!(s.config().filter_trust_threshold, 0.5);
         assert_eq!(s.config().trust_discount, None);
+    }
+
+    props! {
+        #[test]
+        fn prefix_view_path_equals_restricted_copy_oracle(
+            seed in 0u64..64,
+            burst_start in 31.0f64..55.0,
+            burst_days in 0usize..10,
+            burst_value in 0.0f64..2.0,
+        ) {
+            let mut d = fair_dataset(seed);
+            if burst_days > 0 {
+                add_burst(&mut d, burst_start, burst_days, 4, burst_value);
+            }
+            let context = ctx(&d);
+            let scheme = PScheme::new();
+            let via_view = scheme.evaluate(&d, &context);
+            let via_copy = evaluate_with_restricted_copies(&scheme, &d, &context);
+            prop_assert!(
+                via_view == via_copy,
+                "prefix-view evaluate diverged from the restricted()-copy oracle"
+            );
+        }
     }
 
     #[test]

@@ -200,6 +200,78 @@ impl RegionSearch {
             best_center,
         }
     }
+
+    /// Parallel variant of [`RegionSearch::run`].
+    ///
+    /// Each round's `4 subareas × trials` probe evaluations are
+    /// independent, so they fan out through [`rrs_core::par::par_map`];
+    /// the fold back into per-subarea maxima and the round winner walks
+    /// the same `(quadrant, trial)` order as the serial loop, so the
+    /// outcome is bit-identical to [`RegionSearch::run`] for a pure
+    /// `eval` — only wall-clock changes. Requires `Fn` (not `FnMut`)
+    /// because probes run concurrently.
+    pub fn run_parallel<F>(&self, space: SearchSpace, eval: F) -> SearchOutcome
+    where
+        F: Fn(f64, f64, usize) -> f64 + Sync,
+    {
+        let mut area = space;
+        let mut rounds = Vec::new();
+        let mut best_mp = f64::NEG_INFINITY;
+        let mut best_center = area.center();
+
+        for _ in 0..self.config.max_rounds {
+            let (bw, sw) = area.widths();
+            if bw < self.config.min_bias_width && sw < self.config.min_std_width {
+                break;
+            }
+            let subs = area.quadrants(self.config.overlap);
+            // Flatten (quadrant, trial) into one index space; par_map
+            // returns results in input order, so the per-subarea fold
+            // below consumes them exactly as the serial loop would.
+            let cells: Vec<(usize, f64, f64, usize)> = subs
+                .iter()
+                .enumerate()
+                .flat_map(|(q, sub)| {
+                    let (bias, std_dev) = sub.center();
+                    (0..self.config.trials).map(move |trial| (q, bias, std_dev, trial))
+                })
+                .collect();
+            let mps = rrs_core::par::par_map(&cells, |_, &(_, bias, std_dev, trial)| {
+                eval(bias, std_dev, trial)
+            });
+
+            let mut probes = Vec::new();
+            let mut round_best: Option<(SearchSpace, f64)> = None;
+            for (q, sub) in subs.iter().enumerate() {
+                let (bias, std_dev) = sub.center();
+                let mut sub_max = f64::NEG_INFINITY;
+                for (cell, mp) in cells.iter().zip(&mps) {
+                    if cell.0 == q {
+                        sub_max = sub_max.max(*mp);
+                    }
+                }
+                if sub_max > best_mp {
+                    best_mp = sub_max;
+                    best_center = (bias, std_dev);
+                }
+                if round_best.as_ref().is_none_or(|(_, mp)| sub_max > *mp) {
+                    round_best = Some((*sub, sub_max));
+                }
+                probes.push((*sub, sub_max));
+            }
+            rounds.push(SearchRound { area, probes });
+            if let Some((sub, _)) = round_best {
+                area = sub;
+            }
+        }
+
+        SearchOutcome {
+            rounds,
+            final_area: area,
+            best_mp,
+            best_center,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -298,6 +370,27 @@ mod tests {
         // 4 subareas x 3 trials.
         assert_eq!(trials_seen.len(), 12);
         assert_eq!(trials_seen.iter().filter(|&&t| t == 0).count(), 4);
+    }
+
+    #[test]
+    fn run_parallel_matches_serial_exactly() {
+        // A deterministic, trial-dependent surface; the parallel fold
+        // must reproduce the serial outcome bit for bit at any thread
+        // count.
+        let surface = |bias: f64, std: f64, trial: usize| {
+            let d = (bias - -2.3).powi(2) + (std - 1.4).powi(2);
+            2.0 * (-d).exp() + (trial as f64) * 1e-3
+        };
+        let search = RegionSearch::new();
+        let serial = search.run(SearchSpace::paper_downgrade(), surface);
+        let par_one = rrs_core::par::with_threads(1, || {
+            search.run_parallel(SearchSpace::paper_downgrade(), surface)
+        });
+        let par_many = rrs_core::par::with_threads(8, || {
+            search.run_parallel(SearchSpace::paper_downgrade(), surface)
+        });
+        assert_eq!(serial, par_one);
+        assert_eq!(serial, par_many);
     }
 
     #[test]

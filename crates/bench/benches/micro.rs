@@ -19,7 +19,9 @@ use rrs_signal::{cluster, fit_ar, glrt};
 fn detectors(h: &mut Harness) {
     let workbench = bench_workbench(7);
     let dataset = workbench.challenge.fair_dataset();
-    let product = workbench.focus_product();
+    let product = workbench
+        .focus_product()
+        .expect("bench challenge has a downgrade target");
     let timeline = dataset.product(product).unwrap();
     let horizon = workbench.challenge.horizon();
 

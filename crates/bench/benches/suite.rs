@@ -1,0 +1,93 @@
+//! The parallel-suite benchmarks: serial baseline vs the `rrs_core::par`
+//! fan-out, plus the cost of the P-scheme's epoch-prefix access both
+//! ways (borrowed view vs the old `restricted()` full copy).
+//!
+//! Emits `BENCH_suite.json`. The headline comparison is
+//! `paper_scale_scoring_serial_baseline` vs `paper_scale_scoring_parallel`:
+//! the same population-scoring workload (the dominant cost of every
+//! experiment in the suite) pinned to one worker via
+//! `par::with_threads(1)` and then run at the default thread count.
+
+use rrs_aggregation::PScheme;
+use rrs_bench::{bench_workbench, Harness};
+use rrs_challenge::ScoringSession;
+use rrs_core::par;
+use rrs_core::TimeWindow;
+use rrs_detectors::JointDetector;
+use rrs_eval::suite::{Scale, SuiteConfig, Workbench};
+
+fn main() {
+    let mut h = Harness::new("suite");
+    rrs_obs::disable();
+
+    // --- Small scale: the whole 60-submission population. -------------
+    let wb = bench_workbench(17);
+    let scheme = PScheme::new();
+    let session = ScoringSession::new(&wb.challenge, &scheme);
+    h.bench("small_scale_scoring_serial_baseline", || {
+        par::with_threads(1, || session.score_population(&wb.population).len())
+    });
+    h.bench("small_scale_scoring_parallel", || {
+        par::with_threads(8, || session.score_population(&wb.population).len())
+    });
+
+    // --- Paper scale: a fixed 16-submission slice. ---------------------
+    // Scoring the slice is the suite's dominant workload (every figure
+    // experiment is population scoring plus folds); serial-vs-parallel
+    // on it is the suite speedup the parallel substrate delivers.
+    let paper_wb = Workbench::build(&SuiteConfig {
+        scale: Scale::Paper,
+        seed: 17,
+        out_dir: None,
+    });
+    let paper_session = ScoringSession::new(&paper_wb.challenge, &scheme);
+    let slice = &paper_wb.population[..16.min(paper_wb.population.len())];
+    h.bench("paper_scale_scoring_serial_baseline", || {
+        par::with_threads(1, || paper_session.score_population(slice).len())
+    });
+    h.bench("paper_scale_scoring_parallel", || {
+        par::with_threads(8, || paper_session.score_population(slice).len())
+    });
+
+    // --- Joint detection across products, serial vs parallel. ----------
+    let dataset = paper_wb.challenge.fair_dataset();
+    let horizon = paper_wb.challenge.horizon();
+    let detector = JointDetector::default();
+    h.bench("detect_all_paper_serial_baseline", || {
+        par::with_threads(1, || detector.detect_all(dataset, horizon, |_| 0.5).0.len())
+    });
+    h.bench("detect_all_paper_parallel", || {
+        par::with_threads(8, || detector.detect_all(dataset, horizon, |_| 0.5).0.len())
+    });
+
+    // --- The epoch-prefix fix itself. ----------------------------------
+    // The P-scheme used to clone every epoch prefix with `restricted()`
+    // (O(epochs × ratings) allocation across a run); it now borrows a
+    // `prefix_view`. Replaying the exact per-epoch prefix sequence
+    // `PScheme::evaluate` walks — one growing window per scoring period —
+    // records the before/after cost of a full run's prefix access. The
+    // `restricted_copy` number is the recorded serial baseline the fix
+    // is measured against.
+    let ctx = paper_wb.challenge.eval_context();
+    let periods = ctx.periods();
+    h.bench("epoch_prefixes_restricted_copy_baseline", || {
+        periods
+            .iter()
+            .map(|period| {
+                let w = TimeWindow::ordered(horizon.start(), period.end());
+                dataset.restricted(w).len()
+            })
+            .sum::<usize>()
+    });
+    h.bench("epoch_prefixes_borrowed_view", || {
+        periods
+            .iter()
+            .map(|period| {
+                let w = TimeWindow::ordered(horizon.start(), period.end());
+                dataset.prefix_view(w).len()
+            })
+            .sum::<usize>()
+    });
+
+    h.finish();
+}

@@ -20,7 +20,7 @@ use rrs_eval::suite::{Scale, SuiteConfig, Workbench};
 /// Builds the small-scale workbench every figure bench shares.
 #[must_use]
 pub fn bench_workbench(seed: u64) -> Workbench {
-    Workbench::build(SuiteConfig {
+    Workbench::build(&SuiteConfig {
         scale: Scale::Small,
         seed,
         out_dir: None,

@@ -81,17 +81,19 @@ impl<'a> ScoringSession<'a> {
     }
 
     /// Scores a whole population.
+    ///
+    /// Submissions are independent, so they are scored across the worker
+    /// threads of [`rrs_core::par::par_map`]; results keep population
+    /// order and are bit-identical to a serial pass (set `RRS_THREADS=1`
+    /// to force one).
     #[must_use]
     pub fn score_population(&self, population: &[SubmissionSpec]) -> Vec<ScoredSubmission> {
-        population
-            .iter()
-            .map(|spec| ScoredSubmission {
-                id: spec.id,
-                strategy: spec.strategy,
-                straightforward: spec.straightforward,
-                report: self.score(&spec.sequence),
-            })
-            .collect()
+        rrs_core::par::par_map(population, |_, spec| ScoredSubmission {
+            id: spec.id,
+            strategy: spec.strategy,
+            straightforward: spec.straightforward,
+            report: self.score(&spec.sequence),
+        })
     }
 }
 

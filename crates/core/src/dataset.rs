@@ -84,6 +84,14 @@ pub struct ProductTimeline {
 }
 
 impl ProductTimeline {
+    /// Returns a borrowed read view of this timeline.
+    #[must_use]
+    pub fn view(&self) -> TimelineView<'_> {
+        TimelineView {
+            entries: &self.entries,
+        }
+    }
+
     /// Returns the entries in time order.
     #[must_use]
     pub fn entries(&self) -> &[RatingEntry] {
@@ -105,32 +113,25 @@ impl ProductTimeline {
     /// Returns the contiguous slice of entries whose times fall in `window`.
     #[must_use]
     pub fn in_window(&self, window: TimeWindow) -> &[RatingEntry] {
-        let lo = self.entries.partition_point(|e| e.time() < window.start());
-        let hi = self.entries.partition_point(|e| e.time() < window.end());
-        &self.entries[lo..hi]
+        self.view().in_window(window)
     }
 
     /// Returns all rating values in time order.
     #[must_use]
     pub fn values(&self) -> Vec<f64> {
-        self.entries.iter().map(RatingEntry::value).collect()
+        self.view().values()
     }
 
     /// Returns all rating times in time order.
     #[must_use]
     pub fn times(&self) -> Vec<Timestamp> {
-        self.entries.iter().map(RatingEntry::time).collect()
+        self.view().times()
     }
 
     /// Returns the mean rating value, or `None` if the timeline is empty.
     #[must_use]
     pub fn mean_value(&self) -> Option<f64> {
-        if self.entries.is_empty() {
-            None
-        } else {
-            let sum: f64 = self.entries.iter().map(RatingEntry::value).sum();
-            Some(sum / self.entries.len() as f64)
-        }
+        self.view().mean_value()
     }
 
     /// Counts ratings per whole day over `window`.
@@ -141,6 +142,101 @@ impl ProductTimeline {
     /// change detector.
     #[must_use]
     pub fn daily_counts(&self, window: TimeWindow) -> Vec<u32> {
+        self.view().daily_counts(window)
+    }
+
+    /// Counts ratings per whole day, restricted to values accepted by
+    /// `keep`.
+    ///
+    /// The H-ARC and L-ARC detectors use this with "value above
+    /// `threshold_a`" and "value below `threshold_b`" predicates.
+    #[must_use]
+    pub fn daily_counts_filtered<F>(&self, window: TimeWindow, keep: F) -> Vec<u32>
+    where
+        F: FnMut(f64) -> bool,
+    {
+        self.view().daily_counts_filtered(window, keep)
+    }
+
+    fn insert(&mut self, entry: RatingEntry) {
+        // Insertion keeps (time, id) order; typical insertions are appends
+        // because generators emit ratings in time order.
+        let pos = self
+            .entries
+            .partition_point(|e| (e.time(), e.id()) <= (entry.time(), entry.id()));
+        self.entries.insert(pos, entry);
+    }
+}
+
+/// A borrowed, copyable read view of one product's rating history.
+///
+/// Carries the full read API of [`ProductTimeline`] over a borrowed entry
+/// slice, so prefix windows of a dataset can be examined without copying
+/// any rating (see [`RatingDataset::prefix_view`]). Detector entry points
+/// accept `impl Into<TimelineView>` and therefore work identically on
+/// `&ProductTimeline` and on views.
+///
+/// The type is `Copy`; methods take `self` and borrowed return values
+/// keep the lifetime of the underlying data, not of the view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineView<'a> {
+    entries: &'a [RatingEntry],
+}
+
+impl<'a> TimelineView<'a> {
+    /// Returns the entries in time order.
+    #[must_use]
+    pub fn entries(self) -> &'a [RatingEntry] {
+        self.entries
+    }
+
+    /// Returns the number of ratings in the view.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the view holds no ratings.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the contiguous slice of entries whose times fall in `window`.
+    #[must_use]
+    pub fn in_window(self, window: TimeWindow) -> &'a [RatingEntry] {
+        let lo = self.entries.partition_point(|e| e.time() < window.start());
+        let hi = self.entries.partition_point(|e| e.time() < window.end());
+        &self.entries[lo..hi]
+    }
+
+    /// Returns all rating values in time order.
+    #[must_use]
+    pub fn values(self) -> Vec<f64> {
+        self.entries.iter().map(RatingEntry::value).collect()
+    }
+
+    /// Returns all rating times in time order.
+    #[must_use]
+    pub fn times(self) -> Vec<Timestamp> {
+        self.entries.iter().map(RatingEntry::time).collect()
+    }
+
+    /// Returns the mean rating value, or `None` if the view is empty.
+    #[must_use]
+    pub fn mean_value(self) -> Option<f64> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            let sum: f64 = self.entries.iter().map(RatingEntry::value).sum();
+            Some(sum / self.entries.len() as f64)
+        }
+    }
+
+    /// Counts ratings per whole day over `window`; see
+    /// [`ProductTimeline::daily_counts`].
+    #[must_use]
+    pub fn daily_counts(self, window: TimeWindow) -> Vec<u32> {
         let days = window.length().get().ceil() as usize;
         let mut counts = vec![0u32; days];
         for e in self.in_window(window) {
@@ -152,12 +248,9 @@ impl ProductTimeline {
     }
 
     /// Counts ratings per whole day, restricted to values accepted by
-    /// `keep`.
-    ///
-    /// The H-ARC and L-ARC detectors use this with "value above
-    /// `threshold_a`" and "value below `threshold_b`" predicates.
+    /// `keep`; see [`ProductTimeline::daily_counts_filtered`].
     #[must_use]
-    pub fn daily_counts_filtered<F>(&self, window: TimeWindow, mut keep: F) -> Vec<u32>
+    pub fn daily_counts_filtered<F>(self, window: TimeWindow, mut keep: F) -> Vec<u32>
     where
         F: FnMut(f64) -> bool,
     {
@@ -172,14 +265,11 @@ impl ProductTimeline {
         }
         counts
     }
+}
 
-    fn insert(&mut self, entry: RatingEntry) {
-        // Insertion keeps (time, id) order; typical insertions are appends
-        // because generators emit ratings in time order.
-        let pos = self
-            .entries
-            .partition_point(|e| (e.time(), e.id()) <= (entry.time(), entry.id()));
-        self.entries.insert(pos, entry);
+impl<'a> From<&'a ProductTimeline> for TimelineView<'a> {
+    fn from(timeline: &'a ProductTimeline) -> Self {
+        timeline.view()
     }
 }
 
@@ -359,10 +449,10 @@ impl RatingDataset {
     /// Returns a copy containing only the ratings whose times fall in
     /// `window`, with identifiers preserved.
     ///
-    /// The P-scheme runs *online*: at each monthly trust-update epoch it
-    /// re-detects over the data available so far. This view provides that
-    /// prefix without disturbing identifiers, so suspicion marks from
-    /// different epochs stay comparable.
+    /// Prefer [`prefix_view`](Self::prefix_view) on hot paths: it exposes
+    /// the same product set without copying a single rating. `restricted`
+    /// remains for callers that need an owned, independently mutable
+    /// dataset.
     #[must_use]
     pub fn restricted(&self, window: TimeWindow) -> RatingDataset {
         let mut out = RatingDataset {
@@ -376,6 +466,95 @@ impl RatingDataset {
             }
         }
         out
+    }
+
+    /// Returns a borrowed view of the whole dataset.
+    #[must_use]
+    pub fn view(&self) -> DatasetView<'_> {
+        DatasetView {
+            products: self
+                .products
+                .iter()
+                .map(|(pid, tl)| (*pid, tl.view()))
+                .collect(),
+        }
+    }
+
+    /// Returns a borrowed view of the ratings whose times fall in
+    /// `window` — the zero-copy equivalent of
+    /// [`restricted`](Self::restricted), covering the same products (ones
+    /// with no rating in the window are omitted).
+    ///
+    /// The P-scheme runs *online*: at each monthly trust-update epoch it
+    /// re-detects over the data available so far. Materializing that
+    /// prefix with `restricted` made epoch *e* re-clone epochs `0..e` —
+    /// O(epochs × ratings) allocation over a run; this view borrows each
+    /// product's in-window slice instead, so an epoch costs two binary
+    /// searches per product.
+    #[must_use]
+    pub fn prefix_view(&self, window: TimeWindow) -> DatasetView<'_> {
+        let mut products = Vec::new();
+        for (pid, tl) in &self.products {
+            let entries = tl.in_window(window);
+            if !entries.is_empty() {
+                products.push((*pid, TimelineView { entries }));
+            }
+        }
+        DatasetView { products }
+    }
+}
+
+/// A borrowed read view of a dataset: the product timelines visible to
+/// one detection or trust-update pass.
+///
+/// Produced by [`RatingDataset::view`] (everything) and
+/// [`RatingDataset::prefix_view`] (one time window, zero-copy). APIs that
+/// only read ratings accept `impl Into<DatasetView>`, so `&RatingDataset`
+/// and `&DatasetView` are interchangeable at call sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetView<'a> {
+    products: Vec<(ProductId, TimelineView<'a>)>,
+}
+
+impl<'a> DatasetView<'a> {
+    /// Returns the `(product, timeline)` pairs in ascending product
+    /// order.
+    #[must_use]
+    pub fn products(&self) -> &[(ProductId, TimelineView<'a>)] {
+        &self.products
+    }
+
+    /// Returns the view of `product`, if it has any rating here.
+    #[must_use]
+    pub fn product(&self, product: ProductId) -> Option<TimelineView<'a>> {
+        self.products
+            .binary_search_by_key(&product, |(pid, _)| *pid)
+            .ok()
+            .map(|i| self.products[i].1)
+    }
+
+    /// Returns the total number of ratings across all products.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.products.iter().map(|(_, tl)| tl.len()).sum()
+    }
+
+    /// Returns `true` if the view holds no ratings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.products.iter().all(|(_, tl)| tl.is_empty())
+    }
+}
+
+impl<'a> From<&'a RatingDataset> for DatasetView<'a> {
+    fn from(dataset: &'a RatingDataset) -> Self {
+        dataset.view()
+    }
+}
+
+impl<'a> From<&DatasetView<'a>> for DatasetView<'a> {
+    fn from(view: &DatasetView<'a>) -> Self {
+        view.clone()
     }
 }
 
@@ -540,7 +719,76 @@ mod tests {
         assert_eq!(ProductTimeline::default().mean_value(), None);
     }
 
+    #[test]
+    fn prefix_view_matches_restricted() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(1, 0, 5.0, 4.0), RatingSource::Fair);
+        d.insert(rating(2, 0, 50.0, 4.0), RatingSource::Fair);
+        d.insert(rating(3, 1, 70.0, 2.0), RatingSource::Unfair);
+        let w = window(0.0, 30.0);
+        let view = d.prefix_view(w);
+        let copy = d.restricted(w);
+        // Same product set, same entries, same order — without copying.
+        assert_eq!(view.products().len(), copy.products().count());
+        for (pid, tl) in view.products() {
+            assert_eq!(Some(tl.entries()), copy.product(*pid).map(|t| t.entries()));
+        }
+        assert_eq!(view.len(), copy.len());
+        // Products with nothing in the window are omitted, as in
+        // `restricted`.
+        assert!(view.product(ProductId::new(1)).is_none());
+    }
+
+    #[test]
+    fn dataset_view_product_lookup() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(1, 3, 1.0, 4.0), RatingSource::Fair);
+        d.insert(rating(2, 7, 2.0, 3.0), RatingSource::Fair);
+        let view = d.view();
+        assert_eq!(view.products().len(), 2);
+        assert_eq!(
+            view.product(ProductId::new(7)).map(TimelineView::len),
+            Some(1)
+        );
+        assert!(view.product(ProductId::new(5)).is_none());
+        assert!(!view.is_empty());
+        assert_eq!(view.len(), 2);
+    }
+
+    #[test]
+    fn timeline_view_mirrors_timeline() {
+        let mut d = RatingDataset::new();
+        d.insert(rating(1, 0, 0.2, 4.0), RatingSource::Fair);
+        d.insert(rating(2, 0, 1.5, 2.0), RatingSource::Fair);
+        let tl = d.product(ProductId::new(0)).unwrap();
+        let view = tl.view();
+        assert_eq!(view.values(), tl.values());
+        assert_eq!(view.times(), tl.times());
+        assert_eq!(view.mean_value(), tl.mean_value());
+        let w = window(0.0, 3.0);
+        assert_eq!(view.daily_counts(w), tl.daily_counts(w));
+        assert_eq!(view.in_window(w), tl.in_window(w));
+    }
+
     props! {
+        #[test]
+        fn prefix_view_equals_restricted_on_random_windows(
+            days in vec_of(0.0f64..90.0, 0..60)
+        ) {
+            let mut d = RatingDataset::new();
+            for (i, day) in days.iter().enumerate() {
+                d.insert(rating(i as u32, (i % 3) as u16, *day, 3.0), RatingSource::Fair);
+            }
+            let w = window(20.0, 60.0);
+            let view = d.prefix_view(w);
+            let copy = d.restricted(w);
+            prop_assert_eq!(view.len(), copy.len());
+            for (pid, tl) in view.products() {
+                let owned = copy.product(*pid).map(|t| t.entries().to_vec());
+                prop_assert_eq!(Some(tl.entries().to_vec()), owned);
+            }
+        }
+
         #[test]
         fn timeline_always_sorted(days in vec_of(0.0f64..100.0, 1..50)) {
             let mut d = RatingDataset::new();

@@ -43,6 +43,7 @@ mod ids;
 pub mod io;
 pub mod labels;
 pub mod metrics;
+pub mod par;
 mod rating;
 pub mod rng;
 mod scheme;
@@ -50,7 +51,9 @@ pub mod stream;
 mod time;
 mod value;
 
-pub use dataset::{ProductTimeline, RatingDataset, RatingEntry, RatingId};
+pub use dataset::{
+    DatasetView, ProductTimeline, RatingDataset, RatingEntry, RatingId, TimelineView,
+};
 pub use error::CoreError;
 pub use ids::{ProductId, RaterId};
 pub use labels::{ConfusionCounts, GroundTruth};

@@ -194,7 +194,11 @@ impl SchemeOutcome {
 ///
 /// The trait is object-safe: the MP metric and the challenge harness accept
 /// `&dyn AggregationScheme`.
-pub trait AggregationScheme {
+///
+/// `Send + Sync` are supertraits so scheme references can cross the
+/// worker threads of [`crate::par::par_map`]; every scheme is plain
+/// configuration data evaluated through `&self`, so this costs nothing.
+pub trait AggregationScheme: Send + Sync {
     /// A short human-readable name, e.g. `"P-scheme"`.
     fn name(&self) -> &str;
 

@@ -14,7 +14,7 @@
 
 use crate::suspicion::{SuspicionKind, SuspiciousInterval};
 use rrs_core::stream::split_at_peaks;
-use rrs_core::{ProductTimeline, TimeWindow, Timestamp};
+use rrs_core::{TimeWindow, TimelineView, Timestamp};
 use rrs_signal::curve::{Curve, CurvePoint, Peak, UShape};
 use rrs_signal::glrt::arrival_rate_glrt;
 use std::ops::Range;
@@ -279,12 +279,13 @@ pub fn detect_counts(
 /// negligible for streams whose fair mean is stable, and the stream-level
 /// mean is far more robust when an attack is in progress).
 #[must_use]
-pub fn detect(
-    timeline: &ProductTimeline,
+pub fn detect<'a>(
+    timeline: impl Into<TimelineView<'a>>,
     horizon: TimeWindow,
     variant: ArcVariant,
     config: &ArcConfig,
 ) -> ArcOutcome {
+    let timeline = timeline.into();
     let m = robust_level(timeline);
     let counts = match variant {
         ArcVariant::All => timeline.daily_counts(horizon),
@@ -308,13 +309,13 @@ pub fn detect(
 /// would shift the band thresholds in the attacker's favor; the median
 /// holds its level while unfair ratings are a minority.
 #[must_use]
-pub fn value_thresholds(timeline: &ProductTimeline) -> (f64, f64) {
-    let m = robust_level(timeline);
+pub fn value_thresholds<'a>(timeline: impl Into<TimelineView<'a>>) -> (f64, f64) {
+    let m = robust_level(timeline.into());
     (0.5 * m, 0.5 * m + 0.5)
 }
 
 /// The robust central level `m` of a timeline's rating values.
-fn robust_level(timeline: &ProductTimeline) -> f64 {
+fn robust_level(timeline: TimelineView<'_>) -> f64 {
     rrs_signal::stats::median(&timeline.values()).unwrap_or(2.5)
 }
 

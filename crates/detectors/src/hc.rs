@@ -13,7 +13,7 @@
 //! and fire a false alarm.
 
 use crate::suspicion::{SuspicionKind, SuspiciousInterval};
-use rrs_core::{ProductTimeline, TimeWindow, Timestamp};
+use rrs_core::{TimeWindow, TimelineView, Timestamp};
 use rrs_signal::cluster::{cluster_sizes, single_linkage_1d};
 use rrs_signal::curve::{Curve, CurvePoint};
 
@@ -101,8 +101,8 @@ pub fn hc_ratio(values: &[f64], min_gap: f64) -> f64 {
 
 /// Runs the HC detector over one product's timeline.
 #[must_use]
-pub fn detect(timeline: &ProductTimeline, config: &HcConfig) -> HcOutcome {
-    let entries = timeline.entries();
+pub fn detect<'a>(timeline: impl Into<TimelineView<'a>>, config: &HcConfig) -> HcOutcome {
+    let entries = timeline.into().entries();
     let n = entries.len();
     let w = config.window_ratings;
     if n < w || w == 0 {

@@ -22,7 +22,7 @@ use crate::hc::{self, HcOutcome};
 use crate::mc::{self, McOutcome};
 use crate::me::{self, MeOutcome};
 use crate::suspicion::SuspiciousInterval;
-use rrs_core::{ProductId, ProductTimeline, RaterId, RatingDataset, RatingId, TimeWindow};
+use rrs_core::{DatasetView, ProductId, RaterId, RatingId, TimeWindow, TimelineView};
 use std::collections::BTreeSet;
 
 /// Which value band a path hit marked.
@@ -186,20 +186,22 @@ impl JointDetector {
         &self.config
     }
 
-    /// Runs joint detection over one product.
+    /// Runs joint detection over one product (accepts `&ProductTimeline`
+    /// or a borrowed [`TimelineView`]).
     ///
     /// `horizon` bounds the daily-count axis for the arrival-rate
     /// detectors; `trust` supplies current rater trust (use `|_| 0.5`
     /// before any trust has been established).
-    pub fn detect_product<F>(
+    pub fn detect_product<'a, F>(
         &self,
-        timeline: &ProductTimeline,
+        timeline: impl Into<TimelineView<'a>>,
         horizon: TimeWindow,
         trust: F,
     ) -> DetectionResult
     where
         F: Fn(RaterId) -> f64,
     {
+        let timeline = timeline.into();
         let enabled = self.config.enabled;
         let mc_out = if enabled.mc {
             mc::detect(timeline, &self.config.mc, &trust)
@@ -355,23 +357,32 @@ impl JointDetector {
         }
     }
 
-    /// Runs joint detection over every product of a dataset and returns
-    /// the union of suspicious marks plus the per-product results.
-    pub fn detect_all<F>(
+    /// Runs joint detection over every product of a dataset (accepts
+    /// `&RatingDataset` or a borrowed [`DatasetView`]) and returns the
+    /// union of suspicious marks plus the per-product results.
+    ///
+    /// Products are independent, so they are detected in parallel via
+    /// [`rrs_core::par::par_map`]; results come back in product order and
+    /// the mark union is a `BTreeSet`, so the output is identical at any
+    /// thread count.
+    pub fn detect_all<'a, D, F>(
         &self,
-        dataset: &RatingDataset,
+        dataset: D,
         horizon: TimeWindow,
         trust: F,
     ) -> (BTreeSet<RatingId>, Vec<(ProductId, DetectionResult)>)
     where
-        F: Fn(RaterId) -> f64,
+        D: Into<DatasetView<'a>>,
+        F: Fn(RaterId) -> f64 + Sync,
     {
+        let view = dataset.into();
+        let trust = &trust;
+        let per_product = rrs_core::par::par_map(view.products(), |_, &(pid, timeline)| {
+            (pid, self.detect_product(timeline, horizon, trust))
+        });
         let mut all = BTreeSet::new();
-        let mut per_product = Vec::new();
-        for (pid, timeline) in dataset.products() {
-            let result = self.detect_product(timeline, horizon, &trust);
+        for (_, result) in &per_product {
             all.extend(result.suspicious.iter().copied());
-            per_product.push((pid, result));
         }
         (all, per_product)
     }
@@ -410,7 +421,7 @@ fn arc_empty(variant: ArcVariant) -> ArcOutcome {
 /// Marks ratings of the given band inside `window`; returns how many were
 /// newly marked.
 fn mark_band(
-    timeline: &ProductTimeline,
+    timeline: TimelineView<'_>,
     window: TimeWindow,
     band: Band,
     threshold_a: f64,
@@ -435,7 +446,7 @@ mod tests {
     use super::*;
     use rrs_core::rng::RrsRng;
     use rrs_core::rng::Xoshiro256pp;
-    use rrs_core::{GroundTruth, Rating, RatingSource, RatingValue, Timestamp};
+    use rrs_core::{GroundTruth, Rating, RatingDataset, RatingSource, RatingValue, Timestamp};
 
     fn ts(d: f64) -> Timestamp {
         Timestamp::new(d).unwrap()

@@ -10,7 +10,7 @@
 
 use crate::suspicion::{SuspicionKind, SuspiciousInterval};
 use rrs_core::stream::split_at_peaks;
-use rrs_core::{ProductTimeline, RaterId, TimeWindow, Timestamp};
+use rrs_core::{RaterId, TimeWindow, TimelineView, Timestamp};
 use rrs_signal::curve::{Curve, CurvePoint, Peak, UShape};
 use std::ops::Range;
 
@@ -96,16 +96,21 @@ impl McOutcome {
     }
 }
 
-/// Runs the MC detector over one product's timeline.
+/// Runs the MC detector over one product's timeline (accepts
+/// `&ProductTimeline` or a borrowed [`TimelineView`]).
 ///
 /// `trust` supplies the current trust value of each rater (use
 /// `|_| 0.5` when no trust information exists yet).
 #[must_use]
-pub fn detect<F>(timeline: &ProductTimeline, config: &McConfig, trust: F) -> McOutcome
+pub fn detect<'a, F>(
+    timeline: impl Into<TimelineView<'a>>,
+    config: &McConfig,
+    trust: F,
+) -> McOutcome
 where
     F: Fn(RaterId) -> f64,
 {
-    let entries = timeline.entries();
+    let entries = timeline.into().entries();
     let n = entries.len();
     if n < 2 * config.min_half_ratings {
         return McOutcome::default();
@@ -222,7 +227,7 @@ mod tests {
     use super::*;
     use rrs_core::rng::RrsRng;
     use rrs_core::rng::Xoshiro256pp;
-    use rrs_core::{ProductId, Rating, RatingDataset, RatingSource, RatingValue};
+    use rrs_core::{ProductId, ProductTimeline, Rating, RatingDataset, RatingSource, RatingValue};
 
     /// Fair stream: `per_day` ratings/day for `days` days at mean 4.0 ± noise.
     fn fair_timeline(days: usize, per_day: usize, seed: u64) -> RatingDataset {

@@ -9,7 +9,7 @@
 //! error falls below a threshold are ME-suspicious.
 
 use crate::suspicion::{SuspicionKind, SuspiciousInterval};
-use rrs_core::{ProductTimeline, TimeWindow, Timestamp};
+use rrs_core::{TimeWindow, TimelineView, Timestamp};
 use rrs_signal::ar::fit_ar;
 use rrs_signal::curve::{Curve, CurvePoint};
 
@@ -57,8 +57,8 @@ impl MeOutcome {
 
 /// Runs the ME detector over one product's timeline.
 #[must_use]
-pub fn detect(timeline: &ProductTimeline, config: &MeConfig) -> MeOutcome {
-    let entries = timeline.entries();
+pub fn detect<'a>(timeline: impl Into<TimelineView<'a>>, config: &MeConfig) -> MeOutcome {
+    let entries = timeline.into().entries();
     let n = entries.len();
     let w = config.window_ratings;
     if n < w || w == 0 || config.order == 0 {

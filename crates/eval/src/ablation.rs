@@ -27,14 +27,16 @@ pub struct AblationRow {
     pub mean_false_alarm: f64,
 }
 
-/// Evaluates one P-scheme variant over the strongest `sample` submissions
-/// (ranked by SA-scheme damage, i.e. raw attack strength).
+/// Evaluates one P-scheme variant over the given `strongest` submission
+/// indices (ranked by SA-scheme damage, i.e. raw attack strength — see
+/// [`strongest_submissions`]). The ranking is a parameter so that one
+/// ranking pass serves every variant.
 #[must_use]
 pub fn evaluate_variant(
     workbench: &Workbench,
     config: DetectorConfig,
     variant: &str,
-    sample: usize,
+    strongest: &[usize],
 ) -> AblationRow {
     let scheme = PScheme::with_config(PSchemeConfig {
         detectors: config,
@@ -42,13 +44,10 @@ pub fn evaluate_variant(
     });
     let session = ScoringSession::new(&workbench.challenge, &scheme);
 
-    // Rank submissions by their raw (undefended) strength once.
-    let strongest = strongest_submissions(workbench, sample);
-
     let mut best_mp = 0.0f64;
     let mut recalls = Vec::new();
     let mut false_alarms = Vec::new();
-    for &idx in &strongest {
+    for &idx in strongest {
         let spec = &workbench.population[idx];
         let (report, outcome, truth) = session.score_detailed(&spec.sequence);
         best_mp = best_mp.max(downgrade_mp(workbench, &report));
@@ -101,16 +100,16 @@ pub fn run(workbench: &Workbench) -> ExperimentReport {
         ("no-histogram", Some(AblatedDetector::Histogram)),
         ("no-model-error", Some(AblatedDetector::ModelError)),
     ];
-    let rows: Vec<AblationRow> = variants
-        .iter()
-        .map(|(name, ablated)| {
-            let mut config = DetectorConfig::paper();
-            if let Some(d) = ablated {
-                config = config.without(*d);
-            }
-            evaluate_variant(workbench, config, name, sample)
-        })
-        .collect();
+    // Rank submissions by their raw (undefended) strength once, then fan
+    // the independent variants out across workers.
+    let strongest = strongest_submissions(workbench, sample);
+    let rows: Vec<AblationRow> = rrs_core::par::par_map(&variants, |_, (name, ablated)| {
+        let mut config = DetectorConfig::paper();
+        if let Some(d) = ablated {
+            config = config.without(*d);
+        }
+        evaluate_variant(workbench, config, name, &strongest)
+    });
 
     let mut table = Table::new(vec![
         "variant",

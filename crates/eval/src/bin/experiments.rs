@@ -64,7 +64,7 @@ fn main() -> ExitCode {
         "building workbench (scale {:?}, seed {seed}) ...",
         config.scale
     );
-    let workbench = Workbench::build(config.clone());
+    let workbench = Workbench::build(&config);
 
     let all = [
         "fig2_4",

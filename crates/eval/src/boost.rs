@@ -76,28 +76,35 @@ pub fn run(workbench: &Workbench) -> ExperimentReport {
 
     let biases = [0.4, 0.8, 1.2, 1.8, 2.5];
     let stds = [0.1, 0.6, 1.2];
+    // The 5 × 3 grid cells are independent probe pairs: fan them out and
+    // fold the ordered results back into the table rows.
+    let cells: Vec<(f64, f64)> = biases
+        .iter()
+        .flat_map(|&bias| stds.iter().map(move |&std| (bias, std)))
+        .collect();
+    let per_cell = rrs_core::par::par_map(&cells, |_, &(bias, std)| {
+        let mut best_boost = 0.0f64;
+        let mut best_down = 0.0f64;
+        for trial in 0..trials {
+            let b = boost_probe(workbench, bias, std, trial);
+            best_boost = best_boost.max(boost_mp(workbench, &session.score(&b)));
+            let d = probe_attack(workbench, -bias, std, trial);
+            best_down = best_down.max(crate::fig5::downgrade_mp(workbench, &session.score(&d)));
+        }
+        (best_boost, best_down)
+    });
     let mut table = Table::new(vec!["bias", "std_dev", "boost_mp", "downgrade_mp"]);
     let mut boost_values = Vec::new();
     let mut downgrade_values = Vec::new();
-    for &bias in &biases {
-        for &std in &stds {
-            let mut best_boost = 0.0f64;
-            let mut best_down = 0.0f64;
-            for trial in 0..trials {
-                let b = boost_probe(workbench, bias, std, trial);
-                best_boost = best_boost.max(boost_mp(workbench, &session.score(&b)));
-                let d = probe_attack(workbench, -bias, std, trial);
-                best_down = best_down.max(crate::fig5::downgrade_mp(workbench, &session.score(&d)));
-            }
-            boost_values.push(best_boost);
-            downgrade_values.push(best_down);
-            table.push_row(vec![
-                format!("{bias:.2}"),
-                format!("{std:.2}"),
-                format!("{best_boost:.4}"),
-                format!("{best_down:.4}"),
-            ]);
-        }
+    for (&(bias, std), &(best_boost, best_down)) in cells.iter().zip(&per_cell) {
+        boost_values.push(best_boost);
+        downgrade_values.push(best_down);
+        table.push_row(vec![
+            format!("{bias:.2}"),
+            format!("{std:.2}"),
+            format!("{best_boost:.4}"),
+            format!("{best_down:.4}"),
+        ]);
     }
 
     let max = |v: &[f64]| v.iter().copied().fold(0.0f64, f64::max);
@@ -154,7 +161,7 @@ mod tests {
 
     #[test]
     fn boost_probe_raises_boost_target_values() {
-        let wb = Workbench::build(SuiteConfig {
+        let wb = Workbench::build(&SuiteConfig {
             scale: Scale::Small,
             seed: 4,
             out_dir: None,

@@ -45,12 +45,18 @@ impl SchemeScatter {
     }
 }
 
-/// Computes the scatter for one scheme.
+/// Computes the scatter for one scheme. Empty when the challenge has no
+/// downgrade target to focus on.
 #[must_use]
 pub fn scatter_for_scheme(workbench: &Workbench, scheme: &dyn AggregationScheme) -> SchemeScatter {
+    let Some(product) = workbench.focus_product() else {
+        return SchemeScatter {
+            scheme: scheme.name().to_string(),
+            points: Vec::new(),
+        };
+    };
     let session = ScoringSession::new(&workbench.challenge, scheme);
     let scored: Vec<ScoredSubmission> = session.score_population(&workbench.population);
-    let product = workbench.focus_product();
     let biases: Vec<Option<f64>> = workbench
         .population
         .iter()
@@ -80,18 +86,20 @@ pub fn run(workbench: &Workbench) -> ExperimentReport {
     let p = PScheme::new();
     let sa = SaScheme::new();
     let bf = BfScheme::new();
-    let scatters = [
-        scatter_for_scheme(workbench, &p),
-        scatter_for_scheme(workbench, &sa),
-        scatter_for_scheme(workbench, &bf),
-    ];
+    // The three schemes are independent; fan them out (each one's inner
+    // population scoring then runs serially inside its worker).
+    let schemes: [&dyn AggregationScheme; 3] = [&p, &sa, &bf];
+    let scatters =
+        rrs_core::par::par_map(&schemes, |_, scheme| scatter_for_scheme(workbench, *scheme));
 
     let mut tables = Vec::new();
     let mut summary = String::new();
     let _ = writeln!(
         summary,
         "Figures 2-4: variance-bias scatter on {} ({} submissions)\n",
-        workbench.focus_product(),
+        workbench
+            .focus_product()
+            .map_or_else(|| "none".to_string(), |p| p.to_string()),
         workbench.population.len()
     );
 
@@ -166,7 +174,7 @@ mod tests {
 
     #[test]
     fn sa_scatter_rewards_extreme_bias() {
-        let wb = Workbench::build(SuiteConfig {
+        let wb = Workbench::build(&SuiteConfig {
             scale: Scale::Small,
             seed: 5,
             out_dir: None,

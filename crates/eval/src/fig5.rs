@@ -91,15 +91,18 @@ pub fn downgrade_mp(workbench: &Workbench, report: &rrs_core::MpReport) -> f64 {
 pub fn run_search(workbench: &Workbench) -> (SearchOutcome, f64) {
     let scheme = PScheme::new();
     let session = ScoringSession::new(&workbench.challenge, &scheme);
-    let outcome = RegionSearch::new().run(SearchSpace::paper_downgrade(), |bias, std, trial| {
-        let seq = probe_attack(workbench, bias, std, trial);
-        downgrade_mp(workbench, &session.score(&seq))
-    });
-    let population_best = workbench
-        .population
-        .iter()
-        .map(|spec| downgrade_mp(workbench, &session.score(&spec.sequence)))
-        .fold(0.0f64, f64::max);
+    // Probes fan out across workers per round; the fold inside
+    // run_parallel walks them in serial order, so the trace is identical.
+    let outcome =
+        RegionSearch::new().run_parallel(SearchSpace::paper_downgrade(), |bias, std, trial| {
+            let seq = probe_attack(workbench, bias, std, trial);
+            downgrade_mp(workbench, &session.score(&seq))
+        });
+    let population_best = rrs_core::par::par_map(&workbench.population, |_, spec| {
+        downgrade_mp(workbench, &session.score(&spec.sequence))
+    })
+    .into_iter()
+    .fold(0.0f64, f64::max);
     (outcome, population_best)
 }
 
@@ -216,7 +219,7 @@ mod tests {
 
     #[test]
     fn probe_attack_covers_all_targets_and_is_deterministic() {
-        let wb = Workbench::build(SuiteConfig {
+        let wb = Workbench::build(&SuiteConfig {
             scale: Scale::Small,
             seed: 2,
             out_dir: None,

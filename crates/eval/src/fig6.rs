@@ -22,54 +22,56 @@ use std::fmt::Write as _;
 /// `(interval, best MP on the focus product)` pairs.
 #[must_use]
 pub fn interval_sweep(workbench: &Workbench, intervals: &[f64], trials: usize) -> Vec<(f64, f64)> {
+    let Some(product) = workbench.focus_product() else {
+        return Vec::new();
+    };
     let scheme = PScheme::new();
     let session = ScoringSession::new(&workbench.challenge, &scheme);
-    let product = workbench.focus_product();
     let horizon = workbench.attack_ctx.horizon.length().get();
-    intervals
-        .iter()
-        .map(|&interval| {
-            let mut best = 0.0f64;
-            for trial in 0..trials {
-                let mut rng = Xoshiro256pp::seed_from_u64(
-                    workbench
-                        .config
-                        .seed
-                        .wrapping_mul(977)
-                        .wrapping_add(trial as u64),
-                );
-                // Keep the whole attack inside the horizon.
-                let count = workbench.attack_ctx.raters.len() as f64;
-                let start_day = (horizon - interval * count).max(0.0) * 0.3;
-                let strategy = AttackStrategy::IntervalTuned {
-                    interval_days: interval,
-                    bias: 2.2,
-                    std_dev: 1.2,
-                    start_day,
-                };
-                let seq = strategy.build(&workbench.attack_ctx, &mut rng);
-                best = best.max(session.score(&seq).product_mp(product));
-            }
-            (interval, best)
-        })
-        .collect()
+    // Each interval's probes depend only on (seed, trial), so the sweep
+    // points fan out across workers; par_map keeps input order.
+    rrs_core::par::par_map(intervals, |_, &interval| {
+        let mut best = 0.0f64;
+        for trial in 0..trials {
+            let mut rng = Xoshiro256pp::seed_from_u64(
+                workbench
+                    .config
+                    .seed
+                    .wrapping_mul(977)
+                    .wrapping_add(trial as u64),
+            );
+            // Keep the whole attack inside the horizon.
+            let count = workbench.attack_ctx.raters.len() as f64;
+            let start_day = (horizon - interval * count).max(0.0) * 0.3;
+            let strategy = AttackStrategy::IntervalTuned {
+                interval_days: interval,
+                bias: 2.2,
+                std_dev: 1.2,
+                start_day,
+            };
+            let seq = strategy.build(&workbench.attack_ctx, &mut rng);
+            best = best.max(session.score(&seq).product_mp(product));
+        }
+        (interval, best)
+    })
 }
 
 /// Scatter of the population: `(avg interval, MP on focus product)`.
 #[must_use]
 pub fn population_scatter(workbench: &Workbench) -> Vec<(f64, f64)> {
+    let Some(product) = workbench.focus_product() else {
+        return Vec::new();
+    };
     let scheme = PScheme::new();
     let session = ScoringSession::new(&workbench.challenge, &scheme);
-    let product = workbench.focus_product();
-    workbench
-        .population
-        .iter()
-        .filter_map(|spec| {
-            let interval = spec.stats.avg_interval.get(&product)?;
-            let mp = session.score(&spec.sequence).product_mp(product);
-            Some((*interval, mp))
-        })
-        .collect()
+    rrs_core::par::par_map(&workbench.population, |_, spec| {
+        let interval = spec.stats.avg_interval.get(&product)?;
+        let mp = session.score(&spec.sequence).product_mp(product);
+        Some((*interval, mp))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Runs Figure 6.
@@ -110,7 +112,9 @@ pub fn run(workbench: &Workbench) -> ExperimentReport {
     let _ = writeln!(
         summary,
         "Figure 6: MP vs average unfair-rating interval (P-scheme, {})",
-        workbench.focus_product()
+        workbench
+            .focus_product()
+            .map_or_else(|| "none".to_string(), |p| p.to_string())
     );
     let mut points: Vec<(f64, f64, char)> = scatter.iter().map(|&(x, y)| (x, y, '.')).collect();
     points.extend(sweep.iter().map(|&(x, y)| (x, y, 'o')));

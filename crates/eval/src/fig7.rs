@@ -220,7 +220,7 @@ mod tests {
 
     #[test]
     fn reorder_preserves_multiset_and_times() {
-        let wb = Workbench::build(SuiteConfig {
+        let wb = Workbench::build(&SuiteConfig {
             scale: Scale::Small,
             seed: 3,
             out_dir: None,

@@ -38,15 +38,19 @@ impl MaxMp {
 #[must_use]
 pub fn max_mp_for_scheme(workbench: &Workbench, scheme: &dyn AggregationScheme) -> MaxMp {
     let session = ScoringSession::new(&workbench.challenge, scheme);
-    let population_best = workbench
-        .population
-        .iter()
-        .map(|spec| downgrade_mp(workbench, &session.score(&spec.sequence)))
-        .fold(0.0f64, f64::max);
-    let outcome = RegionSearch::new().run(SearchSpace::paper_downgrade(), |bias, std, trial| {
-        let seq = probe_attack(workbench, bias, std, trial);
-        downgrade_mp(workbench, &session.score(&seq))
-    });
+    // Both the population pass and the per-round search probes fan out
+    // across workers; max() over an index-ordered par_map is the same
+    // fold the serial loop performed.
+    let population_best = rrs_core::par::par_map(&workbench.population, |_, spec| {
+        downgrade_mp(workbench, &session.score(&spec.sequence))
+    })
+    .into_iter()
+    .fold(0.0f64, f64::max);
+    let outcome =
+        RegionSearch::new().run_parallel(SearchSpace::paper_downgrade(), |bias, std, trial| {
+            let seq = probe_attack(workbench, bias, std, trial);
+            downgrade_mp(workbench, &session.score(&seq))
+        });
     MaxMp {
         scheme: scheme.name().to_string(),
         population_best,

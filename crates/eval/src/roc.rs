@@ -101,97 +101,90 @@ where
     (tpr, fpr)
 }
 
-/// Runs the threshold sweeps.
+/// Runs the threshold sweeps. Empty when the challenge defines no focus
+/// product.
 #[must_use]
 pub fn sweep(workbench: &Workbench, per_kind: usize) -> Vec<RocPoint> {
+    let Some(focus) = workbench.focus_product() else {
+        return Vec::new();
+    };
     let streams = build_streams(workbench, per_kind);
-    let focus = workbench.focus_product();
-    let mut points = Vec::new();
 
-    // MC: sweep the GLRT decision factor gamma.
-    for gamma in [2.0, 4.0, 8.0, 16.0, 32.0] {
-        let config = McConfig {
-            glrt_gamma: gamma,
-            ..McConfig::default()
+    // The 4 detectors × 5 thresholds are independent sweep points; fan
+    // them out. par_map keeps input order, so the table rows come back
+    // in the exact order the serial loops produced.
+    let mut cells: Vec<(&'static str, f64)> = Vec::with_capacity(20);
+    cells.extend([2.0, 4.0, 8.0, 16.0, 32.0].map(|g| ("mc", g)));
+    cells.extend([0.1, 0.25, 0.5, 1.0, 2.0].map(|r| ("larc", r)));
+    cells.extend([0.1, 0.25, 0.4, 0.6, 0.8].map(|r| ("hc", r)));
+    cells.extend([0.25, 0.4, 0.55, 0.7, 0.85].map(|e| ("me", e)));
+
+    rrs_core::par::par_map(&cells, |_, &(detector, threshold)| {
+        let (tpr, fpr) = match detector {
+            // MC: sweep the GLRT decision factor gamma.
+            "mc" => {
+                let config = McConfig {
+                    glrt_gamma: threshold,
+                    ..McConfig::default()
+                };
+                rates(&streams, focus, |tl, _| {
+                    mc::detect(tl, &config, |_| 0.5)
+                        .suspicious
+                        .iter()
+                        .map(|s| s.window)
+                        .collect()
+                })
+            }
+            // L-ARC: sweep the rate-increase threshold.
+            "larc" => {
+                let config = ArcConfig {
+                    rate_increase_threshold: threshold,
+                    ..ArcConfig::default()
+                };
+                rates(&streams, focus, |tl, horizon| {
+                    arc::detect(tl, horizon, ArcVariant::Low, &config)
+                        .suspicious
+                        .iter()
+                        .map(|s| s.window)
+                        .collect()
+                })
+            }
+            // HC: sweep the balance-ratio threshold.
+            "hc" => {
+                let config = HcConfig {
+                    threshold,
+                    ..HcConfig::default()
+                };
+                rates(&streams, focus, |tl, _| {
+                    hc::detect(tl, &config)
+                        .suspicious
+                        .iter()
+                        .map(|s| s.window)
+                        .collect()
+                })
+            }
+            // ME: sweep the normalized-error threshold.
+            _ => {
+                let config = MeConfig {
+                    threshold,
+                    ..MeConfig::default()
+                };
+                rates(&streams, focus, |tl, _| {
+                    me::detect(tl, &config)
+                        .suspicious
+                        .iter()
+                        .map(|s| s.window)
+                        .collect()
+                })
+            }
         };
-        let (tpr, fpr) = rates(&streams, focus, |tl, _| {
-            mc::detect(tl, &config, |_| 0.5)
-                .suspicious
-                .iter()
-                .map(|s| s.window)
-                .collect()
-        });
-        points.push(RocPoint {
-            detector: "mc",
-            threshold: gamma,
+        RocPoint {
+            detector,
+            threshold,
             tpr,
             fpr,
-        });
-    }
-
-    // L-ARC: sweep the rate-increase threshold.
-    for rate in [0.1, 0.25, 0.5, 1.0, 2.0] {
-        let config = ArcConfig {
-            rate_increase_threshold: rate,
-            ..ArcConfig::default()
-        };
-        let (tpr, fpr) = rates(&streams, focus, |tl, horizon| {
-            arc::detect(tl, horizon, ArcVariant::Low, &config)
-                .suspicious
-                .iter()
-                .map(|s| s.window)
-                .collect()
-        });
-        points.push(RocPoint {
-            detector: "larc",
-            threshold: rate,
-            tpr,
-            fpr,
-        });
-    }
-
-    // HC: sweep the balance-ratio threshold.
-    for ratio in [0.1, 0.25, 0.4, 0.6, 0.8] {
-        let config = HcConfig {
-            threshold: ratio,
-            ..HcConfig::default()
-        };
-        let (tpr, fpr) = rates(&streams, focus, |tl, _| {
-            hc::detect(tl, &config)
-                .suspicious
-                .iter()
-                .map(|s| s.window)
-                .collect()
-        });
-        points.push(RocPoint {
-            detector: "hc",
-            threshold: ratio,
-            tpr,
-            fpr,
-        });
-    }
-
-    // ME: sweep the normalized-error threshold.
-    for err in [0.25, 0.4, 0.55, 0.7, 0.85] {
-        let config = MeConfig {
-            threshold: err,
-            ..MeConfig::default()
-        };
-        let (tpr, fpr) = rates(&streams, focus, |tl, _| {
-            me::detect(tl, &config)
-                .suspicious
-                .iter()
-                .map(|s| s.window)
-                .collect()
-        });
-        points.push(RocPoint {
-            detector: "me",
-            threshold: err,
-            tpr,
-            fpr,
-        });
-    }
-    points
+        }
+    })
 }
 
 /// Runs the ROC experiment.

@@ -52,9 +52,10 @@ pub struct Workbench {
 }
 
 impl Workbench {
-    /// Builds the workbench for a configuration.
+    /// Builds the workbench for a configuration (kept by internal clone:
+    /// callers reuse their `SuiteConfig` for reporting and reruns).
     #[must_use]
-    pub fn build(config: SuiteConfig) -> Self {
+    pub fn build(config: &SuiteConfig) -> Self {
         let _span = rrs_obs::trace::span("eval.workbench_build");
         let challenge_config = match config.scale {
             Scale::Small => ChallengeConfig::small(),
@@ -71,7 +72,7 @@ impl Workbench {
         };
         let population = generate_population(&attack_ctx, &population_config);
         Workbench {
-            config,
+            config: config.clone(),
             challenge,
             attack_ctx,
             population,
@@ -80,19 +81,11 @@ impl Workbench {
 
     /// The downgrade target the per-product figures focus on (the paper
     /// reports "product 1", a downgraded product; results for other
-    /// products are similar).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the challenge has no downgrade target.
+    /// products are similar). `None` when the challenge configuration
+    /// defines no downgrade target.
     #[must_use]
-    pub fn focus_product(&self) -> rrs_core::ProductId {
-        *self
-            .challenge
-            .config()
-            .downgrade_targets
-            .first()
-            .expect("challenge defines at least one downgrade target")
+    pub fn focus_product(&self) -> Option<rrs_core::ProductId> {
+        self.challenge.config().downgrade_targets.first().copied()
     }
 }
 
@@ -103,7 +96,7 @@ impl Workbench {
 /// Propagates filesystem errors from report writing.
 pub fn run_all(config: &SuiteConfig) -> std::io::Result<Vec<ExperimentReport>> {
     let _span = rrs_obs::trace::span("eval.run_all");
-    let workbench = Workbench::build(config.clone());
+    let workbench = Workbench::build(config);
     let reports = vec![
         crate::fig2_4::run(&workbench),
         crate::fig5::run(&workbench),
@@ -130,13 +123,13 @@ mod tests {
 
     #[test]
     fn workbench_builds_at_small_scale() {
-        let wb = Workbench::build(SuiteConfig {
+        let wb = Workbench::build(&SuiteConfig {
             scale: Scale::Small,
             seed: 1,
             out_dir: None,
         });
         assert_eq!(wb.population.len(), 60);
         assert_eq!(wb.challenge.fair_dataset().product_ids().len(), 3);
-        assert_eq!(wb.focus_product(), rrs_core::ProductId::new(2));
+        assert_eq!(wb.focus_product(), Some(rrs_core::ProductId::new(2)));
     }
 }

@@ -1,0 +1,7 @@
+pub fn fan_out(jobs: Vec<Job>) -> Vec<Out> {
+    let mut handles = Vec::new();
+    for job in jobs {
+        handles.push(std::thread::spawn(move || job.run()));
+    }
+    handles.into_iter().filter_map(|h| h.join().ok()).collect()
+}

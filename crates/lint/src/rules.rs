@@ -31,6 +31,8 @@ pub const RULE_FLOAT_EQ: &str = "float-eq";
 pub const RULE_PARTIAL_CMP: &str = "partial-cmp-unwrap";
 /// Output discipline: raw stdout/stderr writes outside the logger.
 pub const RULE_PRINT: &str = "print";
+/// Determinism: raw thread spawns outside the `rrs_core::par` pool.
+pub const RULE_THREAD: &str = "thread-spawn";
 /// Robustness: missing `#![forbid(unsafe_code)]` on a library root.
 pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
 /// Robustness: per-crate panic-site budgets (see `lint.lock`).
@@ -48,6 +50,7 @@ pub const WAIVABLE: &[&str] = &[
     RULE_FLOAT_EQ,
     RULE_PARTIAL_CMP,
     RULE_PRINT,
+    RULE_THREAD,
 ];
 
 /// Scanner configuration: the scoping tables for every rule.
@@ -65,6 +68,8 @@ pub struct Config {
     pub print_allowed_files: Vec<(String, String)>,
     /// Files allowed to define entropy primitives.
     pub entropy_allowed_files: Vec<String>,
+    /// Files (root-relative) allowed to spawn threads directly.
+    pub thread_allowed_files: Vec<String>,
 }
 
 impl Config {
@@ -93,6 +98,9 @@ impl Config {
                 "the logger's terminal sink — every other crate goes through it".into(),
             )],
             entropy_allowed_files: vec!["crates/core/src/rng.rs".into()],
+            // The deterministic pool is the only place threads may be
+            // born: RRS_THREADS=1 must recover the exact serial run.
+            thread_allowed_files: vec!["crates/core/src/par.rs".into()],
         }
     }
 
@@ -106,6 +114,7 @@ impl Config {
             hashed_denied_crates: vec!["*".into()],
             print_allowed_files: Vec::new(),
             entropy_allowed_files: Vec::new(),
+            thread_allowed_files: Vec::new(),
         }
     }
 }
@@ -212,6 +221,7 @@ pub fn scan_file(config: &Config, file: &SourceFile, text: &str) -> FileScan {
         || config.hashed_denied_crates.contains(&file.crate_name))
         && file.class != FileClass::Test;
     let entropy_scoped = !config.entropy_allowed_files.contains(&file.rel);
+    let thread_scoped = !config.thread_allowed_files.contains(&file.rel);
     let print_allowed = config
         .print_allowed_files
         .iter()
@@ -281,6 +291,15 @@ pub fn scan_file(config: &Config, file: &SourceFile, text: &str) -> FileScan {
                         );
                     }
                 }
+            }
+            if thread_scoped && has_token(line, "spawn") {
+                emit(
+                    RULE_THREAD,
+                    "raw thread spawn outside `rrs_core::par` — all parallelism \
+                     goes through the deterministic pool so `RRS_THREADS=1` \
+                     recovers the exact serial run"
+                        .to_string(),
+                );
             }
             if let Some(op) = float_literal_comparison(line) {
                 emit(
@@ -550,6 +569,25 @@ mod tests {
     #[test]
     fn partial_cmp_without_unwrap_is_fine() {
         let s = scan("impl PartialOrd for T { fn partial_cmp(&self, o: &T) -> Option<Ordering> { Some(self.cmp(o)) } }");
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
+    }
+
+    #[test]
+    fn flags_raw_thread_spawns() {
+        let s = scan("let h = std::thread::spawn(|| work());");
+        assert_eq!(rules(&s), vec![RULE_THREAD]);
+        let s = scan("scope.spawn(|| work());");
+        assert_eq!(rules(&s), vec![RULE_THREAD]);
+        // Prefixed identifiers and comments/strings stay silent.
+        let s = scan("fn respawn() {} // thread::spawn bait\nlet m = \"spawn\";");
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
+    }
+
+    #[test]
+    fn thread_spawn_allowed_in_listed_files() {
+        let mut config = Config::bare(PathBuf::from("."));
+        config.thread_allowed_files.push("x.rs".into());
+        let s = scan_file(&config, &lib_file(), "scope.spawn(|| work());");
         assert!(s.findings.is_empty(), "{:?}", s.findings);
     }
 

@@ -43,17 +43,31 @@ pub fn std_dev(xs: &[f64]) -> Option<f64> {
     variance(xs).map(f64::sqrt)
 }
 
-/// Minimum of the slice, or `None` if empty. Ignores NaN poisoning by using
-/// total ordering.
+/// Minimum of the **finite** values in the slice, or `None` if the slice
+/// is empty or holds no finite value.
+///
+/// Non-finite inputs (NaN, ±∞) are skipped rather than compared: under
+/// `total_cmp` a NaN with the sign bit set sorts *below* every real
+/// number, so a single poisoned sample would otherwise become the
+/// minimum and silently skew every threshold derived from it.
 #[must_use]
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().min_by(|a, b| a.total_cmp(b))
+    xs.iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .min_by(|a, b| a.total_cmp(b))
 }
 
-/// Maximum of the slice, or `None` if empty.
+/// Maximum of the **finite** values in the slice, or `None` if the slice
+/// is empty or holds no finite value. Non-finite inputs are skipped, for
+/// the same reason as [`min`] (positive NaN sorts above +∞ under
+/// `total_cmp`).
 #[must_use]
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().max_by(|a, b| a.total_cmp(b))
+    xs.iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .max_by(|a, b| a.total_cmp(b))
 }
 
 /// Median via sorting a copy, or `None` if empty.
@@ -224,6 +238,20 @@ mod tests {
         assert_eq!(min(&[3.0, -1.0, 2.0]), Some(-1.0));
         assert_eq!(max(&[3.0, -1.0, 2.0]), Some(3.0));
         assert_eq!(min(&[]), None);
+    }
+
+    #[test]
+    fn min_max_skip_non_finite() {
+        // Regression: under plain `total_cmp`, -NaN sorted below every
+        // real and +NaN above +∞, so one poisoned sample hijacked the
+        // extremum. Non-finite values must be ignored instead.
+        assert_eq!(max(&[1.0, f64::NAN]), Some(1.0));
+        assert_eq!(min(&[f64::NAN, 1.0]), Some(1.0));
+        assert_eq!(min(&[-f64::NAN, 2.0, 5.0]), Some(2.0));
+        assert_eq!(max(&[2.0, f64::INFINITY]), Some(2.0));
+        assert_eq!(min(&[f64::NEG_INFINITY, 2.0]), Some(2.0));
+        assert_eq!(min(&[f64::NAN, f64::INFINITY]), None);
+        assert_eq!(max(&[f64::NAN]), None);
     }
 
     #[test]

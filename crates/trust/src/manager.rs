@@ -1,5 +1,5 @@
 use crate::BetaTrust;
-use rrs_core::{RaterId, RatingDataset, RatingId, TimeWindow};
+use rrs_core::{DatasetView, RaterId, RatingId, TimeWindow};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The before/after beta-trust state of one rater across an epoch.
@@ -77,20 +77,22 @@ impl TrustManager {
 
     /// Runs one epoch of Procedure 1 over all ratings in `window`.
     ///
-    /// For each rater: `n_i` = ratings provided in the window, `f_i` =
-    /// those marked suspicious; accumulates `F_i += f_i`,
-    /// `S_i += n_i − f_i`.
-    pub fn update_epoch(
+    /// Accepts `&RatingDataset` or a borrowed [`DatasetView`] (the
+    /// P-scheme passes its zero-copy prefix view). For each rater: `n_i`
+    /// = ratings provided in the window, `f_i` = those marked suspicious;
+    /// accumulates `F_i += f_i`, `S_i += n_i − f_i`.
+    pub fn update_epoch<'a>(
         &mut self,
-        dataset: &RatingDataset,
+        dataset: impl Into<DatasetView<'a>>,
         window: TimeWindow,
         suspicious: &BTreeSet<RatingId>,
     ) -> TrustUpdate {
         let _span = rrs_obs::trace::span("trust.update_epoch");
+        let view = dataset.into();
         let mut per_rater: BTreeMap<RaterId, (u64, u64)> = BTreeMap::new();
         let mut total = 0usize;
         let mut total_suspicious = 0usize;
-        for (_, timeline) in dataset.products() {
+        for (_, timeline) in view.products() {
             for entry in timeline.in_window(window) {
                 let counts = per_rater.entry(entry.rater()).or_insert((0, 0));
                 counts.0 += 1;
@@ -173,7 +175,7 @@ impl TrustManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rrs_core::{ProductId, Rating, RatingSource, RatingValue, Timestamp};
+    use rrs_core::{ProductId, Rating, RatingDataset, RatingSource, RatingValue, Timestamp};
 
     fn rating(rater: u32, product: u16, day: f64, value: f64) -> Rating {
         Rating::new(

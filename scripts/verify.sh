@@ -28,12 +28,19 @@ done
 
 # Trace smoke-run: the observability layer must produce a non-empty,
 # schema-complete decision-trace JSONL from a release binary.
-TRACE_TMP="$(mktemp -d)"
-trap 'rm -rf "$TRACE_TMP"' EXIT
-target/release/rrs trace downgrade-burst --out "$TRACE_TMP/trace.jsonl" --seed 7
-test -s "$TRACE_TMP/trace.jsonl"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+target/release/rrs trace downgrade-burst --out "$TMP/trace.jsonl" --seed 7
+test -s "$TMP/trace.jsonl"
 for key in product detectors paths suspicious trust; do
-    grep -q "\"$key\"" "$TRACE_TMP/trace.jsonl"
+    grep -q "\"$key\"" "$TMP/trace.jsonl"
 done
+
+# Parallel determinism: the full small-scale experiment suite must emit
+# byte-identical results whether the pool runs one worker (the exact
+# serial path) or eight. `diff -r` is the enforcement, not a spot check.
+RRS_THREADS=1 target/release/experiments --scale small --seed 42 --out "$TMP/threads1"
+RRS_THREADS=8 target/release/experiments --scale small --seed 42 --out "$TMP/threads8"
+diff -r "$TMP/threads1" "$TMP/threads8"
 
 echo "verify: OK"

@@ -1,0 +1,112 @@
+//! Golden determinism test for the parallel substrate: every result the
+//! suite produces — scheme outcomes, scored populations, and the rendered
+//! report files — must be bit-identical whether the pool runs one worker
+//! (the exact serial path) or eight.
+
+use rrs::aggregation::PScheme;
+use rrs::challenge::ScoringSession;
+use rrs::AggregationScheme;
+use rrs_core::par;
+use rrs_eval::suite::{Scale, SuiteConfig, Workbench};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workbench() -> Workbench {
+    Workbench::build(&SuiteConfig {
+        scale: Scale::Small,
+        seed: 42,
+        out_dir: None,
+    })
+}
+
+#[test]
+fn scheme_outcomes_and_scores_identical_across_thread_counts() {
+    rrs_obs::disable();
+    let wb = workbench();
+    let dataset = wb.challenge.fair_dataset();
+    let ctx = wb.challenge.eval_context();
+    let scheme = PScheme::new();
+
+    let outcome_serial = par::with_threads(1, || scheme.evaluate(dataset, &ctx));
+    let outcome_parallel = par::with_threads(8, || scheme.evaluate(dataset, &ctx));
+    assert_eq!(
+        outcome_serial, outcome_parallel,
+        "PScheme::evaluate must not depend on the worker count"
+    );
+
+    let session = ScoringSession::new(&wb.challenge, &scheme);
+    let scores_serial = par::with_threads(1, || session.score_population(&wb.population));
+    let scores_parallel = par::with_threads(8, || session.score_population(&wb.population));
+    assert_eq!(
+        scores_serial, scores_parallel,
+        "score_population must return the same submissions in the same order"
+    );
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rrs_par_det_{}_{}", std::process::id(), tag));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("stale temp dir removable");
+    }
+    dir
+}
+
+fn sorted_file_names(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .expect("report dir readable")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+fn assert_dirs_byte_identical(serial: &Path, parallel: &Path) {
+    let names = sorted_file_names(serial);
+    assert_eq!(
+        names,
+        sorted_file_names(parallel),
+        "both runs must emit the same report files"
+    );
+    assert!(!names.is_empty(), "the runs must emit at least one file");
+    for name in names {
+        let a = fs::read(serial.join(&name)).expect("serial report file readable");
+        let b = fs::read(parallel.join(&name)).expect("parallel report file readable");
+        assert_eq!(a, b, "report file {name} differs between thread counts");
+    }
+}
+
+#[test]
+fn experiment_reports_byte_identical_across_thread_counts() {
+    rrs_obs::disable();
+    let wb = workbench();
+
+    let serial_dir = fresh_dir("serial");
+    let parallel_dir = fresh_dir("parallel");
+
+    par::with_threads(1, || {
+        rrs_eval::fig2_4::run(&wb)
+            .write_to(&serial_dir)
+            .expect("serial fig2_4 report written");
+        rrs_eval::roc::run(&wb)
+            .write_to(&serial_dir)
+            .expect("serial roc report written");
+    });
+    par::with_threads(8, || {
+        rrs_eval::fig2_4::run(&wb)
+            .write_to(&parallel_dir)
+            .expect("parallel fig2_4 report written");
+        rrs_eval::roc::run(&wb)
+            .write_to(&parallel_dir)
+            .expect("parallel roc report written");
+    });
+
+    assert_dirs_byte_identical(&serial_dir, &parallel_dir);
+
+    fs::remove_dir_all(&serial_dir).ok();
+    fs::remove_dir_all(&parallel_dir).ok();
+}
