@@ -21,7 +21,7 @@ use rrs_core::{
     AggregationScheme, DatasetView, EvalContext, ProductId, RaterId, RatingDataset, RatingId,
     SchemeOutcome, TimeWindow,
 };
-use rrs_detectors::{Band, DetectionResult, DetectorConfig, JointDetector};
+use rrs_detectors::{Band, DetectionResult, DetectorConfig, JointDetector, OnlineState};
 use rrs_trust::{TrustManager, TrustUpdate};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -38,6 +38,14 @@ pub struct PSchemeConfig {
     /// values let a reformed rater recover faster at the cost of longer
     /// attacker memory).
     pub trust_discount: Option<f64>,
+    /// Whether the detection stage runs incrementally
+    /// ([`JointDetector::detect_all_online`], carrying rolling state
+    /// across epochs) or re-derives every curve from the full prefix
+    /// each epoch ([`JointDetector::detect_all`]). The two produce
+    /// identical output; only the per-epoch cost differs. `None` (the
+    /// default) reads the `RRS_ONLINE` environment variable: online
+    /// unless it is set to `0`, `false`, or `off`.
+    pub online_detection: Option<bool>,
 }
 
 impl PSchemeConfig {
@@ -48,8 +56,20 @@ impl PSchemeConfig {
             detectors: DetectorConfig::paper(),
             filter_trust_threshold: 0.5,
             trust_discount: None,
+            online_detection: None,
         }
     }
+}
+
+/// Resolves the `RRS_ONLINE` environment switch: online detection unless
+/// explicitly turned off (mirrors how `RRS_THREADS` gates parallelism —
+/// the fast path is the default, the slow one stays reachable for
+/// byte-for-byte cross-checks in `scripts/verify.sh`).
+fn online_default() -> bool {
+    !matches!(
+        std::env::var("RRS_ONLINE").as_deref(),
+        Ok("0" | "false" | "off")
+    )
 }
 
 /// The signal-based reliable rating-aggregation system.
@@ -87,6 +107,8 @@ impl AggregationScheme for PScheme {
 
     fn evaluate(&self, dataset: &RatingDataset, ctx: &EvalContext) -> SchemeOutcome {
         let detector = JointDetector::new(self.config.detectors);
+        let online = self.config.online_detection.unwrap_or_else(online_default);
+        let mut online_state = OnlineState::new();
         let mut trust = TrustManager::new();
         let mut out = SchemeOutcome::new();
         let mut scores: BTreeMap<rrs_core::ProductId, Vec<Option<f64>>> = BTreeMap::new();
@@ -101,11 +123,18 @@ impl AggregationScheme for PScheme {
                 .expect("period lies inside the horizon");
             let prefix = dataset.prefix_view(prefix_window);
 
-            // 1. Detect with the previous epoch's trust.
+            // 1. Detect with the previous epoch's trust. The online path
+            // carries rolling per-product state across epochs so only the
+            // ratings that arrived this period cost signal work; its
+            // output is identical to the batch path (oracle-tested in
+            // rrs-detectors and below).
             let snapshot = trust.snapshot();
-            let (marks, per_product) = detector.detect_all(&prefix, prefix_window, |r| {
-                snapshot.get(&r).copied().unwrap_or(0.5)
-            });
+            let trust_fn = |r: RaterId| snapshot.get(&r).copied().unwrap_or(0.5);
+            let (marks, per_product) = if online {
+                detector.detect_all_online(&prefix, prefix_window, trust_fn, &mut online_state)
+            } else {
+                detector.detect_all(&prefix, prefix_window, trust_fn)
+            };
             out.mark_suspicious_all(marks.iter().copied());
 
             // 2. Update trust with this epoch's counts (Procedure 1),
@@ -441,6 +470,7 @@ mod tests {
         assert_eq!(s.name(), "P-scheme");
         assert_eq!(s.config().filter_trust_threshold, 0.5);
         assert_eq!(s.config().trust_discount, None);
+        assert_eq!(s.config().online_detection, None);
     }
 
     props! {
@@ -462,6 +492,34 @@ mod tests {
             prop_assert!(
                 via_view == via_copy,
                 "prefix-view evaluate diverged from the restricted()-copy oracle"
+            );
+        }
+
+        #[test]
+        fn online_epoch_loop_equals_batch_oracle(
+            seed in 0u64..48,
+            burst_start in 31.0f64..55.0,
+            burst_days in 0usize..10,
+            burst_value in 0.0f64..2.0,
+        ) {
+            let mut d = fair_dataset(seed);
+            if burst_days > 0 {
+                add_burst(&mut d, burst_start, burst_days, 4, burst_value);
+            }
+            let context = ctx(&d);
+            let online = PScheme::with_config(PSchemeConfig {
+                online_detection: Some(true),
+                ..PSchemeConfig::paper()
+            })
+            .evaluate(&d, &context);
+            let batch = PScheme::with_config(PSchemeConfig {
+                online_detection: Some(false),
+                ..PSchemeConfig::paper()
+            })
+            .evaluate(&d, &context);
+            prop_assert!(
+                online == batch,
+                "incremental epoch loop diverged from the batch-detection oracle"
             );
         }
     }

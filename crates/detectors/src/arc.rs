@@ -16,7 +16,7 @@ use crate::suspicion::{SuspicionKind, SuspiciousInterval};
 use rrs_core::stream::split_at_peaks;
 use rrs_core::{TimeWindow, TimelineView, Timestamp};
 use rrs_signal::curve::{Curve, CurvePoint, Peak, UShape};
-use rrs_signal::glrt::arrival_rate_glrt;
+use rrs_signal::glrt::{arrival_rate_glrt, arrival_rate_glrt_from_sums};
 use std::ops::Range;
 
 /// Which value band the detector counts.
@@ -120,7 +120,7 @@ pub struct ArcOutcome {
 }
 
 impl ArcOutcome {
-    fn empty(variant: ArcVariant) -> Self {
+    pub(crate) fn empty(variant: ArcVariant) -> Self {
         ArcOutcome {
             variant,
             curve: Curve::default(),
@@ -147,6 +147,61 @@ impl ArcOutcome {
     }
 }
 
+/// Computes the ARC curve point at day index `k`, with the window halves
+/// clipped to the series edges. Returns `None` when the clipped half
+/// `w = min(D, k, n − k)` falls below `min_half_days` or the GLRT is
+/// undefined (both halves all-zero).
+///
+/// The point is *final* once `k + min(D, k)` days are complete: every
+/// later arrival lands in a strictly later day bin, so both count slices
+/// are frozen (`min(D, k) ≤ n − k` already holds for such `k`, hence the
+/// edge clip no longer binds). The online path caches settled points on
+/// exactly this argument.
+pub(crate) fn curve_point(
+    counts: &[u32],
+    day0: Timestamp,
+    k: usize,
+    config: &ArcConfig,
+) -> Option<CurvePoint> {
+    let n = counts.len();
+    let w = config.half_window_days.min(k).min(n - k);
+    if w < config.min_half_days {
+        return None;
+    }
+    arrival_rate_glrt(&counts[k - w..k], &counts[k..k + w]).map(|stat| CurvePoint {
+        index: k,
+        time: day0.as_days() + k as f64,
+        value: stat,
+    })
+}
+
+/// [`curve_point`] evaluated in O(1) from a count prefix-sum table
+/// (`prefix[i] = counts[..i].sum()`, so `prefix.len() == counts.len() + 1`).
+///
+/// Bit-identical to [`curve_point`]: the window sums are sums of integer
+/// counts, exact in `f64` below 2⁵³, so the prefix-sum differences equal
+/// the slice sums bit for bit (see
+/// [`rrs_signal::glrt::arrival_rate_glrt_from_sums`]).
+pub(crate) fn curve_point_from_prefix(
+    prefix: &[u64],
+    day0: Timestamp,
+    k: usize,
+    config: &ArcConfig,
+) -> Option<CurvePoint> {
+    let n = prefix.len() - 1;
+    let w = config.half_window_days.min(k).min(n - k);
+    if w < config.min_half_days {
+        return None;
+    }
+    let sum1 = (prefix[k] - prefix[k - w]) as f64;
+    let sum2 = (prefix[k + w] - prefix[k]) as f64;
+    arrival_rate_glrt_from_sums(w as f64, sum1, w as f64, sum2).map(|stat| CurvePoint {
+        index: k,
+        time: day0.as_days() + k as f64,
+        value: stat,
+    })
+}
+
 /// Runs an ARC-family detector from a pre-computed daily count series.
 ///
 /// `day0` is the timestamp of day index 0.
@@ -165,26 +220,31 @@ pub fn detect_counts(
     let signal_span = rrs_obs::trace::span("signal.arc");
     let mut points = Vec::with_capacity(n);
     for k in config.min_half_days..=(n - config.min_half_days) {
-        let w = config.half_window_days.min(k).min(n - k);
-        if w < config.min_half_days {
-            continue;
-        }
-        if let Some(stat) = arrival_rate_glrt(&counts[k - w..k], &counts[k..k + w]) {
-            points.push(CurvePoint {
-                index: k,
-                time: day0.as_days() + k as f64,
-                value: stat,
-            });
+        if let Some(p) = curve_point(counts, day0, k, config) {
+            points.push(p);
         }
     }
     let curve = Curve::new(points);
     let peaks = curve.find_peaks(config.glrt_threshold, config.peak_separation);
-    let u_shapes = curve.find_u_shapes(
-        config.glrt_threshold,
-        config.peak_separation,
-        config.valley_ratio,
-    );
+    let u_shapes = curve.u_shapes_between(&peaks, config.valley_ratio);
     drop(signal_span);
+    judge_counts(counts, day0, variant, config, curve, peaks, u_shapes)
+}
+
+/// Segments the day axis at the peaks and judges each segment against
+/// the ratcheting baseline — shared verbatim by the batch and online
+/// paths so their verdicts are bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn judge_counts(
+    counts: &[u32],
+    day0: Timestamp,
+    variant: ArcVariant,
+    config: &ArcConfig,
+    curve: Curve,
+    peaks: Vec<Peak>,
+    u_shapes: Vec<UShape>,
+) -> ArcOutcome {
+    let n = counts.len();
     let _detect_span = rrs_obs::trace::span("detect.arc");
 
     // Segment the day axis at the peaks. Adjacent segments whose rates
@@ -315,7 +375,7 @@ pub fn value_thresholds<'a>(timeline: impl Into<TimelineView<'a>>) -> (f64, f64)
 }
 
 /// The robust central level `m` of a timeline's rating values.
-fn robust_level(timeline: TimelineView<'_>) -> f64 {
+pub(crate) fn robust_level(timeline: TimelineView<'_>) -> f64 {
     rrs_signal::stats::median(&timeline.values()).unwrap_or(2.5)
 }
 
@@ -323,6 +383,7 @@ fn robust_level(timeline: TimelineView<'_>) -> f64 {
 mod tests {
     use super::*;
     use rrs_core::rng::Xoshiro256pp;
+    use rrs_core::{prop_assert, props};
     use rrs_signal::sampling::poisson;
 
     fn ts(d: f64) -> Timestamp {
@@ -464,6 +525,38 @@ mod tests {
         // The high-band counts never changed, so H-ARC stays quiet.
         let high = detect(tl, horizon, ArcVariant::High, &ArcConfig::default());
         assert!(!high.is_suspicious(), "H-ARC false alarm");
+    }
+
+    props! {
+        #[test]
+        fn prefix_curve_point_is_bitwise_identical(
+            days in 2usize..80,
+            lambda in 0.5f64..12.0,
+            seed in 0u64..1_000_000,
+        ) {
+            let counts = poisson_counts(days, lambda, seed);
+            let mut prefix = vec![0u64; counts.len() + 1];
+            for (i, &c) in counts.iter().enumerate() {
+                prefix[i + 1] = prefix[i] + u64::from(c);
+            }
+            let config = ArcConfig::default();
+            for k in 0..=counts.len() {
+                let slow = curve_point(&counts, ts(0.0), k, &config);
+                let fast = curve_point_from_prefix(&prefix, ts(0.0), k, &config);
+                match (slow, fast) {
+                    (None, None) => {}
+                    (Some(s), Some(f)) => {
+                        prop_assert!(s.index == f.index);
+                        prop_assert!(s.time.to_bits() == f.time.to_bits());
+                        prop_assert!(
+                            s.value.to_bits() == f.value.to_bits(),
+                            "k={k}: {} vs {}", f.value, s.value
+                        );
+                    }
+                    (s, f) => prop_assert!(false, "k={k}: {s:?} vs {f:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,6 @@
 
 use crate::suspicion::{SuspicionKind, SuspiciousInterval};
 use rrs_core::{TimeWindow, TimelineView, Timestamp};
-use rrs_signal::cluster::{cluster_sizes, single_linkage_1d};
 use rrs_signal::curve::{Curve, CurvePoint};
 
 /// Configuration of the HC detector.
@@ -68,35 +67,126 @@ impl HcOutcome {
 ///
 /// Returns 0 when the window is too small to split, when one cluster is
 /// empty, or when the clusters are not separated by `min_gap`.
+///
+/// Two-cluster single linkage in 1-D is exactly "cut the largest gap in
+/// sorted order", so this sorts a copy of the window and scans the gaps
+/// directly instead of running the general clustering machinery — same
+/// result (the clustering path is kept as the oracle in this module's
+/// property tests), a fraction of the allocations.
 #[must_use]
 pub fn hc_ratio(values: &[f64], min_gap: f64) -> f64 {
-    if values.len() < 4 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    hc_ratio_sorted(&sorted, min_gap)
+}
+
+/// [`hc_ratio`] on values already sorted by `total_cmp` — the online
+/// path's sliding sorted window calls this directly and skips the sort.
+pub(crate) fn hc_ratio_sorted(sorted: &[f64], min_gap: f64) -> f64 {
+    if sorted.len() < 4 {
         return 0.0;
     }
-    let labels = single_linkage_1d(values, 2);
-    let sizes = cluster_sizes(&labels);
-    if sizes.len() < 2 || sizes[0] == 0 || sizes[1] == 0 {
+    // Largest gap between sorted neighbors; first index wins ties, which
+    // matches single_linkage_1d's (descending gap, ascending index) cut
+    // ordering. total_cmp ranks a NaN gap above every finite one, exactly
+    // like the clustering path, where a top-ranked NaN gap fails its
+    // `> 0` cut test and leaves the window unsplit.
+    let mut best_gap = f64::NEG_INFINITY;
+    let mut cut = 0usize;
+    for (i, pair) in sorted.windows(2).enumerate() {
+        let gap = pair[1] - pair[0];
+        if gap.total_cmp(&best_gap).is_gt() {
+            best_gap = gap;
+            cut = i;
+        }
+    }
+    // No positive gap means one cluster; a sub-min_gap split is noise.
+    if best_gap.is_nan() || best_gap <= 0.0 || best_gap < min_gap {
         return 0.0;
     }
-    // Gap between the clusters: labels are ordered by value, so the gap is
-    // min(cluster 1) − max(cluster 0).
-    let max0 = values
-        .iter()
-        .zip(&labels)
-        .filter(|(_, &l)| l == 0)
-        .map(|(v, _)| *v)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let min1 = values
-        .iter()
-        .zip(&labels)
-        .filter(|(_, &l)| l == 1)
-        .map(|(v, _)| *v)
-        .fold(f64::INFINITY, f64::min);
-    if min1 - max0 < min_gap {
-        return 0.0;
-    }
-    let (n1, n2) = (sizes[0] as f64, sizes[1] as f64);
+    let n1 = (cut + 1) as f64;
+    let n2 = (sorted.len() - cut - 1) as f64;
     (n1 / n2).min(n2 / n1)
+}
+
+/// Computes the HC curve point for the window starting at `start`
+/// (requires `start + window_ratings ≤ values.len()`).
+///
+/// The point only reads the frozen prefix `values[start..start + w]` and
+/// `times[center]`, so it is final as soon as the window fits — the
+/// online path appends each new window's point exactly once.
+pub(crate) fn window_point(
+    values: &[f64],
+    times: &[f64],
+    start: usize,
+    config: &HcConfig,
+) -> CurvePoint {
+    let center = start + config.window_ratings / 2;
+    CurvePoint {
+        index: center,
+        time: times[center],
+        value: hc_ratio(
+            &values[start..start + config.window_ratings],
+            config.min_cluster_gap,
+        ),
+    }
+}
+
+/// [`window_point`] from an already-sorted copy of the window's values.
+///
+/// `sorted` must hold exactly the multiset `values[start..start + w]` in
+/// `total_cmp` order; the result is then bit-identical to
+/// [`window_point`], which sorts the same multiset before the gap scan.
+/// The online path maintains `sorted` as a sliding multiset so each
+/// window costs O(w) insert/remove instead of an O(w log w) sort.
+pub(crate) fn window_point_presorted(
+    sorted: &[f64],
+    times: &[f64],
+    start: usize,
+    config: &HcConfig,
+) -> CurvePoint {
+    let center = start + config.window_ratings / 2;
+    CurvePoint {
+        index: center,
+        time: times[center],
+        value: hc_ratio_sorted(sorted, config.min_cluster_gap),
+    }
+}
+
+/// Merges consecutive above-threshold curve samples into suspicious
+/// intervals, stretching each to cover the full windows involved (not
+/// just centers) — shared verbatim by the batch and online paths.
+pub(crate) fn suspicious_runs(
+    curve: &Curve,
+    times: &[f64],
+    config: &HcConfig,
+) -> Vec<SuspiciousInterval> {
+    let w = config.window_ratings;
+    let mut suspicious = Vec::new();
+    let pts = curve.points();
+    let mut run_start: Option<usize> = None;
+    for (i, p) in pts.iter().enumerate() {
+        let above = p.value >= config.threshold;
+        match (above, run_start) {
+            (true, None) => run_start = Some(i),
+            (false, Some(s)) => {
+                suspicious.push(run_interval(pts, s, i - 1, times, w, config.threshold));
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = run_start {
+        suspicious.push(run_interval(
+            pts,
+            s,
+            pts.len() - 1,
+            times,
+            w,
+            config.threshold,
+        ));
+    }
+    suspicious
 }
 
 /// Runs the HC detector over one product's timeline.
@@ -116,46 +206,14 @@ pub fn detect<'a>(timeline: impl Into<TimelineView<'a>>, config: &HcConfig) -> H
     let mut points = Vec::new();
     let mut start = 0usize;
     while start + w <= n {
-        let center = start + w / 2;
-        let ratio = hc_ratio(&values[start..start + w], config.min_cluster_gap);
-        points.push(CurvePoint {
-            index: center,
-            time: times[center],
-            value: ratio,
-        });
+        points.push(window_point(&values, &times, start, config));
         start += step;
     }
     let curve = Curve::new(points);
     drop(signal_span);
     let _detect_span = rrs_obs::trace::span("detect.hc");
 
-    // Merge consecutive above-threshold samples into intervals; stretch
-    // each interval to cover the full windows involved, not just centers.
-    let mut suspicious = Vec::new();
-    let pts = curve.points();
-    let mut run_start: Option<usize> = None;
-    for (i, p) in pts.iter().enumerate() {
-        let above = p.value >= config.threshold;
-        match (above, run_start) {
-            (true, None) => run_start = Some(i),
-            (false, Some(s)) => {
-                suspicious.push(run_interval(pts, s, i - 1, &times, w, config.threshold));
-                run_start = None;
-            }
-            _ => {}
-        }
-    }
-    if let Some(s) = run_start {
-        suspicious.push(run_interval(
-            pts,
-            s,
-            pts.len() - 1,
-            &times,
-            w,
-            config.threshold,
-        ));
-    }
-
+    let suspicious = suspicious_runs(&curve, &times, config);
     HcOutcome { curve, suspicious }
 }
 
@@ -186,7 +244,9 @@ mod tests {
     use super::*;
     use rrs_core::rng::RrsRng;
     use rrs_core::rng::Xoshiro256pp;
-    use rrs_core::{ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue};
+    use rrs_core::{
+        prop_assert, props, ProductId, RaterId, Rating, RatingDataset, RatingSource, RatingValue,
+    };
 
     fn dataset(values_by_day: impl Iterator<Item = (f64, f64)>) -> RatingDataset {
         let mut d = RatingDataset::new();
@@ -265,5 +325,66 @@ mod tests {
         let d = dataset((0..10).map(|i| (f64::from(i), 4.0)));
         let out = detect(d.product(ProductId::new(0)).unwrap(), &HcConfig::default());
         assert!(out.curve.is_empty());
+    }
+
+    /// The clustering-based reference implementation `hc_ratio` replaced:
+    /// full single-linkage labels, sizes, and a member scan for the gap.
+    fn hc_ratio_via_clustering(values: &[f64], min_gap: f64) -> f64 {
+        use rrs_signal::cluster::{cluster_sizes, single_linkage_1d};
+        if values.len() < 4 {
+            return 0.0;
+        }
+        let labels = single_linkage_1d(values, 2);
+        let sizes = cluster_sizes(&labels);
+        if sizes.len() < 2 || sizes[0] == 0 || sizes[1] == 0 {
+            return 0.0;
+        }
+        let max0 = values
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| l == 0)
+            .map(|(v, _)| *v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min1 = values
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| l == 1)
+            .map(|(v, _)| *v)
+            .fold(f64::INFINITY, f64::min);
+        if min1 - max0 < min_gap {
+            return 0.0;
+        }
+        let (n1, n2) = (sizes[0] as f64, sizes[1] as f64);
+        (n1 / n2).min(n2 / n1)
+    }
+
+    props! {
+        #[test]
+        fn gap_scan_matches_clustering_oracle(
+            values in rrs_core::check::vec_of(-1.0f64..6.0, 0..60),
+            min_gap in 0.0f64..1.5,
+        ) {
+            let fast = hc_ratio(&values, min_gap);
+            let slow = hc_ratio_via_clustering(&values, min_gap);
+            prop_assert!(
+                fast.to_bits() == slow.to_bits(),
+                "gap-scan hc_ratio {fast} != clustering oracle {slow} on {values:?}"
+            );
+        }
+
+        #[test]
+        fn duplicate_heavy_windows_match_clustering_oracle(
+            raw in rrs_core::check::vec_of(0u8..8, 4..50),
+            min_gap in 0.0f64..1.5,
+        ) {
+            // Quantized values force ties in both the values and the gaps.
+            let values: Vec<f64> = raw.iter().map(|&v| f64::from(v) * 0.7).collect();
+            let fast = hc_ratio(&values, min_gap);
+            let slow = hc_ratio_via_clustering(&values, min_gap);
+            prop_assert!(
+                fast.to_bits() == slow.to_bits(),
+                "gap-scan hc_ratio {fast} != clustering oracle {slow} on {values:?}"
+            );
+        }
     }
 }

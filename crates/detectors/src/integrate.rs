@@ -227,134 +227,18 @@ impl JointDetector {
             MeOutcome::default()
         };
 
-        let _integrate_span = rrs_obs::trace::span("detect.integrate");
-        let (threshold_a, threshold_b) = arc::value_thresholds(timeline);
-        let mut suspicious = BTreeSet::new();
-        let mut hits = Vec::new();
-
-        // Path 1: strong attacks. Candidate intervals on the MC side are
-        // its U-shapes (the paper's wording) plus its flagged segments
-        // (Section IV-B.3); on the ARC side likewise. A coincidence marks
-        // the band inside the overlap.
-        let mc_candidates = candidate_windows(&mc_out.u_shapes, &mc_out.suspicious);
-        let mut path1_consumed_high: Vec<TimeWindow> = Vec::new();
-        let mut path1_consumed_low: Vec<TimeWindow> = Vec::new();
-        for mc_window in &mc_candidates {
-            for (arc_out, band, consumed) in [
-                (&harc_out, Band::High, &mut path1_consumed_high),
-                (&larc_out, Band::Low, &mut path1_consumed_low),
-            ] {
-                for arc_window in candidate_windows(&arc_out.u_shapes, &arc_out.suspicious) {
-                    if let Some(overlap) = mc_window.intersect(arc_window) {
-                        let marked = mark_band(
-                            timeline,
-                            overlap,
-                            band,
-                            threshold_a,
-                            threshold_b,
-                            &mut suspicious,
-                        );
-                        consumed.push(arc_window);
-                        hits.push(PathHit {
-                            path: 1,
-                            window: overlap,
-                            band,
-                            marked,
-                        });
-                    }
-                }
-            }
-        }
-
-        // Path 2: un-consumed ARC alarms adjudicated by ME (high band) or
-        // HC (low band), or by a direct mean-deviation check of the
-        // alarmed interval. The last adjudicator covers diluted attacks:
-        // their gradual onset raises no MC peaks, so the MC detector
-        // never delimits a segment for Path 1 — but the alarmed interval
-        // itself, once the arrival-rate evidence has drawn its
-        // boundaries, shows the mean shift plainly.
-        let me_intervals: Vec<TimeWindow> = me_out.suspicious.iter().map(|s| s.window).collect();
-        let hc_intervals: Vec<TimeWindow> = hc_out.suspicious.iter().map(|s| s.window).collect();
-        let values: Vec<f64> = timeline.entries().iter().map(|e| e.value()).collect();
-        let stream_median = rrs_signal::stats::median(&values).unwrap_or(2.5);
-        let overall_trust = if timeline.is_empty() {
-            0.5
-        } else {
-            timeline
-                .entries()
-                .iter()
-                .map(|e| trust(e.rater()))
-                .sum::<f64>()
-                / timeline.len() as f64
-        };
-        let mean_dev_confirms = |window: TimeWindow| -> bool {
-            let slice = timeline.in_window(window);
-            if slice.is_empty() {
-                return false;
-            }
-            let mean =
-                slice.iter().map(rrs_core::RatingEntry::value).sum::<f64>() / slice.len() as f64;
-            let dev = (mean - stream_median).abs();
-            let slice_trust =
-                slice.iter().map(|e| trust(e.rater())).sum::<f64>() / slice.len() as f64;
-            let less_trusted =
-                overall_trust > 0.0 && slice_trust / overall_trust < self.config.mc.trust_ratio;
-            dev > self.config.mc.threshold1 || (dev > self.config.mc.threshold2 && less_trusted)
-        };
-        for (arc_out, band, consumed, adjudicator) in [
-            (&harc_out, Band::High, &path1_consumed_high, &me_intervals),
-            (&larc_out, Band::Low, &path1_consumed_low, &hc_intervals),
-        ] {
-            for arc_interval in &arc_out.suspicious {
-                if consumed.contains(&arc_interval.window) {
-                    continue;
-                }
-                let mut confirmed: Vec<TimeWindow> = adjudicator
-                    .iter()
-                    .filter_map(|adj| arc_interval.window.intersect(*adj))
-                    .collect();
-                if confirmed.is_empty() && mean_dev_confirms(arc_interval.window) {
-                    confirmed.push(arc_interval.window);
-                }
-                for overlap in confirmed {
-                    let marked = mark_band(
-                        timeline,
-                        overlap,
-                        band,
-                        threshold_a,
-                        threshold_b,
-                        &mut suspicious,
-                    );
-                    hits.push(PathHit {
-                        path: 2,
-                        window: overlap,
-                        band,
-                        marked,
-                    });
-                }
-            }
-        }
-
-        if rrs_obs::enabled() {
-            for hit in &hits {
-                let name = match hit.path {
-                    1 => "detect.path1_hits",
-                    _ => "detect.path2_hits",
-                };
-                rrs_obs::metrics::counter_add(name, 1);
-            }
-            rrs_obs::metrics::counter_add("detect.marked_ratings", suspicious.len() as u64);
-        }
-
-        DetectionResult {
-            suspicious,
-            mc: mc_out,
-            harc: harc_out,
-            larc: larc_out,
-            hc: hc_out,
-            me: me_out,
-            hits,
-        }
+        let stream_median = arc::robust_level(timeline);
+        integrate_outcomes(
+            &self.config,
+            timeline,
+            mc_out,
+            harc_out,
+            larc_out,
+            hc_out,
+            me_out,
+            stream_median,
+            &trust,
+        )
     }
 
     /// Runs joint detection over every product of a dataset (accepts
@@ -385,6 +269,157 @@ impl JointDetector {
             all.extend(result.suspicious.iter().copied());
         }
         (all, per_product)
+    }
+}
+
+/// The two-path integration of Fig. 1 over pre-computed detector
+/// outcomes — shared verbatim by the batch and online paths so their
+/// marks are bit-identical.
+///
+/// `stream_median` is the robust central level `m` of the timeline's
+/// values; the paper's band thresholds derive from it as
+/// `threshold_a = 0.5·m` and `threshold_b = 0.5·m + 0.5` (exactly
+/// [`arc::value_thresholds`]), and the Path-2 mean-deviation adjudicator
+/// uses it as the reference level.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn integrate_outcomes<F>(
+    config: &DetectorConfig,
+    timeline: TimelineView<'_>,
+    mc_out: McOutcome,
+    harc_out: ArcOutcome,
+    larc_out: ArcOutcome,
+    hc_out: HcOutcome,
+    me_out: MeOutcome,
+    stream_median: f64,
+    trust: &F,
+) -> DetectionResult
+where
+    F: Fn(RaterId) -> f64,
+{
+    let _integrate_span = rrs_obs::trace::span("detect.integrate");
+    let threshold_a = 0.5 * stream_median;
+    let threshold_b = 0.5 * stream_median + 0.5;
+    let mut suspicious = BTreeSet::new();
+    let mut hits = Vec::new();
+
+    // Path 1: strong attacks. Candidate intervals on the MC side are
+    // its U-shapes (the paper's wording) plus its flagged segments
+    // (Section IV-B.3); on the ARC side likewise. A coincidence marks
+    // the band inside the overlap.
+    let mc_candidates = candidate_windows(&mc_out.u_shapes, &mc_out.suspicious);
+    let mut path1_consumed_high: Vec<TimeWindow> = Vec::new();
+    let mut path1_consumed_low: Vec<TimeWindow> = Vec::new();
+    for mc_window in &mc_candidates {
+        for (arc_out, band, consumed) in [
+            (&harc_out, Band::High, &mut path1_consumed_high),
+            (&larc_out, Band::Low, &mut path1_consumed_low),
+        ] {
+            for arc_window in candidate_windows(&arc_out.u_shapes, &arc_out.suspicious) {
+                if let Some(overlap) = mc_window.intersect(arc_window) {
+                    let marked = mark_band(
+                        timeline,
+                        overlap,
+                        band,
+                        threshold_a,
+                        threshold_b,
+                        &mut suspicious,
+                    );
+                    consumed.push(arc_window);
+                    hits.push(PathHit {
+                        path: 1,
+                        window: overlap,
+                        band,
+                        marked,
+                    });
+                }
+            }
+        }
+    }
+
+    // Path 2: un-consumed ARC alarms adjudicated by ME (high band) or
+    // HC (low band), or by a direct mean-deviation check of the
+    // alarmed interval. The last adjudicator covers diluted attacks:
+    // their gradual onset raises no MC peaks, so the MC detector
+    // never delimits a segment for Path 1 — but the alarmed interval
+    // itself, once the arrival-rate evidence has drawn its
+    // boundaries, shows the mean shift plainly.
+    let me_intervals: Vec<TimeWindow> = me_out.suspicious.iter().map(|s| s.window).collect();
+    let hc_intervals: Vec<TimeWindow> = hc_out.suspicious.iter().map(|s| s.window).collect();
+    let overall_trust = if timeline.is_empty() {
+        0.5
+    } else {
+        timeline
+            .entries()
+            .iter()
+            .map(|e| trust(e.rater()))
+            .sum::<f64>()
+            / timeline.len() as f64
+    };
+    let mean_dev_confirms = |window: TimeWindow| -> bool {
+        let slice = timeline.in_window(window);
+        if slice.is_empty() {
+            return false;
+        }
+        let mean = slice.iter().map(rrs_core::RatingEntry::value).sum::<f64>() / slice.len() as f64;
+        let dev = (mean - stream_median).abs();
+        let slice_trust = slice.iter().map(|e| trust(e.rater())).sum::<f64>() / slice.len() as f64;
+        let less_trusted =
+            overall_trust > 0.0 && slice_trust / overall_trust < config.mc.trust_ratio;
+        dev > config.mc.threshold1 || (dev > config.mc.threshold2 && less_trusted)
+    };
+    for (arc_out, band, consumed, adjudicator) in [
+        (&harc_out, Band::High, &path1_consumed_high, &me_intervals),
+        (&larc_out, Band::Low, &path1_consumed_low, &hc_intervals),
+    ] {
+        for arc_interval in &arc_out.suspicious {
+            if consumed.contains(&arc_interval.window) {
+                continue;
+            }
+            let mut confirmed: Vec<TimeWindow> = adjudicator
+                .iter()
+                .filter_map(|adj| arc_interval.window.intersect(*adj))
+                .collect();
+            if confirmed.is_empty() && mean_dev_confirms(arc_interval.window) {
+                confirmed.push(arc_interval.window);
+            }
+            for overlap in confirmed {
+                let marked = mark_band(
+                    timeline,
+                    overlap,
+                    band,
+                    threshold_a,
+                    threshold_b,
+                    &mut suspicious,
+                );
+                hits.push(PathHit {
+                    path: 2,
+                    window: overlap,
+                    band,
+                    marked,
+                });
+            }
+        }
+    }
+
+    if rrs_obs::enabled() {
+        for hit in &hits {
+            let name = match hit.path {
+                1 => "detect.path1_hits",
+                _ => "detect.path2_hits",
+            };
+            rrs_obs::metrics::counter_add(name, 1);
+        }
+        rrs_obs::metrics::counter_add("detect.marked_ratings", suspicious.len() as u64);
+    }
+
+    DetectionResult {
+        suspicious,
+        mc: mc_out,
+        harc: harc_out,
+        larc: larc_out,
+        hc: hc_out,
+        me: me_out,
+        hits,
     }
 }
 

@@ -19,6 +19,11 @@
 //!
 //! [`integrate`] combines them along the two detection paths of the
 //! paper's Figure 1 and emits per-rating suspicion marks.
+//!
+//! [`online`] provides the incremental epoch loop: a rolling
+//! [`OnlineState`] lets [`JointDetector::detect_all_online`] consume only
+//! the ratings that arrived since the previous epoch while producing
+//! output identical to the batch path (proven by oracle property tests).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,6 +34,7 @@ pub mod hc;
 pub mod integrate;
 pub mod mc;
 pub mod me;
+pub mod online;
 mod suspicion;
 
 pub use arc::{ArcConfig, ArcOutcome, ArcVariant};
@@ -37,4 +43,5 @@ pub use hc::{HcConfig, HcOutcome};
 pub use integrate::{Band, DetectionResult, DetectorVerdictSummary, JointDetector, PathHit};
 pub use mc::{McConfig, McOutcome};
 pub use me::{MeConfig, MeOutcome};
+pub use online::OnlineState;
 pub use suspicion::{SuspicionKind, SuspiciousInterval};

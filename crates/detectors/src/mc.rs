@@ -10,7 +10,7 @@
 
 use crate::suspicion::{SuspicionKind, SuspiciousInterval};
 use rrs_core::stream::split_at_peaks;
-use rrs_core::{RaterId, TimeWindow, TimelineView, Timestamp};
+use rrs_core::{RaterId, RatingEntry, TimeWindow, TimelineView, Timestamp};
 use rrs_signal::curve::{Curve, CurvePoint, Peak, UShape};
 use std::ops::Range;
 
@@ -96,6 +96,61 @@ impl McOutcome {
     }
 }
 
+/// Computes the MC indicator point at rating `k`: `X₁` spans the ratings
+/// in `[t_k − h, t_k)` and `X₂` spans `[t_k, t_k + h)`. Returns `None`
+/// when either half holds fewer than `min_half_ratings` ratings.
+///
+/// The point is *final* once the horizon has passed `t_k + h`: every
+/// later arrival carries a time at or beyond the horizon end, so both
+/// `partition_point` results and the prefix-sum differences are frozen.
+/// The online path caches settled points on exactly this argument.
+pub(crate) fn indicator_point(
+    times: &[f64],
+    prefix: &[f64],
+    k: usize,
+    config: &McConfig,
+) -> Option<CurvePoint> {
+    let t = times[k];
+    let lo = times.partition_point(|&x| x < t - config.half_window_days);
+    let hi = times.partition_point(|&x| x < t + config.half_window_days);
+    indicator_point_with_bounds(times, prefix, k, lo, hi, config)
+}
+
+/// [`indicator_point`] with the window bounds already resolved: `lo` and
+/// `hi` must equal the two `partition_point` results above. The bounds
+/// are integers, so any method that produces the same indices — the
+/// online path advances them as monotone two-pointers across a scan —
+/// yields a bit-identical point.
+pub(crate) fn indicator_point_with_bounds(
+    times: &[f64],
+    prefix: &[f64],
+    k: usize,
+    lo: usize,
+    hi: usize,
+    config: &McConfig,
+) -> Option<CurvePoint> {
+    let t = times[k];
+    let left = lo..k;
+    let right = k..hi;
+    if left.len() < config.min_half_ratings
+        || right.len() < config.min_half_ratings
+        || left.is_empty()
+        || right.is_empty()
+    {
+        return None;
+    }
+    let a1 = (prefix[left.end] - prefix[left.start]) / left.len() as f64;
+    let a2 = (prefix[right.end] - prefix[right.start]) / right.len() as f64;
+    let n1 = left.len() as f64;
+    let n2 = right.len() as f64;
+    let w_eff = 2.0 * n1 * n2 / (n1 + n2);
+    Some(CurvePoint {
+        index: k,
+        time: t,
+        value: w_eff * (a1 - a2).powi(2),
+    })
+}
+
 /// Runs the MC detector over one product's timeline (accepts
 /// `&ProductTimeline` or a borrowed [`TimelineView`]).
 ///
@@ -123,38 +178,15 @@ where
     for (i, &v) in values.iter().enumerate() {
         prefix[i + 1] = prefix[i] + v;
     }
-    let range_mean = |r: Range<usize>| -> Option<f64> {
-        if r.is_empty() {
-            None
-        } else {
-            Some((prefix[r.end] - prefix[r.start]) / r.len() as f64)
-        }
-    };
 
     // Indicator curve: for rating k, X1 = ratings in [t_k − h, t_k),
     // X2 = [t_k, t_k + h).
     let signal_span = rrs_obs::trace::span("signal.mc");
     let mut points = Vec::with_capacity(n);
     for k in 0..n {
-        let t = times[k];
-        let lo = times.partition_point(|&x| x < t - config.half_window_days);
-        let hi = times.partition_point(|&x| x < t + config.half_window_days);
-        let left = lo..k;
-        let right = k..hi;
-        if left.len() < config.min_half_ratings || right.len() < config.min_half_ratings {
-            continue;
+        if let Some(p) = indicator_point(&times, &prefix, k, config) {
+            points.push(p);
         }
-        let (Some(a1), Some(a2)) = (range_mean(left.clone()), range_mean(right.clone())) else {
-            continue;
-        };
-        let n1 = left.len() as f64;
-        let n2 = right.len() as f64;
-        let w_eff = 2.0 * n1 * n2 / (n1 + n2);
-        points.push(CurvePoint {
-            index: k,
-            time: t,
-            value: w_eff * (a1 - a2).powi(2),
-        });
     }
     let curve = Curve::new(points);
 
@@ -163,9 +195,51 @@ where
         .max(1e-6);
     let peak_threshold = config.glrt_gamma * 2.0 * sigma2;
     let peaks = curve.find_peaks(peak_threshold, config.peak_separation);
-    let u_shapes = curve.find_u_shapes(peak_threshold, config.peak_separation, config.valley_ratio);
+    let u_shapes = curve.u_shapes_between(&peaks, config.valley_ratio);
     drop(signal_span);
+
+    let overall_mean = rrs_signal::stats::median(&values).expect("n > 0");
+    judge_segments(
+        entries,
+        &times,
+        &prefix,
+        curve,
+        peaks,
+        u_shapes,
+        overall_mean,
+        config,
+        trust,
+    )
+}
+
+/// Segments the stream at the peaks and judges each segment — shared
+/// verbatim by the batch and online paths so their verdicts are
+/// bit-identical. `overall_mean` is the stream's reference level (the
+/// *median* rating value; see the comment inside on why not the mean).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn judge_segments<F>(
+    entries: &[RatingEntry],
+    times: &[f64],
+    prefix: &[f64],
+    curve: Curve,
+    peaks: Vec<Peak>,
+    u_shapes: Vec<UShape>,
+    overall_mean: f64,
+    config: &McConfig,
+    trust: F,
+) -> McOutcome
+where
+    F: Fn(RaterId) -> f64,
+{
     let _detect_span = rrs_obs::trace::span("detect.mc");
+    let n = entries.len();
+    let range_mean = |r: Range<usize>| -> Option<f64> {
+        if r.is_empty() {
+            None
+        } else {
+            Some((prefix[r.end] - prefix[r.start]) / r.len() as f64)
+        }
+    };
 
     // Segment the stream at the peaks and judge each segment. The
     // reference level `B_avg` is the *median* rating value rather than
@@ -174,7 +248,6 @@ where
     // normal (the reference the paper uses is safe only while unfair
     // ratings are a small minority of the stream).
     let peak_indices = Curve::peak_stream_indices(&peaks);
-    let overall_mean = rrs_signal::stats::median(&values).expect("n > 0");
     let trust_values: Vec<f64> = entries.iter().map(|e| trust(e.rater())).collect();
     let overall_trust: f64 = trust_values.iter().sum::<f64>() / n as f64;
 

@@ -55,6 +55,58 @@ impl MeOutcome {
     }
 }
 
+/// Computes the ME curve point for the window starting at `start`, or
+/// `None` when the AR fit fails (requires
+/// `start + window_ratings ≤ values.len()`).
+///
+/// The point only reads the frozen prefix `values[start..start + w]` and
+/// `times[center]`, so it is final as soon as the window fits — the
+/// online path appends each new window's point exactly once.
+pub(crate) fn window_point(
+    values: &[f64],
+    times: &[f64],
+    start: usize,
+    config: &MeConfig,
+) -> Option<CurvePoint> {
+    let center = start + config.window_ratings / 2;
+    fit_ar(&values[start..start + config.window_ratings], config.order)
+        .ok()
+        .map(|model| CurvePoint {
+            index: center,
+            time: times[center],
+            value: model.normalized_error(),
+        })
+}
+
+/// Merges consecutive below-threshold curve samples into suspicious
+/// intervals covering the full windows involved — shared verbatim by the
+/// batch and online paths.
+pub(crate) fn suspicious_runs(
+    curve: &Curve,
+    times: &[f64],
+    config: &MeConfig,
+) -> Vec<SuspiciousInterval> {
+    let w = config.window_ratings;
+    let mut suspicious = Vec::new();
+    let pts = curve.points();
+    let mut run_start: Option<usize> = None;
+    for (i, p) in pts.iter().enumerate() {
+        let below = p.value <= config.threshold;
+        match (below, run_start) {
+            (true, None) => run_start = Some(i),
+            (false, Some(s)) => {
+                suspicious.push(run_interval(pts, s, i - 1, times, w));
+                run_start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = run_start {
+        suspicious.push(run_interval(pts, s, pts.len() - 1, times, w));
+    }
+    suspicious
+}
+
 /// Runs the ME detector over one product's timeline.
 #[must_use]
 pub fn detect<'a>(timeline: impl Into<TimelineView<'a>>, config: &MeConfig) -> MeOutcome {
@@ -72,13 +124,8 @@ pub fn detect<'a>(timeline: impl Into<TimelineView<'a>>, config: &MeConfig) -> M
     let mut points = Vec::new();
     let mut start = 0usize;
     while start + w <= n {
-        let center = start + w / 2;
-        if let Ok(model) = fit_ar(&values[start..start + w], config.order) {
-            points.push(CurvePoint {
-                index: center,
-                time: times[center],
-                value: model.normalized_error(),
-            });
+        if let Some(p) = window_point(&values, &times, start, config) {
+            points.push(p);
         }
         start += step;
     }
@@ -86,26 +133,7 @@ pub fn detect<'a>(timeline: impl Into<TimelineView<'a>>, config: &MeConfig) -> M
     drop(signal_span);
     let _detect_span = rrs_obs::trace::span("detect.me");
 
-    // Merge consecutive below-threshold samples into intervals covering
-    // the full windows involved.
-    let mut suspicious = Vec::new();
-    let pts = curve.points();
-    let mut run_start: Option<usize> = None;
-    for (i, p) in pts.iter().enumerate() {
-        let below = p.value <= config.threshold;
-        match (below, run_start) {
-            (true, None) => run_start = Some(i),
-            (false, Some(s)) => {
-                suspicious.push(run_interval(pts, s, i - 1, &times, w));
-                run_start = None;
-            }
-            _ => {}
-        }
-    }
-    if let Some(s) = run_start {
-        suspicious.push(run_interval(pts, s, pts.len() - 1, &times, w));
-    }
-
+    let suspicious = suspicious_runs(&curve, &times, config);
     MeOutcome { curve, suspicious }
 }
 

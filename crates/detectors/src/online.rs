@@ -1,0 +1,976 @@
+//! Incremental (online) joint detection: rolling per-(product, window)
+//! state that lets each scoring epoch consume only the ratings that
+//! arrived since the previous epoch.
+//!
+//! The batch path re-derives every indicator curve from the full borrowed
+//! prefix each epoch, so the per-epoch `signal` stage cost grows with the
+//! prefix length. This module replays **exactly the same float
+//! operations** on cached state instead, keyed on one observation: most
+//! of every indicator curve is *settled* — no future arrival can change
+//! it — because arrivals are time-ordered and each epoch's horizon end is
+//! a lower bound on all later rating times.
+//!
+//! Settlement conditions, per detector:
+//!
+//! * **MC** — the point at rating `k` reads `[t_k − h, t_k + h)`; it is
+//!   settled once `t_k + h ≤ E` (horizon end), because both
+//!   `partition_point` boundaries and the prefix-sum differences are then
+//!   frozen. Settled indices form a prefix of the stream.
+//! * **ARC** — the point at day `k` reads day bins `[k − w, k + w)` with
+//!   `w = min(D, k)` once the edge clip stops binding; it is settled once
+//!   `k + min(D, k)` whole days are complete (`⌊E − start⌋`). Daily
+//!   counts themselves are appended in O(1) per rating; a *change of the
+//!   stream median* re-bands history, so the band is rebuilt (and its
+//!   settled points discarded) whenever the median's bit pattern moves.
+//! * **HC / ME** — windows are index-based (`[start, start + w)`), so a
+//!   window is settled the moment it fits inside the stream; each is
+//!   evaluated exactly once, ever.
+//!
+//! Work that genuinely depends on the whole prefix each epoch — the MC
+//! variance, the median, run-merging, peak finding, segmentation, and the
+//! two-path integration — is a handful of linear passes and stays in the
+//! batch code, *shared* with this path (see [`crate::mc::judge_segments`]
+//! and friends), which is what makes the agreement exact rather than
+//! approximate: the oracle property tests in this module assert
+//! `DetectionResult` equality epoch by epoch, and `scripts/verify.sh`
+//! byte-diffs whole report trees between the two modes.
+//!
+//! The cache trusts its caller to feed it *prefix views of one growing
+//! stream* (the epoch loop's shape). Every absorb re-checks the cheap
+//! invariants — same horizon start, monotone horizon end, append-only
+//! time-sorted entries at or beyond the previous horizon end, matching
+//! tail entry — and on any violation falls back to a full rebuild: wrong
+//! inputs cost speed, never correctness.
+
+use crate::arc::{self, ArcConfig, ArcOutcome, ArcVariant};
+use crate::hc::{self, HcConfig, HcOutcome};
+use crate::integrate::{integrate_outcomes, DetectionResult, JointDetector};
+use crate::mc::{self, McConfig, McOutcome};
+use crate::me::{self, MeConfig, MeOutcome};
+use rrs_core::{DatasetView, ProductId, RaterId, RatingEntry, RatingId, TimeWindow, TimelineView};
+use rrs_signal::curve::{Curve, CurvePoint};
+use rrs_signal::{ArAccumulator, Cusum, DecayedHistogram, Ewma, Welford, WindowedWelford};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+/// Rolling detector state carried across scoring epochs, one slot per
+/// product. Feed it to [`JointDetector::detect_all_online`] with a
+/// growing prefix view each epoch; starting from a fresh state is always
+/// correct (the first epoch is simply a full build).
+#[derive(Debug, Default)]
+pub struct OnlineState {
+    products: BTreeMap<ProductId, ProductState>,
+}
+
+impl OnlineState {
+    /// Creates an empty state (no products tracked yet).
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineState::default()
+    }
+
+    /// Number of products holding rolling state.
+    #[must_use]
+    pub fn products_tracked(&self) -> usize {
+        self.products.len()
+    }
+}
+
+/// All rolling state for one product.
+#[derive(Debug, Default, Clone)]
+struct ProductState {
+    cache: StreamCache,
+    mc: McState,
+    harc: ArcBandState,
+    larc: ArcBandState,
+    hc: HcWindowState,
+    me: WindowedState,
+    /// Rolling diagnostics, maintained only while the observability sink
+    /// is enabled. They feed counters/gauges and never influence
+    /// detection, so report trees stay identical across modes.
+    telemetry: Option<Telemetry>,
+}
+
+/// What [`StreamCache::absorb`] did with the epoch's entries.
+enum Absorbed {
+    /// Entries at and beyond `new_from` were appended to the cache.
+    Appended { new_from: usize },
+    /// A contract violation (or the first epoch) forced a full rebuild;
+    /// every settled structure derived from the cache must be discarded.
+    Rebuilt,
+}
+
+/// Append-only mirror of one product's stream, maintaining exactly the
+/// intermediate vectors the batch detectors build per call: values,
+/// times, prefix sums (same fold order), and the `total_cmp`-sorted
+/// values that back `stats::median`.
+#[derive(Debug, Default, Clone)]
+struct StreamCache {
+    values: Vec<f64>,
+    times: Vec<f64>,
+    /// Prefix sums of `values`, length `values.len() + 1` once non-empty.
+    prefix: Vec<f64>,
+    /// `values` sorted by `total_cmp` — identical to what
+    /// `stats::median` produces internally, since equal keys are
+    /// bit-identical.
+    sorted: Vec<f64>,
+    /// Bit pattern of the horizon start all offsets were computed from.
+    start_bits: u64,
+    /// Horizon end (days) of the last absorb; settled state is only
+    /// valid while future arrivals land at or beyond it.
+    end_days: f64,
+}
+
+impl StreamCache {
+    fn absorb(&mut self, entries: &[RatingEntry], horizon: TimeWindow) -> Absorbed {
+        let start = horizon.start().as_days();
+        let end = horizon.end().as_days();
+        if !self.consistent_with(entries, start, end) {
+            self.rebuild(entries, start, end);
+            return Absorbed::Rebuilt;
+        }
+        let new_from = self.values.len();
+        for e in &entries[new_from..] {
+            let t = e.time().as_days();
+            if t < self.end_days {
+                // An arrival below the previous horizon end could land
+                // inside windows already settled; start over.
+                self.rebuild(entries, start, end);
+                return Absorbed::Rebuilt;
+            }
+            self.push(e.value(), t);
+        }
+        self.end_days = end;
+        Absorbed::Appended { new_from }
+    }
+
+    /// O(1) guards over the epoch-loop contract. The tail spot-check
+    /// catches a swapped dataset even when lengths happen to line up.
+    fn consistent_with(&self, entries: &[RatingEntry], start: f64, end: f64) -> bool {
+        let n = self.values.len();
+        if n == 0 {
+            // An empty cache has nothing to protect, but routing the
+            // first non-empty epoch through `rebuild` keeps one
+            // initialization path.
+            return entries.is_empty();
+        }
+        entries.len() >= n
+            && start.to_bits() == self.start_bits
+            && end >= self.end_days
+            && entries[n - 1].value().to_bits() == self.values[n - 1].to_bits()
+            && entries[n - 1].time().as_days().to_bits() == self.times[n - 1].to_bits()
+    }
+
+    fn rebuild(&mut self, entries: &[RatingEntry], start: f64, end: f64) {
+        self.values.clear();
+        self.times.clear();
+        self.prefix.clear();
+        self.sorted.clear();
+        self.start_bits = start.to_bits();
+        for e in entries {
+            self.push(e.value(), e.time().as_days());
+        }
+        self.end_days = end;
+    }
+
+    fn push(&mut self, v: f64, t: f64) {
+        if self.prefix.is_empty() {
+            self.prefix.push(0.0);
+        }
+        let last = self.prefix[self.prefix.len() - 1];
+        self.prefix.push(last + v);
+        self.values.push(v);
+        self.times.push(t);
+        let pos = self.sorted.partition_point(|x| x.total_cmp(&v).is_lt());
+        self.sorted.insert(pos, v);
+    }
+
+    /// `stats::median` replayed on the maintained sorted vector.
+    fn median(&self) -> Option<f64> {
+        let v = &self.sorted;
+        if v.is_empty() {
+            return None;
+        }
+        let mid = v.len() / 2;
+        Some(if v.len() % 2 == 1 {
+            v[mid]
+        } else {
+            (v[mid - 1] + v[mid]) / 2.0
+        })
+    }
+}
+
+/// Settled MC indicator points plus the first unsettled rating index.
+#[derive(Debug, Default, Clone)]
+struct McState {
+    settled: Vec<CurvePoint>,
+    scan_from: usize,
+}
+
+/// One H-ARC/L-ARC band: incrementally maintained daily counts plus the
+/// settled slice of the ARC curve.
+#[derive(Debug, Default, Clone)]
+struct ArcBandState {
+    /// The band's daily counts over the horizon —
+    /// `daily_counts_filtered` replayed bitwise, append-only.
+    counts: Vec<u32>,
+    /// Entries already folded into `counts`.
+    absorbed: usize,
+    /// Bit pattern of the stream median the band threshold derives from.
+    /// The median re-bands *history* when it moves, so any change forces
+    /// a rebuild of counts and settled points.
+    median_bits: Option<u64>,
+    settled: Vec<CurvePoint>,
+    scan_from: usize,
+}
+
+/// Settled curve points of an index-windowed detector (HC/ME) plus the
+/// next window start to evaluate.
+#[derive(Debug, Default, Clone)]
+struct WindowedState {
+    settled: Vec<CurvePoint>,
+    next_start: usize,
+}
+
+/// HC's windowed state plus a sliding sorted multiset of the most
+/// recently evaluated window, so each new window costs O(w)
+/// insert/remove instead of an O(w log w) sort.
+#[derive(Debug, Default, Clone)]
+struct HcWindowState {
+    settled: Vec<CurvePoint>,
+    next_start: usize,
+    /// `values[prev_start..prev_start + w]` in `total_cmp` order.
+    sorted: Vec<f64>,
+    /// Start index of the window `sorted` currently mirrors.
+    prev_start: Option<usize>,
+}
+
+/// Rolling per-product instruments exercising the incremental statistics
+/// of `rrs-signal`: full-stream and windowed Welford moments, a
+/// count-decayed value histogram, incremental AR residual state, and the
+/// CUSUM/EWMA change charts. Pure diagnostics — alarms surface as
+/// counters, never as detection input.
+#[derive(Debug, Clone)]
+struct Telemetry {
+    welford: Welford,
+    windowed: WindowedWelford,
+    histogram: DecayedHistogram,
+    ar: ArAccumulator,
+    cusum: Cusum,
+    ewma: Ewma,
+}
+
+impl Telemetry {
+    fn new() -> Self {
+        // Centered on the rating scale's midpoint with generous bands:
+        // the charts are meant to flag gross stream shifts in traces,
+        // not to re-implement the detectors.
+        Telemetry {
+            welford: Welford::new(),
+            windowed: WindowedWelford::new(64),
+            histogram: DecayedHistogram::new(0.0, 5.0, 10, 0.99),
+            ar: ArAccumulator::new(4),
+            cusum: Cusum::new(2.5, 0.25, 8.0),
+            ewma: Ewma::new(2.5, 1.0, 0.2, 4.0),
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.welford.push(v);
+        self.windowed.push(v);
+        self.histogram.push(v);
+        self.ar.push(v);
+        if self.cusum.push(v).is_some() {
+            rrs_obs::metrics::counter_add("signal.online.cusum_alarms", 1);
+        }
+        if self.ewma.push(v).is_some() {
+            rrs_obs::metrics::counter_add("signal.online.ewma_alarms", 1);
+        }
+    }
+}
+
+/// Incremental MC: settle every point whose right window closed at or
+/// before the horizon end, then evaluate only the live tail.
+fn mc_online<F>(
+    cache: &StreamCache,
+    state: &mut McState,
+    entries: &[RatingEntry],
+    horizon_end: f64,
+    stream_median: f64,
+    config: &McConfig,
+    trust: &F,
+) -> McOutcome
+where
+    F: Fn(RaterId) -> f64,
+{
+    let n = cache.values.len();
+    if n == 0 || n < 2 * config.min_half_ratings {
+        return McOutcome::default();
+    }
+    let signal_span = rrs_obs::trace::span("signal.mc");
+    // Written `t + h <= E` — the exact freshness condition — rather than
+    // the algebraically equal but not bitwise-safe `t <= E - h`.
+    let settle_until = cache
+        .times
+        .partition_point(|&t| t + config.half_window_days <= horizon_end)
+        .max(state.scan_from);
+    // The window bounds `lo`/`hi` are monotone in `k` (times are sorted,
+    // `t_k` is non-decreasing), so two pointers advanced linearly land on
+    // exactly the `partition_point` indices the batch path computes —
+    // integer-for-integer, hence bit-identical points — at O(n) total
+    // comparisons per epoch instead of two binary searches per point.
+    let h = config.half_window_days;
+    let mut lo = 0usize;
+    let mut hi = 0usize;
+    let point_at = |k: usize, lo: &mut usize, hi: &mut usize| {
+        let t = cache.times[k];
+        while *lo < n && cache.times[*lo] < t - h {
+            *lo += 1;
+        }
+        while *hi < n && cache.times[*hi] < t + h {
+            *hi += 1;
+        }
+        mc::indicator_point_with_bounds(&cache.times, &cache.prefix, k, *lo, *hi, config)
+    };
+    for k in state.scan_from..settle_until {
+        if let Some(p) = point_at(k, &mut lo, &mut hi) {
+            state.settled.push(p);
+        }
+    }
+    state.scan_from = settle_until;
+    let mut points = state.settled.clone();
+    for k in settle_until..n {
+        if let Some(p) = point_at(k, &mut lo, &mut hi) {
+            points.push(p);
+        }
+    }
+    let curve = Curve::new(points);
+    let sigma2 = rrs_signal::stats::variance(&cache.values)
+        .unwrap_or(0.0)
+        .max(1e-6);
+    let peak_threshold = config.glrt_gamma * 2.0 * sigma2;
+    let peaks = curve.find_peaks(peak_threshold, config.peak_separation);
+    let u_shapes = curve.u_shapes_between(&peaks, config.valley_ratio);
+    drop(signal_span);
+    mc::judge_segments(
+        entries,
+        &cache.times,
+        &cache.prefix,
+        curve,
+        peaks,
+        u_shapes,
+        stream_median,
+        config,
+        trust,
+    )
+}
+
+/// Incremental H-ARC/L-ARC: O(1) count appends while the stream median
+/// holds its bit pattern, full rebuild when it moves (a moved median
+/// re-bands every historical rating), then settle every curve point
+/// whose day window is complete.
+fn arc_band_online(
+    band: &mut ArcBandState,
+    cache_rebuilt: bool,
+    entries: &[RatingEntry],
+    horizon: TimeWindow,
+    variant: ArcVariant,
+    stream_median: f64,
+    config: &ArcConfig,
+) -> ArcOutcome {
+    let signal_span = rrs_obs::trace::span("signal.arc");
+    let median_bits = stream_median.to_bits();
+    let days = horizon.length().get().ceil() as usize;
+    let rebuild = cache_rebuilt
+        || band.median_bits != Some(median_bits)
+        || band.absorbed > entries.len()
+        || days < band.counts.len();
+    if rebuild {
+        band.counts = vec![0u32; days];
+        band.settled.clear();
+        band.scan_from = 0;
+        band.absorbed = 0;
+        band.median_bits = Some(median_bits);
+    } else if days > band.counts.len() {
+        band.counts.resize(days, 0);
+    }
+    // Replays `daily_counts_filtered` bitwise: same thresholds derived
+    // from the same median, same in-window restriction, same offset and
+    // last-bucket clamp expressions. The clamp never binds for in-window
+    // entries (`offset < E − start ≤ days`), so counts appended under an
+    // older, shorter `days` are identical to a fresh batch computation.
+    let threshold_a = 0.5 * stream_median;
+    let threshold_b = 0.5 * stream_median + 0.5;
+    for e in &entries[band.absorbed..] {
+        if e.time() < horizon.start() || e.time() >= horizon.end() {
+            continue;
+        }
+        let keep = match variant {
+            ArcVariant::All => true,
+            ArcVariant::High => e.value() > threshold_a,
+            ArcVariant::Low => e.value() < threshold_b,
+        };
+        if keep {
+            let offset = e.time().as_days() - horizon.start().as_days();
+            let idx = (offset.floor() as usize).min(days.saturating_sub(1));
+            band.counts[idx] += 1;
+        }
+    }
+    band.absorbed = entries.len();
+
+    let n = band.counts.len();
+    if n < 2 * config.min_half_days {
+        drop(signal_span);
+        return ArcOutcome::empty(variant);
+    }
+    let day0 = horizon.start();
+    // Prefix sums over the integer counts make each curve evaluation O(1)
+    // while staying bit-identical to the slice-based batch point (see
+    // `curve_point_from_prefix`). Rebuilt per epoch in O(days) — cheaper
+    // than even one windowed GLRT over slices.
+    let mut prefix = vec![0u64; n + 1];
+    for (i, &c) in band.counts.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + u64::from(c);
+    }
+    // Whole days completed by the horizon: bins below this index are
+    // frozen, because future arrivals carry times at or beyond the
+    // horizon end and therefore land in bins at or beyond it.
+    let complete = (horizon.end().as_days() - horizon.start().as_days()).floor() as usize;
+    let mut k = band.scan_from.max(config.min_half_days);
+    while k + config.half_window_days.min(k) <= complete && k + config.min_half_days <= n {
+        if let Some(p) = arc::curve_point_from_prefix(&prefix, day0, k, config) {
+            band.settled.push(p);
+        }
+        k += 1;
+    }
+    band.scan_from = k;
+    let mut points = band.settled.clone();
+    for k in k..=(n - config.min_half_days) {
+        if let Some(p) = arc::curve_point_from_prefix(&prefix, day0, k, config) {
+            points.push(p);
+        }
+    }
+    let curve = Curve::new(points);
+    let peaks = curve.find_peaks(config.glrt_threshold, config.peak_separation);
+    let u_shapes = curve.u_shapes_between(&peaks, config.valley_ratio);
+    drop(signal_span);
+    arc::judge_counts(&band.counts, day0, variant, config, curve, peaks, u_shapes)
+}
+
+/// Incremental HC: each window is evaluated exactly once, when it first
+/// fits inside the stream, against a sliding sorted multiset of its
+/// values (bit-identical to sorting each window from scratch — same
+/// multiset, same `total_cmp` order).
+fn hc_online(cache: &StreamCache, state: &mut HcWindowState, config: &HcConfig) -> HcOutcome {
+    let n = cache.values.len();
+    let w = config.window_ratings;
+    if n < w || w == 0 {
+        return HcOutcome::default();
+    }
+    let signal_span = rrs_obs::trace::span("signal.hc");
+    let step = config.step.max(1);
+    while state.next_start + w <= n {
+        let s = state.next_start;
+        slide_sorted_window(state, &cache.values, s, w, step);
+        state.settled.push(hc::window_point_presorted(
+            &state.sorted,
+            &cache.times,
+            s,
+            config,
+        ));
+        state.prev_start = Some(s);
+        state.next_start += step;
+    }
+    let curve = Curve::new(state.settled.clone());
+    drop(signal_span);
+    let _detect_span = rrs_obs::trace::span("detect.hc");
+    let suspicious = hc::suspicious_runs(&curve, &cache.times, config);
+    HcOutcome { curve, suspicious }
+}
+
+/// Brings `state.sorted` to the multiset of `values[s..s + w]` in
+/// `total_cmp` order: slides from the previous window when it overlaps
+/// the new one, rebuilds from scratch otherwise (first window, a step
+/// at least as wide as the window, or a defensive miss on removal —
+/// `total_cmp` equality is bit equality, so every element leaving the
+/// window is found at its `partition_point` unless the invariant was
+/// broken).
+fn slide_sorted_window(state: &mut HcWindowState, values: &[f64], s: usize, w: usize, step: usize) {
+    let slid =
+        step < w && state.sorted.len() == w && s >= step && state.prev_start == Some(s - step) && {
+            let prev = s - step;
+            let mut ok = true;
+            for &v in &values[prev..s] {
+                let idx = state.sorted.partition_point(|x| x.total_cmp(&v).is_lt());
+                if idx < state.sorted.len() && state.sorted[idx].to_bits() == v.to_bits() {
+                    state.sorted.remove(idx);
+                } else {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for &v in &values[prev + w..s + w] {
+                    let idx = state.sorted.partition_point(|x| x.total_cmp(&v).is_lt());
+                    state.sorted.insert(idx, v);
+                }
+            }
+            ok
+        };
+    if !slid {
+        state.sorted.clear();
+        state.sorted.extend_from_slice(&values[s..s + w]);
+        state.sorted.sort_by(|a, b| a.total_cmp(b));
+    }
+}
+
+/// Incremental ME: mirror of [`hc_online`] with a fallible AR fit.
+fn me_online(cache: &StreamCache, state: &mut WindowedState, config: &MeConfig) -> MeOutcome {
+    let n = cache.values.len();
+    let w = config.window_ratings;
+    if n < w || w == 0 || config.order == 0 {
+        return MeOutcome::default();
+    }
+    let signal_span = rrs_obs::trace::span("signal.me");
+    let step = config.step.max(1);
+    while state.next_start + w <= n {
+        if let Some(p) = me::window_point(&cache.values, &cache.times, state.next_start, config) {
+            state.settled.push(p);
+        }
+        state.next_start += step;
+    }
+    let curve = Curve::new(state.settled.clone());
+    drop(signal_span);
+    let _detect_span = rrs_obs::trace::span("detect.me");
+    let suspicious = me::suspicious_runs(&curve, &cache.times, config);
+    MeOutcome { curve, suspicious }
+}
+
+/// One product's incremental epoch: absorb new arrivals, run the four
+/// detectors against rolling state, integrate.
+fn detect_product_online<F>(
+    detector: &JointDetector,
+    timeline: TimelineView<'_>,
+    horizon: TimeWindow,
+    state: &mut ProductState,
+    trust: &F,
+) -> DetectionResult
+where
+    F: Fn(RaterId) -> f64,
+{
+    let entries = timeline.entries();
+    let online_span = rrs_obs::trace::span("signal.online");
+    let absorbed = state.cache.absorb(entries, horizon);
+    let rebuilt = matches!(absorbed, Absorbed::Rebuilt);
+    if rebuilt {
+        state.mc = McState::default();
+        state.hc = HcWindowState::default();
+        state.me = WindowedState::default();
+        // The ARC bands rebuild themselves via the flag passed below.
+    }
+    let new_from = match absorbed {
+        Absorbed::Appended { new_from } => new_from,
+        Absorbed::Rebuilt => 0,
+    };
+    let stream_median = state.cache.median().unwrap_or(2.5);
+    drop(online_span);
+    if rrs_obs::enabled() {
+        // Rolling instruments are diagnostics riding along with the
+        // stream, not detection work — billed to their own stage so the
+        // `signal` totals reflect what detection itself costs.
+        let _telemetry_span = rrs_obs::trace::span("obs.telemetry");
+        let telemetry = state.telemetry.get_or_insert_with(Telemetry::new);
+        for &v in &state.cache.values[new_from..] {
+            telemetry.observe(v);
+        }
+        rrs_obs::metrics::counter_add(
+            "signal.online.absorbed_ratings",
+            (state.cache.values.len() - new_from) as u64,
+        );
+        if rebuilt {
+            rrs_obs::metrics::counter_add("signal.online.rebuilds", 1);
+        }
+    }
+
+    let config = detector.config();
+    let enabled = config.enabled;
+    let mc_out = if enabled.mc {
+        mc_online(
+            &state.cache,
+            &mut state.mc,
+            entries,
+            horizon.end().as_days(),
+            stream_median,
+            &config.mc,
+            trust,
+        )
+    } else {
+        McOutcome::default()
+    };
+    let (harc_out, larc_out) = if enabled.arc {
+        (
+            arc_band_online(
+                &mut state.harc,
+                rebuilt,
+                entries,
+                horizon,
+                ArcVariant::High,
+                stream_median,
+                &config.arc,
+            ),
+            arc_band_online(
+                &mut state.larc,
+                rebuilt,
+                entries,
+                horizon,
+                ArcVariant::Low,
+                stream_median,
+                &config.arc,
+            ),
+        )
+    } else {
+        (
+            ArcOutcome::empty(ArcVariant::High),
+            ArcOutcome::empty(ArcVariant::Low),
+        )
+    };
+    let hc_out = if enabled.hc {
+        hc_online(&state.cache, &mut state.hc, &config.hc)
+    } else {
+        HcOutcome::default()
+    };
+    let me_out = if enabled.me {
+        me_online(&state.cache, &mut state.me, &config.me)
+    } else {
+        MeOutcome::default()
+    };
+    integrate_outcomes(
+        config,
+        timeline,
+        mc_out,
+        harc_out,
+        larc_out,
+        hc_out,
+        me_out,
+        stream_median,
+        trust,
+    )
+}
+
+impl JointDetector {
+    /// Incremental variant of [`JointDetector::detect_all`]: identical
+    /// output (the oracle property tests assert exact equality and the
+    /// verify script byte-diffs report trees), but each epoch's signal
+    /// stage touches only the ratings that arrived since the previous
+    /// call with the same `state`.
+    ///
+    /// The caller keeps one [`OnlineState`] per evaluation and feeds
+    /// growing prefix views of the same dataset, exactly like the
+    /// P-scheme epoch loop. Any departure from that contract is detected
+    /// by the cache guards and answered with a rebuild — wrong usage
+    /// degrades to batch speed, never to wrong results.
+    ///
+    /// Products are independent; state slots are moved out of the map,
+    /// processed under [`rrs_core::par::par_map`] (product order, so the
+    /// output is identical at any thread count), and re-inserted.
+    pub fn detect_all_online<'a, D, F>(
+        &self,
+        dataset: D,
+        horizon: TimeWindow,
+        trust: F,
+        state: &mut OnlineState,
+    ) -> (BTreeSet<RatingId>, Vec<(ProductId, DetectionResult)>)
+    where
+        D: Into<DatasetView<'a>>,
+        F: Fn(RaterId) -> f64 + Sync,
+    {
+        let view = dataset.into();
+        let trust = &trust;
+        let slots: Vec<Mutex<ProductState>> = view
+            .products()
+            .iter()
+            .map(|(pid, _)| Mutex::new(state.products.remove(pid).unwrap_or_default()))
+            .collect();
+        let per_product = rrs_core::par::par_map(view.products(), |i, &(pid, timeline)| {
+            let mut product_state = slots[i]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            (
+                pid,
+                detect_product_online(self, timeline, horizon, &mut product_state, trust),
+            )
+        });
+        for ((pid, _), slot) in view.products().iter().zip(slots) {
+            let product_state = slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.products.insert(*pid, product_state);
+        }
+        let mut all = BTreeSet::new();
+        for (_, result) in &per_product {
+            all.extend(result.suspicious.iter().copied());
+        }
+        if rrs_obs::enabled() {
+            epoch_gauges(state);
+        }
+        (all, per_product)
+    }
+}
+
+/// Epoch-level gauges over the rolling telemetry, emitted serially in
+/// product order after the parallel map (so values are thread-count
+/// independent).
+fn epoch_gauges(state: &OnlineState) {
+    rrs_obs::metrics::gauge_set("signal.online.products", state.products.len() as f64);
+    let mut max_window_variance: Option<f64> = None;
+    let mut min_ar_error: Option<f64> = None;
+    for product_state in state.products.values() {
+        let Some(t) = &product_state.telemetry else {
+            continue;
+        };
+        if let Some(v) = t.windowed.variance() {
+            max_window_variance = Some(max_window_variance.map_or(v, |m| m.max(v)));
+        }
+        if let Ok(model) = t.ar.fit() {
+            let e = model.normalized_error();
+            min_ar_error = Some(min_ar_error.map_or(e, |m| m.min(e)));
+        }
+    }
+    if let Some(v) = max_window_variance {
+        rrs_obs::metrics::gauge_set("signal.online.max_window_variance", v);
+    }
+    if let Some(e) = min_ar_error {
+        rrs_obs::metrics::gauge_set("signal.online.min_ar_error", e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectorConfig;
+    use rrs_core::rng::RrsRng;
+    use rrs_core::rng::Xoshiro256pp;
+    use rrs_core::{
+        prop_assert, props, Rating, RatingDataset, RatingSource, RatingValue, Timestamp,
+    };
+
+    fn ts(d: f64) -> Timestamp {
+        Timestamp::new(d).unwrap()
+    }
+
+    /// 90 days of fair ratings at ~4/day over two products.
+    fn fair_dataset(seed: u64) -> RatingDataset {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut d = RatingDataset::new();
+        let mut rater = 0u32;
+        for product in 0..2u16 {
+            for day in 0..90 {
+                let n = 3 + (rng.gen::<u8>() % 3) as usize;
+                for slot in 0..n {
+                    d.insert(
+                        Rating::new(
+                            RaterId::new(rater % 211),
+                            ProductId::new(product),
+                            ts(f64::from(day) + slot as f64 / n as f64),
+                            RatingValue::new_clamped(4.0 + rng.gen_range(-0.8..0.8)),
+                        ),
+                        RatingSource::Fair,
+                    );
+                    rater += 1;
+                }
+            }
+        }
+        d
+    }
+
+    fn add_burst(d: &mut RatingDataset, from: f64, days: usize, per_day: usize, value: f64) {
+        let mut rater = 50_000u32;
+        for day in 0..days {
+            for slot in 0..per_day {
+                d.insert(
+                    Rating::new(
+                        RaterId::new(rater),
+                        ProductId::new(0),
+                        ts(from + day as f64 + slot as f64 / per_day as f64),
+                        RatingValue::new_clamped(value),
+                    ),
+                    RatingSource::Unfair,
+                );
+                rater += 1;
+            }
+        }
+    }
+
+    /// Splits a varying trust landscape over the rater ids.
+    fn trust_fn(r: RaterId) -> f64 {
+        if r.value() >= 50_000 {
+            0.2
+        } else if r.value().is_multiple_of(3) {
+            0.4
+        } else {
+            0.8
+        }
+    }
+
+    /// Runs batch and online detection over growing prefixes and asserts
+    /// full `DetectionResult` equality at every epoch.
+    fn assert_epochs_agree(d: &RatingDataset, ends: &[f64]) {
+        let detector = JointDetector::default();
+        let mut state = OnlineState::new();
+        for &end in ends {
+            let window = TimeWindow::new(ts(0.0), ts(end)).unwrap();
+            let prefix = d.prefix_view(window);
+            let (batch_marks, batch_results) = detector.detect_all(&prefix, window, trust_fn);
+            let (online_marks, online_results) =
+                detector.detect_all_online(&prefix, window, trust_fn, &mut state);
+            assert_eq!(batch_marks, online_marks, "marks diverged at end={end}");
+            assert_eq!(
+                batch_results, online_results,
+                "per-product results diverged at end={end}"
+            );
+        }
+    }
+
+    #[test]
+    fn fair_epochs_agree_with_batch() {
+        let d = fair_dataset(1);
+        assert_epochs_agree(&d, &[30.0, 60.0, 90.0]);
+    }
+
+    #[test]
+    fn attacked_epochs_agree_with_batch() {
+        let mut d = fair_dataset(2);
+        add_burst(&mut d, 40.0, 12, 5, 0.8);
+        assert_epochs_agree(&d, &[30.0, 60.0, 90.0]);
+    }
+
+    #[test]
+    fn fine_grained_epochs_agree_with_batch() {
+        // Many small epochs stress the settle/tail boundary more than the
+        // eval loop's three: every fifth day is an epoch end.
+        let mut d = fair_dataset(3);
+        add_burst(&mut d, 40.0, 12, 6, 0.5);
+        let ends: Vec<f64> = (1..=18).map(|i| f64::from(i) * 5.0).collect();
+        assert_epochs_agree(&d, &ends);
+    }
+
+    #[test]
+    fn state_survives_empty_epochs() {
+        // Repeating the same horizon adds nothing new; the cache must
+        // absorb zero entries and still reproduce the batch result.
+        let mut d = fair_dataset(4);
+        add_burst(&mut d, 40.0, 12, 5, 0.8);
+        assert_epochs_agree(&d, &[60.0, 60.0, 60.0, 90.0]);
+    }
+
+    #[test]
+    fn contract_violation_heals_via_rebuild() {
+        // Feed epochs of dataset A, then switch the same OnlineState to
+        // dataset B (different stream, same shape): the tail spot-check
+        // must catch the swap and the result must equal B's batch run.
+        let mut a = fair_dataset(5);
+        add_burst(&mut a, 40.0, 10, 5, 0.6);
+        let b = fair_dataset(6);
+        let detector = JointDetector::default();
+        let mut state = OnlineState::new();
+        for &end in &[30.0, 60.0] {
+            let window = TimeWindow::new(ts(0.0), ts(end)).unwrap();
+            let prefix = a.prefix_view(window);
+            detector.detect_all_online(&prefix, window, trust_fn, &mut state);
+        }
+        let window = TimeWindow::new(ts(0.0), ts(90.0)).unwrap();
+        let prefix = b.prefix_view(window);
+        let (batch_marks, batch_results) = detector.detect_all(&prefix, window, trust_fn);
+        let (online_marks, online_results) =
+            detector.detect_all_online(&prefix, window, trust_fn, &mut state);
+        assert_eq!(batch_marks, online_marks);
+        assert_eq!(batch_results, online_results);
+    }
+
+    #[test]
+    fn shrinking_horizon_heals_via_rebuild() {
+        // A horizon that moves backwards violates monotonicity; the
+        // guards must rebuild rather than trust over-settled state.
+        let mut d = fair_dataset(7);
+        add_burst(&mut d, 40.0, 10, 5, 0.6);
+        let detector = JointDetector::default();
+        let mut state = OnlineState::new();
+        for &end in &[90.0, 45.0, 90.0] {
+            let window = TimeWindow::new(ts(0.0), ts(end)).unwrap();
+            let prefix = d.prefix_view(window);
+            let (batch_marks, _) = detector.detect_all(&prefix, window, trust_fn);
+            let (online_marks, _) =
+                detector.detect_all_online(&prefix, window, trust_fn, &mut state);
+            assert_eq!(batch_marks, online_marks, "diverged at end={end}");
+        }
+    }
+
+    #[test]
+    fn disabled_detectors_agree_with_batch() {
+        let mut d = fair_dataset(8);
+        add_burst(&mut d, 40.0, 12, 5, 0.8);
+        for ablated in [
+            crate::AblatedDetector::MeanChange,
+            crate::AblatedDetector::ArrivalRate,
+            crate::AblatedDetector::Histogram,
+            crate::AblatedDetector::ModelError,
+        ] {
+            let detector = JointDetector::new(DetectorConfig::default().without(ablated));
+            let mut state = OnlineState::new();
+            for &end in &[30.0, 60.0, 90.0] {
+                let window = TimeWindow::new(ts(0.0), ts(end)).unwrap();
+                let prefix = d.prefix_view(window);
+                let (batch_marks, batch_results) = detector.detect_all(&prefix, window, trust_fn);
+                let (online_marks, online_results) =
+                    detector.detect_all_online(&prefix, window, trust_fn, &mut state);
+                assert_eq!(batch_marks, online_marks, "{ablated:?} diverged");
+                assert_eq!(batch_results, online_results, "{ablated:?} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn state_tracks_products() {
+        let d = fair_dataset(9);
+        let detector = JointDetector::default();
+        let mut state = OnlineState::new();
+        assert_eq!(state.products_tracked(), 0);
+        let window = TimeWindow::new(ts(0.0), ts(30.0)).unwrap();
+        let prefix = d.prefix_view(window);
+        detector.detect_all_online(&prefix, window, trust_fn, &mut state);
+        assert_eq!(state.products_tracked(), 2);
+    }
+
+    props! {
+        #[test]
+        fn online_epochs_equal_batch_oracle(
+            seed in 0u64..48,
+            burst_start in 31.0f64..55.0,
+            burst_days in 0usize..12,
+            burst_per_day in 3usize..7,
+            burst_value in 0.0f64..2.5,
+        ) {
+            let mut d = fair_dataset(seed);
+            if burst_days > 0 {
+                add_burst(&mut d, burst_start, burst_days, burst_per_day, burst_value);
+            }
+            let detector = JointDetector::default();
+            let mut state = OnlineState::new();
+            for &end in &[30.0, 60.0, 90.0] {
+                let window = TimeWindow::new(ts(0.0), ts(end)).unwrap();
+                let prefix = d.prefix_view(window);
+                let (batch_marks, batch_results) = detector.detect_all(&prefix, window, trust_fn);
+                let (online_marks, online_results) =
+                    detector.detect_all_online(&prefix, window, trust_fn, &mut state);
+                prop_assert!(
+                    batch_marks == online_marks,
+                    "marks diverged from the batch oracle at end={end}"
+                );
+                prop_assert!(
+                    batch_results == online_results,
+                    "per-product results diverged from the batch oracle at end={end}"
+                );
+            }
+        }
+    }
+}

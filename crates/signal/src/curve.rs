@@ -164,7 +164,14 @@ impl Curve {
         min_separation: usize,
         valley_ratio: f64,
     ) -> Vec<UShape> {
-        let peaks = self.find_peaks(min_height, min_separation);
+        self.u_shapes_between(&self.find_peaks(min_height, min_separation), valley_ratio)
+    }
+
+    /// [`find_u_shapes`](Self::find_u_shapes) from peaks the caller has
+    /// already computed with the same height/separation parameters —
+    /// avoids scanning the curve for peaks a second time.
+    #[must_use]
+    pub fn u_shapes_between(&self, peaks: &[Peak], valley_ratio: f64) -> Vec<UShape> {
         let mut out = Vec::new();
         for pair in peaks.windows(2) {
             let (l, r) = (pair[0], pair[1]);

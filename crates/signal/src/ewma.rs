@@ -27,6 +27,16 @@ pub struct Ewma {
     limit: f64,
     z: f64,
     n: usize,
+    /// Observations since the last alarm (or since the start), used for
+    /// the start-up variance transient. Saturates at `transient_limit`.
+    transient: u32,
+    /// Once `transient` reaches this, `(1−λ)^{2·transient} ≤ 2⁻⁶⁴` and the
+    /// exact transient factor is bitwise-indistinguishable from 1, so the
+    /// band uses the asymptotic variance directly. Keeping the `powi`
+    /// exponent `2·transient ≤ 2·limit` bounded fixes the long-stream
+    /// overflow where `2 * n as i32` wrapped negative at `n ≥ 2³⁰`,
+    /// making `var_scale` negative and the band permanently NaN.
+    transient_limit: u32,
 }
 
 impl Ewma {
@@ -53,22 +63,50 @@ impl Ewma {
             limit,
             z: mean,
             n: 0,
+            transient: 0,
+            transient_limit: Ewma::transient_limit(lambda),
+        }
+    }
+
+    /// Smallest `k` with `(1−λ)^{2k} ≤ 2⁻⁶⁴` (then `1 − (1−λ)^{2k}`
+    /// rounds to exactly 1.0, with ten bits of margin over the 2⁻⁵⁴
+    /// rounding threshold to absorb `powi` error). Capped at 10⁹ so the
+    /// `powi` exponent `2k` always fits in `i32` even for λ so small the
+    /// 2⁻⁶⁴ bound is unreachable.
+    fn transient_limit(lambda: f64) -> u32 {
+        if lambda >= 1.0 {
+            return 0;
+        }
+        let k = (-64.0 * std::f64::consts::LN_2) / (2.0 * (1.0 - lambda).ln());
+        if k >= 1e9 {
+            1_000_000_000
+        } else {
+            k.ceil() as u32
         }
     }
 
     /// Feeds one observation; returns an alarm if the statistic left the
-    /// control band. The statistic resets to the center after an alarm.
+    /// control band. The statistic resets to the center after an alarm —
+    /// and so does the variance transient, so post-alarm sensitivity
+    /// matches a freshly constructed chart instead of keeping the wide
+    /// asymptotic band.
     pub fn push(&mut self, x: f64) -> Option<EwmaAlarm> {
         self.z = (1.0 - self.lambda) * self.z + self.lambda * x;
         let index = self.n;
         self.n += 1;
-        let var_scale =
-            self.lambda / (2.0 - self.lambda) * (1.0 - (1.0 - self.lambda).powi(2 * self.n as i32));
+        let asymptote = self.lambda / (2.0 - self.lambda);
+        let var_scale = if self.transient >= self.transient_limit {
+            asymptote
+        } else {
+            self.transient += 1;
+            asymptote * (1.0 - (1.0 - self.lambda).powi(2 * self.transient as i32))
+        };
         let band = self.limit * self.sigma * var_scale.sqrt();
         if (self.z - self.mean).abs() > band {
             let direction = if self.z > self.mean { 1 } else { -1 };
             let statistic = self.z;
             self.z = self.mean;
+            self.transient = 0;
             Some(EwmaAlarm {
                 index,
                 direction,
@@ -154,5 +192,54 @@ mod tests {
     #[should_panic(expected = "lambda")]
     fn zero_lambda_panics() {
         let _ = Ewma::new(0.0, 1.0, 0.0, 3.0);
+    }
+
+    #[test]
+    fn long_stream_band_stays_finite() {
+        // Regression: the exponent used to be `2 * n as i32`, which wraps
+        // negative once n ≥ 2³⁰, making var_scale negative, the band NaN,
+        // and the chart permanently silent. Simulate a chart deep into a
+        // long stream and check it still has a finite band and still
+        // alarms on a genuine shift.
+        let mut chart = Ewma::new(4.0, 0.52, 0.2, 3.0);
+        chart.n = 1 << 31;
+        chart.transient = chart.transient_limit;
+        for _ in 0..10 {
+            assert!(chart.push(4.0).is_none());
+            assert!(chart.statistic().is_finite());
+        }
+        let alarm = (0..100).find_map(|_| chart.push(0.0)).expect("no alarm");
+        assert_eq!(alarm.direction, -1);
+        assert!(alarm.index >= 1 << 31, "index must keep counting globally");
+    }
+
+    #[test]
+    fn converged_band_matches_asymptote_bitwise() {
+        // At transient = transient_limit the old transient formula rounds
+        // to exactly the asymptote, so clamping there changes nothing.
+        let lambda = 0.2f64;
+        let limit_k = Ewma::transient_limit(lambda);
+        let transient_factor = 1.0 - (1.0 - lambda).powi(2 * limit_k as i32);
+        assert_eq!(transient_factor.to_bits(), 1.0f64.to_bits());
+        // Early in the transient the factor genuinely differs from 1.
+        let early = 1.0 - (1.0 - lambda).powi(2 * 10);
+        assert!(early < 1.0);
+    }
+
+    #[test]
+    fn post_alarm_sensitivity_matches_fresh_chart() {
+        // λ=0.2, σ=1, L=3: a fresh chart's first-step band is
+        // 3·√(0.111·0.36) = 0.6, while the asymptotic band is 1.0. After
+        // an alarm the transient must reset, so a single x=4 observation
+        // (z = 0.8) alarms again — under the old always-asymptotic band
+        // it would sit silently inside ±1.0.
+        let mut chart = Ewma::new(0.0, 1.0, 0.2, 3.0);
+        let first = chart.push(10.0);
+        assert!(first.is_some(), "10σ jump must alarm immediately");
+        let mut fresh = Ewma::new(0.0, 1.0, 0.2, 3.0);
+        let a = chart.push(4.0).expect("post-alarm chart lost sensitivity");
+        let b = fresh.push(4.0).expect("fresh chart should alarm");
+        assert_eq!(a.direction, b.direction);
+        assert_eq!(a.statistic.to_bits(), b.statistic.to_bits());
     }
 }

@@ -73,13 +73,27 @@ fn xlnx(x: f64) -> f64 {
 /// agree. Returns `None` if either side is empty.
 #[must_use]
 pub fn arrival_rate_glrt(y1: &[u32], y2: &[u32]) -> Option<f64> {
-    if y1.is_empty() || y2.is_empty() {
-        return None;
-    }
-    let a = y1.len() as f64;
-    let b = y2.len() as f64;
     let sum1: f64 = y1.iter().map(|&v| f64::from(v)).sum();
     let sum2: f64 = y2.iter().map(|&v| f64::from(v)).sum();
+    arrival_rate_glrt_from_sums(y1.len() as f64, sum1, y2.len() as f64, sum2)
+}
+
+/// [`arrival_rate_glrt`] evaluated from precomputed window lengths and
+/// count sums.
+///
+/// Daily counts are integers, so a left-to-right `f64` sum of a count
+/// window is exact as long as it stays below 2⁵³; a prefix-sum difference
+/// therefore reproduces the slice sum bit for bit. This is what lets the
+/// online ARC path evaluate each curve point in O(1) from a prefix-sum
+/// table while remaining bit-identical to the batch slice-based oracle.
+///
+/// Returns `None` if either window is empty (`a <= 0` or `b <= 0`),
+/// matching the empty-slice behavior of [`arrival_rate_glrt`].
+#[must_use]
+pub fn arrival_rate_glrt_from_sums(a: f64, sum1: f64, b: f64, sum2: f64) -> Option<f64> {
+    if a <= 0.0 || b <= 0.0 {
+        return None;
+    }
     let mean1 = sum1 / a;
     let mean2 = sum2 / b;
     let total = a + b;
@@ -200,6 +214,32 @@ mod tests {
             y2 in vec_of(0u32..20, 1..30),
         ) {
             prop_assert!(arrival_rate_glrt(&y1, &y2).unwrap() >= -1e-12);
+        }
+
+        #[test]
+        fn arrival_rate_from_prefix_sums_is_bitwise_identical(
+            counts in vec_of(0u32..5000, 2..60),
+            split_num in 1u32..100,
+        ) {
+            // Window sums recovered as prefix-sum differences must give the
+            // exact statistic the slice-based form computes: count sums are
+            // integers below 2^53, so both paths see identical f64 sums.
+            let split = 1 + (split_num as usize) % (counts.len() - 1);
+            let mut prefix = vec![0u64; counts.len() + 1];
+            for (i, &c) in counts.iter().enumerate() {
+                prefix[i + 1] = prefix[i] + u64::from(c);
+            }
+            let (y1, y2) = counts.split_at(split);
+            let slow = arrival_rate_glrt(y1, y2).unwrap();
+            let sum1 = (prefix[split] - prefix[0]) as f64;
+            let sum2 = (prefix[counts.len()] - prefix[split]) as f64;
+            let fast = arrival_rate_glrt_from_sums(
+                y1.len() as f64, sum1, y2.len() as f64, sum2,
+            ).unwrap();
+            prop_assert!(
+                fast.to_bits() == slow.to_bits(),
+                "prefix-sum GLRT diverged: {fast} vs {slow}"
+            );
         }
     }
 }

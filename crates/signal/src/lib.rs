@@ -37,10 +37,11 @@ pub mod sampling;
 pub mod special;
 pub mod stats;
 
-pub use ar::{fit_ar, ArModel};
+pub use ar::{fit_ar, ArAccumulator, ArModel};
 pub use cluster::{single_linkage, single_linkage_1d};
 pub use curve::{Curve, CurvePoint, Peak, UShape};
 pub use cusum::{Cusum, CusumAlarm};
 pub use ewma::{Ewma, EwmaAlarm};
 pub use glrt::{arrival_rate_glrt, mean_change_glrt, mean_change_indicator};
 pub use special::{ln_gamma, reg_inc_beta, reg_inc_beta_inv};
+pub use stats::{DecayedHistogram, Welford, WindowedWelford};

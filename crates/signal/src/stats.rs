@@ -132,8 +132,11 @@ impl Histogram {
 
 /// Builds a histogram of `xs` over `[lo, hi]` with `bins` equal-width bins.
 ///
-/// Samples outside the range are clamped into the end bins; `hi` itself
-/// lands in the last bin.
+/// Finite samples outside the range are clamped into the end bins; `hi`
+/// itself lands in the last bin. Non-finite samples (NaN, ±∞) are
+/// skipped, for the same reason as [`min`]/[`max`]: `(NaN - lo) / width`
+/// is NaN, which fails the `< 0` test and then saturates to 0 under
+/// `as usize`, so a poisoned sample would silently inflate bin 0.
 ///
 /// # Panics
 ///
@@ -145,17 +148,143 @@ pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Histogram {
     let mut counts = vec![0usize; bins];
     let width = (hi - lo) / bins as f64;
     for &x in xs {
-        let idx = ((x - lo) / width).floor();
-        let idx = if idx < 0.0 {
-            0
-        } else if idx as usize >= bins {
-            bins - 1
-        } else {
-            idx as usize
-        };
-        counts[idx] += 1;
+        if let Some(idx) = bin_index(x, lo, width, bins) {
+            counts[idx] += 1;
+        }
     }
     Histogram { counts, lo, hi }
+}
+
+/// Maps a sample to its bin, clamping finite out-of-range values into the
+/// end bins and rejecting non-finite ones. Shared by [`histogram`] and
+/// [`DecayedHistogram`] so both agree on edge handling.
+fn bin_index(x: f64, lo: f64, width: f64, bins: usize) -> Option<usize> {
+    if !x.is_finite() {
+        return None;
+    }
+    let idx = ((x - lo) / width).floor();
+    Some(if idx < 0.0 {
+        0
+    } else if idx as usize >= bins {
+        bins - 1
+    } else {
+        idx as usize
+    })
+}
+
+/// A count-decayed histogram: every stored count shrinks by a factor
+/// `decay` per arriving sample, so the distribution tracks the *recent*
+/// stream instead of all history. An O(1)-per-sample building block for
+/// online detectors (the batch [`histogram`] recomputes from scratch).
+///
+/// Implemented without touching every bin on push: increments are made
+/// with a growing weight (`decay⁻ⁿ` for the `n`-th sample) and the whole
+/// histogram is read out relative to the newest sample's weight, with an
+/// occasional renormalization long before the weight can overflow. The
+/// readout therefore matches the direct computation
+/// `Σ decay^(n−1−i) · [xᵢ ∈ bin]` to within floating-point rounding
+/// (relative error ≈ machine epsilon per renormalization; the
+/// `decayed_histogram_agrees_with_batch` property test bounds it at
+/// 1e-9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecayedHistogram {
+    counts: Vec<f64>,
+    lo: f64,
+    hi: f64,
+    decay: f64,
+    /// Weight the next pushed sample adds to its bin.
+    scale: f64,
+    /// Number of (finite) samples counted so far.
+    samples: u64,
+}
+
+/// Renormalize once the pending increment weight exceeds this, keeping
+/// `scale` far away from `f64::MAX` (≈ 1.8e308) at all times.
+const DECAY_RENORM_LIMIT: f64 = 1e100;
+
+impl DecayedHistogram {
+    /// Creates an empty decayed histogram over `[lo, hi]` with `bins`
+    /// equal-width bins and per-sample decay factor `decay ∈ (0, 1]`
+    /// (1.0 degrades to an undecayed running histogram).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, `hi <= lo`, or `decay` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize, decay: f64) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-degenerate");
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "decay must lie in (0, 1], got {decay}"
+        );
+        DecayedHistogram {
+            counts: vec![0.0; bins],
+            lo,
+            hi,
+            decay,
+            scale: 1.0,
+            samples: 0,
+        }
+    }
+
+    /// Absorbs one sample: existing mass decays by `decay`, the sample's
+    /// bin gains weight 1 (relative to the post-push readout). Non-finite
+    /// samples are skipped, exactly as in [`histogram`].
+    pub fn push(&mut self, x: f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let Some(idx) = bin_index(x, self.lo, width, self.counts.len()) else {
+            return;
+        };
+        self.counts[idx] += self.scale;
+        self.samples += 1;
+        self.scale /= self.decay;
+        if self.scale > DECAY_RENORM_LIMIT {
+            let inv = 1.0 / self.scale;
+            for c in &mut self.counts {
+                *c *= inv;
+            }
+            self.scale = 1.0;
+        }
+    }
+
+    /// Returns the decayed per-bin weights, normalized so the most recent
+    /// sample contributes weight 1 (all zeros before the first sample).
+    #[must_use]
+    pub fn weights(&self) -> Vec<f64> {
+        if self.samples == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        // `scale` is the weight the *next* sample would add, so the most
+        // recent one added `scale · decay`.
+        let newest = self.scale * self.decay;
+        self.counts.iter().map(|c| c / newest).collect()
+    }
+
+    /// Returns the total decayed weight (≤ `1/(1−decay)` in steady
+    /// state; equal to the sample count when `decay == 1`).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.weights().iter().sum()
+    }
+
+    /// Returns the number of (finite) samples absorbed.
+    #[must_use]
+    pub const fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Returns the `[lo, hi]` range the histogram covers.
+    #[must_use]
+    pub const fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Returns the number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
 }
 
 /// Online mean/variance accumulator (Welford's algorithm).
@@ -200,6 +329,140 @@ impl Welford {
     #[must_use]
     pub fn variance(&self) -> Option<f64> {
         (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Absorbs another accumulator (Chan et al.'s pairwise update), as if
+    /// every sample pushed into `other` had been pushed into `self`.
+    ///
+    /// Exact in structure but not bitwise: the merged `m2` follows a
+    /// different rounding path than sequential pushes, so agreement with
+    /// the batch formulas is to ~1e-9 relative (property-tested), not to
+    /// the bit.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let n = self.n + other.n;
+        let nf = n as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / nf);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / nf);
+        self.n = n;
+    }
+
+    /// Removes one previously pushed sample (the algebraic inverse of
+    /// [`Welford::push`]; which copy of a duplicated value is removed is
+    /// immaterial).
+    ///
+    /// Numerically this is the one lossy operation in the accumulator:
+    /// cancellation can leave `m2` slightly negative, so it is clamped at
+    /// zero, and long push/remove streams accumulate rounding error
+    /// proportional to the data's dynamic range. [`WindowedWelford`]
+    /// documents the resulting error bound; callers needing exactness
+    /// should rebuild instead.
+    ///
+    /// Removing from an empty accumulator is a no-op.
+    pub fn remove(&mut self, x: f64) {
+        match self.n {
+            0 => {}
+            1 => *self = Welford::default(),
+            _ => {
+                let n = self.n as f64;
+                self.n -= 1;
+                let old_mean = self.mean;
+                self.mean = (n * self.mean - x) / self.n as f64;
+                self.m2 -= (x - old_mean) * (x - self.mean);
+                if self.m2 < 0.0 {
+                    self.m2 = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Mean/variance over a sliding window of the last `capacity` samples:
+/// a [`Welford`] accumulator plus a ring buffer, so each push is O(1)
+/// regardless of window size.
+///
+/// Agreement with the batch [`mean`]/[`variance`] of the window contents
+/// is bounded-error, not exact: every eviction runs [`Welford::remove`],
+/// whose cancellation error compounds over the stream. For data with
+/// bounded dynamic range (ratings live in `[0, 5]`) the drift stays
+/// within ~1e-9 absolute over thousands of pushes — the
+/// `windowed_welford_agrees_with_batch` property test locks this bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedWelford {
+    ring: Vec<f64>,
+    /// Index of the oldest sample once the ring is full.
+    head: usize,
+    capacity: usize,
+    acc: Welford,
+}
+
+impl WindowedWelford {
+    /// Creates an empty window holding at most `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        WindowedWelford {
+            ring: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            acc: Welford::new(),
+        }
+    }
+
+    /// Pushes a sample, evicting the oldest one once the window is full.
+    pub fn push(&mut self, x: f64) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(x);
+        } else {
+            self.acc.remove(self.ring[self.head]);
+            self.ring[self.head] = x;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.acc.push(x);
+    }
+
+    /// Returns the number of samples currently in the window.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.acc.count()
+    }
+
+    /// Returns the window capacity.
+    #[must_use]
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns `true` once the window has wrapped at least once.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.ring.len() == self.capacity
+    }
+
+    /// Returns the mean of the windowed samples, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        self.acc.mean()
+    }
+
+    /// Returns the population variance of the windowed samples, or
+    /// `None` if empty.
+    #[must_use]
+    pub fn variance(&self) -> Option<f64> {
+        self.acc.variance()
     }
 }
 
@@ -278,6 +541,113 @@ mod tests {
     }
 
     #[test]
+    fn histogram_skips_non_finite() {
+        // Regression: `(NaN - lo) / width` is NaN, which fails the `< 0`
+        // test and then saturates to 0 under `as usize`, so every NaN
+        // sample was silently counted into bin 0. ±∞ likewise belongs in
+        // no bin. Non-finite samples must be ignored, as in min/max.
+        let h = histogram(
+            &[f64::NAN, -f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.5],
+            0.0,
+            5.0,
+            5,
+        );
+        assert_eq!(h.counts(), &[1, 0, 0, 0, 0]);
+        assert_eq!(h.total(), 1);
+        let empty = histogram(&[f64::NAN], 0.0, 5.0, 5);
+        assert_eq!(empty.total(), 0);
+    }
+
+    #[test]
+    fn decayed_histogram_basic() {
+        let mut h = DecayedHistogram::new(0.0, 5.0, 5, 0.5);
+        assert_eq!(h.weights(), vec![0.0; 5]);
+        h.push(0.5); // bin 0
+        h.push(0.5); // bin 0
+        h.push(4.5); // bin 4
+                     // Newest sample weighs 1; earlier ones decay by 0.5 per arrival.
+        let w = h.weights();
+        assert!((w[0] - (0.25 + 0.5)).abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+        assert_eq!(h.samples(), 3);
+        h.push(f64::NAN);
+        assert_eq!(h.samples(), 3, "non-finite samples must be skipped");
+    }
+
+    #[test]
+    fn decayed_histogram_renormalizes_without_drift() {
+        // decay 0.5 doubles the increment weight per push, so the 1e100
+        // renormalization threshold trips every ~332 pushes. Push far
+        // past several renormalizations and check the steady-state
+        // weights are still the geometric series.
+        let mut h = DecayedHistogram::new(0.0, 5.0, 2, 0.5);
+        for _ in 0..2000 {
+            h.push(1.0);
+        }
+        assert!((h.total() - 2.0).abs() < 1e-9, "total {}", h.total());
+        assert!(h.weights()[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_of_split_matches_whole() {
+        let xs = [1.0, 2.5, -3.0, 4.0, 0.0, 7.5, 2.0];
+        for split in 0..=xs.len() {
+            let mut a = Welford::new();
+            let mut b = Welford::new();
+            for &x in &xs[..split] {
+                a.push(x);
+            }
+            for &x in &xs[split..] {
+                b.push(x);
+            }
+            a.merge(&b);
+            assert_eq!(a.count(), xs.len() as u64);
+            assert!((a.mean().unwrap() - mean(&xs).unwrap()).abs() < 1e-12);
+            assert!((a.variance().unwrap() - variance(&xs).unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn welford_remove_inverts_push() {
+        let mut w = Welford::new();
+        for x in [1.0, 2.0, 5.0, -1.0] {
+            w.push(x);
+        }
+        w.remove(5.0);
+        let rest = [1.0, 2.0, -1.0];
+        assert_eq!(w.count(), 3);
+        assert!((w.mean().unwrap() - mean(&rest).unwrap()).abs() < 1e-12);
+        assert!((w.variance().unwrap() - variance(&rest).unwrap()).abs() < 1e-12);
+        w.remove(1.0);
+        w.remove(2.0);
+        w.remove(-1.0);
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), None);
+        // Removing from empty is a documented no-op.
+        w.remove(9.0);
+        assert_eq!(w.count(), 0);
+    }
+
+    #[test]
+    fn windowed_welford_tracks_last_capacity_samples() {
+        let mut w = WindowedWelford::new(3);
+        for x in [10.0, 20.0, 30.0, 40.0, 50.0] {
+            w.push(x);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.count(), 3);
+        let tail = [30.0, 40.0, 50.0];
+        assert!((w.mean().unwrap() - mean(&tail).unwrap()).abs() < 1e-9);
+        assert!((w.variance().unwrap() - variance(&tail).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn windowed_welford_zero_capacity_panics() {
+        let _ = WindowedWelford::new(0);
+    }
+
+    #[test]
     fn welford_matches_batch() {
         let xs = [1.0, 2.0, 3.0, 4.0, 5.5];
         let mut w = Welford::new();
@@ -315,6 +685,61 @@ mod tests {
             let m = mean(&xs).unwrap();
             prop_assert!(m >= min(&xs).unwrap() - 1e-9);
             prop_assert!(m <= max(&xs).unwrap() + 1e-9);
+        }
+
+        #[test]
+        fn windowed_welford_agrees_with_batch(xs in vec_of(0.0f64..5.0, 1..200)) {
+            // Streaming window vs the batch oracle over the same tail,
+            // checked at every prefix so eviction errors can't hide.
+            let cap = 1 + xs.len() % 7;
+            let mut w = WindowedWelford::new(cap);
+            for (i, &x) in xs.iter().enumerate() {
+                w.push(x);
+                let tail = &xs[(i + 1).saturating_sub(cap)..=i];
+                prop_assert_eq!(w.count() as usize, tail.len());
+                prop_assert!((w.mean().unwrap() - mean(tail).unwrap()).abs() < 1e-9);
+                prop_assert!((w.variance().unwrap() - variance(tail).unwrap()).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn welford_merge_agrees_with_batch(
+            xs in vec_of(-50.0f64..50.0, 0..40),
+            ys in vec_of(-50.0f64..50.0, 0..40),
+        ) {
+            let mut a = Welford::new();
+            for &x in &xs { a.push(x); }
+            let mut b = Welford::new();
+            for &y in &ys { b.push(y); }
+            a.merge(&b);
+            let all: Vec<f64> = xs.iter().chain(&ys).copied().collect();
+            prop_assert_eq!(a.count() as usize, all.len());
+            if !all.is_empty() {
+                prop_assert!((a.mean().unwrap() - mean(&all).unwrap()).abs() < 1e-9);
+                prop_assert!((a.variance().unwrap() - variance(&all).unwrap()).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn decayed_histogram_agrees_with_batch(xs in vec_of(-10.0f64..10.0, 0..80)) {
+            // Oracle: weight of the i-th finite sample (0-based, n total)
+            // is decay^(n-1-i), computed directly per bin.
+            let (lo, hi, bins, decay) = (0.0, 5.0, 10usize, 0.9);
+            let mut h = DecayedHistogram::new(lo, hi, bins, decay);
+            for &x in &xs { h.push(x); }
+            let finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+            let n = finite.len();
+            let mut expected = vec![0.0f64; bins];
+            let width = (hi - lo) / bins as f64;
+            for (i, &x) in finite.iter().enumerate() {
+                let idx = ((x - lo) / width).floor();
+                let idx = if idx < 0.0 { 0 } else { (idx as usize).min(bins - 1) };
+                expected[idx] += decay.powi((n - 1 - i) as i32);
+            }
+            let got = h.weights();
+            for (g, e) in got.iter().zip(&expected) {
+                prop_assert!((g - e).abs() < 1e-9, "bin {g} vs oracle {e}");
+            }
         }
     }
 }

@@ -43,4 +43,10 @@ RRS_THREADS=1 target/release/experiments --scale small --seed 42 --out "$TMP/thr
 RRS_THREADS=8 target/release/experiments --scale small --seed 42 --out "$TMP/threads8"
 diff -r "$TMP/threads1" "$TMP/threads8"
 
+# Online/batch oracle: detection defaults to the incremental online path,
+# so the runs above exercised it; re-running with RRS_ONLINE=0 forces the
+# batch oracle, which must emit byte-identical result trees.
+RRS_ONLINE=0 RRS_THREADS=1 target/release/experiments --scale small --seed 42 --out "$TMP/batch"
+diff -r "$TMP/threads1" "$TMP/batch"
+
 echo "verify: OK"
