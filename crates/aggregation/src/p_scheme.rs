@@ -25,6 +25,12 @@ use rrs_detectors::{Band, DetectionResult, DetectorConfig, JointDetector, Online
 use rrs_trust::{TrustManager, TrustUpdate};
 use std::collections::{BTreeMap, BTreeSet};
 
+// Metric names, declared as constants per the `metric-name` lint rule.
+const METRIC_SUSPICIOUS_SET: &str = "scheme.suspicious_set_size";
+const METRIC_EPOCH_SUSPICIOUS: &str = "scheme.epoch_suspicious";
+const METRIC_WATCHDOG_CHECKS: &str = "scheme.watchdog_checks";
+const METRIC_WATCHDOG_DIVERGENCES: &str = "scheme.watchdog_divergences";
+
 /// Configuration of the P-scheme pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PSchemeConfig {
@@ -46,6 +52,13 @@ pub struct PSchemeConfig {
     /// default) reads the `RRS_ONLINE` environment variable: online
     /// unless it is set to `0`, `false`, or `off`.
     pub online_detection: Option<bool>,
+    /// Online-vs-batch divergence watchdog: every Nth epoch, when the
+    /// online path ran and observability is enabled, the batch oracle is
+    /// re-run on the same prefix and the suspicion sets compared,
+    /// feeding the `scheme.watchdog_*` counters. `Some(0)` disables it;
+    /// `None` (the default) reads the `RRS_WATCHDOG` environment
+    /// variable (an epoch interval, unset or 0 = off).
+    pub watchdog_every: Option<usize>,
 }
 
 impl PSchemeConfig {
@@ -57,6 +70,7 @@ impl PSchemeConfig {
             filter_trust_threshold: 0.5,
             trust_discount: None,
             online_detection: None,
+            watchdog_every: None,
         }
     }
 }
@@ -70,6 +84,16 @@ fn online_default() -> bool {
         std::env::var("RRS_ONLINE").as_deref(),
         Ok("0" | "false" | "off")
     )
+}
+
+/// Resolves the `RRS_WATCHDOG` environment switch: an epoch interval for
+/// the online-vs-batch divergence watchdog (unset, unparsable, or 0 =
+/// off).
+fn watchdog_default() -> usize {
+    std::env::var("RRS_WATCHDOG")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// The signal-based reliable rating-aggregation system.
@@ -108,12 +132,18 @@ impl AggregationScheme for PScheme {
     fn evaluate(&self, dataset: &RatingDataset, ctx: &EvalContext) -> SchemeOutcome {
         let detector = JointDetector::new(self.config.detectors);
         let online = self.config.online_detection.unwrap_or_else(online_default);
+        let watchdog_every = self.config.watchdog_every.unwrap_or_else(watchdog_default);
         let mut online_state = OnlineState::new();
         let mut trust = TrustManager::new();
         let mut out = SchemeOutcome::new();
         let mut scores: BTreeMap<rrs_core::ProductId, Vec<Option<f64>>> = BTreeMap::new();
 
-        for period in ctx.periods() {
+        for (epoch_idx, period) in ctx.periods().into_iter().enumerate() {
+            // The epoch span is the root of this epoch's span tree: the
+            // detect/trust/aggregate spans below open while it is live,
+            // so (in serial execution) they record it as their parent
+            // and flamegraph exports show the full hierarchy.
+            let _epoch_span = rrs_obs::trace::span("scheme.epoch");
             // Everything seen up to the end of this period, as a borrowed
             // prefix view: epoch e must not re-clone epochs 0..e (the old
             // `restricted()` copy made the run O(epochs × ratings) in
@@ -137,6 +167,35 @@ impl AggregationScheme for PScheme {
             };
             out.mark_suspicious_all(marks.iter().copied());
 
+            // Divergence watchdog: every Nth epoch, cross-check the
+            // online path against the batch oracle on the same prefix.
+            // Pure health telemetry — it never alters the run's output,
+            // so it only spends the batch re-detection when the metrics
+            // can actually land somewhere.
+            if online
+                && watchdog_every > 0
+                && (epoch_idx + 1) % watchdog_every == 0
+                && rrs_obs::enabled()
+            {
+                let _watchdog_span = rrs_obs::trace::span("scheme.watchdog");
+                let (batch_marks, _) = detector.detect_all(&prefix, prefix_window, trust_fn);
+                rrs_obs::metrics::counter_add(METRIC_WATCHDOG_CHECKS, 1);
+                // An add of 0 still registers the counter, so a healthy
+                // run reports an explicit `... 0` instead of silence.
+                rrs_obs::metrics::counter_add(
+                    METRIC_WATCHDOG_DIVERGENCES,
+                    u64::from(batch_marks != marks),
+                );
+                if batch_marks != marks {
+                    rrs_obs::rrs_error!(
+                        "online/batch divergence at epoch {epoch_idx}: \
+                         online marked {} ratings, batch oracle marked {}",
+                        marks.len(),
+                        batch_marks.len()
+                    );
+                }
+            }
+
             // 2. Update trust with this epoch's counts (Procedure 1),
             // optionally forgetting a fraction of the old evidence first.
             if let Some(factor) = self.config.trust_discount {
@@ -145,6 +204,14 @@ impl AggregationScheme for PScheme {
             let update = trust.update_epoch(&prefix, period, &marks);
 
             if rrs_obs::enabled() {
+                // Suspicion-set health telemetry, written serially from
+                // the epoch loop so gauge values are thread-count
+                // independent.
+                rrs_obs::metrics::gauge_set(METRIC_SUSPICIOUS_SET, marks.len() as f64);
+                rrs_obs::metrics::observe_quantile(
+                    METRIC_EPOCH_SUSPICIOUS,
+                    update.suspicious as f64,
+                );
                 record_decisions(
                     &prefix,
                     period,

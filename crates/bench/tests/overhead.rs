@@ -37,6 +37,18 @@ fn disabled_hooks_cost_nanoseconds() {
     let counter_ns = best_ns_per_call(5, 1_000_000, || {
         rrs_obs::metrics::counter_add(black_box("t.noop"), 1);
     });
+    let sketch_ns = best_ns_per_call(5, 1_000_000, || {
+        rrs_obs::metrics::observe_quantile(black_box("t.noop"), black_box(1.5));
+    });
+    let note_span_ns = best_ns_per_call(5, 1_000_000, || {
+        let record = rrs_obs::trace::SpanRecord {
+            name: black_box("t.noop"),
+            nanos: 1,
+            id: 0,
+            parent: 0,
+        };
+        rrs_obs::recorder::note_span(&record);
+    });
     // A relaxed atomic load is under a nanosecond on any machine this
     // runs on; 250 ns leaves two orders of magnitude of slack while
     // still catching a lock or clock read sneaking onto the fast path.
@@ -47,6 +59,14 @@ fn disabled_hooks_cost_nanoseconds() {
     assert!(
         counter_ns < 250.0,
         "disabled counter costs {counter_ns:.1} ns/call — the fast path regressed"
+    );
+    assert!(
+        sketch_ns < 250.0,
+        "disabled sketch observe costs {sketch_ns:.1} ns/call — the fast path regressed"
+    );
+    assert!(
+        note_span_ns < 250.0,
+        "disabled recorder append costs {note_span_ns:.1} ns/call — the fast path regressed"
     );
 }
 

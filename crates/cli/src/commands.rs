@@ -1,7 +1,7 @@
 //! The `rrs` subcommands. Each returns its report as a `String`.
 
 use crate::args::Args;
-use rrs_aggregation::{BfScheme, PScheme, SaScheme};
+use rrs_aggregation::{BfScheme, PScheme, PSchemeConfig, SaScheme};
 use rrs_attack::{AttackContext, AttackStrategy, Direction, FairView};
 use rrs_challenge::{ChallengeConfig, RatingChallenge};
 use rrs_core::io::{read_csv, to_csv_string};
@@ -29,10 +29,14 @@ pub type CommandError = Box<dyn Error + Send + Sync>;
 /// problems, unreadable files, or malformed datasets.
 pub fn run(command: &str, tokens: &[String]) -> Result<String, CommandError> {
     let tokens = apply_global_flags(tokens)?;
-    // `trace` takes a leading positional scenario name, which the
-    // flag-only parser would reject — handle it before Args::parse.
-    if command == "trace" {
-        return trace(&tokens);
+    // The scenario commands take a leading positional scenario name,
+    // which the flag-only parser would reject — handle them before
+    // Args::parse.
+    match command {
+        "trace" => return trace(&tokens),
+        "metrics" => return metrics(&tokens),
+        "dump" => return dump(&tokens),
+        _ => {}
     }
     let args = Args::parse(tokens.iter().cloned())?;
     match command {
@@ -93,7 +97,11 @@ USAGE:
   rrs evaluate --data FILE [--scheme p|sa|bf] [--period DAYS]
   rrs detect   --data FILE [--period DAYS]
   rrs mp       --clean FILE --attacked FILE [--scheme p|sa|bf] [--period DAYS]
-  rrs trace    [SCENARIO] [--out FILE] [--seed N] [--period DAYS]
+  rrs trace    [SCENARIO] [--out FILE] [--flamegraph FILE] [--seed N]
+               [--period DAYS]
+  rrs metrics  [SCENARIO] [--out FILE] [--seed N] [--period DAYS]
+               [--watchdog N]
+  rrs dump     [SCENARIO] [--out FILE] [--seed N] [--period DAYS]
   rrs lint     [--root DIR] [--jsonl FILE]
 
 GLOBAL FLAGS (any command):
@@ -105,8 +113,11 @@ Datasets are CSV: rater,product,day,value[,source]. Strategies:
 naive-extreme, uniform-spread, camouflage, burst, slow-poison,
 majority-sneak, interval-tuned, mimic-shift, correlated (see docs for
 the full list); or omit --strategy and give --bias/--std directly.
-Trace scenarios: downgrade-burst (default), boost-burst, camouflage,
-slow-poison; the decision trace is written as JSONL."
+Scenarios (trace/metrics/dump): downgrade-burst (default), boost-burst,
+camouflage, slow-poison. `trace` writes the decision trace as JSONL and
+can export a collapsed-stack flamegraph; `metrics` prints the run's
+metrics in Prometheus text exposition format; `dump` writes the anomaly
+flight recorder's dumps as JSONL."
 }
 
 fn check_flags(args: &Args, known: &[&str]) -> Result<(), CommandError> {
@@ -482,24 +493,18 @@ fn lint(args: &Args) -> Result<String, CommandError> {
     }
 }
 
-/// `rrs trace` — run a seeded attack scenario through the P-scheme with
-/// decision-trace collection on and write the trace as JSONL.
-///
-/// The trace body contains no wall-clock values, so the same scenario
-/// and seed produce a byte-identical file on every run.
-fn trace(tokens: &[String]) -> Result<String, CommandError> {
-    let (scenario, rest) = match tokens.split_first() {
+/// Splits a leading positional scenario name off a token list, falling
+/// back to the default scenario when the first token is a flag.
+fn split_scenario(tokens: &[String]) -> (&str, &[String]) {
+    match tokens.split_first() {
         Some((s, rest)) if !s.starts_with("--") => (s.as_str(), rest),
         _ => ("downgrade-burst", tokens),
-    };
-    let args = Args::parse(rest.iter().cloned())?;
-    check_flags(&args, &["out", "seed", "period"])?;
-    let seed: u64 = args.parsed_or("seed", 7)?;
-    let period: f64 = args.parsed_or("period", 30.0)?;
-    let default_out = format!("trace_{scenario}.jsonl");
-    let out_path = args.get("out").unwrap_or(&default_out);
+    }
+}
 
-    let strategy = match scenario {
+/// The canned attack scenarios shared by `trace`, `metrics`, and `dump`.
+fn scenario_strategy(scenario: &str) -> Result<AttackStrategy, CommandError> {
+    Ok(match scenario {
         "downgrade-burst" => AttackStrategy::NaiveExtreme {
             start_day: 35.0,
             duration_days: 10.0,
@@ -527,8 +532,40 @@ fn trace(tokens: &[String]) -> Result<String, CommandError> {
             )
             .into())
         }
-    };
+    })
+}
 
+/// Everything one instrumented scenario run produces.
+struct ScenarioRun {
+    /// Unfair ratings the attack injected.
+    injected: usize,
+    /// Ratings the P-scheme marked suspicious.
+    suspicious: usize,
+    /// Drained decision records, in record order.
+    records: Vec<rrs_obs::decision::DecisionRecord>,
+    /// Drained spans, in completion order.
+    spans: Vec<rrs_obs::trace::SpanRecord>,
+    /// The run's metric registry snapshot.
+    metrics: rrs_obs::metrics::MetricsSnapshot,
+    /// The flight recorder's dumps, rendered as JSONL.
+    recorder_dump: String,
+    /// How many dumps the recorder captured.
+    dump_count: usize,
+}
+
+/// Runs a canned seeded scenario through the P-scheme with every
+/// telemetry sink on and initially empty, then captures them all.
+///
+/// The obs switch is restored to its prior state afterwards, but the
+/// sinks are left cleared: a scenario run's telemetry is only
+/// meaningful in isolation.
+fn run_scenario(
+    scenario: &str,
+    seed: u64,
+    period: f64,
+    watchdog_every: Option<usize>,
+) -> Result<ScenarioRun, CommandError> {
+    let strategy = scenario_strategy(scenario)?;
     let challenge = RatingChallenge::generate(&ChallengeConfig::small(), seed);
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let sequence = strategy.build(&challenge.attack_context(), &mut rng);
@@ -537,37 +574,77 @@ fn trace(tokens: &[String]) -> Result<String, CommandError> {
 
     let was_enabled = rrs_obs::enabled();
     rrs_obs::enable();
-    rrs_obs::decision::drain();
-    rrs_obs::trace::drain_spans();
-    let outcome = PScheme::new().evaluate(&attacked, &ctx);
+    rrs_obs::reset();
+    let config = PSchemeConfig {
+        watchdog_every,
+        ..PSchemeConfig::paper()
+    };
+    let outcome = PScheme::with_config(config).evaluate(&attacked, &ctx);
     let records = rrs_obs::decision::drain();
     let spans = rrs_obs::trace::drain_spans();
+    let metrics = rrs_obs::metrics::snapshot();
+    let recorder_dump = rrs_obs::recorder::dump_jsonl();
+    let dump_count = rrs_obs::recorder::dump_count();
+    rrs_obs::reset();
     if !was_enabled {
         rrs_obs::disable();
     }
+    Ok(ScenarioRun {
+        injected: sequence.len(),
+        suspicious: outcome.suspicious().len(),
+        records,
+        spans,
+        metrics,
+        recorder_dump,
+        dump_count,
+    })
+}
 
-    rrs_obs::export::write_trace_file(Path::new(out_path), &records)
+/// `rrs trace` — run a seeded attack scenario through the P-scheme with
+/// decision-trace collection on and write the trace as JSONL.
+///
+/// The trace body contains no wall-clock values, so the same scenario
+/// and seed produce a byte-identical file on every run. With
+/// `--flamegraph FILE` the run's span tree is additionally written in
+/// collapsed-stack format (`root;child;leaf self_ns`, one line per
+/// stack, sorted) — the input format flamegraph renderers consume.
+fn trace(tokens: &[String]) -> Result<String, CommandError> {
+    let (scenario, rest) = split_scenario(tokens);
+    let args = Args::parse(rest.iter().cloned())?;
+    check_flags(&args, &["out", "flamegraph", "seed", "period"])?;
+    let seed: u64 = args.parsed_or("seed", 7)?;
+    let period: f64 = args.parsed_or("period", 30.0)?;
+    let default_out = format!("trace_{scenario}.jsonl");
+    let out_path = args.get("out").unwrap_or(&default_out);
+
+    let run = run_scenario(scenario, seed, period, Some(0))?;
+    rrs_obs::export::write_trace_file(Path::new(out_path), &run.records)
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
 
-    let flagged = records.iter().filter(|r| r.any_fired()).count();
+    let flagged = run.records.iter().filter(|r| r.any_fired()).count();
     let mut out = String::new();
     let _ = writeln!(
         out,
         "scenario {scenario}: {} unfair ratings injected (seed {seed})",
-        sequence.len()
+        run.injected
     );
     let _ = writeln!(
         out,
         "decision trace: {} records ({flagged} with detector activity) -> {out_path}",
-        records.len()
+        run.records.len()
     );
-    let _ = writeln!(
-        out,
-        "suspicious ratings marked: {}",
-        outcome.suspicious().len()
-    );
+    let _ = writeln!(out, "suspicious ratings marked: {}", run.suspicious);
+    if let Some(fg_path) = args.get("flamegraph") {
+        let stacks = rrs_obs::trace::collapsed_stacks(&run.spans);
+        fs::write(fg_path, &stacks).map_err(|e| format!("cannot write {fg_path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "flamegraph: {} collapsed stacks -> {fg_path}",
+            stacks.lines().count()
+        );
+    }
     let _ = writeln!(out, "stage timings (this run, not in the trace file):");
-    for s in rrs_obs::trace::stage_totals(&spans) {
+    for s in rrs_obs::trace::stage_totals(&run.spans) {
         let _ = writeln!(
             out,
             "  {:<10} {:>6} spans  {:>12.3} ms",
@@ -577,6 +654,60 @@ fn trace(tokens: &[String]) -> Result<String, CommandError> {
         );
     }
     Ok(out)
+}
+
+/// `rrs metrics` — run a seeded scenario with full telemetry (including
+/// the online-vs-batch divergence watchdog) and render the run's metric
+/// registry in Prometheus text exposition format.
+///
+/// The registry holds no wall-clock values on this path — counters,
+/// gauges, and quantile sketches all derive from the dataset — so the
+/// output is byte-identical for a fixed scenario and seed, at any
+/// thread count.
+fn metrics(tokens: &[String]) -> Result<String, CommandError> {
+    let (scenario, rest) = split_scenario(tokens);
+    let args = Args::parse(rest.iter().cloned())?;
+    check_flags(&args, &["out", "seed", "period", "watchdog"])?;
+    let seed: u64 = args.parsed_or("seed", 7)?;
+    let period: f64 = args.parsed_or("period", 30.0)?;
+    let watchdog: usize = args.parsed_or("watchdog", 1)?;
+
+    let run = run_scenario(scenario, seed, period, Some(watchdog))?;
+    let body = run.metrics.to_prometheus();
+    match args.get("out") {
+        Some(path) => {
+            fs::write(path, &body).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!(
+                "scenario {scenario}: {} metric lines -> {path}\n",
+                body.lines().count()
+            ))
+        }
+        None => Ok(body),
+    }
+}
+
+/// `rrs dump` — run a seeded scenario and write the anomaly flight
+/// recorder's dumps as JSONL.
+///
+/// Each line is one detector firing: the product, its recent decision
+/// window, and the spans that led up to the firing. Span timings are
+/// wall-clock, so dumps are operator forensics, not golden-test
+/// material.
+fn dump(tokens: &[String]) -> Result<String, CommandError> {
+    let (scenario, rest) = split_scenario(tokens);
+    let args = Args::parse(rest.iter().cloned())?;
+    check_flags(&args, &["out", "seed", "period"])?;
+    let seed: u64 = args.parsed_or("seed", 7)?;
+    let period: f64 = args.parsed_or("period", 30.0)?;
+    let default_out = format!("dump_{scenario}.jsonl");
+    let out_path = args.get("out").unwrap_or(&default_out);
+
+    let run = run_scenario(scenario, seed, period, Some(0))?;
+    fs::write(out_path, &run.recorder_dump).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    Ok(format!(
+        "scenario {scenario}: {} flight-recorder dump(s) ({} suspicious ratings) -> {out_path}\n",
+        run.dump_count, run.suspicious
+    ))
 }
 
 #[cfg(test)]
@@ -675,6 +806,82 @@ mod tests {
         // fired detector.
         assert!(body.contains("\"fired\":true"), "no detector fired");
         // The switch must be restored after the command.
+        assert!(!rrs_obs::enabled());
+    }
+
+    #[test]
+    fn trace_writes_flamegraph_stacks() {
+        let _guard = rrs_obs::trace::tests_lock();
+        let out = tmp("trace_fg.jsonl");
+        let fg = tmp("trace.folded");
+        let msg = run_ok(
+            "trace",
+            &["downgrade-burst", "--out", &out, "--flamegraph", &fg],
+        );
+        assert!(msg.contains("flamegraph"), "{msg}");
+        let body = std::fs::read_to_string(&fg).expect("flamegraph written");
+        std::fs::remove_file(&out).ok();
+        std::fs::remove_file(&fg).ok();
+        assert!(!body.is_empty());
+        for line in body.lines() {
+            let (stack, ns) = line.rsplit_once(' ').expect("line has a self-time");
+            assert!(!stack.is_empty(), "empty stack in {line:?}");
+            ns.parse::<u64>()
+                .unwrap_or_else(|e| panic!("{line:?}: {e}"));
+        }
+        // The epoch loop is the root of the scheme's span tree, so
+        // detector work must appear as a nested stack under it.
+        assert!(
+            body.lines().any(|l| l.starts_with("scheme.epoch;")),
+            "no stacks nested under scheme.epoch:\n{body}"
+        );
+    }
+
+    #[test]
+    fn metrics_renders_prometheus_exposition() {
+        let _guard = rrs_obs::trace::tests_lock();
+        let body = run_ok("metrics", &["downgrade-burst", "--seed", "7"]);
+        assert!(body.contains("# TYPE"), "{body}");
+        assert!(body.contains("trust_epochs"), "{body}");
+        // The watchdog defaults to every epoch here, so its health
+        // counter must be present and nonzero.
+        assert!(body.contains("scheme_watchdog_checks"), "{body}");
+        assert!(!body.contains("scheme_watchdog_checks 0\n"), "{body}");
+        // The sketch renders as a quantile summary.
+        assert!(body.contains("quantile=\"0.5\""), "{body}");
+        assert!(!rrs_obs::enabled());
+
+        // Same scenario and seed must render byte-identically: nothing
+        // on this path may put wall-clock values into the registry.
+        let again = run_ok("metrics", &["downgrade-burst", "--seed", "7"]);
+        assert_eq!(body, again, "metrics output is not reproducible");
+    }
+
+    #[test]
+    fn metrics_writes_to_file() {
+        let _guard = rrs_obs::trace::tests_lock();
+        let out = tmp("metrics.prom");
+        let msg = run_ok("metrics", &["--out", &out]);
+        assert!(msg.contains("metric lines"), "{msg}");
+        let body = std::fs::read_to_string(&out).expect("metrics written");
+        std::fs::remove_file(&out).ok();
+        assert!(body.contains("# TYPE"), "{body}");
+    }
+
+    #[test]
+    fn dump_writes_flight_recorder_jsonl() {
+        let _guard = rrs_obs::trace::tests_lock();
+        let out = tmp("dump.jsonl");
+        let msg = run_ok("dump", &["downgrade-burst", "--out", &out]);
+        assert!(msg.contains("flight-recorder"), "{msg}");
+        let body = std::fs::read_to_string(&out).expect("dump written");
+        std::fs::remove_file(&out).ok();
+        // The scenario is a real attack, so at least one detector fired
+        // and produced a dump carrying its decision window.
+        assert!(!body.is_empty(), "no flight-recorder dumps");
+        for key in ["\"product\"", "\"window\"", "\"recent_spans\""] {
+            assert!(body.contains(key), "dump missing {key}: {body}");
+        }
         assert!(!rrs_obs::enabled());
     }
 

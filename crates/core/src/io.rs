@@ -171,6 +171,22 @@ pub fn json_number(x: f64) -> String {
     }
 }
 
+/// Formats any `f64` as a valid JSON token: finite values go through
+/// [`json_number`], non-finite ones (NaN/±inf, which JSON cannot
+/// represent) become `null`.
+///
+/// Telemetry values cross this API unvalidated — a gauge can legally be
+/// set to the result of a division that went 0/0 — so the serializer,
+/// not the caller, owns producing parseable output.
+#[must_use]
+pub fn json_number_or_null(x: f64) -> String {
+    if x.is_finite() {
+        json_number(x)
+    } else {
+        "null".to_string()
+    }
+}
+
 /// Escapes and quotes `s` as a JSON string literal.
 ///
 /// Handles the two mandatory escapes (`"` and `\`), the common control
@@ -329,6 +345,15 @@ mod tests {
     fn json_number_forces_float_shape_on_integral_values() {
         assert_eq!(json_number(10.0), "10.0");
         assert_eq!(json_number(1.5), "1.5");
+    }
+
+    #[test]
+    fn json_number_or_null_handles_non_finite() {
+        assert_eq!(json_number_or_null(2.5), "2.5");
+        assert_eq!(json_number_or_null(10.0), "10.0");
+        assert_eq!(json_number_or_null(f64::NAN), "null");
+        assert_eq!(json_number_or_null(f64::INFINITY), "null");
+        assert_eq!(json_number_or_null(f64::NEG_INFINITY), "null");
     }
 
     #[test]

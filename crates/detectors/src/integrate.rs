@@ -25,6 +25,17 @@ use crate::suspicion::SuspiciousInterval;
 use rrs_core::{DatasetView, ProductId, RaterId, RatingId, TimeWindow, TimelineView};
 use std::collections::BTreeSet;
 
+// Metric names, declared as constants per the `metric-name` lint rule.
+const METRIC_PATH1_HITS: &str = "detect.path1_hits";
+const METRIC_PATH2_HITS: &str = "detect.path2_hits";
+const METRIC_MARKED_RATINGS: &str = "detect.marked_ratings";
+const METRIC_FIRED_MC: &str = "detect.fired.mc";
+const METRIC_FIRED_HARC: &str = "detect.fired.harc";
+const METRIC_FIRED_LARC: &str = "detect.fired.larc";
+const METRIC_FIRED_HC: &str = "detect.fired.hc";
+const METRIC_FIRED_ME: &str = "detect.fired.me";
+const METRIC_MARKED_PER_PRODUCT: &str = "detect.marked_per_product";
+
 /// Which value band a path hit marked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Band {
@@ -404,12 +415,27 @@ where
     if rrs_obs::enabled() {
         for hit in &hits {
             let name = match hit.path {
-                1 => "detect.path1_hits",
-                _ => "detect.path2_hits",
+                1 => METRIC_PATH1_HITS,
+                _ => METRIC_PATH2_HITS,
             };
             rrs_obs::metrics::counter_add(name, 1);
         }
-        rrs_obs::metrics::counter_add("detect.marked_ratings", suspicious.len() as u64);
+        rrs_obs::metrics::counter_add(METRIC_MARKED_RATINGS, suspicious.len() as u64);
+        // Detector-health telemetry. This block runs inside `par_map`
+        // workers, so only commuting writes are allowed here: counter
+        // adds and sketch observations, never gauges.
+        for (fired, name) in [
+            (!mc_out.suspicious.is_empty(), METRIC_FIRED_MC),
+            (!harc_out.suspicious.is_empty(), METRIC_FIRED_HARC),
+            (!larc_out.suspicious.is_empty(), METRIC_FIRED_LARC),
+            (!hc_out.suspicious.is_empty(), METRIC_FIRED_HC),
+            (!me_out.suspicious.is_empty(), METRIC_FIRED_ME),
+        ] {
+            if fired {
+                rrs_obs::metrics::counter_add(name, 1);
+            }
+        }
+        rrs_obs::metrics::observe_quantile(METRIC_MARKED_PER_PRODUCT, suspicious.len() as f64);
     }
 
     DetectionResult {

@@ -53,6 +53,15 @@ use rrs_signal::{ArAccumulator, Cusum, DecayedHistogram, Ewma, Welford, Windowed
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 
+// Metric names, declared as constants per the `metric-name` lint rule.
+const METRIC_CUSUM_ALARMS: &str = "signal.online.cusum_alarms";
+const METRIC_EWMA_ALARMS: &str = "signal.online.ewma_alarms";
+const METRIC_ABSORBED_RATINGS: &str = "signal.online.absorbed_ratings";
+const METRIC_REBUILDS: &str = "signal.online.rebuilds";
+const METRIC_PRODUCTS: &str = "signal.online.products";
+const METRIC_MAX_WINDOW_VARIANCE: &str = "signal.online.max_window_variance";
+const METRIC_MIN_AR_ERROR: &str = "signal.online.min_ar_error";
+
 /// Rolling detector state carried across scoring epochs, one slot per
 /// product. Feed it to [`JointDetector::detect_all_online`] with a
 /// growing prefix view each epoch; starting from a fresh state is always
@@ -281,10 +290,10 @@ impl Telemetry {
         self.histogram.push(v);
         self.ar.push(v);
         if self.cusum.push(v).is_some() {
-            rrs_obs::metrics::counter_add("signal.online.cusum_alarms", 1);
+            rrs_obs::metrics::counter_add(METRIC_CUSUM_ALARMS, 1);
         }
         if self.ewma.push(v).is_some() {
-            rrs_obs::metrics::counter_add("signal.online.ewma_alarms", 1);
+            rrs_obs::metrics::counter_add(METRIC_EWMA_ALARMS, 1);
         }
     }
 }
@@ -584,11 +593,11 @@ where
             telemetry.observe(v);
         }
         rrs_obs::metrics::counter_add(
-            "signal.online.absorbed_ratings",
+            METRIC_ABSORBED_RATINGS,
             (state.cache.values.len() - new_from) as u64,
         );
         if rebuilt {
-            rrs_obs::metrics::counter_add("signal.online.rebuilds", 1);
+            rrs_obs::metrics::counter_add(METRIC_REBUILDS, 1);
         }
     }
 
@@ -721,7 +730,7 @@ impl JointDetector {
 /// product order after the parallel map (so values are thread-count
 /// independent).
 fn epoch_gauges(state: &OnlineState) {
-    rrs_obs::metrics::gauge_set("signal.online.products", state.products.len() as f64);
+    rrs_obs::metrics::gauge_set(METRIC_PRODUCTS, state.products.len() as f64);
     let mut max_window_variance: Option<f64> = None;
     let mut min_ar_error: Option<f64> = None;
     for product_state in state.products.values() {
@@ -737,10 +746,10 @@ fn epoch_gauges(state: &OnlineState) {
         }
     }
     if let Some(v) = max_window_variance {
-        rrs_obs::metrics::gauge_set("signal.online.max_window_variance", v);
+        rrs_obs::metrics::gauge_set(METRIC_MAX_WINDOW_VARIANCE, v);
     }
     if let Some(e) = min_ar_error {
-        rrs_obs::metrics::gauge_set("signal.online.min_ar_error", e);
+        rrs_obs::metrics::gauge_set(METRIC_MIN_AR_ERROR, e);
     }
 }
 

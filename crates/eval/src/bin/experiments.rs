@@ -110,5 +110,21 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // When telemetry is on (RRS_TRACE=1), write the run's metric
+    // registry next to the results. Every metric on this path derives
+    // from the dataset — no wall clock — so the file is byte-identical
+    // across runs and thread counts, and CI diffs it between
+    // RRS_THREADS=1 and =8.
+    if rrs_obs::enabled() {
+        if let Some(dir) = &config.out_dir {
+            let path = dir.join("metrics.json");
+            if let Err(e) = std::fs::write(&path, rrs_obs::metrics::snapshot().to_json()) {
+                rrs_error!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            rrs_info!("metrics snapshot -> {}", path.display());
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -23,6 +23,15 @@ pub fn compare(a: f64, b: f64) -> bool {
     a.total_cmp(&b).is_eq()
 }
 
+// Metric-name bait: the call in the comment is inert —
+// counter_add("not.code", 1) — and a well-formed constant passes.
+pub const METRIC_GOOD: &str = "stage.detail";
+pub fn metric(sketch: &mut Sketch, events: u64) {
+    // Constant-named registrations and non-name observes are clean.
+    counter_add(METRIC_GOOD, events);
+    sketch.observe(0.25);
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::HashMap;

@@ -1,0 +1,7 @@
+const METRIC_BAD_CASE: &str = "Detect.Hits";
+const METRIC_FLAT: &str = "flat";
+fn emit() {
+    rrs_obs::metrics::counter_add("detect.inline_hits", 1);
+    rrs_obs::metrics::gauge_set("trust.inline_mass", 0.5);
+    rrs_obs::metrics::counter_add(METRIC_BAD_CASE, 1);
+}

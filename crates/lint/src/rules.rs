@@ -39,6 +39,8 @@ pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
 pub const RULE_BUDGET: &str = "budget";
 /// Hermeticity: non-path dependencies in a manifest.
 pub const RULE_MANIFEST: &str = "manifest";
+/// Observability: metric names must be dotted snake_case constants.
+pub const RULE_METRIC_NAME: &str = "metric-name";
 /// A `lint:allow` directive without a justification.
 pub const RULE_BAD_ALLOW: &str = "allow-missing-reason";
 
@@ -51,6 +53,7 @@ pub const WAIVABLE: &[&str] = &[
     RULE_PARTIAL_CMP,
     RULE_PRINT,
     RULE_THREAD,
+    RULE_METRIC_NAME,
 ];
 
 /// Scanner configuration: the scoping tables for every rule.
@@ -214,6 +217,10 @@ pub struct FileScan {
 pub fn scan_file(config: &Config, file: &SourceFile, text: &str) -> FileScan {
     let scrubbed = Scrubbed::new(text);
     let (mut waivers, mut findings) = parse_waivers(file, &scrubbed);
+    // The metric-name checks need the raw text: scrubbing blanks the
+    // very literals they inspect, and positions line up because the
+    // scrubber replaces characters one for one.
+    let raw_lines: Vec<&str> = text.split('\n').collect();
 
     let wallclock_scoped = !config.wallclock_allowed_crates.contains(&file.crate_name)
         && file.class != FileClass::Test;
@@ -227,6 +234,7 @@ pub fn scan_file(config: &Config, file: &SourceFile, text: &str) -> FileScan {
         .iter()
         .any(|(rel, _)| rel == &file.rel);
     let print_scoped = !print_allowed && file.class != FileClass::Test;
+    let metric_scoped = file.class != FileClass::Test;
 
     let mut panic_sites = PanicSites::default();
 
@@ -337,6 +345,28 @@ pub fn scan_file(config: &Config, file: &SourceFile, text: &str) -> FileScan {
                             ),
                         );
                     }
+                }
+            }
+            if metric_scoped {
+                let raw = raw_lines.get(idx).copied().unwrap_or("");
+                if let Some(tok) = inline_metric_call(line, raw) {
+                    emit(
+                        RULE_METRIC_NAME,
+                        format!(
+                            "metric name passed to `{tok}` as an inline string literal — \
+                             declare it as a `METRIC_*` constant so names stay greppable \
+                             and renameable in one place"
+                        ),
+                    );
+                }
+                if let Some(lit) = invalid_metric_const(line, raw) {
+                    emit(
+                        RULE_METRIC_NAME,
+                        format!(
+                            "metric-name constant holds {lit:?} — metric names are dotted \
+                             snake_case (`stage.detail`, segments of `[a-z0-9_]`)"
+                        ),
+                    );
                 }
             }
         }
@@ -495,6 +525,87 @@ fn eq_operator_beside(b: &[char], start: usize, end: usize) -> Option<&'static s
         }
     }
     None
+}
+
+/// The metric-registry entry points whose first argument is a name.
+const METRIC_CALLS: &[&str] = &[
+    "counter_add",
+    "gauge_set",
+    "observe",
+    "observe_quantile",
+    "merge_quantile",
+];
+
+/// Detects a metric-emitting call whose name argument is an inline
+/// string literal (`counter_add("x.y", 1)`), returning the call token.
+///
+/// The scrubbed line proves the token is code and locates the opening
+/// parenthesis; the raw line (scrubbing is position-preserving) reveals
+/// whether a string literal follows it.
+fn inline_metric_call(scrubbed: &str, raw: &str) -> Option<&'static str> {
+    let s: Vec<char> = scrubbed.chars().collect();
+    let r: Vec<char> = raw.chars().collect();
+    for &tok in METRIC_CALLS {
+        let tlen = tok.len();
+        let mut i = 0;
+        while i + tlen <= s.len() {
+            let matches = s[i..i + tlen].iter().copied().eq(tok.chars())
+                && (i == 0 || !is_ident_char(s[i - 1]))
+                && !s.get(i + tlen).copied().is_some_and(is_ident_char);
+            if matches {
+                let mut j = i + tlen;
+                while j < s.len() && s[j].is_whitespace() {
+                    j += 1;
+                }
+                if s.get(j) == Some(&'(') {
+                    let mut k = j + 1;
+                    while k < r.len() && r[k].is_whitespace() {
+                        k += 1;
+                    }
+                    if r.get(k) == Some(&'"') {
+                        return Some(tok);
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Validates a `const METRIC_*: &str = "...";` declaration, returning
+/// the literal when it is not a dotted snake_case metric name.
+fn invalid_metric_const(scrubbed: &str, raw: &str) -> Option<String> {
+    let after_const = scrubbed.find("const ").map(|p| &scrubbed[p + 6..])?;
+    if !after_const.trim_start().starts_with("METRIC") {
+        return None;
+    }
+    let open = raw.find('"')?;
+    let rest = &raw[open + 1..];
+    let close = rest.find('"')?;
+    let name = &rest[..close];
+    if valid_metric_name(name) {
+        None
+    } else {
+        Some(name.to_string())
+    }
+}
+
+/// Is `name` a dotted snake_case metric name — two or more nonempty
+/// `[a-z0-9_]` segments joined by `.`?
+fn valid_metric_name(name: &str) -> bool {
+    let mut segments = 0;
+    for seg in name.split('.') {
+        if seg.is_empty()
+            || !seg
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
 }
 
 /// Removes all whitespace (attribute matching helper).
@@ -683,6 +794,40 @@ mod tests {
         assert!(!scan("fn f() {}").has_forbid_unsafe);
         // In a comment it does not count.
         assert!(!scan("// #![forbid(unsafe_code)]").has_forbid_unsafe);
+    }
+
+    #[test]
+    fn flags_inline_metric_name_literals() {
+        let s = scan("rrs_obs::metrics::counter_add(\"detect.hits\", 1);");
+        assert_eq!(rules(&s), vec![RULE_METRIC_NAME]);
+        let s = scan("rrs_obs::metrics::observe_quantile(\"detect.sizes\", 2.0);");
+        assert_eq!(rules(&s), vec![RULE_METRIC_NAME]);
+        // A constant reference is the required form.
+        let s = scan("rrs_obs::metrics::counter_add(METRIC_HITS, 1);");
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
+        // Non-string first arguments (sketch observe, histogram types)
+        // are not metric registrations.
+        let s = scan("sketch.observe(1.5); t.observe(x, y);");
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
+    }
+
+    #[test]
+    fn validates_metric_constant_names() {
+        let s = scan("const METRIC_OK: &str = \"stage.detail_2\";");
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
+        for bad in ["Flat.Case", "flat", "a..b", "trust.Mass", "x.y z"] {
+            let s = scan(&format!("const METRIC_BAD: &str = \"{bad}\";"));
+            assert_eq!(rules(&s), vec![RULE_METRIC_NAME], "{bad} not flagged");
+        }
+        // Constants without the METRIC_ prefix are out of scope.
+        let s = scan("const LABEL: &str = \"Whatever Goes\";");
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
+    }
+
+    #[test]
+    fn metric_name_in_comment_or_string_is_ignored() {
+        let s = scan("// counter_add(\"x.y\", 1)\nlet m = \"counter_add(\\\"x.y\\\", 1)\";");
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
     }
 
     #[test]

@@ -102,6 +102,19 @@ fn allow_fixture_flags_reasonless_directive() {
 }
 
 #[test]
+fn metric_name_fixture() {
+    assert_eq!(
+        findings("metric_name"),
+        vec![
+            (rules::RULE_METRIC_NAME, 1),
+            (rules::RULE_METRIC_NAME, 2),
+            (rules::RULE_METRIC_NAME, 4),
+            (rules::RULE_METRIC_NAME, 5),
+        ]
+    );
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let report = rrs_lint::scan_root(&fixture("clean")).expect("clean fixture scans");
     assert!(

@@ -172,11 +172,12 @@ impl DecisionRecord {
 }
 
 /// Pushes a record into the global buffer (dropped when collection is
-/// disabled).
+/// disabled) and feeds it through the [flight recorder](crate::recorder).
 pub fn record(r: DecisionRecord) {
     if !crate::enabled() {
         return;
     }
+    crate::recorder::record_decision(&r);
     if let Ok(mut buf) = RECORDS.lock() {
         buf.push(r);
     }

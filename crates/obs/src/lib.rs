@@ -4,18 +4,25 @@
 //! traces for the P-scheme pipeline (signal → detectors → joint decision
 //! → trust → aggregation). Four cooperating facilities:
 //!
-//! * [`trace`] — a lightweight span/event tracer with monotonic timing
-//!   and a thread-safe in-memory sink. Span names are dotted
-//!   `stage.detail` strings (`"signal.mc"`, `"detect.integrate"`,
+//! * [`trace`] — a span/event tracer with monotonic timing, a
+//!   thread-safe in-memory sink, and parent/child structure from a
+//!   thread-local span stack. Span names are dotted `stage.detail`
+//!   strings (`"signal.mc"`, `"detect.integrate"`,
 //!   `"trust.update_epoch"`, `"aggregate.filter"`); the stage prefix is
-//!   what per-stage breakdowns group by.
-//! * [`metrics`] — a registry of counters, gauges, and fixed-bucket
-//!   histograms with a [`metrics::snapshot`] API.
+//!   what per-stage breakdowns group by, and
+//!   [`trace::collapsed_stacks`] renders a batch as flamegraph input.
+//! * [`metrics`] — a registry of counters, gauges, fixed-bucket
+//!   histograms, and mergeable [`sketch::QuantileSketch`]es, with a
+//!   [`metrics::snapshot`] API that renders as JSON or Prometheus text
+//!   exposition.
 //! * [`decision`] — structured decision-trace records: per (product,
 //!   interval), every detector's raw statistic, threshold and verdict,
 //!   the two-path joint-decision outcome, the suspicion set, and each
 //!   affected rater's α/β trust trajectory. Exported as JSONL via
 //!   [`export`].
+//! * [`recorder`] — a bounded anomaly flight recorder: per-product
+//!   rings of recent decision records plus span context, snapshotted
+//!   into a dump whenever a detector fires.
 //! * [`log`] — a leveled logger (error/warn/info/debug) for CLI output,
 //!   controlled by `--quiet`/`--verbosity`.
 //!
@@ -66,6 +73,8 @@ pub mod decision;
 pub mod export;
 pub mod log;
 pub mod metrics;
+pub mod recorder;
+pub mod sketch;
 pub mod trace;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -103,7 +112,8 @@ pub fn init_from_env() {
     }
 }
 
-/// Clears every sink: spans, events, metrics, and decision records.
+/// Clears every sink: spans, events, metrics, decision records, and the
+/// flight recorder.
 ///
 /// Call before a run whose trace you want in isolation.
 pub fn reset() {
@@ -111,6 +121,7 @@ pub fn reset() {
     trace::drain_events();
     metrics::reset();
     decision::drain();
+    recorder::reset();
 }
 
 #[cfg(test)]

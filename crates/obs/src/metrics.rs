@@ -1,14 +1,28 @@
-//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//! The metrics registry: counters, gauges, fixed-bucket histograms, and
+//! mergeable quantile sketches.
 //!
 //! All writes go through free functions against one global registry and
 //! are no-ops while collection is [disabled](crate::enabled).
 //! [`snapshot`] returns an owned, ordered copy of every metric —
 //! deterministic given deterministic inputs, since nothing here reads a
-//! clock.
+//! clock. Counter adds and sketch observations commute (integer
+//! arithmetic only), so hot paths running under `par_map` in any
+//! interleaving still produce bit-identical snapshots; gauges and
+//! histograms must only be written from deterministic (serial) points.
+//!
+//! Snapshots render as JSON ([`MetricsSnapshot::to_json`]) for the
+//! experiment artifact tree and as Prometheus text exposition
+//! ([`MetricsSnapshot::to_prometheus`]) for scrape endpoints and the
+//! `rrs metrics` command.
 
-use rrs_core::io::{json_number, json_string};
+use crate::sketch::QuantileSketch;
+use rrs_core::io::{json_number_or_null, json_string};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+
+/// Self-metric: how many times [`observe`] was called with bucket
+/// bounds that conflicted with the histogram's registered bounds.
+pub const METRIC_BOUNDS_CONFLICTS: &str = "obs.histogram_bounds_conflicts";
 
 static REGISTRY: Mutex<Option<Inner>> = Mutex::new(None);
 
@@ -17,6 +31,7 @@ struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    sketches: BTreeMap<String, QuantileSketch>,
 }
 
 fn with_inner<T>(f: impl FnOnce(&mut Inner) -> T) -> Option<T> {
@@ -93,18 +108,80 @@ pub fn gauge_set(name: &str, value: f64) {
 }
 
 /// Records `value` into the named histogram, creating it with `bounds`
-/// on first use (later calls ignore `bounds`).
+/// on first use.
+///
+/// The first registration wins: if a later call offers different
+/// `bounds` for the same name, the value is still recorded against the
+/// registered buckets, the conflict is logged as a structured error,
+/// and [`METRIC_BOUNDS_CONFLICTS`] is incremented — silently mixing two
+/// bucket layouts under one name would corrupt the series.
 #[inline]
 pub fn observe(name: &str, value: f64, bounds: &[f64]) {
     if !crate::enabled() {
         return;
     }
     with_inner(|inner| {
+        let conflicting = {
+            let h = inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Histogram::new(bounds));
+            let conflicting = h.bounds.len() != bounds.len()
+                || h.bounds
+                    .iter()
+                    .zip(bounds)
+                    .any(|(a, b)| a.to_bits() != b.to_bits());
+            if conflicting {
+                crate::rrs_error!(
+                    "histogram bounds conflict: metric={name} registered={:?} offered={:?} \
+                     (first registration kept)",
+                    h.bounds,
+                    bounds
+                );
+            }
+            h.observe(value);
+            conflicting
+        };
+        if conflicting {
+            *inner
+                .counters
+                .entry(METRIC_BOUNDS_CONFLICTS.to_string())
+                .or_insert(0) += 1;
+        }
+    });
+}
+
+/// Records `value` into the named quantile sketch, creating it on first
+/// use. Safe to call from `par_map` workers: sketch state is integer
+/// bucket counts, so any observation interleaving yields the same
+/// snapshot.
+#[inline]
+pub fn observe_quantile(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_inner(|inner| {
         inner
-            .histograms
+            .sketches
             .entry(name.to_string())
-            .or_insert_with(|| Histogram::new(bounds))
+            .or_default()
             .observe(value);
+    });
+}
+
+/// Merges `sketch` into the named registry sketch, creating it on first
+/// use. For workers that batch observations locally before folding them
+/// in; merge order does not affect the resulting state.
+pub fn merge_quantile(name: &str, sketch: &QuantileSketch) {
+    if !crate::enabled() {
+        return;
+    }
+    with_inner(|inner| {
+        inner
+            .sketches
+            .entry(name.to_string())
+            .or_default()
+            .merge(sketch);
     });
 }
 
@@ -117,10 +194,42 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Quantile sketches by name.
+    pub sketches: BTreeMap<String, QuantileSketch>,
+}
+
+/// Rewrites a dotted metric name into the `[a-zA-Z0-9_:]` alphabet
+/// Prometheus requires (`signal.online.rebuilds` →
+/// `signal_online_rebuilds`).
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Formats a value for Prometheus exposition, which unlike JSON has
+/// spellings for the non-finite floats.
+fn prom_number(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x == f64::INFINITY {
+        "+Inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        x.to_string()
+    }
 }
 
 impl MetricsSnapshot {
-    /// Renders the snapshot as a single JSON object.
+    /// Renders the snapshot as a single JSON object. Non-finite values
+    /// (a gauge set to NaN, an inf observation in a histogram sum)
+    /// serialize as `null` so the output always parses.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
@@ -135,25 +244,82 @@ impl MetricsSnapshot {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("{}:{}", json_string(name), json_number(*v)));
+            out.push_str(&format!(
+                "{}:{}",
+                json_string(name),
+                json_number_or_null(*v)
+            ));
         }
         out.push_str("},\"histograms\":{");
         for (i, (name, h)) in self.histograms.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let bounds: Vec<String> = h.bounds.iter().map(|b| json_number(*b)).collect();
+            let bounds: Vec<String> = h.bounds.iter().map(|b| json_number_or_null(*b)).collect();
             let counts: Vec<String> = h.counts.iter().map(u64::to_string).collect();
             out.push_str(&format!(
                 "{}:{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
                 json_string(name),
                 bounds.join(","),
                 counts.join(","),
-                json_number(h.sum),
+                json_number_or_null(h.sum),
                 h.count,
             ));
         }
+        out.push_str("},\"sketches\":{");
+        for (i, (name, s)) in self.sketches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(name), s.to_json()));
+        }
         out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// counters and gauges as single samples, histograms as cumulative
+    /// `_bucket{le=…}` series with `_sum`/`_count`, and quantile
+    /// sketches as summaries with `quantile` labels. Dotted names are
+    /// rewritten to the Prometheus alphabet (`.` → `_`); ordering is
+    /// fixed (counters, gauges, histograms, sketches, each sorted by
+    /// name), so equal snapshots render byte-identically.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", prom_number(*v)));
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0_u64;
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                out.push_str(&format!(
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    prom_number(*bound)
+                ));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n", prom_number(h.sum)));
+            out.push_str(&format!("{n}_count {}\n", h.count));
+        }
+        for (name, s) in &self.sketches {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+                let v = s.quantile(q).unwrap_or(f64::NAN);
+                out.push_str(&format!("{n}{{quantile=\"{label}\"}} {}\n", prom_number(v)));
+            }
+            out.push_str(&format!("{n}_sum {}\n", prom_number(s.approx_sum())));
+            out.push_str(&format!("{n}_count {}\n", s.finite_count()));
+        }
         out
     }
 }
@@ -165,11 +331,12 @@ pub fn snapshot() -> MetricsSnapshot {
         counters: inner.counters.clone(),
         gauges: inner.gauges.clone(),
         histograms: inner.histograms.clone(),
+        sketches: inner.sketches.clone(),
     })
     .unwrap_or_default()
 }
 
-/// Clears every counter, gauge, and histogram.
+/// Clears every counter, gauge, histogram, and sketch.
 pub fn reset() {
     with_inner(|inner| *inner = Inner::default());
 }
@@ -187,10 +354,12 @@ mod tests {
         counter_add("c", 3);
         gauge_set("g", 1.5);
         observe("h", 0.2, &[1.0]);
+        observe_quantile("s", 4.0);
         let snap = snapshot();
         assert!(snap.counters.is_empty());
         assert!(snap.gauges.is_empty());
         assert!(snap.histograms.is_empty());
+        assert!(snap.sketches.is_empty());
     }
 
     #[test]
@@ -225,6 +394,69 @@ mod tests {
         assert!((h.mean() - 55.5 / 3.0).abs() < 1e-12);
     }
 
+    /// Satellite regression: mismatched bounds on an existing histogram
+    /// must keep the first registration, record the value against it,
+    /// and surface the conflict instead of silently ignoring it.
+    #[test]
+    fn conflicting_bounds_keep_first_registration_and_are_counted() {
+        let _guard = tests_lock();
+        crate::enable();
+        reset();
+        observe("lat", 0.5, &[1.0, 10.0]);
+        observe("lat", 5.0, &[2.0, 20.0, 200.0]);
+        let snap = snapshot();
+        crate::disable();
+        let h = &snap.histograms["lat"];
+        assert_eq!(h.bounds, vec![1.0, 10.0], "first registration must win");
+        // 5.0 was still recorded, bucketed by the registered bounds.
+        assert_eq!(h.counts, vec![1, 1, 0]);
+        assert_eq!(h.count, 2);
+        assert_eq!(snap.counters[METRIC_BOUNDS_CONFLICTS], 1);
+    }
+
+    #[test]
+    fn matching_bounds_do_not_count_as_conflicts() {
+        let _guard = tests_lock();
+        crate::enable();
+        reset();
+        observe("lat", 0.5, &[1.0, 10.0]);
+        observe("lat", 5.0, &[1.0, 10.0]);
+        let snap = snapshot();
+        crate::disable();
+        assert!(!snap.counters.contains_key(METRIC_BOUNDS_CONFLICTS));
+    }
+
+    #[test]
+    fn sketches_register_and_report_quantiles() {
+        let _guard = tests_lock();
+        crate::enable();
+        reset();
+        for i in 1..=100 {
+            observe_quantile("sizes", f64::from(i));
+        }
+        let snap = snapshot();
+        crate::disable();
+        let s = &snap.sketches["sizes"];
+        assert_eq!(s.finite_count(), 100);
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((p50 - 50.0).abs() <= 50.0 * crate::sketch::RELATIVE_ERROR + 1.0);
+    }
+
+    #[test]
+    fn merge_quantile_folds_worker_sketches() {
+        let _guard = tests_lock();
+        crate::enable();
+        reset();
+        let mut local = QuantileSketch::new();
+        local.observe(3.0);
+        local.observe(4.0);
+        merge_quantile("sizes", &local);
+        observe_quantile("sizes", 5.0);
+        let snap = snapshot();
+        crate::disable();
+        assert_eq!(snap.sketches["sizes"].finite_count(), 3);
+    }
+
     #[test]
     fn snapshot_json_is_wellformed() {
         let _guard = tests_lock();
@@ -233,12 +465,72 @@ mod tests {
         counter_add("a.b", 1);
         gauge_set("g", 2.0);
         observe("h", 0.5, &[1.0]);
+        observe_quantile("s", 2.0);
         let json = snapshot().to_json();
         crate::disable();
         assert!(json.starts_with("{\"counters\":{"));
         assert!(json.contains("\"a.b\":1"));
         assert!(json.contains("\"g\":2.0"));
         assert!(json.contains("\"bounds\":[1.0]"));
+        assert!(json.contains("\"sketches\":{\"s\":{\"count\":1,"));
         assert!(json.ends_with("}}"));
+    }
+
+    /// Satellite regression: NaN gauges and inf observations must not
+    /// produce invalid JSON tokens.
+    #[test]
+    fn non_finite_values_serialize_as_null() {
+        let _guard = tests_lock();
+        crate::enable();
+        reset();
+        gauge_set("bad_gauge", f64::NAN);
+        observe("h", f64::INFINITY, &[1.0]);
+        let json = snapshot().to_json();
+        crate::disable();
+        assert!(json.contains("\"bad_gauge\":null"));
+        // The inf observation lands in the overflow bucket and poisons
+        // the sum, which must serialize as null, not `inf`.
+        assert!(json.contains("\"sum\":null"));
+        assert!(!json.contains("inf"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_families() {
+        let _guard = tests_lock();
+        crate::enable();
+        reset();
+        counter_add("detect.path1_hits", 3);
+        gauge_set("signal.online.products", 5.0);
+        observe("lat", 0.5, &[1.0, 10.0]);
+        observe("lat", 50.0, &[1.0, 10.0]);
+        for i in 1..=10 {
+            observe_quantile("scheme.suspicious_size", f64::from(i));
+        }
+        let text = snapshot().to_prometheus();
+        crate::disable();
+        assert!(text.contains("# TYPE detect_path1_hits counter\ndetect_path1_hits 3\n"));
+        assert!(text.contains("# TYPE signal_online_products gauge\nsignal_online_products 5\n"));
+        assert!(text.contains("# TYPE lat histogram\n"));
+        assert!(text.contains("lat_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_count 2\n"));
+        assert!(text.contains("# TYPE scheme_suspicious_size summary\n"));
+        assert!(text.contains("scheme_suspicious_size{quantile=\"0.5\"}"));
+        assert!(text.contains("scheme_suspicious_size_count 10\n"));
+    }
+
+    #[test]
+    fn prometheus_non_finite_spellings() {
+        let _guard = tests_lock();
+        crate::enable();
+        reset();
+        gauge_set("nan_gauge", f64::NAN);
+        gauge_set("inf_gauge", f64::INFINITY);
+        let text = snapshot().to_prometheus();
+        crate::disable();
+        assert!(text.contains("nan_gauge NaN\n"));
+        assert!(text.contains("inf_gauge +Inf\n"));
     }
 }

@@ -1,5 +1,5 @@
 //! The span/event tracer: monotonic timing into a thread-safe in-memory
-//! sink.
+//! sink, with parent/child structure.
 //!
 //! A *span* measures one region of code: [`span`] starts the clock (only
 //! when collection is [enabled](crate::enabled)) and the returned guard
@@ -7,15 +7,36 @@
 //! dotted `stage.detail` strings; [`stage_totals`] folds them into
 //! per-stage totals for bench breakdowns.
 //!
+//! Spans are *hierarchical*: each live span pushes its id onto a
+//! thread-local stack, so a span opened while another is live on the
+//! same thread records that span as its parent. [`tree_totals`] folds a
+//! span batch into per-path aggregates (paths are `;`-joined name chains
+//! from root to leaf) and [`collapsed_stacks`] renders the batch in the
+//! collapsed-stack text format flamegraph tools consume, with self-time
+//! (own nanoseconds minus direct children) as the sample value.
+//!
 //! An *event* is a named point-in-time note with a lazily built message —
 //! the closure only runs when collection is enabled, so formatting costs
 //! nothing on the disabled path.
 
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 static SPANS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
 static EVENTS: Mutex<Vec<EventRecord>> = Mutex::new(Vec::new());
+
+/// Monotonic span-id source. Ids are unique per process, never reused,
+/// and carry no timing or ordering guarantees across threads — they
+/// exist only to link children to parents.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The ids of this thread's live spans, outermost first. A span's
+    /// parent is whatever id is on top of the stack when it opens.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// One completed span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +45,10 @@ pub struct SpanRecord {
     pub name: &'static str,
     /// Elapsed monotonic nanoseconds.
     pub nanos: u64,
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for a root.
+    pub parent: u64,
 }
 
 /// One recorded event.
@@ -37,22 +62,39 @@ pub struct EventRecord {
 
 /// An in-flight span; records itself into the sink when dropped.
 ///
-/// Inert (no clock was read) when collection was disabled at creation.
+/// Inert (no clock was read, no id allocated) when collection was
+/// disabled at creation.
 #[derive(Debug)]
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    id: u64,
+    parent: u64,
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // Pop this span off its thread's stack. Guards normally drop
+            // LIFO, but a span moved across threads or dropped out of
+            // order must not corrupt the stack, so remove by id (from
+            // the end, where it almost always is).
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&id| id == self.id) {
+                    stack.remove(pos);
+                }
+            });
+            let record = SpanRecord {
+                name: self.name,
+                nanos,
+                id: self.id,
+                parent: self.parent,
+            };
+            crate::recorder::note_span(&record);
             if let Ok(mut sink) = SPANS.lock() {
-                sink.push(SpanRecord {
-                    name: self.name,
-                    nanos,
-                });
+                sink.push(record);
             }
         }
     }
@@ -64,9 +106,26 @@ impl Drop for Span {
 #[inline]
 #[must_use]
 pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span {
+            name,
+            start: None,
+            id: 0,
+            parent: 0,
+        };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        stack.push(id);
+        parent
+    });
     Span {
         name,
-        start: crate::enabled().then(Instant::now),
+        start: Some(Instant::now()),
+        id,
+        parent,
     }
 }
 
@@ -102,10 +161,11 @@ pub fn drain_events() -> Vec<EventRecord> {
         .unwrap_or_default()
 }
 
-/// Aggregate statistics of all spans sharing one name.
+/// Aggregate statistics of all spans sharing one name (or one tree
+/// path, for [`tree_totals`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanAgg {
-    /// The span name.
+    /// The span name (or `;`-joined root-to-leaf path).
     pub name: String,
     /// How many spans completed under this name.
     pub count: u64,
@@ -156,6 +216,94 @@ pub fn stage_totals(records: &[SpanRecord]) -> Vec<SpanAgg> {
         .collect()
 }
 
+/// Resolves each record's root-to-leaf name path through the parent
+/// links. A record whose parent is missing from the batch (e.g. the
+/// parent has not closed yet) is treated as a root.
+fn resolve_paths(records: &[SpanRecord]) -> Vec<String> {
+    let by_id: std::collections::BTreeMap<u64, &SpanRecord> =
+        records.iter().map(|r| (r.id, r)).collect();
+    records
+        .iter()
+        .map(|r| {
+            let mut chain = vec![r.name];
+            let mut parent = r.parent;
+            // Parent chains are acyclic by construction (ids are
+            // allocated monotonically and a child's parent always has a
+            // smaller id), so this walk terminates.
+            while parent != 0 {
+                match by_id.get(&parent) {
+                    Some(p) => {
+                        chain.push(p.name);
+                        parent = p.parent;
+                    }
+                    None => break,
+                }
+            }
+            chain.reverse();
+            chain.join(";")
+        })
+        .collect()
+}
+
+/// Folds span records into per-path aggregates — the span-tree view of
+/// a batch. Paths are `;`-joined name chains from root to leaf, so
+/// sorting by name groups a parent directly above its children. Total
+/// nanoseconds are *inclusive* (a parent's total covers its children).
+#[must_use]
+pub fn tree_totals(records: &[SpanRecord]) -> Vec<SpanAgg> {
+    let paths = resolve_paths(records);
+    let mut by_path: std::collections::BTreeMap<String, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for (r, path) in records.iter().zip(paths) {
+        let slot = by_path.entry(path).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += r.nanos;
+    }
+    by_path
+        .into_iter()
+        .map(|(name, (count, total_ns))| SpanAgg {
+            name,
+            count,
+            total_ns,
+        })
+        .collect()
+}
+
+/// Renders span records in the collapsed-stack text format flamegraph
+/// tools consume: one `root;child;leaf <value>` line per distinct path,
+/// sorted by path, where the value is the path's summed *self* time
+/// (own nanoseconds minus time attributed to direct children,
+/// saturating at zero).
+///
+/// Every observed path is emitted, even at zero self-time, so the line
+/// *structure* of the output depends only on which spans ran — not on
+/// how their time happened to split — and can be golden-tested.
+#[must_use]
+pub fn collapsed_stacks(records: &[SpanRecord]) -> String {
+    // Children's inclusive time, keyed by parent id.
+    let mut child_ns: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for r in records {
+        if r.parent != 0 {
+            *child_ns.entry(r.parent).or_insert(0) += r.nanos;
+        }
+    }
+    let paths = resolve_paths(records);
+    let mut by_path: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (r, path) in records.iter().zip(paths) {
+        let own = child_ns.get(&r.id).copied().unwrap_or(0);
+        let self_ns = r.nanos.saturating_sub(own);
+        *by_path.entry(path).or_insert(0) += self_ns;
+    }
+    let mut out = String::new();
+    for (path, self_ns) in by_path {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&self_ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
 /// Serializes tests that toggle the global switch or drain the global
 /// sinks. Only meaningful inside this workspace's test suites.
 #[doc(hidden)]
@@ -168,6 +316,15 @@ pub fn tests_lock() -> MutexGuard<'static, ()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn rec(name: &'static str, nanos: u64, id: u64, parent: u64) -> SpanRecord {
+        SpanRecord {
+            name,
+            nanos,
+            id,
+            parent,
+        }
+    }
 
     #[test]
     fn disabled_span_records_nothing() {
@@ -193,6 +350,74 @@ mod tests {
         crate::disable();
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].name, "stage.work");
+        assert_ne!(spans[0].id, 0);
+    }
+
+    #[test]
+    fn nested_spans_link_child_to_parent() {
+        let _guard = tests_lock();
+        crate::enable();
+        drain_spans();
+        {
+            let _outer = span("stage.outer");
+            {
+                let _inner = span("stage.inner");
+            }
+        }
+        let spans = drain_spans();
+        crate::disable();
+        // Inner closes (and records) first.
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "stage.inner");
+        assert_eq!(spans[1].name, "stage.outer");
+        assert_eq!(spans[0].parent, spans[1].id);
+        assert_eq!(spans[1].parent, 0);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let _guard = tests_lock();
+        crate::enable();
+        drain_spans();
+        {
+            let _outer = span("stage.outer");
+            {
+                let _a = span("stage.a");
+            }
+            {
+                let _b = span("stage.b");
+            }
+        }
+        let spans = drain_spans();
+        crate::disable();
+        assert_eq!(spans.len(), 3);
+        let outer = spans.iter().find(|s| s.name == "stage.outer").unwrap();
+        for name in ["stage.a", "stage.b"] {
+            let child = spans.iter().find(|s| s.name == name).unwrap();
+            assert_eq!(child.parent, outer.id);
+        }
+    }
+
+    #[test]
+    fn spans_on_fresh_threads_are_roots() {
+        let _guard = tests_lock();
+        crate::enable();
+        drain_spans();
+        {
+            let _outer = span("stage.outer");
+            std::thread::spawn(|| {
+                let _worker = span("stage.worker");
+            })
+            .join()
+            .unwrap();
+        }
+        let spans = drain_spans();
+        crate::disable();
+        let worker = spans.iter().find(|s| s.name == "stage.worker").unwrap();
+        // The stack is thread-local: the worker thread's stack starts
+        // empty, so its span has no parent even though stage.outer was
+        // live on the spawning thread.
+        assert_eq!(worker.parent, 0);
     }
 
     #[test]
@@ -219,18 +444,9 @@ mod tests {
     #[test]
     fn aggregate_sums_per_name_and_sorts() {
         let records = vec![
-            SpanRecord {
-                name: "b.x",
-                nanos: 5,
-            },
-            SpanRecord {
-                name: "a.y",
-                nanos: 3,
-            },
-            SpanRecord {
-                name: "b.x",
-                nanos: 7,
-            },
+            rec("b.x", 5, 1, 0),
+            rec("a.y", 3, 2, 0),
+            rec("b.x", 7, 3, 0),
         ];
         let aggs = aggregate(&records);
         assert_eq!(aggs.len(), 2);
@@ -244,18 +460,9 @@ mod tests {
     #[test]
     fn stage_totals_group_by_prefix() {
         let records = vec![
-            SpanRecord {
-                name: "signal.mc",
-                nanos: 4,
-            },
-            SpanRecord {
-                name: "signal.hc",
-                nanos: 6,
-            },
-            SpanRecord {
-                name: "detect.integrate",
-                nanos: 9,
-            },
+            rec("signal.mc", 4, 1, 0),
+            rec("signal.hc", 6, 2, 0),
+            rec("detect.integrate", 9, 3, 0),
         ];
         let stages = stage_totals(&records);
         assert_eq!(stages.len(), 2);
@@ -264,6 +471,57 @@ mod tests {
         assert_eq!(stages[1].name, "signal");
         assert_eq!(stages[1].total_ns, 10);
         assert_eq!(stages[1].count, 2);
+    }
+
+    #[test]
+    fn tree_totals_resolve_paths_through_parents() {
+        // epoch(10) -> detect(1, 6) with detect(6) -> mc(2); one root
+        // orphan whose parent is absent from the batch.
+        let records = vec![
+            rec("scheme.epoch", 10, 1, 0),
+            rec("detect.run", 1, 2, 1),
+            rec("detect.run", 6, 3, 1),
+            rec("signal.mc", 2, 4, 3),
+            rec("signal.mc", 5, 5, 99),
+        ];
+        let tree = tree_totals(&records);
+        let names: Vec<&str> = tree.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "scheme.epoch",
+                "scheme.epoch;detect.run",
+                "scheme.epoch;detect.run;signal.mc",
+                "signal.mc",
+            ]
+        );
+        let detect = &tree[1];
+        assert_eq!(detect.count, 2);
+        assert_eq!(detect.total_ns, 7);
+    }
+
+    #[test]
+    fn collapsed_stacks_use_self_time_and_keep_zero_lines() {
+        let records = vec![
+            rec("scheme.epoch", 10, 1, 0),
+            rec("detect.run", 7, 2, 1),
+            rec("signal.mc", 7, 3, 2),
+        ];
+        // epoch self = 10-7 = 3; detect self = 7-7 = 0 (kept); mc = 7.
+        assert_eq!(
+            collapsed_stacks(&records),
+            "scheme.epoch 3\n\
+             scheme.epoch;detect.run 0\n\
+             scheme.epoch;detect.run;signal.mc 7\n"
+        );
+    }
+
+    #[test]
+    fn collapsed_stack_self_time_saturates() {
+        // A child that (through clock skew) claims more time than its
+        // parent must clamp the parent's self-time to zero, not wrap.
+        let records = vec![rec("a.x", 5, 1, 0), rec("b.y", 9, 2, 1)];
+        assert_eq!(collapsed_stacks(&records), "a.x 0\na.x;b.y 9\n");
     }
 
     #[test]

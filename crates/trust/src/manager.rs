@@ -2,6 +2,12 @@ use crate::BetaTrust;
 use rrs_core::{DatasetView, RaterId, RatingId, TimeWindow};
 use std::collections::{BTreeMap, BTreeSet};
 
+// Metric names, declared as constants per the `metric-name` lint rule.
+const METRIC_EPOCHS: &str = "trust.epochs";
+const METRIC_SUSPICIOUS_RATINGS: &str = "trust.suspicious_ratings";
+const METRIC_MASS_TOTAL: &str = "trust.mass_total";
+const METRIC_RATERS_TRACKED: &str = "trust.raters_tracked";
+
 /// The before/after beta-trust state of one rater across an epoch.
 ///
 /// Recorded only for raters that had at least one suspicious rating in
@@ -120,8 +126,17 @@ impl TrustManager {
             }
             touched.push(rater);
         }
-        rrs_obs::metrics::counter_add("trust.epochs", 1);
-        rrs_obs::metrics::counter_add("trust.suspicious_ratings", total_suspicious as u64);
+        rrs_obs::metrics::counter_add(METRIC_EPOCHS, 1);
+        rrs_obs::metrics::counter_add(METRIC_SUSPICIOUS_RATINGS, total_suspicious as u64);
+        if rrs_obs::enabled() {
+            // Trust-mass health gauges. `update_epoch` runs serially in
+            // the scheme's epoch loop and the records map is ordered, so
+            // this f64 accumulation is deterministic across thread
+            // counts.
+            let mass: f64 = self.records.values().map(BetaTrust::trust).sum();
+            rrs_obs::metrics::gauge_set(METRIC_MASS_TOTAL, mass);
+            rrs_obs::metrics::gauge_set(METRIC_RATERS_TRACKED, self.records.len() as f64);
+        }
         TrustUpdate {
             touched,
             ratings: total,

@@ -27,26 +27,46 @@ for fixture in crates/lint/fixtures/*/; do
 done
 
 # Trace smoke-run: the observability layer must produce a non-empty,
-# schema-complete decision-trace JSONL from a release binary.
+# schema-complete decision-trace JSONL and a collapsed-stack flamegraph
+# from a release binary.
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
-target/release/rrs trace downgrade-burst --out "$TMP/trace.jsonl" --seed 7
+target/release/rrs trace downgrade-burst --out "$TMP/trace.jsonl" \
+    --flamegraph "$TMP/trace.folded" --seed 7
 test -s "$TMP/trace.jsonl"
+test -s "$TMP/trace.folded"
 for key in product detectors paths suspicious trust; do
     grep -q "\"$key\"" "$TMP/trace.jsonl"
 done
+grep -q '^scheme\.epoch;' "$TMP/trace.folded"
+
+# Telemetry smoke-runs: the metrics exposition must carry the watchdog
+# and detector-health series, and the flight recorder must dump at
+# least one firing for a real attack scenario.
+target/release/rrs metrics downgrade-burst --seed 7 --out "$TMP/metrics.prom"
+grep -q '^scheme_watchdog_divergences 0$' "$TMP/metrics.prom"
+grep -q '^detect_fired_mc ' "$TMP/metrics.prom"
+target/release/rrs dump downgrade-burst --seed 7 --out "$TMP/dump.jsonl"
+test -s "$TMP/dump.jsonl"
+grep -q '"recent_spans"' "$TMP/dump.jsonl"
 
 # Parallel determinism: the full small-scale experiment suite must emit
 # byte-identical results whether the pool runs one worker (the exact
 # serial path) or eight. `diff -r` is the enforcement, not a spot check.
-RRS_THREADS=1 target/release/experiments --scale small --seed 42 --out "$TMP/threads1"
-RRS_THREADS=8 target/release/experiments --scale small --seed 42 --out "$TMP/threads8"
+# RRS_TRACE=1 adds metrics.json to the tree, so the diff also proves
+# the metrics snapshot (counters, gauges, quantile sketches) is
+# thread-count invariant.
+RRS_TRACE=1 RRS_THREADS=1 target/release/experiments --scale small --seed 42 --out "$TMP/threads1"
+RRS_TRACE=1 RRS_THREADS=8 target/release/experiments --scale small --seed 42 --out "$TMP/threads8"
+test -s "$TMP/threads1/metrics.json"
 diff -r "$TMP/threads1" "$TMP/threads8"
 
 # Online/batch oracle: detection defaults to the incremental online path,
 # so the runs above exercised it; re-running with RRS_ONLINE=0 forces the
-# batch oracle, which must emit byte-identical result trees.
+# batch oracle, which must emit byte-identical result trees. metrics.json
+# is excluded: the online path legitimately reports extra health series
+# (signal.online.*) the batch oracle never touches.
 RRS_ONLINE=0 RRS_THREADS=1 target/release/experiments --scale small --seed 42 --out "$TMP/batch"
-diff -r "$TMP/threads1" "$TMP/batch"
+diff -r --exclude=metrics.json "$TMP/threads1" "$TMP/batch"
 
 echo "verify: OK"
