@@ -36,7 +36,7 @@ impl MpParams {
     #[must_use]
     pub fn paper() -> Self {
         MpParams {
-            period: Days::new(30.0).expect("constant is valid"),
+            period: Days::new_saturating(30.0),
             top_k: 2,
             scoring: ScoringMode::Cumulative,
         }

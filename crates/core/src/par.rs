@@ -156,6 +156,90 @@ where
     out
 }
 
+/// Like [`par_map`], but consumes `items` and hands each one to `f`
+/// **by value** — for pipelines that move per-item state through the
+/// pool (e.g. the online detectors advancing one owned `ProductState`
+/// per product) without interior mutability at the call site.
+///
+/// The [`par_map`] guarantees carry over: results come back in input
+/// order, one thread (or a nested call) runs the exact serial
+/// `into_iter` path, and each item is consumed exactly once because the
+/// atomic dispenser hands every index to exactly one worker.
+///
+/// # Panics
+///
+/// If a worker panics, the panic payload is re-raised on the calling
+/// thread after the remaining workers finish.
+pub fn par_map_owned<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let threads = thread_count().min(items.len());
+    if threads <= 1 || IN_WORKER.with(Cell::get) {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    // Each item waits in its own cell until the index dispenser hands
+    // its slot to exactly one worker, which takes the value out. The
+    // per-cell Mutex is uncontended by construction — it only makes the
+    // ownership handoff expressible without `unsafe`.
+    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::new();
+    slots.resize_with(cells.len(), || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            let cells = &cells;
+            handles.push(scope.spawn(move || {
+                IN_WORKER.with(|flag| flag.set(true));
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(index) else { break };
+                    let Some(item) = cell
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .take()
+                    else {
+                        break;
+                    };
+                    local.push((index, f(index, item)));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => {
+                    for (index, value) in local {
+                        slots[index] = Some(value);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let expected = slots.len();
+    let out: Vec<U> = slots.into_iter().flatten().collect();
+    assert_eq!(
+        out.len(),
+        expected,
+        "par_map_owned merge lost a result slot"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +289,29 @@ mod tests {
         let inside = with_threads(3, thread_count);
         assert_eq!(inside, 3);
         assert_eq!(thread_count(), before);
+    }
+
+    #[test]
+    fn owned_map_moves_each_item_exactly_once_in_order() {
+        let items: Vec<String> = (0..257).map(|i| format!("item-{i}")).collect();
+        let expected = items.clone();
+        let out = with_threads(8, || {
+            par_map_owned(items, |i, s| {
+                // `s` is owned: mutate and return it to prove the move.
+                assert_eq!(s, format!("item-{i}"));
+                s
+            })
+        });
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn owned_map_parallel_matches_serial_exactly() {
+        let make = || (0..100u64).map(|i| vec![i, i * 2]).collect::<Vec<_>>();
+        let work = |i: usize, v: Vec<u64>| v.iter().sum::<u64>() + i as u64;
+        let serial = with_threads(1, || par_map_owned(make(), work));
+        let parallel = with_threads(8, || par_map_owned(make(), work));
+        assert_eq!(serial, parallel);
     }
 
     #[test]

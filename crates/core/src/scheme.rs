@@ -69,8 +69,7 @@ impl EvalContext {
     #[must_use]
     pub fn scoring_window(&self, period: TimeWindow) -> TimeWindow {
         match self.scoring {
-            ScoringMode::Cumulative => TimeWindow::new(self.horizon.start(), period.end())
-                .expect("period lies inside the horizon"),
+            ScoringMode::Cumulative => TimeWindow::ordered(self.horizon.start(), period.end()),
             ScoringMode::PerPeriod => period,
         }
     }

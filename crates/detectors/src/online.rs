@@ -51,7 +51,6 @@ use rrs_core::{DatasetView, ProductId, RaterId, RatingEntry, RatingId, TimeWindo
 use rrs_signal::curve::{Curve, CurvePoint};
 use rrs_signal::{ArAccumulator, Cusum, DecayedHistogram, Ewma, Welford, WindowedWelford};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Mutex;
 
 // Metric names, declared as constants per the `metric-name` lint rule.
 const METRIC_CUSUM_ALARMS: &str = "signal.online.cusum_alarms";
@@ -680,8 +679,8 @@ impl JointDetector {
     /// degrades to batch speed, never to wrong results.
     ///
     /// Products are independent; state slots are moved out of the map,
-    /// processed under [`rrs_core::par::par_map`] (product order, so the
-    /// output is identical at any thread count), and re-inserted.
+    /// carried through [`rrs_core::par::par_map_owned`] (product order,
+    /// so the output is identical at any thread count), and re-inserted.
     pub fn detect_all_online<'a, D, F>(
         &self,
         dataset: D,
@@ -695,25 +694,27 @@ impl JointDetector {
     {
         let view = dataset.into();
         let trust = &trust;
-        let slots: Vec<Mutex<ProductState>> = view
+        let tasks: Vec<(ProductId, TimelineView<'a>, ProductState)> = view
             .products()
             .iter()
-            .map(|(pid, _)| Mutex::new(state.products.remove(pid).unwrap_or_default()))
+            .map(|&(pid, timeline)| {
+                (
+                    pid,
+                    timeline,
+                    state.products.remove(&pid).unwrap_or_default(),
+                )
+            })
             .collect();
-        let per_product = rrs_core::par::par_map(view.products(), |i, &(pid, timeline)| {
-            let mut product_state = slots[i]
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            (
-                pid,
-                detect_product_online(self, timeline, horizon, &mut product_state, trust),
-            )
-        });
-        for ((pid, _), slot) in view.products().iter().zip(slots) {
-            let product_state = slot
-                .into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            state.products.insert(*pid, product_state);
+        let mut per_product = Vec::with_capacity(tasks.len());
+        for (pid, result, product_state) in
+            rrs_core::par::par_map_owned(tasks, |_, (pid, timeline, mut product_state)| {
+                let result =
+                    detect_product_online(self, timeline, horizon, &mut product_state, trust);
+                (pid, result, product_state)
+            })
+        {
+            state.products.insert(pid, product_state);
+            per_product.push((pid, result));
         }
         let mut all = BTreeSet::new();
         for (_, result) in &per_product {

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+
+pub fn alpha() -> u32 {
+    1
+}
+
+pub fn beta() -> u32 {
+    2
+}

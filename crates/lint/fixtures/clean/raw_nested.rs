@@ -1,0 +1,11 @@
+//! Clean fixture: nested raw strings scrub as single literals, so the
+//! hazards quoted inside them never reach the rules or the item model.
+
+pub fn raw_strings() -> usize {
+    let a = r#"outer "inner quoted" HashMap::new() panic!("x")"#;
+    let b = r##"contains "# hash-quote and Instant::now()"##;
+    let c = r###"deep r##"nested-looking raw"## thread_rng()"###;
+    let d = br#"byte raw with .unwrap() and Mutex::new(()) inside"#;
+    let e = r#"Ordering::Relaxed and static mut BAIT quoted"#;
+    a.len() + b.len() + c.len() + d.len() + e.len()
+}

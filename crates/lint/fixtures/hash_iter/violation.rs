@@ -1,0 +1,7 @@
+pub fn summarize(counts: &HashMap<u8, u64>) -> u64 {
+    let mut total = 0;
+    for (_, v) in counts.iter() {
+        total += v;
+    }
+    total
+}

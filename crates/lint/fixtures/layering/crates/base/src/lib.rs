@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+pub fn base_value() -> u32 {
+    7
+}

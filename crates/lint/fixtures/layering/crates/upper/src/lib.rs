@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+
+use base::base_value;
+
+pub fn upper_value() -> u32 {
+    base_value() + 1
+}

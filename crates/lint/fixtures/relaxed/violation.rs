@@ -1,0 +1,5 @@
+use std::sync::atomic::Ordering;
+
+pub fn peek(counter: &SharedCounter) -> u64 {
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,5 @@
+use std::sync::Mutex;
+use std::sync::RwLock;
+use std::sync::atomic::AtomicU64;
+static mut RAW_COUNTER: u32 = 0;
+thread_local! { static SLOT: u32 = 0; }

@@ -1,0 +1,488 @@
+//! The layering pass: a committed crate-dependency DAG.
+//!
+//! The workspace's architecture is a layered stack — `rrs-core` at the
+//! bottom, `rrs-obs`/`rrs-lint` as leaves, `rrs-cli`/`rrs-eval` at the
+//! top — and the cheapest way to destroy it is one convenient back-edge
+//! (`rrs-core` reaching up into `rrs-eval` to "just read a report").
+//! This pass makes the graph a reviewed artifact: every `Cargo.toml`
+//! `[dependencies]` section plus every cross-crate `use rrs_*` path is
+//! folded into an adjacency list and compared against the committed
+//! `layers.lock`. A new edge, a stale edge, or a cycle is a finding
+//! ([`crate::rules::RULE_LAYERING`]); intentional layering changes are
+//! made by regenerating the lock with `--write-layers-lock` and
+//! defending the diff in review.
+
+use crate::items::ItemKind;
+use crate::lexer::is_ident_char;
+use crate::report::Finding;
+use crate::rules::RULE_LAYERING;
+use crate::walk::FileClass;
+use crate::FileModel;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The lock file's name at the workspace root.
+pub const LAYERS_FILE: &str = "layers.lock";
+
+/// Adjacency list: crate name → the crates it depends on.
+pub type Layers = BTreeMap<String, BTreeSet<String>>;
+
+/// Extracts `name = "…"` from a manifest's `[package]` section.
+#[must_use]
+pub fn package_name(manifest: &str) -> Option<String> {
+    section_value(manifest, "[package]", "name")
+}
+
+/// Extracts the `[lib] name` override, if any.
+#[must_use]
+pub fn lib_name(manifest: &str) -> Option<String> {
+    section_value(manifest, "[lib]", "name")
+}
+
+/// Reads `key = "value"` from one `[section]` of TOML-shaped text.
+fn section_value(text: &str, section: &str, key: &str) -> Option<String> {
+    let mut in_section = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_section = line == section;
+            continue;
+        }
+        if in_section {
+            if let Some(rest) = line.strip_prefix(key) {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    return Some(rest.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The dependency names declared in a manifest's `[dependencies]`
+/// section. `[dev-dependencies]` are deliberately excluded — test-only
+/// edges (oracles, golden harnesses) do not constrain the runtime
+/// layering — and `[workspace.dependencies]` is a version table, not an
+/// edge list.
+#[must_use]
+pub fn manifest_deps(text: &str) -> Vec<String> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `rrs-core.workspace = true` or `rrs-core = { … }`.
+        let name: String = line
+            .chars()
+            .take_while(|&c| is_ident_char(c) || c == '-')
+            .collect();
+        if !name.is_empty() {
+            deps.push(name);
+        }
+    }
+    deps
+}
+
+/// Builds the live dependency graph from manifests and source files.
+///
+/// `manifests` holds `(rel, text)` pairs for every discovered
+/// `Cargo.toml`. Crates are the manifests' `[package]` names; edges are
+/// their `[dependencies]` entries naming another member, unioned with
+/// cross-crate paths in source code (`use rrs_core::…` or an inline
+/// `rrs_core::par::par_map(…)` in any non-test file).
+#[must_use]
+pub fn actual_graph(manifests: &[(String, String)], models: &[FileModel]) -> Layers {
+    // Member table: lib name (underscored) → package name.
+    let mut members: BTreeMap<String, String> = BTreeMap::new();
+    let mut graph = Layers::new();
+    for (_, text) in manifests {
+        if let Some(pkg) = package_name(text) {
+            let lib = lib_name(text).unwrap_or_else(|| pkg.replace('-', "_"));
+            members.insert(lib, pkg.clone());
+            graph.entry(pkg).or_default();
+        }
+    }
+
+    for (rel, text) in manifests {
+        let Some(pkg) = package_name(text) else {
+            continue;
+        };
+        let _ = rel;
+        for dep in manifest_deps(text) {
+            if dep != pkg && graph.contains_key(&dep) {
+                graph.entry(pkg.clone()).or_default().insert(dep);
+            }
+        }
+    }
+
+    for model in models {
+        if model.file.class == FileClass::Test {
+            continue;
+        }
+        let from = &model.file.crate_name;
+        if !graph.contains_key(from) {
+            continue;
+        }
+        // Item-model edges: `use` declarations whose first segment is a
+        // member library.
+        for item in &model.items {
+            if item.in_test {
+                continue;
+            }
+            if let ItemKind::Use { path } = &item.kind {
+                let first: String = path.chars().take_while(|&c| is_ident_char(c)).collect();
+                if let Some(pkg) = members.get(&first) {
+                    if pkg != from {
+                        graph.entry(from.clone()).or_default().insert(pkg.clone());
+                    }
+                }
+            }
+        }
+        // Qualified-path edges: `rrs_core::par::…` inline in code.
+        for (idx, line) in model.scrubbed.lines.iter().enumerate() {
+            if model.scrubbed.test_mask.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            for (lib, pkg) in &members {
+                if pkg == from {
+                    continue;
+                }
+                if qualifies(line, lib) {
+                    graph.entry(from.clone()).or_default().insert(pkg.clone());
+                }
+            }
+        }
+    }
+    graph
+}
+
+/// Does `line` contain the token `lib` immediately followed by `::`?
+fn qualifies(line: &str, lib: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(lib) {
+        let at = start + pos;
+        start = at + lib.len();
+        let before_ok = at == 0 || !line[..at].chars().next_back().is_some_and(is_ident_char);
+        let after = line[at + lib.len()..].trim_start();
+        if before_ok && after.starts_with("::") {
+            return true;
+        }
+    }
+    false
+}
+
+/// The lock-file header comment.
+const HEADER: &str = "\
+# rrs-lint layering lock: the committed crate-dependency DAG, one line
+# per crate (`crate: dep dep …`), unioned from Cargo.toml [dependencies]
+# and cross-crate `use` paths in non-test code. A new edge fails the
+# lint until this file is regenerated with
+# `cargo run -p rrs-lint -- --write-layers-lock`
+# and the changed layering is defended in review.";
+
+/// Renders the graph in lock format.
+#[must_use]
+pub fn render_lock(layers: &Layers) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for (name, deps) in layers {
+        out.push_str(name);
+        out.push(':');
+        for dep in deps {
+            out.push(' ');
+            out.push_str(dep);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a lock file.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_lock(text: &str) -> Result<Layers, String> {
+    let mut out = Layers::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, deps) = line
+            .split_once(':')
+            .ok_or_else(|| format!("line {}: expected `crate: deps…`", idx + 1))?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(format!("line {}: empty crate name", idx + 1));
+        }
+        out.insert(
+            name.to_string(),
+            deps.split_whitespace().map(str::to_string).collect(),
+        );
+    }
+    Ok(out)
+}
+
+/// Compares the live graph against the lock, producing findings for
+/// every drifted edge or crate. `manifest_of` maps crate names to their
+/// manifest's root-relative path so new-edge findings point at the file
+/// that declares them.
+#[must_use]
+pub fn check(
+    lock_rel: &str,
+    locked: &Layers,
+    actual: &Layers,
+    manifest_of: &BTreeMap<String, String>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let empty = BTreeSet::new();
+    for (name, deps) in actual {
+        let locked_deps = locked.get(name);
+        if locked_deps.is_none() {
+            findings.push(Finding {
+                rule: RULE_LAYERING,
+                file: lock_rel.to_string(),
+                line: 0,
+                crate_name: name.clone(),
+                message: format!(
+                    "crate {name} has no entry in {lock_rel} — regenerate with \
+                     --write-layers-lock"
+                ),
+            });
+        }
+        let locked_deps = locked_deps.unwrap_or(&empty);
+        for dep in deps.difference(locked_deps) {
+            findings.push(Finding {
+                rule: RULE_LAYERING,
+                file: manifest_of
+                    .get(name)
+                    .cloned()
+                    .unwrap_or_else(|| lock_rel.to_string()),
+                line: 0,
+                crate_name: name.clone(),
+                message: format!(
+                    "new dependency edge {name} → {dep} is not in the committed \
+                     layering — if the architecture change is intentional, \
+                     regenerate {lock_rel} with --write-layers-lock and defend \
+                     the edge in review"
+                ),
+            });
+        }
+        for dep in locked_deps.difference(deps) {
+            findings.push(Finding {
+                rule: RULE_LAYERING,
+                file: lock_rel.to_string(),
+                line: 0,
+                crate_name: name.clone(),
+                message: format!(
+                    "locked edge {name} → {dep} no longer exists — ratchet the \
+                     layering down with --write-layers-lock"
+                ),
+            });
+        }
+    }
+    for name in locked.keys() {
+        if !actual.contains_key(name) {
+            findings.push(Finding {
+                rule: RULE_LAYERING,
+                file: lock_rel.to_string(),
+                line: 0,
+                crate_name: name.clone(),
+                message: format!(
+                    "locked crate {name} no longer exists — regenerate with \
+                     --write-layers-lock"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Finds a dependency cycle in `layers`, returned as the crate path
+/// `a → b → … → a`, or `None` for a DAG.
+#[must_use]
+pub fn find_cycle(layers: &Layers) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: BTreeMap<&str, Color> =
+        layers.keys().map(|k| (k.as_str(), Color::White)).collect();
+    let empty = BTreeSet::new();
+
+    // Iterative DFS; a back-edge to a Gray node closes a cycle.
+    for start in layers.keys() {
+        if color[start.as_str()] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(&str, std::collections::btree_set::Iter<'_, String>)> =
+            vec![(start.as_str(), layers.get(start).unwrap_or(&empty).iter())];
+        color.insert(start.as_str(), Color::Gray);
+        while let Some((node, iter)) = stack.last_mut() {
+            let node = *node;
+            if let Some(dep) = iter.next() {
+                match color.get(dep.as_str()).copied() {
+                    Some(Color::White) => {
+                        color.insert(dep.as_str(), Color::Gray);
+                        stack.push((dep.as_str(), layers.get(dep).unwrap_or(&empty).iter()));
+                    }
+                    Some(Color::Gray) => {
+                        // Unwind the stack down to the cycle entry.
+                        let mut path: Vec<String> =
+                            stack.iter().map(|(n, _)| (*n).to_string()).collect();
+                        if let Some(first) = path.iter().position(|n| n == dep.as_str()) {
+                            path.drain(..first);
+                        }
+                        path.push(dep.clone());
+                        return Some(path);
+                    }
+                    _ => {}
+                }
+            } else {
+                color.insert(node, Color::Black);
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::Scrubbed;
+    use crate::walk::SourceFile;
+    use std::path::PathBuf;
+
+    fn manifest(pkg: &str, deps: &[&str]) -> String {
+        let mut text = format!("[package]\nname = \"{pkg}\"\n[dependencies]\n");
+        for d in deps {
+            text.push_str(&format!("{d} = {{ path = \"../{d}\" }}\n"));
+        }
+        text
+    }
+
+    fn model(crate_name: &str, text: &str) -> FileModel {
+        let scrubbed = Scrubbed::new(text);
+        let items = crate::items::parse(&scrubbed);
+        FileModel {
+            file: SourceFile {
+                path: PathBuf::from("x.rs"),
+                rel: format!("crates/{crate_name}/src/lib.rs"),
+                crate_name: crate_name.into(),
+                class: FileClass::Lib,
+            },
+            scrubbed,
+            items,
+            waivers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn manifest_edges_build_the_graph() {
+        let manifests = vec![
+            ("a/Cargo.toml".to_string(), manifest("a", &[])),
+            ("b/Cargo.toml".to_string(), manifest("b", &["a"])),
+        ];
+        let graph = actual_graph(&manifests, &[]);
+        assert_eq!(graph["a"], BTreeSet::new());
+        assert_eq!(graph["b"], BTreeSet::from(["a".to_string()]));
+    }
+
+    #[test]
+    fn dev_dependencies_are_not_edges() {
+        let text = "[package]\nname = \"a\"\n[dev-dependencies]\nb = { path = \"../b\" }\n";
+        let manifests = vec![
+            ("a/Cargo.toml".to_string(), text.to_string()),
+            ("b/Cargo.toml".to_string(), manifest("b", &[])),
+        ];
+        let graph = actual_graph(&manifests, &[]);
+        assert!(graph["a"].is_empty(), "{graph:?}");
+    }
+
+    #[test]
+    fn use_paths_and_qualified_calls_are_edges() {
+        let manifests = vec![
+            ("a/Cargo.toml".to_string(), manifest("rrs-a", &[])),
+            ("b/Cargo.toml".to_string(), manifest("rrs-b", &[])),
+            ("c/Cargo.toml".to_string(), manifest("rrs-c", &[])),
+        ];
+        let models = vec![
+            model("rrs-b", "use rrs_a::thing;\n"),
+            model("rrs-c", "pub fn f() -> u32 { rrs_a::thing() }\n"),
+        ];
+        let graph = actual_graph(&manifests, &models);
+        assert_eq!(graph["rrs-b"], BTreeSet::from(["rrs-a".to_string()]));
+        assert_eq!(graph["rrs-c"], BTreeSet::from(["rrs-a".to_string()]));
+        assert!(graph["rrs-a"].is_empty());
+    }
+
+    #[test]
+    fn test_code_does_not_create_edges() {
+        let manifests = vec![
+            ("a/Cargo.toml".to_string(), manifest("rrs-a", &[])),
+            ("b/Cargo.toml".to_string(), manifest("rrs-b", &[])),
+        ];
+        let models = vec![model(
+            "rrs-b",
+            "#[cfg(test)]\nmod tests {\n    use rrs_a::oracle;\n}\n",
+        )];
+        let graph = actual_graph(&manifests, &models);
+        assert!(graph["rrs-b"].is_empty(), "{graph:?}");
+    }
+
+    #[test]
+    fn lock_round_trips() {
+        let mut layers = Layers::new();
+        layers.insert("a".into(), BTreeSet::new());
+        layers.insert("b".into(), BTreeSet::from(["a".to_string()]));
+        let parsed = parse_lock(&render_lock(&layers)).unwrap();
+        assert_eq!(parsed, layers);
+    }
+
+    #[test]
+    fn new_edges_and_stale_edges_are_findings() {
+        let locked = parse_lock("a:\nb: a\n").unwrap();
+        let mut actual = locked.clone();
+        actual.get_mut("a").unwrap().insert("b".into());
+        let manifest_of: BTreeMap<String, String> =
+            [("a".to_string(), "crates/a/Cargo.toml".to_string())].into();
+        let f = check("layers.lock", &locked, &actual, &manifest_of);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("a → b"), "{}", f[0].message);
+        assert_eq!(f[0].file, "crates/a/Cargo.toml");
+
+        let f = check("layers.lock", &actual, &locked, &manifest_of);
+        assert_eq!(f.len(), 1);
+        assert!(
+            f[0].message.contains("no longer exists"),
+            "{}",
+            f[0].message
+        );
+        assert_eq!(f[0].file, "layers.lock");
+    }
+
+    #[test]
+    fn cycles_are_detected_with_their_path() {
+        let layers = parse_lock("a: b\nb: c\nc: a\n").unwrap();
+        let cycle = find_cycle(&layers).expect("cycle found");
+        assert_eq!(cycle.len(), 4, "{cycle:?}");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(find_cycle(&parse_lock("a: b\nb:\n").unwrap()).is_none());
+    }
+
+    #[test]
+    fn malformed_lock_lines_are_rejected() {
+        assert!(parse_lock("just-a-name-no-colon").is_err());
+        assert!(parse_lock(": deps").is_err());
+    }
+}

@@ -30,7 +30,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod api;
 pub mod budget;
+pub mod determinism;
+pub mod items;
+pub mod layers;
 pub mod lexer;
 pub mod manifest;
 pub mod report;
@@ -40,12 +44,30 @@ pub mod walk;
 use budget::Budgets;
 use report::{Finding, Report};
 use rules::{Config, RULE_FORBID_UNSAFE};
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::Path;
 
 /// The lock file's name at the workspace root.
 pub const LOCK_FILE: &str = "lint.lock";
+
+/// One source file's full analysis state: the scrubbed text, the item
+/// model parsed from it, and the waivers the per-line rules have not
+/// yet consumed. The workspace passes ([`determinism`], [`layers`],
+/// [`api`]) all read from this shared view so each file is lexed and
+/// parsed exactly once.
+#[derive(Debug)]
+pub struct FileModel {
+    /// The discovered source file.
+    pub file: walk::SourceFile,
+    /// The scrubbed (comment/literal-blanked) text.
+    pub scrubbed: lexer::Scrubbed,
+    /// Declarations parsed by the item model.
+    pub items: Vec<items::Item>,
+    /// `lint:allow` waivers with their consumption state.
+    pub waivers: Vec<rules::Waiver>,
+}
 
 /// Scans the tree under `config.root` and returns the full report.
 ///
@@ -60,6 +82,7 @@ pub fn scan(config: &Config) -> io::Result<Report> {
     let ws = walk::discover(&config.root)?;
     let mut findings = Vec::new();
     let mut budgets = Budgets::new();
+    let mut models: Vec<FileModel> = Vec::with_capacity(ws.sources.len());
 
     for file in &ws.sources {
         let text = fs::read_to_string(&file.path)?;
@@ -78,11 +101,20 @@ pub fn scan(config: &Config) -> io::Result<Report> {
                 message: "library root is missing `#![forbid(unsafe_code)]`".to_string(),
             });
         }
+        let items = items::parse(&scanned.scrubbed);
+        models.push(FileModel {
+            file: file.clone(),
+            scrubbed: scanned.scrubbed,
+            items,
+            waivers: scanned.waivers,
+        });
     }
 
+    let mut manifest_texts: Vec<(String, String)> = Vec::with_capacity(ws.manifests.len());
     for m in &ws.manifests {
         let text = fs::read_to_string(&m.path)?;
         findings.extend(manifest::audit(&m.rel, &text));
+        manifest_texts.push((m.rel.clone(), text));
     }
 
     let lock_path = config.root.join(LOCK_FILE);
@@ -109,6 +141,104 @@ pub fn scan(config: &Config) -> io::Result<Report> {
         });
     }
 
+    // Workspace pass 1: the determinism sanitizer.
+    determinism::run(config, &mut models, &mut findings);
+
+    // Workspace pass 2: the layering DAG against layers.lock.
+    let actual_layers = layers::actual_graph(&manifest_texts, &models);
+    let layers_path = config.root.join(layers::LAYERS_FILE);
+    if ws.is_workspace || layers_path.is_file() {
+        if let Some(cycle) = layers::find_cycle(&actual_layers) {
+            findings.push(Finding {
+                rule: rules::RULE_LAYERING,
+                file: layers::LAYERS_FILE.to_string(),
+                line: 0,
+                crate_name: cycle.first().cloned().unwrap_or_default(),
+                message: format!("dependency cycle: {}", cycle.join(" → ")),
+            });
+        }
+        if layers_path.is_file() {
+            let manifest_of: BTreeMap<String, String> = manifest_texts
+                .iter()
+                .filter_map(|(rel, text)| {
+                    layers::package_name(text).map(|name| (name, rel.clone()))
+                })
+                .collect();
+            let text = fs::read_to_string(&layers_path)?;
+            match layers::parse_lock(&text) {
+                Ok(locked) => findings.extend(layers::check(
+                    layers::LAYERS_FILE,
+                    &locked,
+                    &actual_layers,
+                    &manifest_of,
+                )),
+                Err(e) => findings.push(Finding {
+                    rule: rules::RULE_LAYERING,
+                    file: layers::LAYERS_FILE.to_string(),
+                    line: 0,
+                    crate_name: String::new(),
+                    message: format!("malformed lock file: {e}"),
+                }),
+            }
+        } else {
+            findings.push(Finding {
+                rule: rules::RULE_LAYERING,
+                file: layers::LAYERS_FILE.to_string(),
+                line: 0,
+                crate_name: String::new(),
+                message: "missing layers.lock at the workspace root — generate it with \
+                          --write-layers-lock"
+                    .to_string(),
+            });
+        }
+    }
+
+    // Workspace pass 3: the public-API surface against api.lock.
+    let surface = api::surface(&models);
+    let api_path = config.root.join(api::API_FILE);
+    if api_path.is_file() {
+        let text = fs::read_to_string(&api_path)?;
+        match api::parse_lock(&text) {
+            Ok(locked) => findings.extend(api::check(api::API_FILE, &locked, &surface)),
+            Err(e) => findings.push(Finding {
+                rule: rules::RULE_API,
+                file: api::API_FILE.to_string(),
+                line: 0,
+                crate_name: String::new(),
+                message: format!("malformed lock file: {e}"),
+            }),
+        }
+    } else if ws.is_workspace {
+        findings.push(Finding {
+            rule: rules::RULE_API,
+            file: api::API_FILE.to_string(),
+            line: 0,
+            crate_name: String::new(),
+            message: "missing api.lock at the workspace root — generate it with --write-api-lock"
+                .to_string(),
+        });
+    }
+
+    // Every waiver must shield something: a stale directive is noise
+    // that silently re-arms the next real violation on its line.
+    for model in &models {
+        for w in &model.waivers {
+            if !w.used {
+                findings.push(Finding {
+                    rule: rules::RULE_UNUSED_ALLOW,
+                    file: model.file.rel.clone(),
+                    line: w.directive_line,
+                    crate_name: model.file.crate_name.clone(),
+                    message: format!(
+                        "lint:allow({}) waives nothing — the finding it shielded \
+                         is gone; remove the stale directive",
+                        w.rule
+                    ),
+                });
+            }
+        }
+    }
+
     findings.sort_by(|a, b| {
         a.file
             .cmp(&b.file)
@@ -122,6 +252,8 @@ pub fn scan(config: &Config) -> io::Result<Report> {
         budgets,
         files_scanned: ws.sources.len(),
         manifests_audited: ws.manifests.len(),
+        layers: actual_layers,
+        api: api::to_map(&surface),
     })
 }
 
@@ -147,6 +279,39 @@ pub fn scan_and_write_lock(config: &Config) -> io::Result<Report> {
     let new_lock = budget::write_lock(previous.as_ref(), &report.budgets)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
     fs::write(&lock_path, new_lock)?;
+    Ok(report)
+}
+
+/// Scans and rewrites `layers.lock` with the live dependency graph.
+/// There is no ratchet direction here — both added and removed edges
+/// are architecture changes that land as reviewed lock diffs — but a
+/// dependency *cycle* still blocks: it survives as a finding in the
+/// returned report no matter what the lock says.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the scan or the lock write.
+pub fn scan_and_write_layers_lock(config: &Config) -> io::Result<Report> {
+    let report = scan(config)?;
+    fs::write(
+        config.root.join(layers::LAYERS_FILE),
+        layers::render_lock(&report.layers),
+    )?;
+    Ok(report)
+}
+
+/// Scans and rewrites `api.lock` with the live public surface, making
+/// the current API the committed one.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the scan or the lock write.
+pub fn scan_and_write_api_lock(config: &Config) -> io::Result<Report> {
+    let report = scan(config)?;
+    fs::write(
+        config.root.join(api::API_FILE),
+        api::render_lock(&report.api),
+    )?;
     Ok(report)
 }
 

@@ -58,6 +58,10 @@ pub struct Report {
     pub files_scanned: usize,
     /// Number of manifests audited.
     pub manifests_audited: usize,
+    /// The live crate-dependency graph ([`crate::layers`]).
+    pub layers: crate::layers::Layers,
+    /// The live public-API surface per crate ([`crate::api`]).
+    pub api: crate::api::Surface,
 }
 
 impl Report {
@@ -131,6 +135,8 @@ mod tests {
             budgets: Budgets::new(),
             files_scanned: 1,
             manifests_audited: 1,
+            layers: crate::layers::Layers::new(),
+            api: crate::api::Surface::new(),
         };
         assert_eq!(report.to_jsonl().lines().count(), 2);
     }
@@ -142,6 +148,8 @@ mod tests {
             budgets: Budgets::new(),
             files_scanned: 3,
             manifests_audited: 2,
+            layers: crate::layers::Layers::new(),
+            api: crate::api::Surface::new(),
         };
         let text = report.render();
         assert!(text.contains("crates/x/src/lib.rs:7: [float-eq]"));

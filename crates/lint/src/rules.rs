@@ -43,6 +43,21 @@ pub const RULE_MANIFEST: &str = "manifest";
 pub const RULE_METRIC_NAME: &str = "metric-name";
 /// A `lint:allow` directive without a justification.
 pub const RULE_BAD_ALLOW: &str = "allow-missing-reason";
+/// A `lint:allow` directive that shields no finding.
+pub const RULE_UNUSED_ALLOW: &str = "unused-allow";
+/// Determinism: shared-mutable-state primitives outside sanctioned
+/// concurrency sites ([`crate::determinism`]).
+pub const RULE_SYNC: &str = "sync-primitive";
+/// Determinism: `Ordering::Relaxed` loads in result-producing crates.
+pub const RULE_RELAXED: &str = "relaxed-ordering";
+/// Determinism: iteration over default-hasher collections.
+pub const RULE_HASH_ITER: &str = "hash-iteration";
+/// Architecture: the crate-dependency DAG must match `layers.lock`
+/// ([`crate::layers`]).
+pub const RULE_LAYERING: &str = "layering";
+/// API stability: public surfaces must match `api.lock`
+/// ([`crate::api`]).
+pub const RULE_API: &str = "api-surface";
 
 /// All waivable rule identifiers (`lint:allow(...)` targets).
 pub const WAIVABLE: &[&str] = &[
@@ -54,6 +69,9 @@ pub const WAIVABLE: &[&str] = &[
     RULE_PRINT,
     RULE_THREAD,
     RULE_METRIC_NAME,
+    RULE_SYNC,
+    RULE_RELAXED,
+    RULE_HASH_ITER,
 ];
 
 /// Scanner configuration: the scoping tables for every rule.
@@ -73,6 +91,10 @@ pub struct Config {
     pub entropy_allowed_files: Vec<String>,
     /// Files (root-relative) allowed to spawn threads directly.
     pub thread_allowed_files: Vec<String>,
+    /// Crates allowed to hold shared mutable state (sync primitives).
+    pub sync_allowed_crates: Vec<String>,
+    /// Files (root-relative) allowed to hold shared mutable state.
+    pub sync_allowed_files: Vec<String>,
 }
 
 impl Config {
@@ -104,6 +126,15 @@ impl Config {
             // The deterministic pool is the only place threads may be
             // born: RRS_THREADS=1 must recover the exact serial run.
             thread_allowed_files: vec!["crates/core/src/par.rs".into()],
+            // Shared mutable state lives in exactly three places: the
+            // observability sinks (rrs-obs), the thread pool, and the
+            // deterministic-assertion counters in check.rs. Everything
+            // else flows data through `par_map` return values.
+            sync_allowed_crates: vec!["rrs-obs".into()],
+            sync_allowed_files: vec![
+                "crates/core/src/par.rs".into(),
+                "crates/core/src/check.rs".into(),
+            ],
         }
     }
 
@@ -118,24 +149,31 @@ impl Config {
             print_allowed_files: Vec::new(),
             entropy_allowed_files: Vec::new(),
             thread_allowed_files: Vec::new(),
+            sync_allowed_crates: Vec::new(),
+            sync_allowed_files: Vec::new(),
         }
     }
 }
 
-/// A parsed `lint:allow(rule): reason` directive.
-#[derive(Debug)]
-struct Waiver {
+/// A parsed `lint:allow(rule): reason` directive, with the consumption
+/// state the unused-waiver sweep inspects after every pass has run.
+#[derive(Debug, Clone)]
+pub struct Waiver {
     /// 0-based line the waiver applies to.
-    line: usize,
-    rule: String,
-    used: bool,
+    pub target: usize,
+    /// 1-based line of the directive itself, for unused-waiver reports.
+    pub directive_line: usize,
+    /// The rule identifier being waived.
+    pub rule: String,
+    /// Whether any finding has consumed this waiver.
+    pub used: bool,
 }
 
 /// Extracts waivers (and malformed-directive findings) from the
 /// non-doc comment text of each line. Directives live in comments;
 /// string literals and doc prose that merely mention the syntax are
 /// not directives.
-fn parse_waivers(file: &SourceFile, scrubbed: &Scrubbed) -> (Vec<Waiver>, Vec<Finding>) {
+pub(crate) fn parse_waivers(file: &SourceFile, scrubbed: &Scrubbed) -> (Vec<Waiver>, Vec<Finding>) {
     let mut waivers = Vec::new();
     let mut findings = Vec::new();
     for (idx, comment) in scrubbed.comments.iter().enumerate() {
@@ -182,7 +220,8 @@ fn parse_waivers(file: &SourceFile, scrubbed: &Scrubbed) -> (Vec<Waiver>, Vec<Fi
         let code = scrubbed.lines.get(idx).map(String::as_str).unwrap_or("");
         let target = if code.trim().is_empty() { idx + 1 } else { idx };
         waivers.push(Waiver {
-            line: target,
+            target,
+            directive_line: idx + 1,
             rule,
             used: false,
         });
@@ -210,6 +249,33 @@ pub struct FileScan {
     pub panic_sites: PanicSites,
     /// Whether a scrubbed `#![forbid(unsafe_code)]` is present.
     pub has_forbid_unsafe: bool,
+    /// The scrubbed view, handed on to the workspace passes.
+    pub scrubbed: Scrubbed,
+    /// Parsed waivers with their per-line consumption state; the
+    /// workspace passes consume more of them, and whatever is left
+    /// unused at the end becomes [`RULE_UNUSED_ALLOW`] findings.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Emits a finding for `rule` at 1-based `lineno`, unless an unused
+/// waiver for that (line, rule) pair absorbs it. Shared by the line
+/// rules and every workspace pass so waiver semantics stay identical.
+pub(crate) fn emit_waivable(
+    file: &SourceFile,
+    waivers: &mut [Waiver],
+    findings: &mut Vec<Finding>,
+    rule: &'static str,
+    lineno: usize,
+    message: String,
+) {
+    if let Some(w) = waivers
+        .iter_mut()
+        .find(|w| w.target + 1 == lineno && w.rule == rule && !w.used)
+    {
+        w.used = true;
+        return;
+    }
+    findings.push(Finding::new(rule, file, lineno, message));
 }
 
 /// Scans one file's text against every line rule.
@@ -242,14 +308,7 @@ pub fn scan_file(config: &Config, file: &SourceFile, text: &str) -> FileScan {
         let in_test = scrubbed.test_mask.get(idx).copied().unwrap_or(false);
         let lineno = idx + 1;
         let mut emit = |rule: &'static str, message: String| {
-            if let Some(w) = waivers
-                .iter_mut()
-                .find(|w| w.line == idx && w.rule == rule && !w.used)
-            {
-                w.used = true;
-                return;
-            }
-            findings.push(Finding::new(rule, file, lineno, message));
+            emit_waivable(file, &mut waivers, &mut findings, rule, lineno, message);
         };
 
         if !in_test {
@@ -387,6 +446,8 @@ pub fn scan_file(config: &Config, file: &SourceFile, text: &str) -> FileScan {
         findings,
         panic_sites,
         has_forbid_unsafe,
+        scrubbed,
+        waivers,
     }
 }
 
@@ -609,7 +670,7 @@ fn valid_metric_name(name: &str) -> bool {
 }
 
 /// Removes all whitespace (attribute matching helper).
-fn squeeze(s: &str) -> String {
+pub(crate) fn squeeze(s: &str) -> String {
     s.chars().filter(|c| !c.is_whitespace()).collect()
 }
 

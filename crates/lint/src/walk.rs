@@ -295,6 +295,11 @@ mod tests {
             if !entry.path().is_dir() {
                 continue;
             }
+            if entry.path().join("Cargo.toml").is_file() {
+                // Workspace-shaped fixtures (layering, api_drift) opt
+                // into the full workspace policy instead.
+                continue;
+            }
             let ws = discover(&entry.path()).unwrap();
             assert!(!ws.is_workspace);
             for s in &ws.sources {

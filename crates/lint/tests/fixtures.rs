@@ -122,7 +122,74 @@ fn clean_fixture_is_clean() {
         "negative control tripped: {:?}",
         report.findings
     );
-    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.files_scanned, 4);
+}
+
+#[test]
+fn sync_fixture() {
+    assert_eq!(
+        findings("sync"),
+        vec![
+            (rules::RULE_SYNC, 1),
+            (rules::RULE_SYNC, 2),
+            (rules::RULE_SYNC, 3),
+            (rules::RULE_SYNC, 4),
+            (rules::RULE_SYNC, 5),
+        ]
+    );
+}
+
+#[test]
+fn relaxed_fixture() {
+    assert_eq!(findings("relaxed"), vec![(rules::RULE_RELAXED, 4)]);
+}
+
+#[test]
+fn hash_iter_fixture() {
+    assert_eq!(
+        findings("hash_iter"),
+        vec![(rules::RULE_DEFAULT_HASHER, 1), (rules::RULE_HASH_ITER, 3)]
+    );
+}
+
+#[test]
+fn stale_allow_fixture() {
+    // The directive parses fine but shields nothing, so the unused
+    // waiver is itself reported — at the directive's own line.
+    assert_eq!(findings("stale_allow"), vec![(rules::RULE_UNUSED_ALLOW, 2)]);
+}
+
+#[test]
+fn layering_fixture_reports_the_uncommitted_edge() {
+    // The fixture workspace has upper depending on base, but its
+    // layers.lock omits the edge; the pass pins the finding to the
+    // offending crate's manifest.
+    let report = rrs_lint::scan_root(&fixture("layering")).unwrap();
+    let got: Vec<_> = report.findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(got, vec![(rules::RULE_LAYERING, 0)]);
+    let f = &report.findings[0];
+    assert!(
+        f.file.ends_with("crates/upper/Cargo.toml"),
+        "finding pinned to the dependent crate's manifest: {}",
+        f.file
+    );
+    assert!(
+        f.message.contains("upper") && f.message.contains("base"),
+        "message names both endpoints: {}",
+        f.message
+    );
+}
+
+#[test]
+fn api_drift_fixture_reports_both_directions() {
+    // widget exports alpha + beta; the lock records alpha + gamma.
+    // beta is new (pinned to its declaration), gamma has vanished
+    // (pinned to the lock file).
+    let report = rrs_lint::scan_root(&fixture("api_drift")).unwrap();
+    let got: Vec<_> = report.findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(got, vec![(rules::RULE_API, 0), (rules::RULE_API, 7)]);
+    assert!(report.findings[0].message.contains("gamma"));
+    assert!(report.findings[1].message.contains("beta"));
 }
 
 #[test]

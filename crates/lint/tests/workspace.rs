@@ -21,6 +21,23 @@ fn the_workspace_is_lint_clean() {
     );
     assert!(report.files_scanned > 100, "workspace walk looks truncated");
     assert!(report.manifests_audited >= 10);
+    // The workspace passes actually saw the tree: the layering graph
+    // and the API surface are both populated.
+    assert!(
+        report.layers.contains_key("rrs-lint"),
+        "layering graph covers the workspace crates"
+    );
+    assert!(
+        report
+            .layers
+            .get("rrs-lint")
+            .is_some_and(|d| d.contains("rrs-core")),
+        "rrs-lint's dependency on rrs-core is observed"
+    );
+    assert!(
+        report.api.values().map(|s| s.len()).sum::<usize>() > 100,
+        "API surface extraction looks truncated"
+    );
 }
 
 #[test]

@@ -12,9 +12,11 @@ cargo build --release --offline --workspace
 cargo test -q --workspace --offline
 cargo fmt --check
 
-# Static analysis: the committed tree must be lint-clean (exit 0), and
-# every seeded violation fixture must be caught (exit 1). The fixtures
-# double as an end-to-end self-test of the binary, not just the library.
+# Static analysis: the committed tree must be lint-clean (exit 0) under
+# all three workspace passes (determinism sanitizer, layering DAG,
+# API-surface lock), and every seeded violation fixture must be caught
+# (exit 1). The fixtures double as an end-to-end self-test of the
+# binary, not just the library.
 target/release/rrs-lint
 for fixture in crates/lint/fixtures/*/; do
     name="$(basename "$fixture")"
@@ -26,11 +28,26 @@ for fixture in crates/lint/fixtures/*/; do
     fi
 done
 
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Lock drift: regenerating every committed lock must be a byte-level
+# no-op. A dirty diff here means the tree changed (budget counts, the
+# crate dependency graph, or the public API surface) without the
+# matching lock update being made alongside it. The diff is against the
+# pre-regeneration files, not git, so the check also works mid-change.
+mkdir "$TMP/locks"
+cp lint.lock layers.lock api.lock "$TMP/locks/"
+target/release/rrs-lint --quiet --write-lock
+target/release/rrs-lint --quiet --write-layers-lock
+target/release/rrs-lint --quiet --write-api-lock
+for lock in lint.lock layers.lock api.lock; do
+    diff -u "$TMP/locks/$lock" "$lock"
+done
+
 # Trace smoke-run: the observability layer must produce a non-empty,
 # schema-complete decision-trace JSONL and a collapsed-stack flamegraph
 # from a release binary.
-TMP="$(mktemp -d)"
-trap 'rm -rf "$TMP"' EXIT
 target/release/rrs trace downgrade-burst --out "$TMP/trace.jsonl" \
     --flamegraph "$TMP/trace.folded" --seed 7
 test -s "$TMP/trace.jsonl"
