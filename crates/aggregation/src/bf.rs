@@ -24,7 +24,7 @@
 //! majority, which excludes the next band of honest raters).
 
 use rrs_core::{
-    AggregationScheme, EvalContext, RaterId, RatingDataset, RatingEntry, SchemeOutcome,
+    AggregationScheme, EvalContext, RaterId, RatingDataset, SchemeOutcome, TimelineView,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -110,7 +110,7 @@ impl AggregationScheme for BfScheme {
                 // in this period, judged by the current filter verdict —
                 // otherwise cumulative windows would recount every rating
                 // each month.
-                for e in timeline.in_window(*period) {
+                for e in timeline.in_window(*period).iter() {
                     if excluded.contains(&e.rater()) {
                         *failures.entry(e.rater()).or_insert(0) += 1;
                         out.mark_suspicious(e.id());
@@ -136,10 +136,10 @@ impl AggregationScheme for BfScheme {
 impl BfScheme {
     /// Runs one exclusion round on one window of ratings. Returns the
     /// aggregated (raw-scale) score and the set of excluded raters.
-    fn filter_window(&self, slice: &[RatingEntry]) -> (f64, BTreeSet<RaterId>) {
+    fn filter_window(&self, slice: TimelineView<'_>) -> (f64, BTreeSet<RaterId>) {
         // Group normalized values per rater.
         let mut per_rater: BTreeMap<RaterId, Vec<f64>> = BTreeMap::new();
-        for e in slice {
+        for e in slice.iter() {
             per_rater
                 .entry(e.rater())
                 .or_default()
@@ -172,10 +172,10 @@ impl BfScheme {
         let survivors: Vec<f64> = slice
             .iter()
             .filter(|e| !excluded.contains(&e.rater()))
-            .map(RatingEntry::value)
+            .map(|e| e.value())
             .collect();
         let score = if survivors.is_empty() {
-            slice.iter().map(RatingEntry::value).sum::<f64>() / slice.len() as f64
+            slice.iter().map(|e| e.value()).sum::<f64>() / slice.len() as f64
         } else {
             survivors.iter().sum::<f64>() / survivors.len() as f64
         };

@@ -7,7 +7,7 @@
 //! trust has fallen below a threshold. Everything else stays in and is
 //! merely down-weighted by Eq. 7.
 
-use rrs_core::{RaterId, RatingEntry, RatingId};
+use rrs_core::{RaterId, RatingEntry, RatingId, TimelineView};
 use std::collections::BTreeSet;
 
 /// Decides which ratings survive the filter.
@@ -17,12 +17,12 @@ use std::collections::BTreeSet;
 /// The comparison is strict: a marked rating whose rater sits **exactly at**
 /// the threshold survives (the neutral-trust newcomer at 0.5 is not
 /// filtered by the paper's 0.5 threshold).
-pub fn filter_ratings<'a, F>(
-    candidates: &'a [RatingEntry],
+pub fn filter_ratings<F>(
+    candidates: TimelineView<'_>,
     marks: &BTreeSet<RatingId>,
     trust: F,
     trust_threshold: f64,
-) -> Vec<&'a RatingEntry>
+) -> Vec<RatingEntry>
 where
     F: Fn(RaterId) -> f64,
 {
@@ -58,7 +58,7 @@ mod tests {
     fn unmarked_ratings_always_survive() {
         let (d, _) = build();
         let tl = d.product(ProductId::new(0)).unwrap();
-        let kept = filter_ratings(tl.entries(), &BTreeSet::new(), |_| 0.0, 0.5);
+        let kept = filter_ratings(tl, &BTreeSet::new(), |_| 0.0, 0.5);
         assert_eq!(kept.len(), 4);
     }
 
@@ -68,12 +68,7 @@ mod tests {
         let tl = d.product(ProductId::new(0)).unwrap();
         let marks: BTreeSet<_> = ids[..2].iter().copied().collect();
         // Rater 0 has low trust, rater 1 high: only rater 0's mark removes.
-        let kept = filter_ratings(
-            tl.entries(),
-            &marks,
-            |r| if r.value() == 0 { 0.1 } else { 0.9 },
-            0.5,
-        );
+        let kept = filter_ratings(tl, &marks, |r| if r.value() == 0 { 0.1 } else { 0.9 }, 0.5);
         assert_eq!(kept.len(), 3);
         assert!(kept.iter().all(|e| e.rater() != RaterId::new(0)));
     }
@@ -86,10 +81,10 @@ mod tests {
         let (d, ids) = build();
         let tl = d.product(ProductId::new(0)).unwrap();
         let marks: BTreeSet<_> = ids.iter().copied().collect();
-        let kept = filter_ratings(tl.entries(), &marks, |_| 0.5, 0.5);
+        let kept = filter_ratings(tl, &marks, |_| 0.5, 0.5);
         assert_eq!(kept.len(), 4);
         // An infinitesimally lower trust flips to removal.
-        let kept = filter_ratings(tl.entries(), &marks, |_| 0.5 - 1e-12, 0.5);
+        let kept = filter_ratings(tl, &marks, |_| 0.5 - 1e-12, 0.5);
         assert!(kept.is_empty());
     }
 
@@ -98,7 +93,7 @@ mod tests {
         let (d, ids) = build();
         let tl = d.product(ProductId::new(0)).unwrap();
         let marks: BTreeSet<_> = ids.iter().copied().collect();
-        let kept = filter_ratings(tl.entries(), &marks, |_| 0.8, 0.5);
+        let kept = filter_ratings(tl, &marks, |_| 0.8, 0.5);
         assert_eq!(kept.len(), 4);
     }
 }

@@ -287,7 +287,7 @@ fn record_decisions(
         };
         let mut suspicious: Vec<u64> = Vec::new();
         let mut raters: BTreeSet<RaterId> = BTreeSet::new();
-        for entry in timeline.in_window(period) {
+        for entry in timeline.in_window(period).iter() {
             if marks.contains(&entry.id()) {
                 suspicious.push(entry.id().value());
                 raters.insert(entry.rater());
@@ -420,8 +420,15 @@ mod tests {
 
     /// 90 days of fair data, ~4 ratings/day at mean 4.0, raters recur.
     fn fair_dataset(seed: u64) -> RatingDataset {
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut d = RatingDataset::new();
+        fill_fair(&mut d, seed);
+        d
+    }
+
+    /// Same fair stream appended to any starting dataset, so a scenario
+    /// can be materialized identically on both storage engines.
+    fn fill_fair(d: &mut RatingDataset, seed: u64) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         for day in 0..90 {
             let n = 3 + (rng.gen::<u8>() % 3) as u32;
             for slot in 0..n {
@@ -438,7 +445,6 @@ mod tests {
                 );
             }
         }
-        d
     }
 
     fn add_burst(d: &mut RatingDataset, from: f64, days: usize, per_day: usize, value: f64) {
@@ -587,6 +593,39 @@ mod tests {
             prop_assert!(
                 online == batch,
                 "incremental epoch loop diverged from the batch-detection oracle"
+            );
+        }
+
+        #[test]
+        fn scheme_outcomes_are_engine_invariant(
+            seed in 0u64..32,
+            burst_start in 31.0f64..55.0,
+            burst_days in 0usize..10,
+            burst_value in 0.0f64..2.0,
+        ) {
+            // The row store is the oracle: the full P-scheme pipeline must
+            // produce a bit-identical SchemeOutcome on the columnar
+            // engine, serially and under the full worker pool.
+            let mut col = RatingDataset::columnar();
+            let mut row = RatingDataset::row_oracle();
+            for d in [&mut col, &mut row] {
+                fill_fair(d, seed);
+                if burst_days > 0 {
+                    add_burst(d, burst_start, burst_days, 4, burst_value);
+                }
+            }
+            let context = ctx(&col);
+            let scheme = PScheme::new();
+            let row_out = rrs_core::par::with_threads(1, || scheme.evaluate(&row, &context));
+            let col1_out = rrs_core::par::with_threads(1, || scheme.evaluate(&col, &context));
+            let col8_out = rrs_core::par::with_threads(8, || scheme.evaluate(&col, &context));
+            prop_assert!(
+                row_out == col1_out,
+                "columnar P-scheme diverged from the row oracle at 1 thread"
+            );
+            prop_assert!(
+                col1_out == col8_out,
+                "columnar P-scheme diverged between 1 and 8 threads"
             );
         }
     }

@@ -4,7 +4,7 @@
 //! marked suspicious, no trust is kept. Against it, the optimal attack is
 //! trivially "largest possible bias" (paper Fig. 3).
 
-use rrs_core::{AggregationScheme, EvalContext, RatingDataset, RatingEntry, SchemeOutcome};
+use rrs_core::{AggregationScheme, EvalContext, RatingDataset, SchemeOutcome};
 
 /// Simple-averaging aggregation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,7 +34,7 @@ impl AggregationScheme for SaScheme {
                     if slice.is_empty() {
                         None
                     } else {
-                        Some(slice.iter().map(RatingEntry::value).sum::<f64>() / slice.len() as f64)
+                        Some(slice.iter().map(|e| e.value()).sum::<f64>() / slice.len() as f64)
                     }
                 })
                 .collect();

@@ -149,7 +149,6 @@ impl RatingChallenge {
         let mut fair = BTreeMap::new();
         for (pid, timeline) in self.fair.products() {
             let points: Vec<(f64, f64)> = timeline
-                .entries()
                 .iter()
                 .map(|e| (e.time().as_days(), e.value()))
                 .collect();

@@ -198,7 +198,6 @@ fn attack_context_for(
     let mut fair = BTreeMap::new();
     for (pid, timeline) in dataset.products() {
         let points: Vec<(f64, f64)> = timeline
-            .entries()
             .iter()
             .map(|e| (e.time().as_days(), e.value()))
             .collect();

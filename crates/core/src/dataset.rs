@@ -1,5 +1,5 @@
+use crate::store::{ColumnarStore, RatingStore, RowStore};
 use crate::{CoreError, ProductId, RaterId, Rating, RatingSource, TimeWindow, Timestamp};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A dataset-unique identifier for an inserted rating.
@@ -21,6 +21,13 @@ impl RatingId {
     }
 }
 
+/// Builds a [`RatingId`] from its raw value (engine tests need to mint
+/// ids without a dataset).
+#[cfg(test)]
+pub(crate) const fn raw_rating_id(value: u64) -> RatingId {
+    RatingId(value)
+}
+
 impl fmt::Display for RatingId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "rating#{}", self.0)
@@ -37,6 +44,12 @@ pub struct RatingEntry {
 }
 
 impl RatingEntry {
+    /// Assembles an entry from its parts (crate-internal: the columnar
+    /// engine reconstitutes entries from its columns).
+    pub(crate) const fn assemble(id: RatingId, rating: Rating, source: RatingSource) -> Self {
+        RatingEntry { id, rating, source }
+    }
+
     /// Returns the dataset-unique identifier.
     #[must_use]
     pub const fn id(&self) -> RatingId {
@@ -74,10 +87,11 @@ impl RatingEntry {
     }
 }
 
-/// The time-ordered rating history of a single product.
+/// The time-ordered rating history of a single product, stored as rows.
 ///
-/// Entries are kept sorted by `(time, id)`; ties in time preserve insertion
-/// order.
+/// This is the [`RowStore`] engine's per-product representation (and the
+/// unit its oracle tests build directly). Entries are kept sorted by
+/// `(time, id)`; ties in time preserve insertion order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProductTimeline {
     entries: Vec<RatingEntry>,
@@ -87,9 +101,7 @@ impl ProductTimeline {
     /// Returns a borrowed read view of this timeline.
     #[must_use]
     pub fn view(&self) -> TimelineView<'_> {
-        TimelineView {
-            entries: &self.entries,
-        }
+        TimelineView::from_rows(&self.entries)
     }
 
     /// Returns the entries in time order.
@@ -110,9 +122,9 @@ impl ProductTimeline {
         self.entries.is_empty()
     }
 
-    /// Returns the contiguous slice of entries whose times fall in `window`.
+    /// Returns the sub-view of entries whose times fall in `window`.
     #[must_use]
-    pub fn in_window(&self, window: TimeWindow) -> &[RatingEntry] {
+    pub fn in_window(&self, window: TimeWindow) -> TimelineView<'_> {
         self.view().in_window(window)
     }
 
@@ -158,7 +170,7 @@ impl ProductTimeline {
         self.view().daily_counts_filtered(window, keep)
     }
 
-    fn insert(&mut self, entry: RatingEntry) {
+    pub(crate) fn insert(&mut self, entry: RatingEntry) {
         // Insertion keeps (time, id) order; typical insertions are appends
         // because generators emit ratings in time order.
         let pos = self
@@ -168,68 +180,226 @@ impl ProductTimeline {
     }
 }
 
+/// Borrowed column slices of one product: the columnar half of a
+/// [`TimelineView`]. Index `i` across the five slices reassembles the
+/// `i`-th entry; the product id rides along because columns don't store
+/// it per row.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ColumnsRef<'a> {
+    pub(crate) product: ProductId,
+    pub(crate) ids: &'a [RatingId],
+    pub(crate) times: &'a [Timestamp],
+    pub(crate) values: &'a [f64],
+    pub(crate) raters: &'a [RaterId],
+    pub(crate) sources: &'a [RatingSource],
+}
+
+/// The two borrowed representations a view can walk.
+#[derive(Debug, Clone, Copy)]
+enum TlRepr<'a> {
+    Rows(&'a [RatingEntry]),
+    Cols(ColumnsRef<'a>),
+}
+
 /// A borrowed, copyable read view of one product's rating history.
 ///
-/// Carries the full read API of [`ProductTimeline`] over a borrowed entry
-/// slice, so prefix windows of a dataset can be examined without copying
-/// any rating (see [`RatingDataset::prefix_view`]). Detector entry points
-/// accept `impl Into<TimelineView>` and therefore work identically on
-/// `&ProductTimeline` and on views.
+/// The view is representation-agnostic: it walks either a row slice
+/// (`&[RatingEntry]`, from [`RowStore`] / [`ProductTimeline`]) or the
+/// parallel column slices of the [`ColumnarStore`] — callers read through
+/// one indexed API (`len` / [`entry`](TimelineView::entry) /
+/// [`value_at`](TimelineView::value_at) / …) or the by-value
+/// [`iter`](TimelineView::iter), and never learn which engine backs the
+/// data. On the columnar path, [`values`](TimelineView::values) and
+/// [`times`](TimelineView::times) are contiguous column copies — the
+/// cache-friendly scans the detectors feed on.
 ///
-/// The type is `Copy`; methods take `self` and borrowed return values
-/// keep the lifetime of the underlying data, not of the view.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The type is `Copy`; methods take `self`, and window restriction
+/// ([`in_window`](TimelineView::in_window)) returns a sub-view borrowing
+/// the same storage. Detector entry points accept
+/// `impl Into<TimelineView>` and therefore work identically on
+/// `&ProductTimeline` and on views.
+#[derive(Debug, Clone, Copy)]
 pub struct TimelineView<'a> {
-    entries: &'a [RatingEntry],
+    repr: TlRepr<'a>,
 }
 
 impl<'a> TimelineView<'a> {
-    /// Returns the entries in time order.
-    #[must_use]
-    pub fn entries(self) -> &'a [RatingEntry] {
-        self.entries
+    pub(crate) fn from_rows(entries: &'a [RatingEntry]) -> Self {
+        TimelineView {
+            repr: TlRepr::Rows(entries),
+        }
+    }
+
+    pub(crate) fn from_columns(cols: ColumnsRef<'a>) -> Self {
+        TimelineView {
+            repr: TlRepr::Cols(cols),
+        }
     }
 
     /// Returns the number of ratings in the view.
     #[must_use]
     pub fn len(self) -> usize {
-        self.entries.len()
+        match self.repr {
+            TlRepr::Rows(entries) => entries.len(),
+            TlRepr::Cols(cols) => cols.ids.len(),
+        }
     }
 
     /// Returns `true` if the view holds no ratings.
     #[must_use]
     pub fn is_empty(self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Returns the contiguous slice of entries whose times fall in `window`.
+    /// Returns the `index`-th entry (by value; entries are `Copy`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds, like slice indexing.
     #[must_use]
-    pub fn in_window(self, window: TimeWindow) -> &'a [RatingEntry] {
-        let lo = self.entries.partition_point(|e| e.time() < window.start());
-        let hi = self.entries.partition_point(|e| e.time() < window.end());
-        &self.entries[lo..hi]
+    pub fn entry(self, index: usize) -> RatingEntry {
+        match self.repr {
+            TlRepr::Rows(entries) => entries[index],
+            TlRepr::Cols(cols) => crate::store::assemble_entry(&cols, index),
+        }
+    }
+
+    /// Returns the `index`-th rating identifier.
+    #[must_use]
+    pub fn id_at(self, index: usize) -> RatingId {
+        match self.repr {
+            TlRepr::Rows(entries) => entries[index].id(),
+            TlRepr::Cols(cols) => cols.ids[index],
+        }
+    }
+
+    /// Returns the `index`-th rating time.
+    #[must_use]
+    pub fn time_at(self, index: usize) -> Timestamp {
+        match self.repr {
+            TlRepr::Rows(entries) => entries[index].time(),
+            TlRepr::Cols(cols) => cols.times[index],
+        }
+    }
+
+    /// Returns the `index`-th rating value.
+    #[must_use]
+    pub fn value_at(self, index: usize) -> f64 {
+        match self.repr {
+            TlRepr::Rows(entries) => entries[index].value(),
+            TlRepr::Cols(cols) => cols.values[index],
+        }
+    }
+
+    /// Returns the `index`-th rater.
+    #[must_use]
+    pub fn rater_at(self, index: usize) -> RaterId {
+        match self.repr {
+            TlRepr::Rows(entries) => entries[index].rater(),
+            TlRepr::Cols(cols) => cols.raters[index],
+        }
+    }
+
+    /// Returns the `index`-th provenance.
+    #[must_use]
+    pub fn source_at(self, index: usize) -> RatingSource {
+        match self.repr {
+            TlRepr::Rows(entries) => entries[index].source(),
+            TlRepr::Cols(cols) => cols.sources[index],
+        }
+    }
+
+    /// Returns the first entry, if any.
+    #[must_use]
+    pub fn first(self) -> Option<RatingEntry> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.entry(0))
+        }
+    }
+
+    /// Returns the last entry, if any.
+    #[must_use]
+    pub fn last(self) -> Option<RatingEntry> {
+        self.len().checked_sub(1).map(|i| self.entry(i))
+    }
+
+    /// Iterates entries by value in time order.
+    pub fn iter(self) -> impl Iterator<Item = RatingEntry> + 'a {
+        (0..self.len()).map(move |i| self.entry(i))
+    }
+
+    /// Copies the entries into a vector (test/oracle convenience).
+    #[must_use]
+    pub fn to_vec(self) -> Vec<RatingEntry> {
+        self.iter().collect()
+    }
+
+    /// Returns the sub-view over `[lo, hi)` of this view's entries.
+    fn subrange(self, lo: usize, hi: usize) -> TimelineView<'a> {
+        match self.repr {
+            TlRepr::Rows(entries) => TimelineView::from_rows(&entries[lo..hi]),
+            TlRepr::Cols(cols) => TimelineView::from_columns(ColumnsRef {
+                product: cols.product,
+                ids: &cols.ids[lo..hi],
+                times: &cols.times[lo..hi],
+                values: &cols.values[lo..hi],
+                raters: &cols.raters[lo..hi],
+                sources: &cols.sources[lo..hi],
+            }),
+        }
+    }
+
+    /// Returns the sub-view of entries whose times fall in `window`
+    /// (half-open, two binary searches).
+    #[must_use]
+    pub fn in_window(self, window: TimeWindow) -> TimelineView<'a> {
+        let lo = self.lower_bound(window.start());
+        let hi = self.lower_bound(window.end());
+        self.subrange(lo, hi)
+    }
+
+    /// Index of the first entry with `time >= t`.
+    fn lower_bound(self, t: Timestamp) -> usize {
+        match self.repr {
+            TlRepr::Rows(entries) => entries.partition_point(|e| e.time() < t),
+            TlRepr::Cols(cols) => cols.times.partition_point(|&time| time < t),
+        }
     }
 
     /// Returns all rating values in time order.
+    ///
+    /// On the columnar path this is a straight copy of the contiguous
+    /// `f64` column.
     #[must_use]
     pub fn values(self) -> Vec<f64> {
-        self.entries.iter().map(RatingEntry::value).collect()
+        match self.repr {
+            TlRepr::Rows(entries) => entries.iter().map(RatingEntry::value).collect(),
+            TlRepr::Cols(cols) => cols.values.to_vec(),
+        }
     }
 
     /// Returns all rating times in time order.
     #[must_use]
     pub fn times(self) -> Vec<Timestamp> {
-        self.entries.iter().map(RatingEntry::time).collect()
+        match self.repr {
+            TlRepr::Rows(entries) => entries.iter().map(RatingEntry::time).collect(),
+            TlRepr::Cols(cols) => cols.times.to_vec(),
+        }
     }
 
     /// Returns the mean rating value, or `None` if the view is empty.
     #[must_use]
     pub fn mean_value(self) -> Option<f64> {
-        if self.entries.is_empty() {
+        if self.is_empty() {
             None
         } else {
-            let sum: f64 = self.entries.iter().map(RatingEntry::value).sum();
-            Some(sum / self.entries.len() as f64)
+            let sum: f64 = match self.repr {
+                TlRepr::Rows(entries) => entries.iter().map(RatingEntry::value).sum(),
+                TlRepr::Cols(cols) => cols.values.iter().sum(),
+            };
+            Some(sum / self.len() as f64)
         }
     }
 
@@ -237,14 +407,7 @@ impl<'a> TimelineView<'a> {
     /// [`ProductTimeline::daily_counts`].
     #[must_use]
     pub fn daily_counts(self, window: TimeWindow) -> Vec<u32> {
-        let days = window.length().get().ceil() as usize;
-        let mut counts = vec![0u32; days];
-        for e in self.in_window(window) {
-            let offset = e.time().as_days() - window.start().as_days();
-            let idx = (offset.floor() as usize).min(days.saturating_sub(1));
-            counts[idx] += 1;
-        }
-        counts
+        self.daily_counts_filtered(window, |_| true)
     }
 
     /// Counts ratings per whole day, restricted to values accepted by
@@ -256,14 +419,24 @@ impl<'a> TimelineView<'a> {
     {
         let days = window.length().get().ceil() as usize;
         let mut counts = vec![0u32; days];
-        for e in self.in_window(window) {
-            if keep(e.value()) {
-                let offset = e.time().as_days() - window.start().as_days();
+        let scoped = self.in_window(window);
+        for i in 0..scoped.len() {
+            if keep(scoped.value_at(i)) {
+                let offset = scoped.time_at(i).as_days() - window.start().as_days();
                 let idx = (offset.floor() as usize).min(days.saturating_sub(1));
                 counts[idx] += 1;
             }
         }
         counts
+    }
+}
+
+/// Views are equal when their logical entry sequences are equal, no
+/// matter which engine (rows or columns) backs either side — this is
+/// what the cross-engine oracle tests assert with.
+impl<'a, 'b> PartialEq<TimelineView<'b>> for TimelineView<'a> {
+    fn eq(&self, other: &TimelineView<'b>) -> bool {
+        self.len() == other.len() && (0..self.len()).all(|i| self.entry(i) == other.entry(i))
     }
 }
 
@@ -273,12 +446,49 @@ impl<'a> From<&'a ProductTimeline> for TimelineView<'a> {
     }
 }
 
+/// The storage engine actually backing a dataset (see [`crate::store`]).
+#[derive(Debug, Clone)]
+enum Backend {
+    Columnar(ColumnarStore),
+    Row(RowStore),
+}
+
+impl Backend {
+    fn store(&self) -> &dyn RatingStore {
+        match self {
+            Backend::Columnar(s) => s,
+            Backend::Row(s) => s,
+        }
+    }
+
+    fn store_mut(&mut self) -> &mut dyn RatingStore {
+        match self {
+            Backend::Columnar(s) => s,
+            Backend::Row(s) => s,
+        }
+    }
+
+    fn empty_like(&self) -> Backend {
+        match self {
+            Backend::Columnar(_) => Backend::Columnar(ColumnarStore::new()),
+            Backend::Row(_) => Backend::Row(RowStore::new()),
+        }
+    }
+}
+
 /// A collection of rating histories for a set of products.
 ///
 /// This is the unit the aggregation schemes and the Rating Challenge operate
 /// on: the challenge distributes one fair dataset, attackers produce a
 /// modified copy with unfair ratings inserted, and the MP metric compares
 /// aggregation results on the two.
+///
+/// Storage is delegated to a [`RatingStore`] engine: the sharded
+/// [`ColumnarStore`] by default, or the [`RowStore`] oracle when
+/// `RRS_STORE=row` is set (or [`row_oracle`](RatingDataset::row_oracle)
+/// is used). All reads go through [`TimelineView`]s, so consumers are
+/// engine-agnostic and the two engines can be byte-diffed against each
+/// other.
 ///
 /// # Example
 ///
@@ -307,17 +517,65 @@ impl<'a> From<&'a ProductTimeline> for TimelineView<'a> {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RatingDataset {
-    products: BTreeMap<ProductId, ProductTimeline>,
+    backend: Backend,
     next_id: u64,
 }
 
+impl Default for RatingDataset {
+    fn default() -> Self {
+        RatingDataset::new()
+    }
+}
+
+/// Datasets are equal when their id counters and logical contents agree,
+/// regardless of which engine holds the ratings.
+impl PartialEq for RatingDataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.next_id == other.next_id && self.store().timelines() == other.store().timelines()
+    }
+}
+
 impl RatingDataset {
-    /// Creates an empty dataset.
+    /// Creates an empty dataset on the engine selected by the
+    /// environment: the columnar store, or the row oracle when
+    /// `RRS_STORE=row`.
     #[must_use]
     pub fn new() -> Self {
-        RatingDataset::default()
+        if crate::store::row_store_forced() {
+            RatingDataset::row_oracle()
+        } else {
+            RatingDataset::columnar()
+        }
+    }
+
+    /// Creates an empty dataset pinned to the sharded columnar engine.
+    #[must_use]
+    pub fn columnar() -> Self {
+        RatingDataset {
+            backend: Backend::Columnar(ColumnarStore::new()),
+            next_id: 0,
+        }
+    }
+
+    /// Creates an empty dataset pinned to the row-store oracle engine.
+    #[must_use]
+    pub fn row_oracle() -> Self {
+        RatingDataset {
+            backend: Backend::Row(RowStore::new()),
+            next_id: 0,
+        }
+    }
+
+    /// Returns `true` when the row-oracle engine backs this dataset.
+    #[must_use]
+    pub fn is_row_backed(&self) -> bool {
+        matches!(self.backend, Backend::Row(_))
+    }
+
+    fn store(&self) -> &dyn RatingStore {
+        self.backend.store()
     }
 
     /// Inserts a rating with the given provenance and returns its
@@ -325,50 +583,65 @@ impl RatingDataset {
     pub fn insert(&mut self, rating: Rating, source: RatingSource) -> RatingId {
         let id = RatingId(self.next_id);
         self.next_id += 1;
-        self.products
-            .entry(rating.product())
-            .or_default()
-            .insert(RatingEntry { id, rating, source });
+        self.backend
+            .store_mut()
+            .insert_entry(RatingEntry { id, rating, source });
         id
     }
 
     /// Inserts every rating from an iterator, all with the same provenance.
+    ///
+    /// Identifiers are assigned in iterator order exactly as repeated
+    /// [`insert`](Self::insert) calls would, but the engine ingests the
+    /// batch in bulk — the columnar store buckets it per shard and runs
+    /// the shards through [`crate::par::par_map_owned`].
     pub fn extend_from<I>(&mut self, ratings: I, source: RatingSource)
     where
         I: IntoIterator<Item = Rating>,
     {
-        for r in ratings {
-            self.insert(r, source);
-        }
+        let entries: Vec<RatingEntry> = ratings
+            .into_iter()
+            .map(|rating| {
+                let id = RatingId(self.next_id);
+                self.next_id += 1;
+                RatingEntry { id, rating, source }
+            })
+            .collect();
+        self.backend.store_mut().bulk_insert(entries);
     }
 
-    /// Returns the timeline for `product`, if any rating exists for it.
+    /// Returns the timeline view for `product`, if any rating exists for
+    /// it.
     #[must_use]
-    pub fn product(&self, product: ProductId) -> Option<&ProductTimeline> {
-        self.products.get(&product)
+    pub fn product(&self, product: ProductId) -> Option<TimelineView<'_>> {
+        self.store().timeline(product)
     }
 
     /// Iterates over `(product, timeline)` pairs in product order.
-    pub fn products(&self) -> impl Iterator<Item = (ProductId, &ProductTimeline)> {
-        self.products.iter().map(|(id, tl)| (*id, tl))
+    pub fn products(&self) -> impl Iterator<Item = (ProductId, TimelineView<'_>)> {
+        self.store().timelines().into_iter()
     }
 
     /// Returns the product identifiers present in the dataset.
     #[must_use]
     pub fn product_ids(&self) -> Vec<ProductId> {
-        self.products.keys().copied().collect()
+        self.store()
+            .timelines()
+            .into_iter()
+            .map(|(pid, _)| pid)
+            .collect()
     }
 
     /// Returns the total number of ratings across all products.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.products.values().map(ProductTimeline::len).sum()
+        self.store().len()
     }
 
     /// Returns `true` if the dataset holds no ratings.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.products.values().all(ProductTimeline::is_empty)
+        self.store().is_empty()
     }
 
     /// Returns the earliest and latest rating time across all products.
@@ -378,8 +651,8 @@ impl RatingDataset {
     /// Returns [`CoreError::Empty`] if the dataset holds no ratings.
     pub fn time_span(&self) -> Result<(Timestamp, Timestamp), CoreError> {
         let mut span: Option<(Timestamp, Timestamp)> = None;
-        for tl in self.products.values() {
-            if let (Some(first), Some(last)) = (tl.entries.first(), tl.entries.last()) {
+        for (_, tl) in self.store().timelines() {
+            if let (Some(first), Some(last)) = (tl.first(), tl.last()) {
                 span = Some(match span {
                     None => (first.time(), last.time()),
                     Some((lo, hi)) => (lo.min(first.time()), hi.max(last.time())),
@@ -394,13 +667,12 @@ impl RatingDataset {
     #[must_use]
     pub fn unfair_ids(&self) -> Vec<RatingId> {
         let mut out = Vec::new();
-        for tl in self.products.values() {
-            out.extend(
-                tl.entries
-                    .iter()
-                    .filter(|e| e.source().is_unfair())
-                    .map(RatingEntry::id),
-            );
+        for (_, tl) in self.store().timelines() {
+            for i in 0..tl.len() {
+                if tl.source_at(i).is_unfair() {
+                    out.push(tl.id_at(i));
+                }
+            }
         }
         out
     }
@@ -409,12 +681,30 @@ impl RatingDataset {
     #[must_use]
     pub fn raters(&self) -> Vec<RaterId> {
         let mut set = std::collections::BTreeSet::new();
-        for tl in self.products.values() {
-            for e in &tl.entries {
-                set.insert(e.rater());
+        for (_, tl) in self.store().timelines() {
+            for i in 0..tl.len() {
+                set.insert(tl.rater_at(i));
             }
         }
         set.into_iter().collect()
+    }
+
+    /// Returns a copy of this dataset (same engine) containing only the
+    /// entries accepted by `keep`, with identifiers preserved.
+    fn filtered_copy<F>(&self, mut keep: F) -> RatingDataset
+    where
+        F: FnMut(&RatingEntry) -> bool,
+    {
+        let mut kept = Vec::new();
+        for (_, tl) in self.store().timelines() {
+            kept.extend(tl.iter().filter(|e| keep(e)));
+        }
+        let mut out = RatingDataset {
+            backend: self.backend.empty_like(),
+            next_id: self.next_id,
+        };
+        out.backend.store_mut().bulk_insert(kept);
+        out
     }
 
     /// Returns a copy of this dataset containing only fair ratings.
@@ -422,28 +712,16 @@ impl RatingDataset {
     /// Identifiers of the retained ratings are preserved.
     #[must_use]
     pub fn fair_only(&self) -> RatingDataset {
-        let mut out = RatingDataset {
-            products: BTreeMap::new(),
-            next_id: self.next_id,
-        };
-        for (pid, tl) in &self.products {
-            let kept: Vec<RatingEntry> = tl
-                .entries
-                .iter()
-                .filter(|e| !e.source().is_unfair())
-                .copied()
-                .collect();
-            if !kept.is_empty() {
-                out.products.insert(*pid, ProductTimeline { entries: kept });
-            }
-        }
-        out
+        self.filtered_copy(|e| !e.source().is_unfair())
     }
 
     /// Iterates over every entry in the dataset, grouped by product and in
     /// time order within each product.
-    pub fn iter(&self) -> impl Iterator<Item = &RatingEntry> {
-        self.products.values().flat_map(|tl| tl.entries.iter())
+    pub fn iter(&self) -> impl Iterator<Item = RatingEntry> + '_ {
+        self.store()
+            .timelines()
+            .into_iter()
+            .flat_map(|(_, tl)| tl.iter())
     }
 
     /// Returns a copy containing only the ratings whose times fall in
@@ -455,27 +733,22 @@ impl RatingDataset {
     /// dataset.
     #[must_use]
     pub fn restricted(&self, window: TimeWindow) -> RatingDataset {
-        let mut out = RatingDataset {
-            products: BTreeMap::new(),
-            next_id: self.next_id,
-        };
-        for (pid, tl) in &self.products {
-            let kept = tl.in_window(window).to_vec();
-            if !kept.is_empty() {
-                out.products.insert(*pid, ProductTimeline { entries: kept });
-            }
-        }
-        out
+        self.filtered_copy(|e| window.contains(e.time()))
     }
 
     /// Returns a borrowed view of the whole dataset.
+    ///
+    /// Products with no ratings are omitted, so `view()` and
+    /// [`prefix_view`](Self::prefix_view) over a window covering the
+    /// whole time span expose the same product set.
     #[must_use]
     pub fn view(&self) -> DatasetView<'_> {
         DatasetView {
             products: self
-                .products
-                .iter()
-                .map(|(pid, tl)| (*pid, tl.view()))
+                .store()
+                .timelines()
+                .into_iter()
+                .filter(|(_, tl)| !tl.is_empty())
                 .collect(),
         }
     }
@@ -489,15 +762,15 @@ impl RatingDataset {
     /// re-detects over the data available so far. Materializing that
     /// prefix with `restricted` made epoch *e* re-clone epochs `0..e` —
     /// O(epochs × ratings) allocation over a run; this view borrows each
-    /// product's in-window slice instead, so an epoch costs two binary
+    /// product's in-window sub-view instead, so an epoch costs two binary
     /// searches per product.
     #[must_use]
     pub fn prefix_view(&self, window: TimeWindow) -> DatasetView<'_> {
         let mut products = Vec::new();
-        for (pid, tl) in &self.products {
-            let entries = tl.in_window(window);
-            if !entries.is_empty() {
-                products.push((*pid, TimelineView { entries }));
+        for (pid, tl) in self.store().timelines() {
+            let scoped = tl.in_window(window);
+            if !scoped.is_empty() {
+                products.push((pid, scoped));
             }
         }
         DatasetView { products }
@@ -578,6 +851,18 @@ mod tests {
         TimeWindow::new(Timestamp::new(a).unwrap(), Timestamp::new(b).unwrap()).unwrap()
     }
 
+    /// Builds the same dataset on both engines.
+    fn on_both_engines(days: &[f64]) -> (RatingDataset, RatingDataset) {
+        let mut col = RatingDataset::columnar();
+        let mut row = RatingDataset::row_oracle();
+        for (i, day) in days.iter().enumerate() {
+            let r = rating(i as u32, (i % 5) as u16, *day, 1.0 + (i % 4) as f64);
+            col.insert(r, RatingSource::Fair);
+            row.insert(r, RatingSource::Fair);
+        }
+        (col, row)
+    }
+
     #[test]
     fn insert_assigns_sequential_ids() {
         let mut d = RatingDataset::new();
@@ -605,9 +890,9 @@ mod tests {
         let mut d = RatingDataset::new();
         let a = d.insert(rating(1, 0, 2.0, 1.0), RatingSource::Fair);
         let b = d.insert(rating(2, 0, 2.0, 2.0), RatingSource::Fair);
-        let entries = d.product(ProductId::new(0)).unwrap().entries().to_vec();
-        assert_eq!(entries[0].id(), a);
-        assert_eq!(entries[1].id(), b);
+        let tl = d.product(ProductId::new(0)).unwrap();
+        assert_eq!(tl.entry(0).id(), a);
+        assert_eq!(tl.entry(1).id(), b);
     }
 
     #[test]
@@ -617,10 +902,10 @@ mod tests {
             d.insert(rating(day, 0, f64::from(day), 4.0), RatingSource::Fair);
         }
         let tl = d.product(ProductId::new(0)).unwrap();
-        let slice = tl.in_window(window(2.0, 5.0));
-        assert_eq!(slice.len(), 3);
-        assert_eq!(slice[0].time().as_days(), 2.0);
-        assert_eq!(slice[2].time().as_days(), 4.0);
+        let scoped = tl.in_window(window(2.0, 5.0));
+        assert_eq!(scoped.len(), 3);
+        assert_eq!(scoped.time_at(0).as_days(), 2.0);
+        assert_eq!(scoped.time_at(2).as_days(), 4.0);
     }
 
     #[test]
@@ -731,7 +1016,10 @@ mod tests {
         // Same product set, same entries, same order — without copying.
         assert_eq!(view.products().len(), copy.products().count());
         for (pid, tl) in view.products() {
-            assert_eq!(Some(tl.entries()), copy.product(*pid).map(|t| t.entries()));
+            assert_eq!(
+                Some(tl.to_vec()),
+                copy.product(*pid).map(TimelineView::to_vec)
+            );
         }
         assert_eq!(view.len(), copy.len());
         // Products with nothing in the window are omitted, as in
@@ -761,13 +1049,26 @@ mod tests {
         d.insert(rating(1, 0, 0.2, 4.0), RatingSource::Fair);
         d.insert(rating(2, 0, 1.5, 2.0), RatingSource::Fair);
         let tl = d.product(ProductId::new(0)).unwrap();
-        let view = tl.view();
-        assert_eq!(view.values(), tl.values());
-        assert_eq!(view.times(), tl.times());
-        assert_eq!(view.mean_value(), tl.mean_value());
+        assert_eq!(tl.iter().count(), 2);
+        assert_eq!(tl.first().map(|e| e.rater()), Some(RaterId::new(1)));
+        assert_eq!(tl.last().map(|e| e.rater()), Some(RaterId::new(2)));
         let w = window(0.0, 3.0);
-        assert_eq!(view.daily_counts(w), tl.daily_counts(w));
-        assert_eq!(view.in_window(w), tl.in_window(w));
+        assert_eq!(tl.daily_counts(w), vec![1, 1, 0]);
+        assert_eq!(tl.in_window(w), tl);
+    }
+
+    #[test]
+    fn row_and_columnar_datasets_compare_equal() {
+        let days = [5.0, 1.0, 40.0, 3.0, 3.0, 88.0, 12.5, 0.0];
+        let (col, row) = on_both_engines(&days);
+        assert!(!col.is_row_backed());
+        assert!(row.is_row_backed());
+        assert_eq!(col, row);
+        assert_eq!(col.view(), row.view());
+        assert_eq!(
+            col.prefix_view(window(0.0, 30.0)),
+            row.prefix_view(window(0.0, 30.0))
+        );
     }
 
     props! {
@@ -784,8 +1085,8 @@ mod tests {
             let copy = d.restricted(w);
             prop_assert_eq!(view.len(), copy.len());
             for (pid, tl) in view.products() {
-                let owned = copy.product(*pid).map(|t| t.entries().to_vec());
-                prop_assert_eq!(Some(tl.entries().to_vec()), owned);
+                let owned = copy.product(*pid).map(TimelineView::to_vec);
+                prop_assert_eq!(Some(tl.to_vec()), owned);
             }
         }
 
@@ -812,6 +1113,92 @@ mod tests {
                 let counts = tl.daily_counts(w);
                 let total: u32 = counts.iter().sum();
                 prop_assert_eq!(total as usize, tl.in_window(w).len());
+            }
+        }
+
+        // Cross-engine oracle: every read API agrees between the row
+        // and columnar engines on arbitrary data.
+        #[test]
+        fn row_and_columnar_engines_are_bit_identical(
+            days in vec_of(0.0f64..120.0, 0..80)
+        ) {
+            let (col, row) = on_both_engines(&days);
+            prop_assert_eq!(col.len(), row.len());
+            prop_assert_eq!(col.product_ids(), row.product_ids());
+            prop_assert_eq!(col.raters(), row.raters());
+            prop_assert_eq!(col.view(), row.view());
+            let w = window(15.0, 75.0);
+            prop_assert_eq!(col.prefix_view(w), row.prefix_view(w));
+            for (pid, ctl) in col.view().products() {
+                let rtl = row.product(*pid).unwrap();
+                // Bit-level agreement on the hot columns.
+                let cbits: Vec<u64> =
+                    ctl.values().iter().map(|v| v.to_bits()).collect();
+                let rbits: Vec<u64> =
+                    rtl.values().iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(cbits, rbits);
+                prop_assert_eq!(ctl.times(), rtl.times());
+            }
+        }
+
+        // `view()` omits empty timelines, so it exposes exactly the
+        // product set of a whole-span `prefix_view` (satellite: the two
+        // "whole dataset" views used to disagree on products() length).
+        #[test]
+        fn view_matches_whole_span_prefix_view(
+            days in vec_of(0.0f64..50.0, 1..40)
+        ) {
+            let mut d = RatingDataset::new();
+            for (i, day) in days.iter().enumerate() {
+                d.insert(rating(i as u32, (i % 4) as u16, *day, 3.0), RatingSource::Fair);
+            }
+            let whole = window(0.0, 51.0);
+            let full = d.view();
+            let prefixed = d.prefix_view(whole);
+            prop_assert_eq!(full.products().len(), prefixed.products().len());
+            prop_assert_eq!(full, prefixed);
+        }
+
+        // The binary-search contract of `DatasetView::product`: views
+        // from every constructor keep products strictly ascending.
+        #[test]
+        fn dataset_views_keep_products_sorted(
+            days in vec_of(0.0f64..60.0, 0..50)
+        ) {
+            let (col, row) = on_both_engines(&days);
+            let w = window(10.0, 45.0);
+            for view in [col.view(), row.view(), col.prefix_view(w), row.prefix_view(w)] {
+                for pair in view.products().windows(2) {
+                    prop_assert!(pair[0].0 < pair[1].0);
+                }
+                // And the lookup actually finds every product.
+                for (pid, tl) in view.products() {
+                    prop_assert_eq!(view.product(*pid).map(TimelineView::len), Some(tl.len()));
+                }
+            }
+        }
+
+        // Bulk ingest must agree with one-at-a-time inserts on both
+        // engines and at any thread count.
+        #[test]
+        fn extend_from_matches_repeated_insert(
+            days in vec_of(0.0f64..90.0, 0..60)
+        ) {
+            let ratings: Vec<Rating> = days
+                .iter()
+                .enumerate()
+                .map(|(i, day)| rating(i as u32, (i % 6) as u16, *day, 2.0))
+                .collect();
+            for fresh in [RatingDataset::columnar, RatingDataset::row_oracle] {
+                let mut serial = fresh();
+                for r in &ratings {
+                    serial.insert(*r, RatingSource::Fair);
+                }
+                let mut bulk = fresh();
+                crate::par::with_threads(8, || {
+                    bulk.extend_from(ratings.iter().copied(), RatingSource::Fair);
+                });
+                prop_assert_eq!(&serial, &bulk);
             }
         }
     }

@@ -9,6 +9,8 @@
 //! * individual ratings and their fair/unfair provenance ([`Rating`],
 //!   [`RatingSource`]),
 //! * the [`RatingDataset`] container holding per-product timelines,
+//!   backed by pluggable storage engines ([`store`]): a sharded
+//!   struct-of-arrays [`ColumnarStore`] and the [`RowStore`] oracle,
 //! * the manipulation-power (MP) metric of Feng et al. (ICDCS 2008)
 //!   ([`metrics`]),
 //! * the [`AggregationScheme`] trait implemented by defense schemes, and
@@ -47,6 +49,7 @@ pub mod par;
 mod rating;
 pub mod rng;
 mod scheme;
+pub mod store;
 pub mod stream;
 mod time;
 mod value;
@@ -62,5 +65,6 @@ pub use metrics::{
 };
 pub use rating::{Rating, RatingSource};
 pub use scheme::{AggregationScheme, EvalContext, SchemeOutcome, ScoringMode};
+pub use store::{ColumnarStore, RatingStore, RowStore};
 pub use time::{Days, TimeWindow, Timestamp};
 pub use value::RatingValue;

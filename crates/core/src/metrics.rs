@@ -24,6 +24,11 @@ pub struct MpParams {
     /// Length of a scoring period.
     pub period: Days,
     /// How many of the largest per-period deltas are summed per product.
+    ///
+    /// Effectively clamped to the number of finite deltas a product has:
+    /// `top_k == 0` always yields MP 0, and `top_k > n` counts each of
+    /// the `n` finite deltas exactly once. Non-finite deltas never
+    /// compete (see [`mp_from_outcomes`]).
     pub top_k: usize,
     /// How checkpoint scores aggregate ratings (cumulative by default;
     /// see [`ScoringMode`]).
@@ -194,9 +199,7 @@ pub fn mp_from_outcomes(
     let mut per_product = BTreeMap::new();
     let mut total = 0.0;
     for product in attacked.product_ids() {
-        let fallback = clean
-            .product(product)
-            .and_then(crate::ProductTimeline::mean_value);
+        let fallback = clean.product(product).and_then(|tl| tl.mean_value());
         let attacked_scores = attacked_outcome.scores(product).unwrap_or(&[]);
         let clean_scores = clean_outcome.scores(product).unwrap_or(&[]);
         let n = attacked_scores.len().max(clean_scores.len());
@@ -211,9 +214,16 @@ pub fn mp_from_outcomes(
             };
             deltas.push(delta);
         }
-        let mut sorted = deltas.clone();
+        // Only finite deltas compete for the top-k (the stats::min/max
+        // convention): a NaN delta — e.g. a scheme emitting NaN scores —
+        // would sort above +inf under descending `total_cmp` and poison
+        // the whole sum. `top_k` is clamped to the finite-delta count;
+        // asking for more periods than exist counts every finite delta
+        // once, and `top_k == 0` yields an MP of zero.
+        let mut sorted: Vec<f64> = deltas.iter().copied().filter(|d| d.is_finite()).collect();
         sorted.sort_by(|x, y| y.total_cmp(x));
-        let mp: f64 = sorted.iter().take(params.top_k).sum();
+        let counted = params.top_k.min(sorted.len());
+        let mp: f64 = sorted.iter().take(counted).sum();
         total += mp;
         per_product.insert(product, ProductMp { deltas, mp });
     }
@@ -239,17 +249,7 @@ mod tests {
                 let scores = ctx
                     .periods()
                     .iter()
-                    .map(|w| {
-                        let slice = tl.in_window(*w);
-                        if slice.is_empty() {
-                            None
-                        } else {
-                            Some(
-                                slice.iter().map(crate::RatingEntry::value).sum::<f64>()
-                                    / slice.len() as f64,
-                            )
-                        }
-                    })
+                    .map(|w| tl.in_window(*w).mean_value())
                     .collect();
                 out.insert_scores(pid, scores);
             }
@@ -344,6 +344,78 @@ mod tests {
             manipulation_power(&MeanScheme, &clean, &attacked, &MpParams::paper()).unwrap();
         // The attacked period-1 mean is 0; the fallback is the clean mean 4.
         assert!((report.product_mp(ProductId::new(0)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_scores_do_not_poison_top_k() {
+        // A NaN delta sorts above +inf under descending total_cmp; before
+        // the finite-only filter it would win a top-k slot and turn the
+        // whole MP into NaN.
+        let clean = fair_dataset();
+        let mut clean_outcome = SchemeOutcome::new();
+        clean_outcome.insert_scores(ProductId::new(0), vec![Some(4.0), Some(4.0), Some(4.0)]);
+        let mut attacked_outcome = SchemeOutcome::new();
+        attacked_outcome.insert_scores(
+            ProductId::new(0),
+            vec![Some(f64::NAN), Some(2.0), Some(4.0)],
+        );
+        let report = mp_from_outcomes(
+            &clean,
+            &clean_outcome,
+            &clean,
+            &attacked_outcome,
+            &MpParams::paper(),
+        );
+        assert!(report.total().is_finite());
+        // The NaN delta is skipped; the finite deltas |2-4| = 2 and 0
+        // fill the top-2.
+        assert!((report.total() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_zero_counts_nothing() {
+        let clean = fair_dataset();
+        let mut attacked = clean.clone();
+        for i in 0..30 {
+            attacked.insert(
+                rating(1000 + i, 0, 30.0 + f64::from(i), 0.0),
+                RatingSource::Unfair,
+            );
+        }
+        let params = MpParams {
+            top_k: 0,
+            ..MpParams::paper()
+        };
+        let report = manipulation_power(&MeanScheme, &clean, &attacked, &params).unwrap();
+        assert_eq!(report.total(), 0.0);
+    }
+
+    #[test]
+    fn top_k_beyond_delta_count_counts_each_delta_once() {
+        let clean = fair_dataset();
+        let mut attacked = clean.clone();
+        // Attack all three periods equally: deltas are (2, 2, 2).
+        for period in 0..3u32 {
+            for i in 0..30 {
+                attacked.insert(
+                    rating(
+                        2000 + period * 100 + i,
+                        0,
+                        f64::from(period) * 30.0 + f64::from(i),
+                        0.0,
+                    ),
+                    RatingSource::Unfair,
+                );
+            }
+        }
+        let params = MpParams {
+            top_k: 99,
+            ..MpParams::paper()
+        };
+        let report = manipulation_power(&MeanScheme, &clean, &attacked, &params).unwrap();
+        // take(99) on three deltas must count each exactly once, not
+        // under- or over-report.
+        assert!((report.total() - 6.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,416 @@
+//! Storage engines behind [`RatingDataset`](crate::RatingDataset): the
+//! engine/ports split.
+//!
+//! The paper logic (detectors, trust, aggregation) is a pure core that
+//! reads ratings exclusively through the borrowed views
+//! [`TimelineView`](crate::TimelineView) / [`DatasetView`](crate::DatasetView).
+//! This module is the *port* those views plug into: a narrow
+//! [`RatingStore`] trait with two adapters —
+//!
+//! * [`ColumnarStore`] — the production engine. A struct-of-arrays layout
+//!   sharded by product: each shard owns parallel `ids` / `times` /
+//!   `values` / `raters` / `sources` columns per product, so detector
+//!   scans walk contiguous `f64`/`Timestamp` columns instead of hopping
+//!   across 56-byte row structs, and bulk ingest fans shards out through
+//!   [`crate::par::par_map_owned`].
+//! * [`RowStore`] — the original row-oriented `BTreeMap` engine, kept as
+//!   the oracle (the `prefix_view` pattern): property tests assert
+//!   bit-identical detection and scheme results between the two engines,
+//!   and CI byte-diffs a full `RRS_STORE=row` run against the columnar
+//!   default.
+//!
+//! Determinism: shards are keyed by disjoint [`ProductId`] ranges and
+//! never share state, so per-shard parallel ingest commutes — each
+//! rating lands in exactly one shard, and within a shard entries are
+//! ordered by `(time, id)` exactly as the row engine orders them. A
+//! 1-thread and an 8-thread ingest therefore build byte-identical
+//! stores.
+
+use crate::dataset::{ColumnsRef, ProductTimeline, RatingEntry, TimelineView};
+use crate::{ProductId, RatingValue, Timestamp};
+use std::collections::BTreeMap;
+
+/// How many consecutive product ids share one shard.
+///
+/// Small on purpose: the paper-scale challenge uses single-digit product
+/// ids, and a narrow span spreads even those across shards so bulk
+/// ingest parallelizes at every scale. With `u16` product ids the shard
+/// count is bounded by `65536 / SHARD_SPAN`.
+const SHARD_SPAN: u16 = 4;
+
+/// Returns the shard key owning `product`.
+const fn shard_key(product: ProductId) -> u16 {
+    product.value() / SHARD_SPAN
+}
+
+/// Returns `true` when `RRS_STORE=row` forces the row-oracle engine.
+///
+/// Mirrors the `RRS_ONLINE` switch: the environment picks the engine at
+/// dataset construction, so a whole run (and its report tree) can be
+/// byte-diffed against the columnar default without recompiling.
+#[must_use]
+pub(crate) fn row_store_forced() -> bool {
+    matches!(std::env::var("RRS_STORE").as_deref(), Ok("row"))
+}
+
+/// The narrow engine trait (`port`) `RatingDataset` drives its storage
+/// through.
+///
+/// Implementations must keep each product's entries sorted by
+/// `(time, id)` and must yield products in ascending [`ProductId`]
+/// order from [`timelines`](RatingStore::timelines) — the binary-search
+/// contract of [`DatasetView::product`](crate::DatasetView::product)
+/// rests on it.
+pub trait RatingStore {
+    /// Inserts one entry under its rating's product.
+    fn insert_entry(&mut self, entry: RatingEntry);
+
+    /// Inserts a batch of entries; engines may parallelize internally
+    /// but must produce the same state as repeated
+    /// [`insert_entry`](RatingStore::insert_entry) calls in order.
+    fn bulk_insert(&mut self, entries: Vec<RatingEntry>) {
+        for entry in entries {
+            self.insert_entry(entry);
+        }
+    }
+
+    /// Returns the borrowed timeline of `product`, if it has ratings.
+    fn timeline(&self, product: ProductId) -> Option<TimelineView<'_>>;
+
+    /// Returns every `(product, timeline)` pair in ascending product
+    /// order.
+    fn timelines(&self) -> Vec<(ProductId, TimelineView<'_>)>;
+
+    /// Returns the total number of stored ratings.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the store holds no ratings.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One product's history as five parallel columns.
+///
+/// All five vectors share one length and one `(time, id)`-sorted order;
+/// index `i` across them reassembles the `i`-th [`RatingEntry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ColumnTimeline {
+    ids: Vec<crate::RatingId>,
+    times: Vec<Timestamp>,
+    values: Vec<f64>,
+    raters: Vec<crate::RaterId>,
+    sources: Vec<crate::RatingSource>,
+}
+
+impl ColumnTimeline {
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Inserts keeping `(time, id)` order; the common case — ratings
+    /// arriving in time order — is a pure append to all five columns.
+    fn insert(&mut self, entry: RatingEntry) {
+        let key = (entry.time(), entry.id());
+        let pos = if self
+            .ids
+            .last()
+            .is_none_or(|&last| (self.times[self.len() - 1], last) <= key)
+        {
+            self.len()
+        } else {
+            let lo = self.times.partition_point(|&t| t < entry.time());
+            let hi = self.times.partition_point(|&t| t <= entry.time());
+            lo + self.ids[lo..hi].partition_point(|&id| id <= entry.id())
+        };
+        self.ids.insert(pos, entry.id());
+        self.times.insert(pos, entry.time());
+        self.values.insert(pos, entry.value());
+        self.raters.insert(pos, entry.rater());
+        self.sources.insert(pos, entry.source());
+    }
+
+    fn view(&self, product: ProductId) -> TimelineView<'_> {
+        TimelineView::from_columns(ColumnsRef {
+            product,
+            ids: &self.ids,
+            times: &self.times,
+            values: &self.values,
+            raters: &self.raters,
+            sources: &self.sources,
+        })
+    }
+}
+
+/// One shard: the column timelines of a contiguous [`ProductId`] range.
+///
+/// `products` is kept sorted and parallel to `timelines`.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Shard {
+    products: Vec<ProductId>,
+    timelines: Vec<ColumnTimeline>,
+}
+
+impl Shard {
+    fn timeline_mut(&mut self, product: ProductId) -> &mut ColumnTimeline {
+        let index = match self.products.binary_search(&product) {
+            Ok(i) => i,
+            Err(i) => {
+                self.products.insert(i, product);
+                self.timelines.insert(i, ColumnTimeline::default());
+                i
+            }
+        };
+        &mut self.timelines[index]
+    }
+
+    fn absorb(&mut self, entries: Vec<RatingEntry>) {
+        for entry in entries {
+            self.timeline_mut(entry.rating().product()).insert(entry);
+        }
+    }
+}
+
+/// The production engine: struct-of-arrays columns, sharded by product.
+///
+/// See the module docs for layout and determinism rationale.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnarStore {
+    shards: BTreeMap<u16, Shard>,
+    len: usize,
+}
+
+impl ColumnarStore {
+    /// Creates an empty columnar store.
+    #[must_use]
+    pub fn new() -> Self {
+        ColumnarStore::default()
+    }
+}
+
+impl RatingStore for ColumnarStore {
+    fn insert_entry(&mut self, entry: RatingEntry) {
+        let product = entry.rating().product();
+        self.shards
+            .entry(shard_key(product))
+            .or_default()
+            .timeline_mut(product)
+            .insert(entry);
+        self.len += 1;
+    }
+
+    /// Buckets the batch per shard, then runs the per-shard inserts
+    /// through [`crate::par::par_map_owned`]. Shards are disjoint and
+    /// each bucket preserves arrival order, so the result is identical
+    /// at any thread count.
+    fn bulk_insert(&mut self, entries: Vec<RatingEntry>) {
+        self.len += entries.len();
+        let mut buckets: BTreeMap<u16, Vec<RatingEntry>> = BTreeMap::new();
+        for entry in entries {
+            buckets
+                .entry(shard_key(entry.rating().product()))
+                .or_default()
+                .push(entry);
+        }
+        let tasks: Vec<(u16, Shard, Vec<RatingEntry>)> = buckets
+            .into_iter()
+            .map(|(key, bucket)| (key, self.shards.remove(&key).unwrap_or_default(), bucket))
+            .collect();
+        let done = crate::par::par_map_owned(tasks, |_, (key, mut shard, bucket)| {
+            shard.absorb(bucket);
+            (key, shard)
+        });
+        for (key, shard) in done {
+            self.shards.insert(key, shard);
+        }
+    }
+
+    fn timeline(&self, product: ProductId) -> Option<TimelineView<'_>> {
+        let shard = self.shards.get(&shard_key(product))?;
+        let index = shard.products.binary_search(&product).ok()?;
+        Some(shard.timelines[index].view(product))
+    }
+
+    fn timelines(&self) -> Vec<(ProductId, TimelineView<'_>)> {
+        // BTreeMap iterates shard keys ascending and shard-local product
+        // lists are sorted, so the concatenation is globally sorted.
+        let mut out = Vec::new();
+        for shard in self.shards.values() {
+            for (pid, tl) in shard.products.iter().zip(&shard.timelines) {
+                out.push((*pid, tl.view(*pid)));
+            }
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// The original row-oriented engine: one `Vec<RatingEntry>` per product
+/// behind a `BTreeMap`. Kept as the oracle the columnar engine is
+/// byte-diffed against (`RRS_STORE=row`, plus cross-engine property
+/// tests).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RowStore {
+    products: BTreeMap<ProductId, ProductTimeline>,
+    len: usize,
+}
+
+impl RowStore {
+    /// Creates an empty row store.
+    #[must_use]
+    pub fn new() -> Self {
+        RowStore::default()
+    }
+}
+
+impl RatingStore for RowStore {
+    fn insert_entry(&mut self, entry: RatingEntry) {
+        self.products
+            .entry(entry.rating().product())
+            .or_default()
+            .insert(entry);
+        self.len += 1;
+    }
+
+    fn timeline(&self, product: ProductId) -> Option<TimelineView<'_>> {
+        self.products.get(&product).map(ProductTimeline::view)
+    }
+
+    fn timelines(&self) -> Vec<(ProductId, TimelineView<'_>)> {
+        self.products
+            .iter()
+            .map(|(pid, tl)| (*pid, tl.view()))
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Reassembles the `i`-th entry of a column set. Values were validated
+/// on the way in, so the clamping constructor is an identity here.
+pub(crate) fn assemble_entry(cols: &ColumnsRef<'_>, index: usize) -> RatingEntry {
+    RatingEntry::assemble(
+        cols.ids[index],
+        crate::Rating::new(
+            cols.raters[index],
+            cols.product,
+            cols.times[index],
+            RatingValue::new_clamped(cols.values[index]),
+        ),
+        cols.sources[index],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RaterId, Rating, RatingDataset, RatingSource};
+
+    fn entry(id: u64, rater: u32, product: u16, day: f64, value: f64) -> RatingEntry {
+        RatingEntry::assemble(
+            crate::dataset::raw_rating_id(id),
+            Rating::new(
+                RaterId::new(rater),
+                ProductId::new(product),
+                Timestamp::new(day).unwrap(),
+                RatingValue::new(value).unwrap(),
+            ),
+            RatingSource::Fair,
+        )
+    }
+
+    #[test]
+    fn shard_key_groups_contiguous_ranges() {
+        assert_eq!(shard_key(ProductId::new(0)), shard_key(ProductId::new(3)));
+        assert_ne!(shard_key(ProductId::new(3)), shard_key(ProductId::new(4)));
+    }
+
+    #[test]
+    fn columnar_insert_orders_by_time_then_id() {
+        let mut store = ColumnarStore::new();
+        store.insert_entry(entry(0, 1, 0, 5.0, 4.0));
+        store.insert_entry(entry(1, 2, 0, 1.0, 3.0));
+        store.insert_entry(entry(2, 3, 0, 5.0, 2.0));
+        let tl = store.timeline(ProductId::new(0)).unwrap();
+        let days: Vec<f64> = tl.times().iter().map(|t| t.as_days()).collect();
+        assert_eq!(days, vec![1.0, 5.0, 5.0]);
+        // Tie at day 5 keeps id order: id 0 before id 2.
+        assert_eq!(tl.id_at(1).value(), 0);
+        assert_eq!(tl.id_at(2).value(), 2);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn bulk_insert_matches_serial_inserts() {
+        let batch: Vec<RatingEntry> = (0..200)
+            .map(|i| {
+                entry(
+                    i,
+                    i as u32,
+                    (i % 13) as u16,
+                    (i as f64 * 7.3) % 90.0,
+                    3.0 + (i % 3) as f64 / 2.0,
+                )
+            })
+            .collect();
+        let mut serial = ColumnarStore::new();
+        for e in &batch {
+            serial.insert_entry(*e);
+        }
+        let mut bulk = ColumnarStore::new();
+        bulk.bulk_insert(batch);
+        assert_eq!(serial, bulk);
+    }
+
+    #[test]
+    fn bulk_insert_is_thread_count_invariant() {
+        let batch: Vec<RatingEntry> = (0..500)
+            .map(|i| entry(i, i as u32, (i % 29) as u16, (i as f64 * 3.7) % 60.0, 4.0))
+            .collect();
+        let one = crate::par::with_threads(1, || {
+            let mut s = ColumnarStore::new();
+            s.bulk_insert(batch.clone());
+            s
+        });
+        let eight = crate::par::with_threads(8, || {
+            let mut s = ColumnarStore::new();
+            s.bulk_insert(batch.clone());
+            s
+        });
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn row_and_columnar_agree_on_views() {
+        let batch: Vec<RatingEntry> = (0..120)
+            .map(|i| entry(i, i as u32, (i % 7) as u16, (i as f64 * 11.0) % 45.0, 2.5))
+            .collect();
+        let mut row = RowStore::new();
+        let mut col = ColumnarStore::new();
+        for e in batch {
+            row.insert_entry(e);
+            col.insert_entry(e);
+        }
+        assert_eq!(row.len(), col.len());
+        let row_tls = row.timelines();
+        let col_tls = col.timelines();
+        assert_eq!(row_tls.len(), col_tls.len());
+        for ((rp, rtl), (cp, ctl)) in row_tls.iter().zip(&col_tls) {
+            assert_eq!(rp, cp);
+            assert_eq!(rtl, ctl);
+        }
+    }
+
+    #[test]
+    fn env_switch_is_honored_by_dataset_constructors() {
+        // `RatingDataset::columnar`/`row_oracle` pin the engine
+        // regardless of the environment; `new()` consults `RRS_STORE`.
+        assert!(!RatingDataset::columnar().is_row_backed());
+        assert!(RatingDataset::row_oracle().is_row_backed());
+    }
+}

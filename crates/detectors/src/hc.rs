@@ -192,14 +192,15 @@ pub(crate) fn suspicious_runs(
 /// Runs the HC detector over one product's timeline.
 #[must_use]
 pub fn detect<'a>(timeline: impl Into<TimelineView<'a>>, config: &HcConfig) -> HcOutcome {
-    let entries = timeline.into().entries();
-    let n = entries.len();
+    let timeline = timeline.into();
+    let n = timeline.len();
     let w = config.window_ratings;
     if n < w || w == 0 {
         return HcOutcome::default();
     }
-    let values: Vec<f64> = entries.iter().map(|e| e.value()).collect();
-    let times: Vec<f64> = entries.iter().map(|e| e.time().as_days()).collect();
+    // Contiguous column walks on the columnar engine.
+    let values: Vec<f64> = timeline.values();
+    let times: Vec<f64> = timeline.times().iter().map(|t| t.as_days()).collect();
 
     let signal_span = rrs_obs::trace::span("signal.hc");
     let step = config.step.max(1);

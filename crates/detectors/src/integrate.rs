@@ -359,19 +359,14 @@ where
     let overall_trust = if timeline.is_empty() {
         0.5
     } else {
-        timeline
-            .entries()
-            .iter()
-            .map(|e| trust(e.rater()))
-            .sum::<f64>()
-            / timeline.len() as f64
+        timeline.iter().map(|e| trust(e.rater())).sum::<f64>() / timeline.len() as f64
     };
     let mean_dev_confirms = |window: TimeWindow| -> bool {
         let slice = timeline.in_window(window);
         if slice.is_empty() {
             return false;
         }
-        let mean = slice.iter().map(rrs_core::RatingEntry::value).sum::<f64>() / slice.len() as f64;
+        let mean = slice.iter().map(|e| e.value()).sum::<f64>() / slice.len() as f64;
         let dev = (mean - stream_median).abs();
         let slice_trust = slice.iter().map(|e| trust(e.rater())).sum::<f64>() / slice.len() as f64;
         let less_trusted =
@@ -490,7 +485,7 @@ fn mark_band(
     suspicious: &mut BTreeSet<RatingId>,
 ) -> usize {
     let mut marked = 0;
-    for entry in timeline.in_window(window) {
+    for entry in timeline.in_window(window).iter() {
         let hit = match band {
             Band::High => entry.value() > threshold_a,
             Band::Low => entry.value() < threshold_b,
@@ -515,8 +510,15 @@ mod tests {
 
     /// 90 days of fair ratings at ~4/day, mean 4.0.
     fn fair_dataset(seed: u64) -> RatingDataset {
-        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut d = RatingDataset::new();
+        fill_fair(&mut d, seed);
+        d
+    }
+
+    /// Same fair stream appended to any starting dataset, so a scenario
+    /// can be materialized identically on both storage engines.
+    fn fill_fair(d: &mut RatingDataset, seed: u64) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut rater = 0u32;
         for day in 0..90 {
             let n = 3 + (rng.gen::<u8>() % 3) as usize;
@@ -533,7 +535,6 @@ mod tests {
                 rater += 1;
             }
         }
-        d
     }
 
     fn add_downgrade_burst(
@@ -697,5 +698,43 @@ mod tests {
             "boost attack should only ever mark the high band: {:?}",
             result.hits
         );
+    }
+
+    rrs_core::props! {
+        #[test]
+        fn detection_results_are_engine_invariant(
+            seed in 0u64..32,
+            burst_days in 0usize..12,
+            burst_per_day in 3usize..7,
+            burst_value in 0.0f64..2.0,
+        ) {
+            // The row store is the oracle: the columnar engine must
+            // reproduce its DetectionResult bit for bit, serially and
+            // under the full worker pool.
+            let mut col = RatingDataset::columnar();
+            let mut row = RatingDataset::row_oracle();
+            for d in [&mut col, &mut row] {
+                fill_fair(d, seed);
+                if burst_days > 0 {
+                    add_downgrade_burst(d, 40.0, burst_days, burst_per_day, burst_value);
+                }
+            }
+            let det = JointDetector::default();
+            let trust = |r: RaterId| if r.value() >= 50_000 { 0.2 } else { 0.7 };
+            let (row_marks, row_results) =
+                rrs_core::par::with_threads(1, || det.detect_all(&row, horizon(), trust));
+            let (col1_marks, col1_results) =
+                rrs_core::par::with_threads(1, || det.detect_all(&col, horizon(), trust));
+            let (col8_marks, col8_results) =
+                rrs_core::par::with_threads(8, || det.detect_all(&col, horizon(), trust));
+            rrs_core::prop_assert!(
+                row_marks == col1_marks && row_results == col1_results,
+                "columnar path diverged from the row oracle at 1 thread"
+            );
+            rrs_core::prop_assert!(
+                col1_marks == col8_marks && col1_results == col8_results,
+                "columnar path diverged between 1 and 8 threads"
+            );
+        }
     }
 }

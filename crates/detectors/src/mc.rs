@@ -10,7 +10,7 @@
 
 use crate::suspicion::{SuspicionKind, SuspiciousInterval};
 use rrs_core::stream::split_at_peaks;
-use rrs_core::{RaterId, RatingEntry, TimeWindow, TimelineView, Timestamp};
+use rrs_core::{RaterId, TimeWindow, TimelineView, Timestamp};
 use rrs_signal::curve::{Curve, CurvePoint, Peak, UShape};
 use std::ops::Range;
 
@@ -165,13 +165,14 @@ pub fn detect<'a, F>(
 where
     F: Fn(RaterId) -> f64,
 {
-    let entries = timeline.into().entries();
-    let n = entries.len();
+    let timeline = timeline.into();
+    let n = timeline.len();
     if n < 2 * config.min_half_ratings {
         return McOutcome::default();
     }
-    let values: Vec<f64> = entries.iter().map(|e| e.value()).collect();
-    let times: Vec<f64> = entries.iter().map(|e| e.time().as_days()).collect();
+    // Contiguous column walks on the columnar engine.
+    let values: Vec<f64> = timeline.values();
+    let times: Vec<f64> = timeline.times().iter().map(|t| t.as_days()).collect();
 
     // Prefix sums make every windowed mean O(1).
     let mut prefix = vec![0.0f64; n + 1];
@@ -200,7 +201,7 @@ where
 
     let overall_mean = rrs_signal::stats::median(&values).expect("n > 0");
     judge_segments(
-        entries,
+        timeline,
         &times,
         &prefix,
         curve,
@@ -218,7 +219,7 @@ where
 /// *median* rating value; see the comment inside on why not the mean).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn judge_segments<F>(
-    entries: &[RatingEntry],
+    timeline: TimelineView<'_>,
     times: &[f64],
     prefix: &[f64],
     curve: Curve,
@@ -232,7 +233,7 @@ where
     F: Fn(RaterId) -> f64,
 {
     let _detect_span = rrs_obs::trace::span("detect.mc");
-    let n = entries.len();
+    let n = timeline.len();
     let range_mean = |r: Range<usize>| -> Option<f64> {
         if r.is_empty() {
             None
@@ -248,7 +249,7 @@ where
     // normal (the reference the paper uses is safe only while unfair
     // ratings are a small minority of the stream).
     let peak_indices = Curve::peak_stream_indices(&peaks);
-    let trust_values: Vec<f64> = entries.iter().map(|e| trust(e.rater())).collect();
+    let trust_values: Vec<f64> = (0..n).map(|i| trust(timeline.rater_at(i))).collect();
     let overall_trust: f64 = trust_values.iter().sum::<f64>() / n as f64;
 
     let mut segments = Vec::new();
@@ -353,7 +354,7 @@ mod tests {
         d
     }
 
-    fn timeline(d: &RatingDataset) -> &ProductTimeline {
+    fn timeline(d: &RatingDataset) -> TimelineView<'_> {
         d.product(ProductId::new(0)).unwrap()
     }
 

@@ -47,7 +47,7 @@ use crate::hc::{self, HcConfig, HcOutcome};
 use crate::integrate::{integrate_outcomes, DetectionResult, JointDetector};
 use crate::mc::{self, McConfig, McOutcome};
 use crate::me::{self, MeConfig, MeOutcome};
-use rrs_core::{DatasetView, ProductId, RaterId, RatingEntry, RatingId, TimeWindow, TimelineView};
+use rrs_core::{DatasetView, ProductId, RaterId, RatingId, TimeWindow, TimelineView};
 use rrs_signal::curve::{Curve, CurvePoint};
 use rrs_signal::{ArAccumulator, Cusum, DecayedHistogram, Ewma, Welford, WindowedWelford};
 use std::collections::{BTreeMap, BTreeSet};
@@ -130,23 +130,23 @@ struct StreamCache {
 }
 
 impl StreamCache {
-    fn absorb(&mut self, entries: &[RatingEntry], horizon: TimeWindow) -> Absorbed {
+    fn absorb(&mut self, timeline: TimelineView<'_>, horizon: TimeWindow) -> Absorbed {
         let start = horizon.start().as_days();
         let end = horizon.end().as_days();
-        if !self.consistent_with(entries, start, end) {
-            self.rebuild(entries, start, end);
+        if !self.consistent_with(timeline, start, end) {
+            self.rebuild(timeline, start, end);
             return Absorbed::Rebuilt;
         }
         let new_from = self.values.len();
-        for e in &entries[new_from..] {
-            let t = e.time().as_days();
+        for i in new_from..timeline.len() {
+            let t = timeline.time_at(i).as_days();
             if t < self.end_days {
                 // An arrival below the previous horizon end could land
                 // inside windows already settled; start over.
-                self.rebuild(entries, start, end);
+                self.rebuild(timeline, start, end);
                 return Absorbed::Rebuilt;
             }
-            self.push(e.value(), t);
+            self.push(timeline.value_at(i), t);
         }
         self.end_days = end;
         Absorbed::Appended { new_from }
@@ -154,29 +154,29 @@ impl StreamCache {
 
     /// O(1) guards over the epoch-loop contract. The tail spot-check
     /// catches a swapped dataset even when lengths happen to line up.
-    fn consistent_with(&self, entries: &[RatingEntry], start: f64, end: f64) -> bool {
+    fn consistent_with(&self, timeline: TimelineView<'_>, start: f64, end: f64) -> bool {
         let n = self.values.len();
         if n == 0 {
             // An empty cache has nothing to protect, but routing the
             // first non-empty epoch through `rebuild` keeps one
             // initialization path.
-            return entries.is_empty();
+            return timeline.is_empty();
         }
-        entries.len() >= n
+        timeline.len() >= n
             && start.to_bits() == self.start_bits
             && end >= self.end_days
-            && entries[n - 1].value().to_bits() == self.values[n - 1].to_bits()
-            && entries[n - 1].time().as_days().to_bits() == self.times[n - 1].to_bits()
+            && timeline.value_at(n - 1).to_bits() == self.values[n - 1].to_bits()
+            && timeline.time_at(n - 1).as_days().to_bits() == self.times[n - 1].to_bits()
     }
 
-    fn rebuild(&mut self, entries: &[RatingEntry], start: f64, end: f64) {
+    fn rebuild(&mut self, timeline: TimelineView<'_>, start: f64, end: f64) {
         self.values.clear();
         self.times.clear();
         self.prefix.clear();
         self.sorted.clear();
         self.start_bits = start.to_bits();
-        for e in entries {
-            self.push(e.value(), e.time().as_days());
+        for i in 0..timeline.len() {
+            self.push(timeline.value_at(i), timeline.time_at(i).as_days());
         }
         self.end_days = end;
     }
@@ -302,7 +302,7 @@ impl Telemetry {
 fn mc_online<F>(
     cache: &StreamCache,
     state: &mut McState,
-    entries: &[RatingEntry],
+    timeline: TimelineView<'_>,
     horizon_end: f64,
     stream_median: f64,
     config: &McConfig,
@@ -361,7 +361,7 @@ where
     let u_shapes = curve.u_shapes_between(&peaks, config.valley_ratio);
     drop(signal_span);
     mc::judge_segments(
-        entries,
+        timeline,
         &cache.times,
         &cache.prefix,
         curve,
@@ -380,7 +380,7 @@ where
 fn arc_band_online(
     band: &mut ArcBandState,
     cache_rebuilt: bool,
-    entries: &[RatingEntry],
+    timeline: TimelineView<'_>,
     horizon: TimeWindow,
     variant: ArcVariant,
     stream_median: f64,
@@ -391,7 +391,7 @@ fn arc_band_online(
     let days = horizon.length().get().ceil() as usize;
     let rebuild = cache_rebuilt
         || band.median_bits != Some(median_bits)
-        || band.absorbed > entries.len()
+        || band.absorbed > timeline.len()
         || days < band.counts.len();
     if rebuild {
         band.counts = vec![0u32; days];
@@ -409,22 +409,23 @@ fn arc_band_online(
     // older, shorter `days` are identical to a fresh batch computation.
     let threshold_a = 0.5 * stream_median;
     let threshold_b = 0.5 * stream_median + 0.5;
-    for e in &entries[band.absorbed..] {
-        if e.time() < horizon.start() || e.time() >= horizon.end() {
+    for i in band.absorbed..timeline.len() {
+        let time = timeline.time_at(i);
+        if time < horizon.start() || time >= horizon.end() {
             continue;
         }
         let keep = match variant {
             ArcVariant::All => true,
-            ArcVariant::High => e.value() > threshold_a,
-            ArcVariant::Low => e.value() < threshold_b,
+            ArcVariant::High => timeline.value_at(i) > threshold_a,
+            ArcVariant::Low => timeline.value_at(i) < threshold_b,
         };
         if keep {
-            let offset = e.time().as_days() - horizon.start().as_days();
+            let offset = time.as_days() - horizon.start().as_days();
             let idx = (offset.floor() as usize).min(days.saturating_sub(1));
             band.counts[idx] += 1;
         }
     }
-    band.absorbed = entries.len();
+    band.absorbed = timeline.len();
 
     let n = band.counts.len();
     if n < 2 * config.min_half_days {
@@ -566,9 +567,8 @@ fn detect_product_online<F>(
 where
     F: Fn(RaterId) -> f64,
 {
-    let entries = timeline.entries();
     let online_span = rrs_obs::trace::span("signal.online");
-    let absorbed = state.cache.absorb(entries, horizon);
+    let absorbed = state.cache.absorb(timeline, horizon);
     let rebuilt = matches!(absorbed, Absorbed::Rebuilt);
     if rebuilt {
         state.mc = McState::default();
@@ -606,7 +606,7 @@ where
         mc_online(
             &state.cache,
             &mut state.mc,
-            entries,
+            timeline,
             horizon.end().as_days(),
             stream_median,
             &config.mc,
@@ -620,7 +620,7 @@ where
             arc_band_online(
                 &mut state.harc,
                 rebuilt,
-                entries,
+                timeline,
                 horizon,
                 ArcVariant::High,
                 stream_median,
@@ -629,7 +629,7 @@ where
             arc_band_online(
                 &mut state.larc,
                 rebuilt,
-                entries,
+                timeline,
                 horizon,
                 ArcVariant::Low,
                 stream_median,

@@ -15,7 +15,7 @@ use crate::report::{ExperimentReport, Table};
 use crate::suite::Workbench;
 use rrs_attack::AttackStrategy;
 use rrs_core::rng::Xoshiro256pp;
-use rrs_core::{ProductTimeline, RatingDataset, TimeWindow, Timestamp};
+use rrs_core::{RatingDataset, TimeWindow, TimelineView, Timestamp};
 use rrs_detectors::{arc, hc, mc, me, ArcConfig, ArcVariant, HcConfig, McConfig, MeConfig};
 use std::fmt::Write as _;
 
@@ -74,7 +74,7 @@ fn build_streams(workbench: &Workbench, per_kind: usize) -> Streams {
 /// `(tpr, fpr)`.
 fn rates<F>(streams: &Streams, focus: rrs_core::ProductId, mut flagged_overlapping: F) -> (f64, f64)
 where
-    F: FnMut(&ProductTimeline, TimeWindow) -> Vec<TimeWindow>,
+    F: FnMut(TimelineView<'_>, TimeWindow) -> Vec<TimeWindow>,
 {
     let mut hits = 0usize;
     for (dataset, attack_window) in &streams.attacked {

@@ -99,7 +99,7 @@ impl TrustManager {
         let mut total = 0usize;
         let mut total_suspicious = 0usize;
         for (_, timeline) in view.products() {
-            for entry in timeline.in_window(window) {
+            for entry in timeline.in_window(window).iter() {
                 let counts = per_rater.entry(entry.rater()).or_insert((0, 0));
                 counts.0 += 1;
                 total += 1;

@@ -106,7 +106,7 @@ fn main() {
     // Bonus: the CUSUM alternative — a detector family the paper does
     // not use, shown here because it integrates evidence over unbounded
     // time instead of a sliding window.
-    let values: Vec<f64> = timeline.entries().iter().map(|e| e.value()).collect();
+    let values: Vec<f64> = timeline.values();
     let reference = rrs::signal::stats::median(&values).unwrap_or(4.0);
     let alarms = rrs::signal::cusum::Cusum::scan(reference, 0.4, 8.0, &values);
     println!("--- CUSUM (windowless alternative) ---");
@@ -114,7 +114,7 @@ fn main() {
         println!(
             "alarm at rating #{} (day {:.1}), direction {}",
             alarm.index,
-            timeline.entries()[alarm.index].time().as_days(),
+            timeline.time_at(alarm.index).as_days(),
             if alarm.direction > 0 { "up" } else { "down" }
         );
     }

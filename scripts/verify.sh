@@ -86,4 +86,19 @@ diff -r "$TMP/threads1" "$TMP/threads8"
 RRS_ONLINE=0 RRS_THREADS=1 target/release/experiments --scale small --seed 42 --out "$TMP/batch"
 diff -r --exclude=metrics.json "$TMP/threads1" "$TMP/batch"
 
+# Storage-engine oracle: datasets default to the sharded columnar store;
+# RRS_STORE=row re-runs the suite on the row-oriented oracle store, which
+# must emit byte-identical result trees (RRS_TRACE=1 matches the
+# threads1 run, so metrics.json is compared too).
+RRS_STORE=row RRS_TRACE=1 RRS_THREADS=1 target/release/experiments --scale small --seed 42 --out "$TMP/rowstore"
+diff -r "$TMP/threads1" "$TMP/rowstore"
+
+# Ingest bench at a reduced 1M-rating scale: proves the bulk-ingest and
+# append paths work end to end at volume and writes BENCH_ingest.json
+# (the committed benchmarks/BENCH_ingest.json holds the 10M numbers).
+RRS_BENCH_INGEST_RATINGS=1000000 RRS_BENCH_OUT="$TMP" \
+    cargo bench -p rrs-bench --bench ingest --offline
+test -s "$TMP/BENCH_ingest.json"
+grep -q '"ratings_per_sec"' "$TMP/BENCH_ingest.json"
+
 echo "verify: OK"
