@@ -46,6 +46,7 @@ pub fn run(command: &str, tokens: &[String]) -> Result<String, CommandError> {
         "detect" => detect(&args),
         "mp" => mp(&args),
         "lint" => lint(&args),
+        "serve" => serve(&args),
         "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage()).into()),
     }
@@ -103,6 +104,8 @@ USAGE:
                [--watchdog N]
   rrs dump     [SCENARIO] [--out FILE] [--seed N] [--period DAYS]
   rrs lint     [--root DIR] [--jsonl FILE]
+  rrs serve    --dir DIR [--addr HOST:PORT] [--addr-file FILE]
+               [--period DAYS] [--threshold X] [--discount X]
 
 GLOBAL FLAGS (any command):
   --quiet          errors only
@@ -117,7 +120,9 @@ Scenarios (trace/metrics/dump): downgrade-burst (default), boost-burst,
 camouflage, slow-poison. `trace` writes the decision trace as JSONL and
 can export a collapsed-stack flamegraph; `metrics` prints the run's
 metrics in Prometheus text exposition format; `dump` writes the anomaly
-flight recorder's dumps as JSONL."
+flight recorder's dumps as JSONL. `serve` runs the durable HTTP API
+(write-ahead logged, checkpointed) over a serving directory; see the
+README's \"Running the server\" walkthrough."
 }
 
 fn check_flags(args: &Args, known: &[&str]) -> Result<(), CommandError> {
@@ -490,6 +495,60 @@ fn lint(args: &Args) -> Result<String, CommandError> {
     } else {
         Err(report.render().into())
     }
+}
+
+/// `rrs serve` — open (or recover) a durable serving directory and run
+/// the HTTP API on it until a `POST /shutdown`.
+///
+/// Metrics collection is enabled so `GET /metrics` reports live
+/// counters; with `--addr 127.0.0.1:0` the OS picks a free port and
+/// `--addr-file` advertises the bound address for scripts to discover.
+fn serve(args: &Args) -> Result<String, CommandError> {
+    check_flags(
+        args,
+        &[
+            "dir",
+            "addr",
+            "addr-file",
+            "period",
+            "threshold",
+            "discount",
+        ],
+    )?;
+    let dir = args.required("dir")?;
+    let period: f64 = args.parsed_or("period", 30.0)?;
+    let threshold: f64 = args.parsed_or("threshold", 0.5)?;
+    let discount = match args.get("discount") {
+        Some(raw) => Some(
+            raw.parse::<f64>()
+                .map_err(|e| format!("--discount {raw:?}: {e}"))?,
+        ),
+        None => None,
+    };
+    let config = rrs_serve::EngineConfig {
+        period_days: period,
+        filter_trust_threshold: threshold,
+        trust_discount: discount,
+        ..rrs_serve::EngineConfig::paper(period)
+    };
+    // The metrics endpoint serves the live registry; turn collection on.
+    rrs_obs::enable();
+    let engine = rrs_serve::Engine::open(Path::new(dir), config)
+        .map_err(|e| format!("cannot open serving directory {dir}: {e}"))?;
+    let server_config = rrs_serve::ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        addr_file: args.get("addr-file").map(std::path::PathBuf::from),
+    };
+    let mut server = rrs_serve::Server::new(engine);
+    server
+        .run(&server_config)
+        .map_err(|e| format!("server failed: {e}"))?;
+    Ok(format!(
+        "server stopped: {} epochs, {} ratings, {} WAL events in {dir}\n",
+        server.engine().epochs(),
+        server.engine().ratings(),
+        server.engine().wal_events(),
+    ))
 }
 
 /// Splits a leading positional scenario name off a token list, falling

@@ -220,6 +220,348 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
+/// One scalar field of a flat JSONL object.
+///
+/// Numbers are carried as their raw tokens: the consumer decides
+/// whether a field is a `u64` (ids, bit patterns — which do not fit
+/// losslessly in an `f64`) or an `f64` (shortest-round-trip floats),
+/// so this layer never forces a lossy representation on either.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonScalar {
+    /// A numeric field, as its raw token (validated to parse as `f64`).
+    Number(String),
+    /// A string field, with escapes resolved.
+    Text(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonScalar {
+    /// The field as an `f64`, if it is numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonScalar::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The field as a `u64`, if it is numeric and a plain non-negative
+    /// integer token (bit-exact — no round trip through `f64`).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonScalar::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The field as a string, if it is one.
+    #[must_use]
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            JsonScalar::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one line of JSONL as a flat object of scalar fields.
+///
+/// This is the read half of the JSONL dialect the workspace writes
+/// (`write_json` rows, WAL events, checkpoint records): exactly one
+/// object per line, string keys, scalar values only. It is strict on
+/// purpose — nested containers, duplicate keys, trailing garbage, and
+/// malformed escapes are errors, never guesses — because its callers
+/// replay durable state where a misread field means silent corruption.
+///
+/// Field order is preserved.
+///
+/// # Errors
+///
+/// Returns a human-readable message with the byte offset of the
+/// problem.
+pub fn parse_jsonl_object(line: &str) -> Result<Vec<(String, JsonScalar)>, String> {
+    let mut p = JsonCursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.require(b'{')?;
+    let mut fields: Vec<(String, JsonScalar)> = Vec::new();
+    p.skip_ws();
+    if !p.eat(b'}') {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            p.skip_ws();
+            p.require(b':')?;
+            p.skip_ws();
+            let value = p.scalar()?;
+            fields.push((key, value));
+            p.skip_ws();
+            if p.eat(b',') {
+                continue;
+            }
+            p.require(b'}')?;
+            break;
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(fields)
+}
+
+/// Looks up a field by name in a parsed JSONL object.
+#[must_use]
+pub fn jsonl_field<'a>(fields: &'a [(String, JsonScalar)], name: &str) -> Option<&'a JsonScalar> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Byte cursor over one JSONL line.
+struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonCursor<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn require(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                char::from(b),
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| char::from(c)),
+            ))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn scalar(&mut self) -> Result<JsonScalar, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(JsonScalar::Text(self.string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(JsonScalar::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(JsonScalar::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(JsonScalar::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "expected a scalar at byte {}, found {:?}",
+                self.pos,
+                other.map(|&c| char::from(c)),
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonScalar, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        // The token set above is ASCII, so the slice is valid UTF-8.
+        let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        let parsed: Result<f64, _> = raw.parse();
+        if parsed.is_err() {
+            return Err(format!("bad number {raw:?} at byte {start}"));
+        }
+        Ok(JsonScalar::Number(raw))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.require(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a maximal unescaped run in one UTF-8-safe slice.
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|&b| b != b'"' && b != b'\\' && b >= 0x20)
+            {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 in string at byte {start}"))?;
+                out.push_str(run);
+            }
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(_) => {
+                    return Err(format!("unescaped control character at byte {}", self.pos));
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, String> {
+        let at = self.pos;
+        let Some(&b) = self.bytes.get(self.pos) else {
+            return Err("unterminated escape".to_string());
+        };
+        self.pos += 1;
+        Ok(match b {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'u' => {
+                let hex = self
+                    .bytes
+                    .get(self.pos..self.pos + 4)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .ok_or_else(|| format!("truncated \\u escape at byte {at}"))?;
+                let code = u32::from_str_radix(hex, 16)
+                    .map_err(|_| format!("bad \\u escape {hex:?} at byte {at}"))?;
+                self.pos += 4;
+                // Surrogate pairs are rejected rather than decoded: the
+                // writers in this workspace never emit them (non-ASCII
+                // passes through as UTF-8).
+                char::from_u32(code)
+                    .ok_or_else(|| format!("\\u escape {hex:?} is not a scalar value"))?
+            }
+            other => {
+                return Err(format!(
+                    "unknown escape {:?} at byte {at}",
+                    char::from(other)
+                ))
+            }
+        })
+    }
+}
+
+/// Parses a rater id from its decimal text form.
+///
+/// Ids are identities, not measurements: the field must be a plain
+/// base-10 integer in `[0, u32::MAX]`. A fractional id like `7.9`, a
+/// negative one, scientific notation, or anything beyond the 32-bit
+/// space is an error, never a coercion — the old float-parse-then-cast
+/// path silently aliased such inputs onto a *different rater's*
+/// identity, which corrupts per-rater beta trust.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the field and the offending
+/// token.
+pub fn parse_rater_id(field: &str) -> Result<RaterId, String> {
+    // The range check proves the cast lossless.
+    parse_integer_id(field, "rater id", u64::from(u32::MAX)).map(|v| RaterId::new(v as u32))
+}
+
+/// Parses a product id from its decimal text form.
+///
+/// Same contract as [`parse_rater_id`] with the product id's 16-bit
+/// range: a plain base-10 integer in `[0, u16::MAX]`, everything else
+/// rejected.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the field and the offending
+/// token.
+pub fn parse_product_id(field: &str) -> Result<ProductId, String> {
+    // The range check proves the cast lossless.
+    parse_integer_id(field, "product id", u64::from(u16::MAX)).map(|v| ProductId::new(v as u16))
+}
+
+fn parse_integer_id(field: &str, what: &str, max: u64) -> Result<u64, String> {
+    let t = field.trim();
+    match t.parse::<u64>() {
+        Ok(v) if v <= max => Ok(v),
+        Ok(v) => Err(format!("{what} {v} is out of range (maximum {max})")),
+        // Not a plain non-negative integer. Parse as a float purely to
+        // say *why* it was rejected.
+        Err(_) => match t.parse::<f64>() {
+            Ok(x) if x < 0.0 => Err(format!("{what} must be non-negative, found {t:?}")),
+            Ok(_) => Err(format!(
+                "{what} must be a plain integer in [0, {max}], found {t:?}"
+            )),
+            Err(e) => Err(format!("bad {what} {t:?}: {e}")),
+        },
+    }
+}
+
+/// Parses a day (fractional days since the horizon start).
+///
+/// Days must be finite and non-negative. `NaN`, infinities, and
+/// negative times are rejected with an explicit error instead of being
+/// saturated or passed through to corrupt window arithmetic downstream.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending token.
+pub fn parse_day(field: &str) -> Result<Timestamp, String> {
+    let t = field.trim();
+    let x: f64 = t.parse().map_err(|e| format!("bad day {t:?}: {e}"))?;
+    if x < 0.0 {
+        return Err(format!("day must be non-negative, found {t:?}"));
+    }
+    Timestamp::new(x).map_err(|e| format!("bad day {t:?}: {e}"))
+}
+
+/// Parses a rating value on the 0–5 scale via [`RatingValue::new`] —
+/// never the clamping constructor, so out-of-scale input is an error
+/// the submitter sees, not a silent 5.0.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending token.
+pub fn parse_value(field: &str) -> Result<RatingValue, String> {
+    let t = field.trim();
+    let x: f64 = t.parse().map_err(|e| format!("bad value {t:?}: {e}"))?;
+    RatingValue::new(x).map_err(|e| format!("bad value {t:?}: {e}"))
+}
+
 /// Reads a dataset from CSV.
 ///
 /// Accepts both 4-column (`rater,product,day,value`) and 5-column
@@ -258,9 +600,13 @@ pub fn read_csv<R: Read>(reader: R) -> Result<RatingDataset, CsvError> {
                 message: format!("bad {what} {s:?}: {e}"),
             })
         };
-        let rater = parse_num(fields[0], "rater id")? as u32;
-        let product = parse_num(fields[1], "product id")? as u16;
-        let day = parse_num(fields[2], "day")?;
+        let row_err = |message: String| CsvError::Row {
+            line: line_no,
+            message,
+        };
+        let rater = parse_rater_id(fields[0]).map_err(row_err)?;
+        let product = parse_product_id(fields[1]).map_err(row_err)?;
+        let time = parse_day(fields[2]).map_err(row_err)?;
         let value = parse_num(fields[3], "value")?;
         let source = match fields.get(4).map(|s| s.trim().to_ascii_lowercase()) {
             None => RatingSource::Fair,
@@ -273,18 +619,11 @@ pub fn read_csv<R: Read>(reader: R) -> Result<RatingDataset, CsvError> {
                 })
             }
         };
-        let time = Timestamp::new(day).map_err(|source| CsvError::Domain {
-            line: line_no,
-            source,
-        })?;
         let value = RatingValue::new(value).map_err(|source| CsvError::Domain {
             line: line_no,
             source,
         })?;
-        dataset.insert(
-            Rating::new(RaterId::new(rater), ProductId::new(product), time, value),
-            source,
-        );
+        dataset.insert(Rating::new(rater, product, time, value), source);
     }
     Ok(dataset)
 }
@@ -454,5 +793,188 @@ mod tests {
     fn header_is_case_insensitive() {
         let csv = "Rater,Product,Day,Value,Source\n1,2,3.0,4.0,fair\n";
         assert_eq!(read_csv(csv.as_bytes()).unwrap().len(), 1);
+    }
+
+    /// The id-aliasing regression: every input the old float-then-cast
+    /// path would have silently coerced onto another rater's identity
+    /// must now be a row error naming the line.
+    #[test]
+    fn negative_rater_id_is_rejected_not_wrapped() {
+        let csv = "rater,product,day,value\n-1,0,1.0,4.0\n";
+        let e = read_csv(csv.as_bytes()).unwrap_err();
+        match e {
+            CsvError::Row { line, ref message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("rater id"), "message: {message}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn oversized_rater_id_is_rejected_not_saturated() {
+        // u32::MAX + 1000: the old path saturated this onto rater
+        // u32::MAX, silently merging it with the max legal identity.
+        let csv = format!("rater,product,day,value\n{},0,1.0,4.0\n", 4_294_968_295u64);
+        let e = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(
+            matches!(e, CsvError::Row { line: 2, .. }),
+            "wrong error: {e}"
+        );
+        assert!(e.to_string().contains("out of range"), "message: {e}");
+    }
+
+    #[test]
+    fn fractional_rater_id_is_rejected_not_truncated() {
+        // 7.9 used to truncate to rater 7 — a different identity.
+        let csv = "rater,product,day,value\n7.9,0,1.0,4.0\n";
+        let e = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(
+            matches!(e, CsvError::Row { line: 2, .. }),
+            "wrong error: {e}"
+        );
+        assert!(e.to_string().contains("integer"), "message: {e}");
+    }
+
+    #[test]
+    fn product_id_range_is_enforced() {
+        let csv = "rater,product,day,value\n1,65536,1.0,4.0\n";
+        let e = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("product id"), "message: {e}");
+        let csv = "rater,product,day,value\n1,-2,1.0,4.0\n";
+        let e = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("non-negative"), "message: {e}");
+    }
+
+    #[test]
+    fn max_legal_ids_round_trip() {
+        let mut d = RatingDataset::new();
+        d.insert(
+            Rating::new(
+                RaterId::new(u32::MAX),
+                ProductId::new(u16::MAX),
+                Timestamp::new(3.0).unwrap(),
+                RatingValue::new(4.0).unwrap(),
+            ),
+            RatingSource::Fair,
+        );
+        let restored = read_csv(to_csv_string(&d).as_bytes()).unwrap();
+        let entry = restored.iter().next().unwrap();
+        assert_eq!(entry.rater(), RaterId::new(u32::MAX));
+        assert_eq!(entry.rating().product(), ProductId::new(u16::MAX));
+    }
+
+    /// The day-validation regression: negatives and NaN parse as floats
+    /// but are not times; both must be explicit row errors.
+    #[test]
+    fn negative_day_is_rejected() {
+        let csv = "rater,product,day,value\n1,0,-2.5,4.0\n";
+        let e = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(
+            matches!(e, CsvError::Row { line: 2, .. }),
+            "wrong error: {e}"
+        );
+        assert!(e.to_string().contains("non-negative"), "message: {e}");
+    }
+
+    #[test]
+    fn nan_day_is_rejected() {
+        for bad in ["NaN", "nan", "inf", "-inf"] {
+            let csv = format!("rater,product,day,value\n1,0,{bad},4.0\n");
+            let e = read_csv(csv.as_bytes()).unwrap_err();
+            assert!(
+                matches!(e, CsvError::Row { line: 2, .. }),
+                "{bad}: wrong error: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn field_parsers_accept_legal_forms() {
+        assert_eq!(parse_rater_id(" 42 ").unwrap(), RaterId::new(42));
+        assert_eq!(
+            parse_rater_id(&u32::MAX.to_string()).unwrap(),
+            RaterId::new(u32::MAX)
+        );
+        assert_eq!(parse_product_id("65535").unwrap(), ProductId::new(u16::MAX));
+        assert_eq!(parse_day("12.5").unwrap(), Timestamp::new(12.5).unwrap());
+        assert_eq!(parse_value("4.5").unwrap(), RatingValue::new(4.5).unwrap());
+        assert!(parse_value("5.5").is_err());
+        assert!(parse_value("NaN").is_err());
+    }
+
+    #[test]
+    fn jsonl_object_parses_scalars_in_order() {
+        let fields = parse_jsonl_object(
+            r#"{"rater":17,"day":12.5,"source":"fair","ok":true,"gone":null,"neg":-3.25e2}"#,
+        )
+        .unwrap();
+        assert_eq!(fields.len(), 6);
+        assert_eq!(fields[0].0, "rater");
+        assert_eq!(jsonl_field(&fields, "rater").unwrap().as_u64(), Some(17));
+        assert_eq!(jsonl_field(&fields, "day").unwrap().as_f64(), Some(12.5));
+        assert_eq!(
+            jsonl_field(&fields, "source").unwrap().as_text(),
+            Some("fair")
+        );
+        assert_eq!(jsonl_field(&fields, "ok").unwrap(), &JsonScalar::Bool(true));
+        assert_eq!(jsonl_field(&fields, "gone").unwrap(), &JsonScalar::Null);
+        assert_eq!(jsonl_field(&fields, "neg").unwrap().as_f64(), Some(-325.0));
+        assert!(jsonl_field(&fields, "missing").is_none());
+    }
+
+    #[test]
+    fn jsonl_numbers_keep_u64_bit_exactness() {
+        // f64 bit patterns exceed 2^53: a reader that round-tripped
+        // numbers through f64 would corrupt them.
+        let bits = 0x3FF8_0000_0000_0001u64; // 1.5 + 1 ulp
+        let fields = parse_jsonl_object(&format!("{{\"bits\":{bits}}}")).unwrap();
+        assert_eq!(jsonl_field(&fields, "bits").unwrap().as_u64(), Some(bits));
+    }
+
+    #[test]
+    fn jsonl_strings_unescape() {
+        let fields = parse_jsonl_object(r#"{"s":"a\n\"b\"\\c\u0041"}"#).unwrap();
+        assert_eq!(
+            jsonl_field(&fields, "s").unwrap().as_text(),
+            Some("a\n\"b\"\\cA")
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_write_json_rows() {
+        // The write side emits rows like write_json's; the reader must
+        // accept them verbatim (minus the array punctuation).
+        let json = to_json_string(&sample());
+        let rows: Vec<&str> = json
+            .lines()
+            .filter(|l| l.trim_start().starts_with('{'))
+            .map(|l| l.trim().trim_end_matches(','))
+            .collect();
+        assert_eq!(rows.len(), 2);
+        let fields = parse_jsonl_object(rows[0]).unwrap();
+        assert_eq!(jsonl_field(&fields, "rater").unwrap().as_u64(), Some(1));
+        assert_eq!(jsonl_field(&fields, "day").unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,2]",
+            "{\"a\":1} extra",
+            "{\"a\":1,\"a\":2}",
+            "{\"a\":{}}",
+            "{\"a\":[1]}",
+            "{\"a\":tru}",
+            "{\"a\":\"unterminated}",
+            "{\"a\":\"bad \\q escape\"}",
+            "{\"a\":--1}",
+            "{\"a\":1,}",
+            "{a:1}",
+        ] {
+            assert!(parse_jsonl_object(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

@@ -82,6 +82,207 @@ impl OnlineState {
     pub fn products_tracked(&self) -> usize {
         self.products.len()
     }
+
+    /// Captures a self-contained, bit-exact image of the rolling state.
+    ///
+    /// Every `f64` is carried as its bit pattern, so the image survives
+    /// any text round trip without rounding. Structures that are pure
+    /// functions of the captured ones — the stream prefix sums, the
+    /// sorted mirror, HC's sliding window multiset — are *not* stored;
+    /// [`OnlineState::restore`] rebuilds them by replaying the exact
+    /// push/sort operations the live path uses, which keeps the image
+    /// minimal without costing a single bit of fidelity.
+    ///
+    /// Rolling telemetry is excluded on purpose: it is diagnostics that
+    /// never influences detection, and a restored process starts with
+    /// fresh observability sinks anyway.
+    #[must_use]
+    pub fn snapshot(&self) -> OnlineSnapshot {
+        let products = self
+            .products
+            .iter()
+            .map(|(&product, state)| ProductSnapshot {
+                product,
+                values_bits: state.cache.values.iter().map(|v| v.to_bits()).collect(),
+                times_bits: state.cache.times.iter().map(|t| t.to_bits()).collect(),
+                start_bits: state.cache.start_bits,
+                end_bits: state.cache.end_days.to_bits(),
+                mc: CurveCursorSnapshot {
+                    settled: snapshot_points(&state.mc.settled),
+                    scan_from: state.mc.scan_from as u64,
+                },
+                harc: snapshot_arc_band(&state.harc),
+                larc: snapshot_arc_band(&state.larc),
+                hc: CurveCursorSnapshot {
+                    settled: snapshot_points(&state.hc.settled),
+                    scan_from: state.hc.next_start as u64,
+                },
+                me: CurveCursorSnapshot {
+                    settled: snapshot_points(&state.me.settled),
+                    scan_from: state.me.next_start as u64,
+                },
+            })
+            .collect();
+        OnlineSnapshot { products }
+    }
+
+    /// Rebuilds rolling state from a [`snapshot`](OnlineState::snapshot).
+    ///
+    /// The restored state is observably identical to the captured one:
+    /// feeding both the same future epochs produces bit-identical
+    /// [`DetectionResult`]s (the crash-replay tests in `rrs-serve` and
+    /// the round-trip tests below lock this). `snapshot()` of the
+    /// restored state equals the input image.
+    #[must_use]
+    pub fn restore(snapshot: &OnlineSnapshot) -> Self {
+        let mut products = BTreeMap::new();
+        for p in &snapshot.products {
+            let mut cache = StreamCache {
+                start_bits: p.start_bits,
+                end_days: f64::from_bits(p.end_bits),
+                ..StreamCache::default()
+            };
+            for (&v, &t) in p.values_bits.iter().zip(&p.times_bits) {
+                cache.push(f64::from_bits(v), f64::from_bits(t));
+            }
+            let state = ProductState {
+                cache,
+                mc: McState {
+                    settled: restore_points(&p.mc.settled),
+                    scan_from: p.mc.scan_from as usize,
+                },
+                harc: restore_arc_band(&p.harc),
+                larc: restore_arc_band(&p.larc),
+                // HC's sliding sorted multiset is deliberately left
+                // empty: `slide_sorted_window` falls back to a from-
+                // scratch sort, whose result is bit-identical to the
+                // slid one (same multiset, same `total_cmp` order).
+                hc: HcWindowState {
+                    settled: restore_points(&p.hc.settled),
+                    next_start: p.hc.scan_from as usize,
+                    sorted: Vec::new(),
+                    prev_start: None,
+                },
+                me: WindowedState {
+                    settled: restore_points(&p.me.settled),
+                    next_start: p.me.scan_from as usize,
+                },
+                telemetry: None,
+            };
+            products.insert(p.product, state);
+        }
+        OnlineState { products }
+    }
+}
+
+/// A settled indicator-curve point in snapshot form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CurvePointSnapshot {
+    /// Rating index the point was computed at.
+    pub index: u64,
+    /// Bit pattern of the point's time (days).
+    pub time_bits: u64,
+    /// Bit pattern of the indicator value.
+    pub value_bits: u64,
+}
+
+/// Settled points plus the scan cursor of one detector.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CurveCursorSnapshot {
+    /// Points that no future arrival can change.
+    pub settled: Vec<CurvePointSnapshot>,
+    /// First unsettled index (ratings for MC, window starts for HC/ME).
+    pub scan_from: u64,
+}
+
+/// One H-ARC/L-ARC band in snapshot form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArcBandSnapshot {
+    /// Daily in-band arrival counts over the horizon.
+    pub counts: Vec<u32>,
+    /// Entries already folded into `counts`.
+    pub absorbed: u64,
+    /// Bit pattern of the stream median the band was built under.
+    pub median_bits: Option<u64>,
+    /// Settled curve points and the first unsettled day index.
+    pub cursor: CurveCursorSnapshot,
+}
+
+/// One product's rolling state in snapshot form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductSnapshot {
+    /// The product this slot tracks.
+    pub product: ProductId,
+    /// Bit patterns of the cached stream values, in arrival order.
+    pub values_bits: Vec<u64>,
+    /// Bit patterns of the cached stream times, in arrival order.
+    pub times_bits: Vec<u64>,
+    /// Bit pattern of the horizon start offsets were computed from.
+    pub start_bits: u64,
+    /// Bit pattern of the last absorbed horizon end (days).
+    pub end_bits: u64,
+    /// MC settled points and cursor.
+    pub mc: CurveCursorSnapshot,
+    /// High-band ARC state.
+    pub harc: ArcBandSnapshot,
+    /// Low-band ARC state.
+    pub larc: ArcBandSnapshot,
+    /// HC settled points and next window start.
+    pub hc: CurveCursorSnapshot,
+    /// ME settled points and next window start.
+    pub me: CurveCursorSnapshot,
+}
+
+/// Self-contained, bit-exact image of an [`OnlineState`], suitable for
+/// durable checkpointing (see `rrs-serve`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OnlineSnapshot {
+    /// Per-product images, in product order.
+    pub products: Vec<ProductSnapshot>,
+}
+
+fn snapshot_points(points: &[CurvePoint]) -> Vec<CurvePointSnapshot> {
+    points
+        .iter()
+        .map(|p| CurvePointSnapshot {
+            index: p.index as u64,
+            time_bits: p.time.to_bits(),
+            value_bits: p.value.to_bits(),
+        })
+        .collect()
+}
+
+fn restore_points(points: &[CurvePointSnapshot]) -> Vec<CurvePoint> {
+    points
+        .iter()
+        .map(|p| CurvePoint {
+            index: p.index as usize,
+            time: f64::from_bits(p.time_bits),
+            value: f64::from_bits(p.value_bits),
+        })
+        .collect()
+}
+
+fn snapshot_arc_band(band: &ArcBandState) -> ArcBandSnapshot {
+    ArcBandSnapshot {
+        counts: band.counts.clone(),
+        absorbed: band.absorbed as u64,
+        median_bits: band.median_bits,
+        cursor: CurveCursorSnapshot {
+            settled: snapshot_points(&band.settled),
+            scan_from: band.scan_from as u64,
+        },
+    }
+}
+
+fn restore_arc_band(snapshot: &ArcBandSnapshot) -> ArcBandState {
+    ArcBandState {
+        counts: snapshot.counts.clone(),
+        absorbed: snapshot.absorbed as usize,
+        median_bits: snapshot.median_bits,
+        settled: restore_points(&snapshot.cursor.settled),
+        scan_from: snapshot.cursor.scan_from as usize,
+    }
 }
 
 /// All rolling state for one product.
@@ -937,6 +1138,53 @@ mod tests {
                 assert_eq!(batch_results, online_results, "{ablated:?} diverged");
             }
         }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_bit_exactly() {
+        let mut d = fair_dataset(10);
+        add_burst(&mut d, 40.0, 12, 5, 0.8);
+        let detector = JointDetector::default();
+        let mut state = OnlineState::new();
+        for &end in &[30.0, 60.0] {
+            let window = TimeWindow::new(ts(0.0), ts(end)).unwrap();
+            let prefix = d.prefix_view(window);
+            detector.detect_all_online(&prefix, window, trust_fn, &mut state);
+        }
+        let image = state.snapshot();
+        let restored = OnlineState::restore(&image);
+        // The image is a fixed point: capture(restore(x)) == x.
+        assert_eq!(restored.snapshot(), image);
+        assert_eq!(restored.products_tracked(), state.products_tracked());
+    }
+
+    #[test]
+    fn restored_state_continues_identically() {
+        // Epochs continued from a restored state must produce the same
+        // bits as epochs continued from the live state — the property
+        // crash recovery in rrs-serve stands on.
+        let mut d = fair_dataset(11);
+        add_burst(&mut d, 40.0, 12, 6, 0.5);
+        let detector = JointDetector::default();
+        let mut live = OnlineState::new();
+        for &end in &[30.0, 60.0] {
+            let window = TimeWindow::new(ts(0.0), ts(end)).unwrap();
+            let prefix = d.prefix_view(window);
+            detector.detect_all_online(&prefix, window, trust_fn, &mut live);
+        }
+        let mut restored = OnlineState::restore(&live.snapshot());
+        for &end in &[75.0, 90.0] {
+            let window = TimeWindow::new(ts(0.0), ts(end)).unwrap();
+            let prefix = d.prefix_view(window);
+            let (live_marks, live_results) =
+                detector.detect_all_online(&prefix, window, trust_fn, &mut live);
+            let (rest_marks, rest_results) =
+                detector.detect_all_online(&prefix, window, trust_fn, &mut restored);
+            assert_eq!(live_marks, rest_marks, "marks diverged at end={end}");
+            assert_eq!(live_results, rest_results, "results diverged at end={end}");
+        }
+        // And the states themselves remain interchangeable afterwards.
+        assert_eq!(live.snapshot(), restored.snapshot());
     }
 
     #[test]

@@ -117,6 +117,7 @@ impl Config {
                 "rrs-attack".into(),
                 "rrs-challenge".into(),
                 "rrs-eval".into(),
+                "rrs-serve".into(),
             ],
             print_allowed_files: vec![(
                 "crates/obs/src/log.rs".into(),

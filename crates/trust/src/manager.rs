@@ -163,6 +163,30 @@ impl TrustManager {
         self.records.iter().map(|(r, t)| (*r, t.trust())).collect()
     }
 
+    /// Iterates every `(rater, record)` pair in rater order.
+    ///
+    /// This is the checkpoint surface: together with
+    /// [`TrustManager::from_records`] it round-trips the manager's full
+    /// state (the accumulated `S`/`F` evidence, not just the derived
+    /// trust values) bit-exactly.
+    pub fn records(&self) -> impl Iterator<Item = (RaterId, &BetaTrust)> {
+        self.records.iter().map(|(r, t)| (*r, t))
+    }
+
+    /// Rebuilds a manager from previously captured records.
+    ///
+    /// The inverse of [`TrustManager::records`]: feeding the captured
+    /// pairs back yields a manager whose every observable —
+    /// [`trust_of`](TrustManager::trust_of), future
+    /// [`update_epoch`](TrustManager::update_epoch) results — is
+    /// bit-identical to the original. Later pairs win on duplicate
+    /// raters.
+    pub fn from_records(records: impl IntoIterator<Item = (RaterId, BetaTrust)>) -> Self {
+        TrustManager {
+            records: records.into_iter().collect(),
+        }
+    }
+
     /// Applies exponential forgetting to every record.
     ///
     /// # Panics
@@ -292,6 +316,45 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.len(), 2);
         assert!(snap.values().all(|&t| t > 0.5));
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        let mut d = RatingDataset::new();
+        let mut marked = BTreeSet::new();
+        for day in 0..20 {
+            let id = d.insert(
+                rating(1, 0, f64::from(day), 4.0 - f64::from(day) * 0.07),
+                RatingSource::Fair,
+            );
+            if day % 3 == 0 {
+                marked.insert(id);
+            }
+            d.insert(rating(2, 0, f64::from(day) + 0.5, 3.5), RatingSource::Fair);
+        }
+        let mut m = TrustManager::new();
+        m.update_epoch(&d, window(0.0, 10.0), &marked);
+        m.discount_all(0.25);
+        m.update_epoch(&d, window(10.0, 20.0), &marked);
+
+        let restored = TrustManager::from_records(m.records().map(|(r, t)| (r, *t)));
+        assert_eq!(restored.len(), m.len());
+        for (rater, record) in m.records() {
+            let r = restored.record(rater).unwrap();
+            assert_eq!(r.successes().to_bits(), record.successes().to_bits());
+            assert_eq!(r.failures().to_bits(), record.failures().to_bits());
+            assert_eq!(
+                restored.trust_of(rater).to_bits(),
+                m.trust_of(rater).to_bits()
+            );
+        }
+        // Future epochs from the restored manager match bit for bit.
+        let mut a = m.clone();
+        let mut b = restored;
+        let up_a = a.update_epoch(&d, window(0.0, 20.0), &marked);
+        let up_b = b.update_epoch(&d, window(0.0, 20.0), &marked);
+        assert_eq!(up_a, up_b);
+        assert_eq!(a.snapshot(), b.snapshot());
     }
 
     #[test]

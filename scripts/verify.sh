@@ -93,6 +93,79 @@ diff -r --exclude=metrics.json "$TMP/threads1" "$TMP/batch"
 RRS_STORE=row RRS_TRACE=1 RRS_THREADS=1 target/release/experiments --scale small --seed 42 --out "$TMP/rowstore"
 diff -r "$TMP/threads1" "$TMP/rowstore"
 
+# Serving smoke: SIGKILL a live server after acknowledged submissions,
+# restart it from the WAL, finish the workload, and require the
+# recovered trust table and suspicion set to byte-match an uninterrupted
+# server fed the identical sequence — with the crashed run recovering at
+# RRS_THREADS=1 and the oracle running at 8, so the diff also holds
+# across pool widths (the crash-replay test suite holds the matrix's
+# other cells in-process).
+SERVE_A="$TMP/serve-crash"
+SERVE_B="$TMP/serve-oracle"
+for i in $(seq 0 11); do
+    printf '{"rater":%d,"product":0,"day":%d,"value":4.25}\n' "$i" "$((i * 2))"
+    printf '{"rater":%d,"product":1,"day":%d,"value":3.5}\n' "$i" "$((i * 2))"
+done > "$TMP/batch1.jsonl"
+for i in $(seq 0 11); do
+    printf '{"rater":%d,"product":0,"day":%d,"value":4}\n' "$i" "$((30 + i))"
+done > "$TMP/batch2.jsonl"
+{
+    for i in $(seq 0 7); do
+        printf '{"rater":%d,"product":0,"day":62,"value":0.5}\n' "$((50 + i))"
+    done
+    for i in $(seq 0 11); do
+        printf '{"rater":%d,"product":0,"day":%d,"value":4}\n' "$i" "$((60 + i))"
+    done
+} > "$TMP/batch3.jsonl"
+
+serve_start() { # dir addr-file threads
+    rm -f "$2"
+    RRS_THREADS="$3" target/release/rrs serve --dir "$1" \
+        --addr 127.0.0.1:0 --addr-file "$2" --quiet &
+    SERVE_PID=$!
+    for _ in $(seq 1 200); do [ -s "$2" ] && break; sleep 0.05; done
+    SERVE_ADDR="$(cat "$2")"
+}
+serve_ratings() { curl -sf -X POST --data-binary @"$1" "http://$SERVE_ADDR/ratings" > /dev/null; }
+serve_epoch() { curl -sf -X POST -d '' "http://$SERVE_ADDR/epochs" > /dev/null; }
+
+# Crashed run: two acknowledged batches and one epoch, then kill -9.
+serve_start "$SERVE_A" "$TMP/addr-a1" 1
+serve_ratings "$TMP/batch1.jsonl"
+serve_epoch
+serve_ratings "$TMP/batch2.jsonl"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+
+# Recover from the WAL and finish the workload.
+serve_start "$SERVE_A" "$TMP/addr-a2" 1
+serve_epoch
+serve_ratings "$TMP/batch3.jsonl"
+serve_epoch
+curl -sf "http://$SERVE_ADDR/trust" > "$TMP/trust-crashed"
+curl -sf "http://$SERVE_ADDR/suspicious" > "$TMP/suspicious-crashed"
+curl -sf -X POST -d '' "http://$SERVE_ADDR/shutdown" > /dev/null
+wait "$SERVE_PID"
+
+# The uninterrupted oracle, at a different pool width.
+serve_start "$SERVE_B" "$TMP/addr-b" 8
+serve_ratings "$TMP/batch1.jsonl"
+serve_epoch
+serve_ratings "$TMP/batch2.jsonl"
+serve_epoch
+serve_ratings "$TMP/batch3.jsonl"
+serve_epoch
+curl -sf "http://$SERVE_ADDR/trust" > "$TMP/trust-oracle"
+curl -sf "http://$SERVE_ADDR/suspicious" > "$TMP/suspicious-oracle"
+curl -sf -X POST -d '' "http://$SERVE_ADDR/shutdown" > /dev/null
+wait "$SERVE_PID"
+
+# Byte-equality, and the comparison must not be vacuous.
+test -s "$TMP/trust-crashed"
+test -s "$TMP/suspicious-crashed"
+diff "$TMP/trust-crashed" "$TMP/trust-oracle"
+diff "$TMP/suspicious-crashed" "$TMP/suspicious-oracle"
+
 # Ingest bench at a reduced 1M-rating scale: proves the bulk-ingest and
 # append paths work end to end at volume and writes BENCH_ingest.json
 # (the committed benchmarks/BENCH_ingest.json holds the 10M numbers).

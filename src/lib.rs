@@ -21,6 +21,9 @@
 //! * [`eval`] — experiment harness reproducing every figure of the paper.
 //! * [`obs`] — zero-dependency tracing, metrics, and decision traces for
 //!   the detection pipeline (`rrs trace`, `RRS_TRACE=1`).
+//! * [`serve`] — the serving front end: a zero-dependency HTTP/1.1 API
+//!   with a durable write-ahead log and checkpoint/restore
+//!   (`rrs serve`).
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@ pub use rrs_core as core;
 pub use rrs_detectors as detectors;
 pub use rrs_eval as eval;
 pub use rrs_obs as obs;
+pub use rrs_serve as serve;
 pub use rrs_signal as signal;
 pub use rrs_trust as trust;
 
